@@ -1,0 +1,43 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The corpus scale defaults to 1.0 here (paper-magnitude candidate counts);
+set ``REPRO_SCALE`` to run smaller.  Each benchmark writes its rendered
+table/figure into ``benchmarks/results/`` so the regenerated rows can be
+diffed against the paper (see EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.corpus.preliminary import generate_preliminary_corpus
+from repro.eval.suite import EvalSuite
+
+BENCH_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+BENCH_SEED = int(os.environ.get("REPRO_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def suite() -> EvalSuite:
+    return EvalSuite.build(scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def prelim_corpus():
+    return generate_preliminary_corpus(scale=BENCH_SCALE, seed=BENCH_SEED + 4)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    directory = Path(__file__).parent / "results"
+    directory.mkdir(exist_ok=True)
+    return directory
+
+
+def emit(results_dir: Path, name: str, rendered: str) -> None:
+    """Persist a rendered table and echo it for the bench log."""
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")
+    print()
+    print(rendered)

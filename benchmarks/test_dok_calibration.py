@@ -1,0 +1,22 @@
+"""Benchmark E11 — §6 DOK weight calibration.
+
+Paper: fitting self-ratings on 40 sampled lines per application yields
+α0=3.1, αFA=1.2, αDL=0.2, αAC=0.5.  We assert the pooled fit recovers
+the strongly identified weights (FA, AC) close to the published values."""
+
+from conftest import emit
+
+from repro.eval import calibration_experiment
+
+
+def test_dok_calibration(benchmark, suite, results_dir):
+    result = benchmark.pedantic(
+        calibration_experiment.run, args=(suite,), rounds=1, iterations=1
+    )
+    emit(results_dir, "calibration", result.render())
+
+    pooled = result.pooled
+    assert pooled is not None
+    assert abs(pooled.alpha_fa - 1.2) < 0.5
+    assert abs(pooled.alpha_ac - 0.5) < 0.3
+    assert 2.0 < pooled.alpha0 < 4.5

@@ -1,0 +1,29 @@
+"""Benchmark E13 — §9 extensions: history pruning and EA ranking.
+
+The paper leaves both as discussion items; this ablation quantifies
+them: the §9.1 commit-history/comment pruner should reduce reports
+(trading a small number of real bugs), and the §9.2 EA model should rank
+within striking distance of DOK without needing a developer survey."""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.eval import extensions
+
+
+def test_extensions_ablation(benchmark, suite, results_dir):
+    cutoff = max(3, round(20 * min(1.0, BENCH_SCALE)))
+    result = benchmark.pedantic(
+        extensions.run, args=(suite,), kwargs={"cutoff": cutoff}, rounds=1, iterations=1
+    )
+    emit(results_dir, "extensions", result.render())
+
+    default_found = sum(found for found, _ in result.default.values())
+    history_found = sum(found for found, _ in result.with_history.values())
+    assert history_found <= default_found  # §9.1 pruning only removes
+
+    dok_total = sum(result.top_dok.values())
+    ea_total = sum(result.top_ea.values())
+    assert ea_total > 0
+    # EA ranks competitively (the paper calls it "less accurate" — allow
+    # a sizable but bounded gap).
+    assert ea_total >= dok_total * 0.5

@@ -1,0 +1,26 @@
+"""Benchmark E7 — Figure 7: confirmed bugs by component, severity and
+days-before-detected.
+
+Paper: 38% filesystem / 17% security components; 15% high + 59% medium
+severity; >80% of bugs older than 1000 days."""
+
+from conftest import emit
+
+from repro.eval import figure7
+
+
+def test_figure7_categorization(benchmark, suite, results_dir):
+    result = benchmark.pedantic(figure7.run, args=(suite,), rounds=1, iterations=1)
+    emit(results_dir, "figure7", result.render())
+
+    components = result.component_fractions()
+    assert components.get("filesystem", 0) == max(components.values())
+    assert components.get("filesystem", 0) > 0.25
+    assert components.get("security", 0) > 0.08
+
+    severities = result.severity_fractions()
+    assert severities.get("medium", 0) == max(severities.values())
+    assert 0.05 <= severities.get("high", 0) <= 0.3
+
+    ages = result.age_fractions()
+    assert ages.get(">1000", 0) > 0.6  # paper: more than 80%

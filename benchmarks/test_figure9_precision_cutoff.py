@@ -1,0 +1,25 @@
+"""Benchmark E8 — Figure 9: precision of bug detection vs report cutoff.
+
+Paper: 97.5% precision when reporting the 10 lowest-familiarity findings
+per application, decreasing as the cutoff grows."""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.eval import figure9
+
+
+def test_figure9_precision_cutoff(benchmark, suite, results_dir):
+    scale_factor = min(1.0, BENCH_SCALE)
+    cutoffs = tuple(
+        sorted({max(1, round(c * scale_factor)) for c in (10, 20, 30, 40, 50)})
+    )
+    result = benchmark.pedantic(
+        figure9.run, args=(suite,), kwargs={"cutoffs": cutoffs}, rounds=1, iterations=1
+    )
+    emit(results_dir, "figure9", result.render())
+
+    series = result.series()
+    first_precision = series[0][1]
+    last_precision = series[-1][1]
+    assert first_precision >= 0.8  # paper: 97.5% at top-10
+    assert first_precision >= last_precision  # decreasing trend

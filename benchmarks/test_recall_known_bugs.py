@@ -1,0 +1,22 @@
+"""Benchmark E10 — §8.3.2 recall on the known historical bugs.
+
+Paper: ValueCheck detects 37 of the 39 collected cross-scope bugs; both
+misses are claimed by peer-definition pruning."""
+
+from conftest import emit
+
+from repro.eval import preliminary, recall
+
+
+def test_recall_known_bugs(benchmark, prelim_corpus, results_dir):
+    prelim = preliminary.run(prelim_corpus)
+    result = benchmark.pedantic(
+        recall.run, args=(prelim_corpus, prelim), rounds=1, iterations=1
+    )
+    emit(results_dir, "recall", result.render())
+
+    assert result.known_bugs > 0
+    assert result.recall >= 0.85  # paper: 92.3%
+    assert result.detected < result.known_bugs  # some misses exist...
+    for key in result.missed_keys:  # ...and peer pruning explains them all
+        assert result.missed_pruned_by[key] == "peer_definition"

@@ -1,0 +1,19 @@
+"""Benchmark E2 — Table 3: bug categorisation.
+
+Paper: 134 missing-check bugs, 20 semantic bugs of 154 confirmed."""
+
+from conftest import emit
+
+from repro.eval import table2, table3
+
+
+def test_table3_bug_types(benchmark, suite, results_dir):
+    result = benchmark.pedantic(table3.run, args=(suite,), rounds=1, iterations=1)
+    emit(results_dir, "table3", result.render())
+
+    missing = result.by_type.get("missing_check", 0)
+    semantic = result.by_type.get("semantic", 0)
+    assert missing > semantic > 0
+    # Missing-check bugs are ~87% in the paper.
+    assert 0.7 <= missing / (missing + semantic) <= 0.97
+    assert missing + semantic == table2.run(suite).total_confirmed

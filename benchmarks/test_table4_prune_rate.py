@@ -1,0 +1,27 @@
+"""Benchmark E3 — Table 4: prune-rate breakdown + sampled pruning FNs.
+
+Paper: prune rates 75.68% (Linux) to 98.72% (MySQL); unused hints and
+peer definitions are the dominant strategies; sampled pruning false
+negatives are 1-3% per application."""
+
+from conftest import emit
+
+from repro.eval import table4
+
+
+def test_table4_prune_rate(benchmark, suite, results_dir):
+    result = benchmark.pedantic(table4.run, args=(suite,), rounds=1, iterations=1)
+    emit(results_dir, "table4", result.render())
+
+    by_app = {row.app: row for row in result.rows}
+    for row in result.rows:
+        assert 0.5 <= row.prune_rate <= 0.995
+        assert row.original == row.total_pruned + row.detected_after
+        assert row.sampled_fn_rate <= 0.10  # "less than 10%" (§8.3.4)
+    # MySQL prunes the most aggressively, Linux the least (paper ordering).
+    assert by_app["MySQL"].prune_rate == max(r.prune_rate for r in result.rows)
+    assert by_app["Linux"].prune_rate == min(r.prune_rate for r in result.rows)
+    # Hints + peers dominate (98% of MySQL prunes in the paper).
+    mysql = by_app["MySQL"]
+    dominant = mysql.pruned_by.get("unused_hints", 0) + mysql.pruned_by.get("peer_definition", 0)
+    assert dominant / mysql.total_pruned > 0.9

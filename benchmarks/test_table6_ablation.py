@@ -1,0 +1,25 @@
+"""Benchmark E5 — Table 6: authorship / DOK ablations.
+
+Paper (top-20 real bugs, total over apps): full 74, w/o Authorship 28
+(-62%), w/o Familiarity 58 (-16%), w/o AC 73, w/o DL 69, w/o FA 71."""
+
+from conftest import BENCH_SCALE, emit
+
+from repro.eval import table6
+
+
+def test_table6_ablation(benchmark, suite, results_dir):
+    cutoff = max(3, round(20 * min(1.0, BENCH_SCALE)))
+    result = benchmark.pedantic(
+        table6.run, args=(suite,), kwargs={"cutoff": cutoff}, rounds=1, iterations=1
+    )
+    emit(results_dir, "table6", result.render())
+
+    full = result.total("valuecheck")
+    # Removing cross-scope authorship hurts the most; removing the
+    # familiarity ranking hurts next; single-factor ablations are mild.
+    assert result.total("wo_authorship") < full
+    assert result.total("wo_familiarity") <= full
+    assert result.total("wo_authorship") <= result.total("wo_familiarity")
+    for factor_group in ("wo_ac", "wo_dl", "wo_fa"):
+        assert result.total(factor_group) >= result.total("wo_authorship")

@@ -1,0 +1,24 @@
+"""Benchmark E6 — Table 7: scalability (full-tree time and incremental
+per-commit time).
+
+Absolute numbers depend on the corpus scale and host (the paper notes
+the same about its artifact); the required shape is: analysis completes,
+MySQL (largest corpus) takes the longest, and incremental per-commit cost
+is at least an order of magnitude below the full run."""
+
+from conftest import emit
+
+from repro.eval import table7
+
+
+def test_table7_scalability(benchmark, suite, results_dir):
+    result = benchmark.pedantic(
+        table7.run, args=(suite,), kwargs={"replay_commits": 20}, rounds=1, iterations=1
+    )
+    emit(results_dir, "table7", result.render())
+
+    by_app = {row.app: row for row in result.rows}
+    assert by_app["MySQL"].full_seconds == max(r.full_seconds for r in result.rows)
+    for row in result.rows:
+        assert row.full_seconds > 0
+        assert row.incremental_seconds < row.full_seconds / 10

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Build a corpus for *your own* hypothetical project and benchmark the
+pipeline (and a baseline) on it.
+
+The four built-in profiles mirror the paper's applications; this example
+uses the custom-profile API to synthesise an embedded-flavoured code base
+with a different bug/noise mix, then runs the full pipeline and scores it
+against the shipped ground truth.
+
+Run:  python examples/custom_corpus.py
+"""
+
+from repro.baselines import CoverityUnused
+from repro.core import ValueCheck
+from repro.corpus.custom import generate_custom, make_profile
+from repro.corpus.stats import collect_stats
+from repro.eval.metrics import real_bug_count
+
+
+def main() -> None:
+    profile = make_profile(
+        "router-firmware",
+        display="RouterFW",
+        version="2.4",
+        bugs=12,
+        fp_minor=4,
+        config_dep=6,  # firmware trees are #ifdef-heavy
+        cursor=8,
+        hints=30,
+        peer_sites=60,
+        same_author=40,
+        filler=25,
+        domains=("network", "drivers", "security"),
+        n_owner_authors=6,
+        n_drifter_authors=5,
+    )
+    app = generate_custom(profile, scale=1.0, seed=99)
+    project = app.project()
+
+    print(collect_stats(app.repo, project=project, ledger=app.ledger).render())
+    print()
+
+    report = ValueCheck().analyze(project)
+    reported = report.reported()
+    real = real_bug_count(app.ledger, reported)
+    expected = len([e for e in app.ledger.bugs() if e.expected_pruner is None])
+    print(f"ValueCheck: {len(reported)} reported, {real}/{expected} planted bugs found, "
+          f"FP rate {1 - real / len(reported):.0%}")
+    for pruner, count in sorted(report.prune_stats.items()):
+        print(f"  pruned by {pruner}: {count}")
+
+    coverity = CoverityUnused().analyze(project)
+    coverity_real = len(
+        {
+            entry.join_key
+            for warning in coverity.warnings
+            if (entry := app.ledger.match_warning(warning.file, warning.function, warning.var))
+            is not None
+            and entry.is_bug
+        }
+    )
+    print(f"Coverity-style baseline: {coverity.count()} warnings, {coverity_real} real")
+
+    print("\ntop findings:")
+    for finding in reported[:6]:
+        entry = app.ledger.match_finding(finding)
+        verdict = "BUG" if entry is not None and entry.is_bug else "minor"
+        print(
+            f"  #{finding.rank:<3} fam={finding.familiarity:.2f} "
+            f"{finding.candidate.function}/{finding.candidate.var} -> {verdict}"
+        )
+
+    assert real == expected, "pipeline should rediscover every planted bug"
+    print("\nAll planted bugs rediscovered on the custom corpus. ✔")
+
+
+if __name__ == "__main__":
+    main()

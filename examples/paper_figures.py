@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Walk through the paper's motivating examples (Figures 1a, 1b and 5).
+
+Three multi-file, multi-author scenarios:
+
+* **Figure 1a** — the first attribute from ``next_attr_from_bitmap`` is
+  overwritten by the loop initialiser another developer added, so one
+  file attribute is silently never copied (a security bug);
+* **Figure 1b** — ``logfile_mod_open``'s ``bufsz`` argument is clobbered
+  with 1400 inside the callee, so the caller's configured ``0`` (flush
+  immediately) has no effect (a configuration bug);
+* **Figure 5** — a cursor (``*o++``) whose final increment is dead *by
+  design*: detected, then pruned, never reported.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.core import ValueCheck
+from repro.core.findings import CandidateKind
+from repro.core.project import Project
+from repro.vcs import Author, Repository
+
+DEV_BITMAP = Author("bitmap-author")
+DEV_FSAL = Author("fsal-author")
+DEV_LOG = Author("log-author")
+DEV_SQUID = Author("squid-author")
+
+
+def build_repo() -> Repository:
+    repo = Repository("paper-figures")
+
+    # --- Figure 1a: attribute bitmap conversion ------------------------
+    bitmap_lib = """\
+int next_attr_from_bitmap(int *bm)
+{
+    if (bm == NULL) { return -1; }
+    return *bm;
+}
+"""
+    fsal_v1 = """\
+int next_attr_from_bitmap(int *bm);
+int bitmap4_to_attrmask_t(int *bm, int *mask)
+{
+    int attr = next_attr_from_bitmap(bm);
+    while (attr != -1) { *mask = attr; attr = next_attr_from_bitmap(bm); }
+    return 0;
+}
+"""
+    # Author2 rewrites the loop as a for-statement whose initialiser
+    # refetches — overwriting (and thereby skipping) the first attribute.
+    fsal_v2 = """\
+int next_attr_from_bitmap(int *bm);
+int bitmap4_to_attrmask_t(int *bm, int *mask)
+{
+    int attr = next_attr_from_bitmap(bm);
+    for (attr = next_attr_from_bitmap(bm); attr != -1; attr = next_attr_from_bitmap(bm))
+    { *mask = attr; }
+    return 0;
+}
+"""
+    # --- Figure 1b: log buffer size -------------------------------------
+    logfile_v1 = """\
+int logfile_mod_open(char *path, int bufsz)
+{
+    if (path == NULL) { return -1; }
+    if (bufsz > 0) { return bufsz; }
+    return 0;
+}
+"""
+    logfile_v2 = """\
+int logfile_mod_open(char *path, int bufsz)
+{
+    bufsz = 1400;
+    if (path == NULL) { return -1; }
+    if (bufsz > 0) { return bufsz; }
+    return 0;
+}
+"""
+    caller = """\
+int logfile_mod_open(char *path, int bufsz);
+void setup_access_log(void)
+{
+    int fd;
+    fd = logfile_mod_open("headers.log", 0);
+    if (fd < 0) { return; }
+}
+"""
+    # --- Figure 5: a cursor, intentionally dead ------------------------
+    # The cursor body is a later rewrite inside a function another
+    # developer owns — cross-scope, so it enters the pipeline, where the
+    # cursor pruner recognises and drops it.
+    cursor_v1 = """\
+static void dashes_to_underscores(char *output, char c)
+{
+    if (c == '-') { *output = '_'; }
+}
+"""
+    cursor = """\
+static void dashes_to_underscores(char *output, char c)
+{
+    char *o = output;
+    if (c == '-')
+        *o++ = '_';
+    *o++ = '\\0';
+}
+"""
+
+    # Replay everything in day order (one linear history).  The Figure 1a
+    # loop restructure is by a *different* developer than the original
+    # conversion — that boundary is what makes it cross-scope.
+    dev_fsal2 = Author("fsal-refactorer")
+    repo.commit(DEV_BITMAP, "add bitmap iteration helpers", {"bitmap.c": bitmap_lib}, day=50)
+    repo.commit(DEV_LOG, "logfile module", {"logfile.c": logfile_v1}, day=300)
+    repo.commit(DEV_FSAL, "convert NFSv4 masks to FSAL masks", {"fsal_convert.c": fsal_v1}, day=400)
+    repo.commit(DEV_LOG, "normalise option names", {"tools.c": cursor_v1}, day=600)
+    repo.commit(DEV_SQUID, "open header log unbuffered", {"access_log.c": caller}, day=800)
+    repo.commit(dev_fsal2, "restructure attribute loop", {"fsal_convert.c": fsal_v2}, day=2300)
+    repo.commit(DEV_LOG, "default the log buffer to MTU", {"logfile.c": logfile_v2}, day=2600)
+    repo.commit(DEV_SQUID, "handle multi-dash names", {"tools.c": cursor}, day=2700)
+    return repo
+
+
+def main() -> None:
+    repo = build_repo()
+    report = ValueCheck().analyze(Project.from_repository(repo))
+
+    print(report.summary())
+    print()
+    reported = report.reported()
+
+    fig1a = [f for f in reported if f.candidate.var == "attr"]
+    print("Figure 1a — skipped first bitmap attribute:")
+    for finding in fig1a:
+        print(f"  {finding.candidate} (overwritten at {finding.candidate.overwrite_lines})")
+    assert fig1a, "Figure 1a bug not detected"
+
+    fig1b = [f for f in reported if f.candidate.var == "bufsz"]
+    print("Figure 1b — overwritten bufsz argument:")
+    for finding in fig1b:
+        print(f"  {finding.candidate} [{finding.authorship.reason}]")
+    assert fig1b and fig1b[0].candidate.kind is CandidateKind.OVERWRITTEN_ARG
+
+    cursors = [f for f in report.pruned() if f.candidate.var == "o"]
+    print("Figure 5 — cursor detected but pruned:")
+    for finding in cursors:
+        print(f"  {finding.candidate} pruned_by={finding.pruned_by}")
+    assert cursors and cursors[0].pruned_by == "cursor"
+    assert not any(f.candidate.var == "o" for f in reported)
+
+    print("\nBoth bugs reported; the intentional cursor was pruned. ✔")
+
+
+if __name__ == "__main__":
+    main()

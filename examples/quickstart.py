@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: detect the paper's Figure 8 bug in a two-author history.
+
+The scenario: author1 wrote ``fsal_acl_posix`` checking the status of
+``get_permset``; author2 later inserted a recomputation that clobbers the
+status before the check.  The error path is now silently dead — a broken
+access-control bug hiding behind an "unused definition".
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ValueCheck
+from repro.core.project import Project
+from repro.vcs import Author, Repository
+
+AUTHOR1 = Author("author1", "a1@nfs.example")
+AUTHOR2 = Author("author2", "a2@nfs.example")
+
+ORIGINAL = """\
+int get_permset(int en, int *pset)
+{
+    if (en < 0) { return -1; }
+    return 0;
+}
+int calc_mask(int *acl)
+{
+    if (acl == NULL) { return -1; }
+    return 0;
+}
+int fsal_acl_posix(int en)
+{
+    int ret;
+    int pset;
+    int allow_acl;
+    ret = get_permset(en, &pset);
+    if (ret) { return -1; }
+    return 0;
+}
+"""
+
+# author2's edit inserts `ret = calc_mask(&allow_acl);` between the
+# definition and its check — exactly Figure 8 of the paper.
+EDITED = ORIGINAL.replace(
+    "    ret = get_permset(en, &pset);\n",
+    "    ret = get_permset(en, &pset);\n    ret = calc_mask(&allow_acl);\n",
+)
+
+
+def main() -> None:
+    # 1. Build the version history (normally this is your git repo).
+    repo = Repository("acl-demo")
+    repo.commit(AUTHOR1, "add POSIX ACL conversion", {"fsal_acl.c": ORIGINAL}, day=100)
+    repo.commit(AUTHOR2, "recompute mask before returning", {"fsal_acl.c": EDITED}, day=900)
+
+    # 2. Parse the head snapshot into a project and run the full pipeline.
+    project = Project.from_repository(repo)
+    report = ValueCheck().analyze(project)
+
+    # 3. Inspect the ranked report.
+    print(report.summary())
+    print()
+    for finding in report.reported():
+        candidate = finding.candidate
+        authorship = finding.authorship
+        print(f"rank #{finding.rank}: {candidate.file}:{candidate.line}")
+        print(f"  kind:        {candidate.kind.value}")
+        print(f"  variable:    {candidate.var} in {candidate.function}()")
+        print(f"  written by:  {authorship.def_author}")
+        print(f"  clobbered by: {', '.join(authorship.counterpart_authors)}"
+              f" (line {candidate.overwrite_lines})")
+        print(f"  familiarity: {finding.familiarity:.2f} (lower = riskier)")
+
+    assert any(f.candidate.var == "ret" for f in report.reported()), "bug not found?"
+    print("\nThe lost get_permset() status is exactly the paper's Figure 8 bug.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Baseline unused-definition detectors (paper §8.4, Table 5).
+
+Each baseline reimplements the *documented behaviour* of the tool the
+paper compares against — including its blind spots and failure modes:
+
+* :mod:`repro.baselines.clang_wunused` — recursive AST walking; a variable
+  referenced anywhere is "used" (§8.4.1);
+* :mod:`repro.baselines.infer_deadstore` — flow-sensitive dead stores, but
+  no unused arguments / field definitions / ignored returns, no
+  cross-scope filtering, no cursor exclusion (§8.4.2); errors out on
+  kernel-style code bases;
+* :mod:`repro.baselines.smatch_unused` — kernel-only, AST-level ignored
+  return values with imprecise use tracking (§8.4.3);
+* :mod:`repro.baselines.coverity_unused` — unused value + unchecked
+  return, where "should the return be used" is inferred from the
+  *percentage* of call sites using it, which fails for functions invoked
+  once (§8.4.4); no authorship or code-semantics pruning.
+
+Tool-compatibility failures are modelled on the *content* of the project
+(kernel marker macros), not on project names.
+"""
+
+from repro.baselines.common import BaselineReport, BaselineWarning, project_has_marker
+from repro.baselines.clang_wunused import ClangWunused
+from repro.baselines.infer_deadstore import InferDeadStore
+from repro.baselines.smatch_unused import SmatchUnused
+from repro.baselines.coverity_unused import CoverityUnused
+
+ALL_BASELINES = (ClangWunused, InferDeadStore, SmatchUnused, CoverityUnused)
+
+__all__ = [
+    "BaselineReport",
+    "BaselineWarning",
+    "project_has_marker",
+    "ClangWunused",
+    "InferDeadStore",
+    "SmatchUnused",
+    "CoverityUnused",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,26 @@
+"""Control-flow-graph utilities over IR functions.
+
+Blocks themselves live on :class:`repro.ir.module.Function`; this package
+adds traversal orders, structural validation, and export helpers used by
+the dataflow solver and by examples/docs.
+"""
+
+from repro.cfg.traversal import (
+    postorder,
+    reverse_postorder,
+    exit_blocks,
+    reachable_blocks,
+    backward_order,
+)
+from repro.cfg.graph import validate_cfg, edge_list, to_dot
+
+__all__ = [
+    "postorder",
+    "reverse_postorder",
+    "exit_blocks",
+    "reachable_blocks",
+    "backward_order",
+    "validate_cfg",
+    "edge_list",
+    "to_dot",
+]

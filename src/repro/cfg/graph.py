@@ -1,0 +1,64 @@
+"""Structural checks and exports for CFGs."""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.ir.instructions import Br, Ret
+from repro.ir.module import Function
+
+
+def validate_cfg(function: Function) -> None:
+    """Raise AnalysisError if the CFG is malformed.
+
+    Checked invariants: every block is terminated, terminators appear only
+    in the last position, successor/predecessor lists are symmetric, and
+    branch targets exist.
+    """
+    labels = {block.label for block in function.blocks}
+    if len(labels) != len(function.blocks):
+        raise AnalysisError(f"{function.name}: duplicate block labels")
+    for block in function.blocks:
+        if not block.is_terminated():
+            raise AnalysisError(f"{function.name}/{block.label}: missing terminator")
+        for index, instruction in enumerate(block.instructions[:-1]):
+            if isinstance(instruction, (Br, Ret)):
+                raise AnalysisError(
+                    f"{function.name}/{block.label}: terminator at non-final index {index}"
+                )
+        terminator = block.terminator
+        if isinstance(terminator, Br):
+            if terminator.then_label not in labels:
+                raise AnalysisError(f"{function.name}/{block.label}: branch to unknown {terminator.then_label}")
+            if terminator.cond is not None and terminator.else_label not in labels:
+                raise AnalysisError(f"{function.name}/{block.label}: branch to unknown {terminator.else_label}")
+        for successor in block.successors:
+            if block not in successor.predecessors:
+                raise AnalysisError(
+                    f"{function.name}: asymmetric edge {block.label} -> {successor.label}"
+                )
+        for predecessor in block.predecessors:
+            if block not in predecessor.successors:
+                raise AnalysisError(
+                    f"{function.name}: asymmetric edge {predecessor.label} <- {block.label}"
+                )
+
+
+def edge_list(function: Function) -> list[tuple[str, str]]:
+    """All CFG edges as (from_label, to_label) pairs."""
+    return [
+        (block.label, successor.label)
+        for block in function.blocks
+        for successor in block.successors
+    ]
+
+
+def to_dot(function: Function) -> str:
+    """Render the CFG in Graphviz dot format (for docs and debugging)."""
+    lines = [f'digraph "{function.name}" {{', "  node [shape=box fontname=monospace];"]
+    for block in function.blocks:
+        body = "\\l".join(str(instruction) for instruction in block.instructions)
+        lines.append(f'  "{block.label}" [label="{block.label}:\\l{body}\\l"];')
+    for src, dst in edge_list(function):
+        lines.append(f'  "{src}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines)

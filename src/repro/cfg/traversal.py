@@ -1,0 +1,51 @@
+"""Traversal orders over a function's CFG."""
+
+from __future__ import annotations
+
+from repro.ir.module import BasicBlock, Function
+
+
+def postorder(function: Function) -> list[BasicBlock]:
+    """DFS postorder from the entry block (reachable blocks only)."""
+    visited: set[int] = set()
+    order: list[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        if id(block) in visited:
+            return
+        visited.add(id(block))
+        for successor in block.successors:
+            visit(successor)
+        order.append(block)
+
+    if function.blocks:
+        visit(function.entry)
+    return order
+
+
+def reverse_postorder(function: Function) -> list[BasicBlock]:
+    """Reverse postorder — the canonical forward-analysis iteration order."""
+    return list(reversed(postorder(function)))
+
+
+def reachable_blocks(function: Function) -> set[int]:
+    """ids of blocks reachable from entry."""
+    return {id(block) for block in postorder(function)}
+
+
+def exit_blocks(function: Function) -> list[BasicBlock]:
+    """Blocks with no successors (returns)."""
+    return [block for block in function.blocks if not block.successors]
+
+
+def backward_order(function: Function) -> list[BasicBlock]:
+    """A good iteration order for backward analyses: postorder of the CFG
+    visits successors before predecessors where possible, but we must also
+    include entry-unreachable blocks (lowered dead code is still analysed,
+    as the paper analyses every function body in full)."""
+    order = postorder(function)
+    seen = {id(block) for block in order}
+    for block in function.blocks:
+        if id(block) not in seen:
+            order.append(block)
+    return order

@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Subcommands::
+
+    valuecheck analyze <dir> [--repo repo.json] [--config MACRO ...]
+        Analyze a directory of MiniC sources.  With --repo (a MiniGit
+        JSON file) the full cross-scope + DOK pipeline runs; without it
+        only detection + pruning (no authorship) is possible.
+
+    valuecheck generate-corpus <app> [--scale S] [--seed N] --out DIR
+        Materialise one synthetic application: sources + repo.json.
+
+    valuecheck evaluate [--scale S] [--seed N] [--out DIR]
+        Run every table/figure experiment and write the result bundle
+        (the equivalent of the artifact's run.sh → result/).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv as csv_module
+import sys
+from pathlib import Path
+
+from repro.core.project import Project
+from repro.core.valuecheck import ValueCheck, ValueCheckConfig
+from repro.corpus.generator import generate_app
+from repro.corpus.profiles import PROFILES
+from repro.vcs.repository import Repository
+
+
+def _baseline_keys(path: str) -> set[tuple[str, str, str, str]]:
+    """Finding keys from an earlier report CSV.  Line numbers shift as
+    files evolve, so the key is (file, function, variable, kind)."""
+    keys: set[tuple[str, str, str, str]] = set()
+    with open(path, newline="") as handle:
+        for row in csv_module.DictReader(handle):
+            keys.add(
+                (
+                    row.get("file", ""),
+                    row.get("function", ""),
+                    row.get("variable", ""),
+                    row.get("kind", ""),
+                )
+            )
+    return keys
+
+
+def _finding_key(finding) -> tuple[str, str, str, str]:
+    candidate = finding.candidate
+    return (candidate.file, candidate.function, candidate.var, candidate.kind.value)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    source_dir = Path(args.directory)
+    if not source_dir.is_dir():
+        print(f"error: {source_dir} is not a directory", file=sys.stderr)
+        return 2
+    repo = Repository.load(args.repo) if args.repo else None
+    sources = {
+        str(path.relative_to(source_dir)): path.read_text()
+        for path in sorted(source_dir.rglob("*.c"))
+    }
+    if not sources:
+        print("error: no .c files found", file=sys.stderr)
+        return 2
+    project = Project.from_sources(
+        sources, name=source_dir.name, repo=repo, build_config=set(args.config or ())
+    )
+    config = ValueCheckConfig(use_authorship=repo is not None)
+    report = ValueCheck(config).analyze(project)
+    print(report.summary())
+    print()
+    reported = report.reported()
+    if args.baseline:
+        known = _baseline_keys(args.baseline)
+        before = len(reported)
+        reported = [finding for finding in reported if _finding_key(finding) not in known]
+        print(f"baseline suppressed {before - len(reported)} known finding(s); {len(reported)} new")
+        print()
+    for finding in reported[: args.top]:
+        candidate = finding.candidate
+        familiarity = (
+            f"  familiarity={finding.familiarity:.2f}" if finding.familiarity is not None else ""
+        )
+        print(
+            f"#{finding.rank:<3} {candidate.file}:{candidate.line} "
+            f"[{candidate.kind.value}] {candidate.function}/{candidate.var}{familiarity}"
+        )
+    if args.csv:
+        report.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    app = generate_app(args.app, scale=args.scale, seed=args.seed)
+    out = Path(args.out)
+    app.repo.checkout_to(out / "src")
+    app.repo.save(out / "repo.json")
+    app.ledger.save(out / "ground_truth.json")
+    print(
+        f"generated {args.app} at scale {args.scale}: "
+        f"{len(app.repo.files())} files, {len(app.repo.commits)} commits, "
+        f"{len(app.ledger.entries)} planted constructs"
+    )
+    print(f"sources:      {out / 'src'}")
+    print(f"history:      {out / 'repo.json'}")
+    print(f"ground truth: {out / 'ground_truth.json'}")
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    """Score a report CSV against a corpus's ground truth."""
+    from repro.corpus.ground_truth import GroundTruthLedger
+
+    ledger = GroundTruthLedger.load(args.truth)
+    reported: list[tuple[str, str, str]] = []
+    with open(args.report, newline="") as handle:
+        for row in csv_module.DictReader(handle):
+            reported.append((row["file"], row["function"], row["variable"]))
+    matched_bugs: set[tuple[str, str, str]] = set()
+    false_positives = 0
+    for key in reported:
+        entry = ledger.lookup(*key)
+        if entry is not None and entry.is_bug:
+            matched_bugs.add(entry.join_key)
+        else:
+            false_positives += 1
+    reportable = [
+        entry for entry in ledger.bugs() if entry.expected_pruner is None
+    ]
+    precision = len(matched_bugs) / len(reported) if reported else 0.0
+    recall = len(matched_bugs) / len(reportable) if reportable else 0.0
+    print(f"report:            {args.report}")
+    print(f"findings:          {len(reported)}")
+    print(f"real bugs found:   {len(matched_bugs)} of {len(reportable)}")
+    print(f"false positives:   {false_positives}")
+    print(f"precision:         {precision:.1%}")
+    print(f"recall:            {recall:.1%}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.corpus.ground_truth import GroundTruthLedger
+    from repro.corpus.stats import collect_stats
+
+    base = Path(args.directory)
+    repo_path = base / "repo.json"
+    if not repo_path.exists():
+        print(f"error: {repo_path} not found", file=sys.stderr)
+        return 2
+    repo = Repository.load(repo_path)
+    ledger = None
+    truth_path = base / "ground_truth.json"
+    if truth_path.exists():
+        ledger = GroundTruthLedger.load(truth_path)
+    print(collect_stats(repo, ledger=ledger).render())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.eval.runner import run_all
+
+    run = run_all(scale=args.scale, seed=args.seed)
+    print(run.render())
+    if args.out:
+        run.save(args.out)
+        print(f"\nwrote result bundle to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="valuecheck",
+        description="ValueCheck reproduction: bug detection from cross-scope unused definitions",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="analyze a MiniC source tree")
+    analyze.add_argument("directory")
+    analyze.add_argument("--repo", help="MiniGit repo.json for authorship + ranking")
+    analyze.add_argument("--config", nargs="*", help="enabled build macros")
+    analyze.add_argument("--csv", help="write the report as CSV")
+    analyze.add_argument(
+        "--baseline",
+        help="an earlier report CSV; only findings not present in it are shown",
+    )
+    analyze.add_argument("--top", type=int, default=20, help="findings to print")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    generate = subparsers.add_parser("generate-corpus", help="materialise a synthetic app")
+    generate.add_argument("app", choices=sorted(PROFILES))
+    generate.add_argument("--scale", type=float, default=0.1)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = subparsers.add_parser(
+        "corpus-stats", help="summarise a generated corpus directory"
+    )
+    stats.add_argument("directory", help="directory containing repo.json")
+    stats.set_defaults(func=_cmd_stats)
+
+    score = subparsers.add_parser(
+        "score", help="score a report CSV against a corpus's ground truth"
+    )
+    score.add_argument("report", help="a detected.csv produced by `analyze --csv`")
+    score.add_argument("--truth", required=True, help="ground_truth.json of the corpus")
+    score.set_defaults(func=_cmd_score)
+
+    evaluate = subparsers.add_parser("evaluate", help="run the full evaluation")
+    evaluate.add_argument("--scale", type=float, default=None)
+    evaluate.add_argument("--seed", type=int, default=7)
+    evaluate.add_argument("--out", help="directory for the result bundle")
+    evaluate.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""ValueCheck core — the paper's contribution.
+
+Pipeline (paper Fig. 2):
+
+1. :mod:`repro.core.detector` — flow-/field-sensitive, alias-aware unused
+   definition detection over the IR (Fig. 4 algorithm with the
+   author-carrying define set);
+2. :mod:`repro.core.cross_scope` — authorship lookup for the three
+   cross-scope scenarios (§3.1/§4.2);
+3. :mod:`repro.core.pruning` — the four false-positive pruners (§5);
+4. :mod:`repro.core.familiarity` + :mod:`repro.core.ranking` — DOK
+   code-familiarity scoring and prioritisation (§6);
+5. :mod:`repro.core.valuecheck` — the facade tying it together, plus
+   :mod:`repro.core.incremental` for per-commit analysis (§8.6).
+"""
+
+from repro.core.findings import Candidate, CandidateKind, Finding
+from repro.core.project import Project, ProjectIndex
+from repro.core.detector import detect_function, detect_module
+from repro.core.cross_scope import CrossScopeResolver
+from repro.core.familiarity import DokModel, DokWeights, EaModel
+from repro.core.ranking import rank_findings
+from repro.core.report import Report
+from repro.core.valuecheck import ValueCheck, ValueCheckConfig
+from repro.core.incremental import IncrementalAnalyzer
+
+__all__ = [
+    "Candidate",
+    "CandidateKind",
+    "Finding",
+    "Project",
+    "ProjectIndex",
+    "detect_function",
+    "detect_module",
+    "CrossScopeResolver",
+    "DokModel",
+    "DokWeights",
+    "EaModel",
+    "rank_findings",
+    "Report",
+    "ValueCheck",
+    "ValueCheckConfig",
+    "IncrementalAnalyzer",
+]

@@ -1,0 +1,77 @@
+"""Project call graph (direct + pointer-resolved indirect edges).
+
+Built from the project index's call sites.  The incremental analyzer
+uses it to *widen* a commit's changed-function set with the direct
+callers of changed functions: call-site candidates (ignored returns) and
+parameter candidates depend on both sides of the call boundary, so a
+change to the callee can create or retire findings in its callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.project import Project, ProjectIndex
+
+
+@dataclass
+class CallGraph:
+    """Caller/callee adjacency over function names."""
+
+    callees: dict[str, set[str]] = field(default_factory=dict)  # caller -> callees
+    callers: dict[str, set[str]] = field(default_factory=dict)  # callee -> callers
+
+    def callees_of(self, function: str) -> set[str]:
+        return set(self.callees.get(function, ()))
+
+    def callers_of(self, function: str) -> set[str]:
+        return set(self.callers.get(function, ()))
+
+    def transitive_callers(self, function: str, max_depth: int = 1 << 30) -> set[str]:
+        """All functions that can reach ``function`` through calls."""
+        seen: set[str] = set()
+        frontier = {function}
+        depth = 0
+        while frontier and depth < max_depth:
+            next_frontier: set[str] = set()
+            for name in frontier:
+                for caller in self.callers.get(name, ()):  # expand upwards
+                    if caller not in seen:
+                        seen.add(caller)
+                        next_frontier.add(caller)
+            frontier = next_frontier
+            depth += 1
+        return seen
+
+    def transitive_callees(self, function: str, max_depth: int = 1 << 30) -> set[str]:
+        seen: set[str] = set()
+        frontier = {function}
+        depth = 0
+        while frontier and depth < max_depth:
+            next_frontier: set[str] = set()
+            for name in frontier:
+                for callee in self.callees.get(name, ()):  # expand downwards
+                    if callee not in seen:
+                        seen.add(callee)
+                        next_frontier.add(callee)
+            frontier = next_frontier
+            depth += 1
+        return seen
+
+    def roots(self) -> list[str]:
+        """Functions never called within the project (entry points)."""
+        called = set(self.callers)
+        return sorted(name for name in self.callees if name not in called)
+
+
+def build_call_graph(project_or_index: Project | ProjectIndex) -> CallGraph:
+    """Build the call graph from a project (or a prebuilt index)."""
+    index = project_or_index.index if isinstance(project_or_index, Project) else project_or_index
+    graph = CallGraph()
+    for name in index.functions:
+        graph.callees.setdefault(name, set())
+    for callee, sites in index.call_sites.items():
+        for site in sites:
+            graph.callees.setdefault(site.caller, set()).add(callee)
+            graph.callers.setdefault(callee, set()).add(site.caller)
+    return graph

@@ -1,0 +1,68 @@
+"""Bug-type classification (Table 3's missing-check vs semantic split).
+
+The paper categorises confirmed bugs into *missing-check* bugs (a status
+or sanity value goes unobserved, so later execution proceeds on a wrong
+assumption) and *semantic* bugs (no crash, but the program logic is
+wrong — Figure 6b's corrupted security context).  The shape of the
+unused definition predicts the category:
+
+* a discarded or clobbered **call result** is a status that was meant to
+  be checked → missing check;
+* an unused or overwritten **argument** is an input whose validation or
+  effect was skipped → missing check;
+* an unused **field definition** or a clobbered locally-computed value
+  is state that should have flowed onward → semantic.
+
+`classify_candidate` applies that mapping; the Table 3 driver reports
+both the classifier's view and the developers' labels (ground truth)
+plus their agreement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.findings import Candidate, CandidateKind
+
+MISSING_CHECK = "missing_check"
+SEMANTIC = "semantic"
+
+
+@dataclass(frozen=True)
+class BugTypePrediction:
+    bug_type: str
+    rationale: str
+
+
+def classify_candidate(candidate: Candidate) -> BugTypePrediction:
+    """Predict the Table 3 bug category from the candidate's shape."""
+    kind = candidate.kind
+    if kind is CandidateKind.IGNORED_RETURN:
+        return BugTypePrediction(
+            MISSING_CHECK, "call result discarded — error status never observed"
+        )
+    if kind in (CandidateKind.UNUSED_PARAM, CandidateKind.OVERWRITTEN_ARG):
+        return BugTypePrediction(
+            MISSING_CHECK, "caller-supplied argument never validated or honoured"
+        )
+    if kind is CandidateKind.OVERWRITTEN_DEF:
+        if candidate.is_field:
+            return BugTypePrediction(
+                SEMANTIC, "struct field clobbered — state not propagated"
+            )
+        if candidate.callee is not None:
+            return BugTypePrediction(
+                MISSING_CHECK, "status from callee clobbered before its check"
+            )
+        return BugTypePrediction(
+            SEMANTIC, "locally computed value replaced — wrong value flows on"
+        )
+    return BugTypePrediction(SEMANTIC, "dead state update — intended effect lost")
+
+
+def classification_agreement(
+    pairs: list[tuple[str, str]],
+) -> float:
+    """Fraction of (predicted, labelled) pairs that agree."""
+    if not pairs:
+        return 1.0
+    return sum(1 for predicted, labelled in pairs if predicted == labelled) / len(pairs)

@@ -1,0 +1,235 @@
+"""Project model: parsed modules + version history + cross-file index.
+
+The paper analyses each bitcode file separately (§7, §8.1.2) but the
+authorship lookup and peer-definition pruning need *project-wide* facts:
+where every function is defined, where its ``return`` statements are, who
+calls it from where, and how peers treat the same return value/parameter.
+:class:`ProjectIndex` aggregates those facts across modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataflow.liveness import live_variables
+from repro.errors import ReproError
+from repro.ir.builder import lower_source
+from repro.ir.instructions import Call, CastOp
+from repro.ir.module import Function, Module
+from repro.pointer.value_flow import ValueFlowGraph, build_value_flow
+from repro.vcs.repository import Repository
+
+
+@dataclass(frozen=True)
+class FunctionLocation:
+    """Where a function lives, for authorship lookup."""
+
+    name: str
+    file: str
+    line: int
+    end_line: int
+    return_lines: tuple[int, ...]
+    param_lines: tuple[int, ...]  # decl line per parameter index
+    signature: tuple[str, ...]  # (return type, param type names...)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    callee: str
+    file: str
+    line: int
+    caller: str
+    result_used: bool
+
+
+@dataclass
+class ProjectIndex:
+    """Cross-file facts: definitions, call sites, peer usage."""
+
+    functions: dict[str, FunctionLocation] = field(default_factory=dict)
+    call_sites: dict[str, list[CallSite]] = field(default_factory=dict)
+    # (signature, param index) -> usage flags of that parameter across all
+    # functions sharing the signature (peer-definition pruning, shape 2).
+    param_usage: dict[tuple[tuple[str, ...], int], list[bool]] = field(default_factory=dict)
+
+    def location(self, name: str) -> FunctionLocation | None:
+        return self.functions.get(name)
+
+    def sites_of(self, callee: str) -> list[CallSite]:
+        return self.call_sites.get(callee, [])
+
+    def return_usage(self, callee: str) -> list[bool]:
+        """result_used flags across all call sites of ``callee`` (peer
+        definitions of a return value, §5.4)."""
+        return [site.result_used for site in self.sites_of(callee)]
+
+    def peer_params(self, signature: tuple[str, ...], index: int) -> list[bool]:
+        return self.param_usage.get((signature, index), [])
+
+
+@dataclass
+class _ModuleContribution:
+    """One module's slice of the project index."""
+
+    functions: dict[str, FunctionLocation] = field(default_factory=dict)
+    call_sites: list[CallSite] = field(default_factory=list)
+    param_usage: list[tuple[tuple[str, ...], int, bool]] = field(default_factory=list)
+
+
+def _call_result_used(function: Function, call: Call, use_map) -> bool:
+    if call.dest is None:
+        return True  # void calls have no discardable result
+    uses = [u for u in use_map.get(call.dest, []) if not (isinstance(u, CastOp) and u.to_void)]
+    return bool(uses)
+
+
+class Project:
+    """A set of parsed modules, optionally backed by a MiniGit repository.
+
+    ``build_config`` is the set of preprocessor macros the "build" enables
+    — it determines which ``#if`` arms reach the IR, exactly like the
+    compilation configuration in the paper's §5.1.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        modules: dict[str, Module],
+        repo: Repository | None = None,
+        build_config: set[str] | None = None,
+    ):
+        self.name = name
+        self.modules = modules
+        self.repo = repo
+        self.build_config = set(build_config or ())
+        self._vfgs: dict[str, ValueFlowGraph] = {}
+        self._contribs: dict[str, "_ModuleContribution"] = {}
+        self._index: ProjectIndex | None = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_sources(
+        cls,
+        sources: dict[str, str],
+        name: str = "project",
+        repo: Repository | None = None,
+        build_config: set[str] | None = None,
+    ) -> "Project":
+        modules = {
+            path: lower_source(text, filename=path, config=build_config)
+            for path, text in sorted(sources.items())
+        }
+        return cls(name=name, modules=modules, repo=repo, build_config=build_config)
+
+    @classmethod
+    def from_repository(
+        cls,
+        repo: Repository,
+        rev: int | str | None = None,
+        name: str | None = None,
+        build_config: set[str] | None = None,
+        suffixes: tuple[str, ...] = (".c",),
+    ) -> "Project":
+        snapshot = repo.snapshot_at(rev)
+        sources = {
+            path: text for path, text in snapshot.items() if path.endswith(suffixes)
+        }
+        return cls.from_sources(
+            sources, name=name or repo.name, repo=repo, build_config=build_config
+        )
+
+    # -- derived state ------------------------------------------------------
+
+    def vfg(self, path: str) -> ValueFlowGraph:
+        """Value-flow graph for one module (built lazily, cached)."""
+        if path not in self._vfgs:
+            if path not in self.modules:
+                raise ReproError(f"unknown module {path}")
+            self._vfgs[path] = build_value_flow(self.modules[path])
+        return self._vfgs[path]
+
+    @property
+    def index(self) -> ProjectIndex:
+        if self._index is None:
+            self._index = self._build_index()
+        return self._index
+
+    def invalidate(self, paths: set[str] | None = None) -> None:
+        """Drop cached per-module analyses (after incremental updates)."""
+        if paths is None:
+            self._vfgs.clear()
+            self._contribs.clear()
+        else:
+            for path in paths:
+                self._vfgs.pop(path, None)
+                self._contribs.pop(path, None)
+        self._index = None
+
+    def _contribution(self, path: str) -> "_ModuleContribution":
+        """Per-module index contribution, cached so incremental analysis
+        only recomputes touched files."""
+        if path not in self._contribs:
+            module = self.modules[path]
+            vfg = self.vfg(path)
+            contribution = _ModuleContribution()
+            for function in module.functions.values():
+                ast_fn = module.unit.function(function.name) if module.unit else None
+                signature: tuple[str, ...] = (function.return_type,)
+                if ast_fn is not None:
+                    signature = (str(ast_fn.return_type), *(str(p.type) for p in ast_fn.params))
+                contribution.functions[function.name] = FunctionLocation(
+                    name=function.name,
+                    file=path,
+                    line=function.line,
+                    end_line=function.end_line,
+                    return_lines=tuple(function.return_lines),
+                    param_lines=tuple(p.decl_line for p in function.params),
+                    signature=signature,
+                )
+                use_map = function.temp_use_map()
+                for instruction in function.instructions():
+                    if not isinstance(instruction, Call):
+                        continue
+                    used = _call_result_used(function, instruction, use_map)
+                    for callee in vfg.resolve_call(instruction):
+                        contribution.call_sites.append(
+                            CallSite(
+                                callee=callee,
+                                file=path,
+                                line=instruction.line,
+                                caller=function.name,
+                                result_used=used,
+                            )
+                        )
+                live_entry = live_variables(function).live_at_entry()
+                for param in function.params:
+                    contribution.param_usage.append(
+                        (signature, param.param_index, param.name in live_entry)
+                    )
+            self._contribs[path] = contribution
+        return self._contribs[path]
+
+    def _build_index(self) -> ProjectIndex:
+        index = ProjectIndex()
+        for path in sorted(self.modules):
+            contribution = self._contribution(path)
+            index.functions.update(contribution.functions)
+            for site in contribution.call_sites:
+                index.call_sites.setdefault(site.callee, []).append(site)
+            for signature, param_index, used in contribution.param_usage:
+                index.param_usage.setdefault((signature, param_index), []).append(used)
+        for sites in index.call_sites.values():
+            sites.sort(key=lambda site: (site.file, site.line))
+        return index
+
+    # -- conveniences -------------------------------------------------------
+
+    def functions(self):
+        for path in sorted(self.modules):
+            module = self.modules[path]
+            for name in sorted(module.functions):
+                yield path, module, module.functions[name]
+
+    def loc(self) -> int:
+        return sum(module.loc() for module in self.modules.values())

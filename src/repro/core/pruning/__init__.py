@@ -1,0 +1,25 @@
+"""False-positive pruning (paper §5, Table 1).
+
+Four strategies, applied as an ordered pipeline (config dependency →
+cursor → unused hints → peer definition).  Pipeline order matters for the
+attribution of prune counts: a case matching several patterns is claimed
+by the earliest stage, exactly as the paper notes under Table 4.
+"""
+
+from repro.core.pruning.base import PruneContext, Pruner
+from repro.core.pruning.config_dependency import ConfigDependencyPruner
+from repro.core.pruning.cursor import CursorPruner
+from repro.core.pruning.unused_hints import UnusedHintsPruner
+from repro.core.pruning.peer_definition import PeerDefinitionPruner
+from repro.core.pruning.pipeline import PruningPipeline, default_pipeline
+
+__all__ = [
+    "PruneContext",
+    "Pruner",
+    "ConfigDependencyPruner",
+    "CursorPruner",
+    "UnusedHintsPruner",
+    "PeerDefinitionPruner",
+    "PruningPipeline",
+    "default_pipeline",
+]

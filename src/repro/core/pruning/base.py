@@ -1,0 +1,48 @@
+"""Pruner interface and shared context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.findings import Candidate
+from repro.core.project import Project
+from repro.ir.module import Function, Module
+
+
+@dataclass
+class PruneContext:
+    """Everything a pruner may consult about a candidate's surroundings."""
+
+    project: Project
+
+    def module_of(self, candidate: Candidate) -> Module | None:
+        return self.project.modules.get(candidate.file)
+
+    def function_of(self, candidate: Candidate) -> Function | None:
+        module = self.module_of(candidate)
+        if module is None:
+            return None
+        return module.functions.get(candidate.function)
+
+    def raw_lines(self, candidate: Candidate) -> list[str]:
+        module = self.module_of(candidate)
+        if module is None or module.source is None:
+            return []
+        return module.source.raw.split("\n")
+
+    def raw_line(self, candidate: Candidate, line: int) -> str:
+        lines = self.raw_lines(candidate)
+        if 1 <= line <= len(lines):
+            return lines[line - 1]
+        return ""
+
+
+class Pruner(Protocol):
+    """A pruning strategy; ``name`` keys the Table 4 breakdown."""
+
+    name: str
+
+    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+        """True if this candidate is an intentional unused definition."""
+        ...

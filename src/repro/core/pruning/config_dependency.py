@@ -1,0 +1,45 @@
+"""Configuration-dependency pruning (paper §5.1).
+
+A definition can look unused only because its uses sit under a
+preprocessor conditional the current build configuration disabled —
+the IR simply never saw them.  ValueCheck "looks into the corresponding
+source code of each definition and checks if there is any use of this
+definition enclosed by #if/#ifdef/#ifndef…#endif directives in the same
+function"; if so, the definition is pruned.
+
+We check the *raw* (pre-preprocessing) text: any occurrence of the
+variable, other than the definition line itself, inside a conditional
+region that overlaps the candidate's function."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.findings import Candidate, CandidateKind
+from repro.core.pruning.base import PruneContext
+
+
+class ConfigDependencyPruner:
+    name = "config_dependency"
+
+    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+        if candidate.kind is CandidateKind.IGNORED_RETURN and candidate.store_kind is None:
+            return False  # discarded calls have no variable to find uses of
+        module = context.module_of(candidate)
+        function = context.function_of(candidate)
+        if module is None or module.source is None or function is None:
+            return False
+        var = candidate.var.split("#", 1)[0]
+        pattern = re.compile(rf"\b{re.escape(var)}\b")
+        raw_lines = module.source.raw.split("\n")
+        for region in module.source.regions:
+            if region.end < function.line or region.start > function.end_line:
+                continue
+            start = max(region.start, 1)
+            end = min(region.end, len(raw_lines))
+            for line_number in range(start, end + 1):
+                if line_number == candidate.line:
+                    continue
+                if pattern.search(raw_lines[line_number - 1]):
+                    return True
+        return False

@@ -1,0 +1,40 @@
+"""Cursor pruning (paper §5.2, Fig. 5).
+
+``*o++ = c`` leaves the final increment of ``o`` dead, but the increment
+*is* the semantics — "moving the cursor".  The paper prunes a definition
+"if a variable is incremented repeatedly by the same constant".
+
+We use the increment provenance the IR builder records: a candidate whose
+store has ``increment_delta`` set is pruned when the function contains at
+least ``min_increments`` stores to the same variable with that same delta
+(the candidate itself included)."""
+
+from __future__ import annotations
+
+from repro.core.findings import Candidate
+from repro.core.pruning.base import PruneContext
+from repro.ir.instructions import Store
+
+
+class CursorPruner:
+    name = "cursor"
+
+    def __init__(self, min_increments: int = 2):
+        self.min_increments = min_increments
+
+    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+        if candidate.increment_delta is None:
+            return False
+        function = context.function_of(candidate)
+        if function is None:
+            return False
+        same_delta = 0
+        for instruction in function.instructions():
+            if (
+                isinstance(instruction, Store)
+                and instruction.addr is not None
+                and instruction.addr.tracked_var() == candidate.var
+                and instruction.increment_delta == candidate.increment_delta
+            ):
+                same_delta += 1
+        return same_delta >= self.min_increments

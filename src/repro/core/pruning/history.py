@@ -1,0 +1,61 @@
+"""History-based pruning — the paper's §9.1 future-work extension.
+
+"Some unused definitions are just legacy code or debugging, which could
+be further pruned by analyzing the commit history and comments.  But
+this will incur much more overhead so we do not prune this type of
+false positive."
+
+This optional pruner implements that idea: a candidate is claimed when
+
+* the commit that introduced its definition line says it is debugging/
+  instrumentation/telemetry work, or
+* the surrounding source carries debug/legacy markers.
+
+It is *off by default* (matching the paper's shipped configuration); the
+extensions ablation measures what enabling it buys and costs."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.findings import Candidate
+from repro.core.pruning.base import PruneContext
+from repro.vcs.blame import BlameIndex
+
+_MESSAGE_MARKERS = ("debug", "instrument", "telemetry", "diagnostic", "tracing")
+_SOURCE_MARKERS = re.compile(r"\b(debug|instrumentation|legacy|deprecated|diagnostic)\b", re.IGNORECASE)
+
+
+class HistoryPruner:
+    name = "history"
+
+    def __init__(self) -> None:
+        self._blame_cache: dict[int, BlameIndex] = {}
+
+    def _blame(self, context: PruneContext) -> BlameIndex | None:
+        repo = context.project.repo
+        if repo is None:
+            return None
+        key = id(repo)
+        if key not in self._blame_cache:
+            self._blame_cache[key] = BlameIndex(repo)
+        return self._blame_cache[key]
+
+    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+        # Source-comment markers around the definition.
+        for line in (candidate.line, candidate.decl_line):
+            if line and _SOURCE_MARKERS.search(context.raw_line(candidate, line)):
+                return True
+        # Commit-message markers on the introducing commit.
+        blame = self._blame(context)
+        if blame is None:
+            return False
+        info = blame.line_info(candidate.file, candidate.line)
+        if info is None:
+            return False
+        try:
+            commit = context.project.repo.commit_by_id(info.commit_id)  # type: ignore[union-attr]
+        except Exception:
+            return False
+        message = commit.message.lower()
+        return any(marker in message for marker in _MESSAGE_MARKERS)

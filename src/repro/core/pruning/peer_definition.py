@@ -1,0 +1,51 @@
+"""Peer-definition pruning (paper §5.4).
+
+How much do developers *care* about using this definition?  Look at its
+peers:
+
+* for a function return value, the peers are the return values at every
+  other call site of the same function (``printf`` results are ignored
+  everywhere — ignoring one more is no bug);
+* for the n-th parameter of a function, the peers are the n-th parameters
+  of all functions with the same signature.
+
+"If the occurrences are over ten and over half of the peer definitions
+are not used, we will not report it." Both thresholds are constructor
+parameters (defaults match the paper)."""
+
+from __future__ import annotations
+
+from repro.core.findings import Candidate, CandidateKind
+from repro.core.pruning.base import PruneContext
+
+
+class PeerDefinitionPruner:
+    name = "peer_definition"
+
+    def __init__(self, min_occurrences: int = 10, unused_fraction: float = 0.5):
+        self.min_occurrences = min_occurrences
+        self.unused_fraction = unused_fraction
+
+    def _mostly_unused(self, usage_flags: list[bool]) -> bool:
+        if len(usage_flags) <= self.min_occurrences:
+            return False
+        unused = sum(1 for used in usage_flags if not used)
+        return unused > self.unused_fraction * len(usage_flags)
+
+    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+        index = context.project.index
+        if candidate.kind is CandidateKind.IGNORED_RETURN:
+            callees = candidate.resolved_callees or (
+                (candidate.callee,) if candidate.callee else ()
+            )
+            for callee in callees:
+                if callee and self._mostly_unused(index.return_usage(callee)):
+                    return True
+            return False
+        if candidate.kind.is_param_shape:
+            location = index.location(candidate.function)
+            if location is None or candidate.param_index < 0:
+                return False
+            peers = index.peer_params(location.signature, candidate.param_index)
+            return self._mostly_unused(peers)
+        return False

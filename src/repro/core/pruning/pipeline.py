@@ -1,0 +1,65 @@
+"""Ordered pruning pipeline with per-strategy accounting (Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.findings import Finding
+from repro.core.pruning.base import PruneContext, Pruner
+from repro.core.pruning.config_dependency import ConfigDependencyPruner
+from repro.core.pruning.cursor import CursorPruner
+from repro.core.pruning.history import HistoryPruner
+from repro.core.pruning.unused_hints import UnusedHintsPruner
+from repro.core.pruning.peer_definition import PeerDefinitionPruner
+
+
+@dataclass
+class PruningPipeline:
+    """Applies pruners in order; the first match claims the candidate."""
+
+    pruners: list[Pruner] = field(default_factory=list)
+
+    def apply(self, findings: list[Finding], context: PruneContext) -> list[Finding]:
+        """Return findings with ``pruned_by`` stamped (survivors keep None)."""
+        out: list[Finding] = []
+        for finding in findings:
+            pruned_by: str | None = None
+            for pruner in self.pruners:
+                if pruner.should_prune(finding.candidate, context):
+                    pruned_by = pruner.name
+                    break
+            out.append(replace(finding, pruned_by=pruned_by))
+        return out
+
+    def stats(self, findings: list[Finding]) -> dict[str, int]:
+        """Prune counts per strategy (over already-stamped findings)."""
+        counts = {pruner.name: 0 for pruner in self.pruners}
+        for finding in findings:
+            if finding.pruned_by is not None:
+                counts[finding.pruned_by] = counts.get(finding.pruned_by, 0) + 1
+        return counts
+
+
+def default_pipeline(
+    enable: set[str] | None = None,
+    min_increments: int = 2,
+    peer_min_occurrences: int = 10,
+    peer_unused_fraction: float = 0.5,
+    include_history: bool = False,
+) -> PruningPipeline:
+    """The paper's pipeline, in the paper's order.  ``enable`` restricts to
+    a subset of strategy names (for ablations); ``include_history`` adds
+    the §9.1 future-work pruner after the four published strategies."""
+    pruners: list[Pruner] = [
+        ConfigDependencyPruner(),
+        CursorPruner(min_increments=min_increments),
+        UnusedHintsPruner(),
+        PeerDefinitionPruner(
+            min_occurrences=peer_min_occurrences, unused_fraction=peer_unused_fraction
+        ),
+    ]
+    if include_history:
+        pruners.append(HistoryPruner())
+    if enable is not None:
+        pruners = [pruner for pruner in pruners if pruner.name in enable]
+    return PruningPipeline(pruners=pruners)

@@ -1,0 +1,35 @@
+"""Unused-hint pruning (paper §5.3).
+
+Developers who *intend* a definition to be unused say so:
+``__attribute__((unused))``, ``[[maybe_unused]]``, a ``(void)`` discard
+cast, or an ``unused`` marker in the surrounding source.  The paper
+excludes these "by matching the keyword 'unused' in the source code of
+these unused definitions"."""
+
+from __future__ import annotations
+
+from repro.core.findings import Candidate
+from repro.core.pruning.base import PruneContext
+
+_HINT_ATTRS = frozenset({"unused", "maybe_unused"})
+
+# Tool-style inline suppression, the moral equivalent of the attribute
+# for code bases that cannot change signatures (macros, ABI headers).
+SUPPRESSION_MARKER = "valuecheck: ignore"
+
+
+class UnusedHintsPruner:
+    name = "unused_hints"
+
+    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+        if any(attr in _HINT_ATTRS for attr in candidate.var_attrs):
+            return True
+        if candidate.void_cast:
+            return True
+        for line in {candidate.line, candidate.decl_line}:
+            if not line:
+                continue
+            text = context.raw_line(candidate, line).lower()
+            if "unused" in text or SUPPRESSION_MARKER in text:
+                return True
+        return False

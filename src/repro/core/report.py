@@ -1,0 +1,146 @@
+"""Analysis reports: the ranked unused-definition list plus accounting.
+
+Mirrors the artifact's ``result/APP_NAME/detected.csv`` output and the
+counters the evaluation tables aggregate (original candidates, per-pruner
+prune counts, reported findings)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.findings import Finding
+
+
+@dataclass
+class Report:
+    """Everything one ValueCheck run produced."""
+
+    project: str
+    findings: list[Finding] = field(default_factory=list)
+    prune_stats: dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    # -- views ----------------------------------------------------------
+
+    def reported(self) -> list[Finding]:
+        """Cross-scope, unpruned findings in rank order."""
+        out = [finding for finding in self.findings if finding.is_reported]
+        out.sort(key=lambda finding: (finding.rank if finding.rank is not None else 1 << 30))
+        return out
+
+    def top(self, count: int) -> list[Finding]:
+        return self.reported()[:count]
+
+    def pruned(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.pruned_by is not None]
+
+    def cross_scope(self) -> list[Finding]:
+        """All cross-scope candidates, pruned or not — Table 4 '#Original'."""
+        return [
+            finding
+            for finding in self.findings
+            if finding.authorship is not None and finding.authorship.cross_scope
+        ]
+
+    def non_cross_scope(self) -> list[Finding]:
+        return [
+            finding
+            for finding in self.findings
+            if finding.authorship is None or not finding.authorship.cross_scope
+        ]
+
+    # -- accounting ----------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "candidates": len(self.findings),
+            "cross_scope": len(self.cross_scope()),
+            "pruned": len(self.pruned()),
+            "reported": len(self.reported()),
+        }
+
+    # -- rendering -------------------------------------------------------------
+
+    _COLUMNS = (
+        "rank",
+        "file",
+        "line",
+        "function",
+        "variable",
+        "kind",
+        "callee",
+        "cross_scope",
+        "introducing_author",
+        "pruned_by",
+        "familiarity",
+    )
+
+    def to_csv(self, path: str | Path | None = None, include_pruned: bool = False) -> str:
+        rows = self.reported() if not include_pruned else self.findings
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self._COLUMNS)
+        writer.writeheader()
+        for finding in rows:
+            writer.writerow(finding.to_row())
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_markdown(self, top: int = 25) -> str:
+        """Render a human-readable Markdown report (for PRs/dashboards)."""
+        counts = self.counts()
+        lines = [
+            f"# ValueCheck report — {self.project}",
+            "",
+            f"**{counts['reported']}** cross-scope unused definitions reported "
+            f"({counts['candidates']} candidates, {counts['pruned']} pruned).",
+            "",
+        ]
+        if self.prune_stats:
+            lines.append("| pruning strategy | pruned |")
+            lines.append("|---|---|")
+            for name, count in sorted(self.prune_stats.items()):
+                lines.append(f"| {name} | {count} |")
+            lines.append("")
+        reported = self.reported()
+        if reported:
+            lines.append("| # | location | kind | variable | introduced by | familiarity |")
+            lines.append("|---|---|---|---|---|---|")
+            for finding in reported[:top]:
+                candidate = finding.candidate
+                author = (
+                    finding.authorship.introducing_author if finding.authorship else ""
+                )
+                familiarity = (
+                    f"{finding.familiarity:.2f}" if finding.familiarity is not None else "—"
+                )
+                lines.append(
+                    f"| {finding.rank} | `{candidate.file}:{candidate.line}` "
+                    f"| {candidate.kind.value} | `{candidate.function}/{candidate.var}` "
+                    f"| {author} | {familiarity} |"
+                )
+            if len(reported) > top:
+                lines.append("")
+                lines.append(f"*…and {len(reported) - top} more.*")
+        else:
+            lines.append("*No findings — nothing crossed developer scopes unpruned.*")
+        return "\n".join(lines) + "\n"
+
+    def summary(self) -> str:
+        counts = self.counts()
+        lines = [
+            f"project:       {self.project}",
+            f"candidates:    {counts['candidates']}",
+            f"cross-scope:   {counts['cross_scope']}",
+            f"pruned:        {counts['pruned']}",
+            f"reported:      {counts['reported']}",
+        ]
+        for name, count in sorted(self.prune_stats.items()):
+            lines.append(f"  pruned by {name}: {count}")
+        if self.seconds:
+            lines.append(f"analysis time: {self.seconds:.2f}s")
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""The ValueCheck facade: detection → authorship → pruning → ranking.
+
+Every stage can be ablated through :class:`ValueCheckConfig`, which is how
+the Table 6 experiment builds its "w/o Authorship", "w/o Familiarity" and
+"w/o FA/DL/AC" groups.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.cross_scope import CrossScopeResolver
+from repro.core.detector import detect_module
+from repro.core.familiarity import DokModel, DokWeights
+from repro.core.findings import AuthorshipInfo, Candidate, Finding
+from repro.core.project import Project
+from repro.core.pruning import PruneContext, default_pipeline
+from repro.core.ranking import rank_findings
+from repro.core.report import Report
+from repro.vcs.blame import BlameIndex
+
+
+@dataclass(frozen=True)
+class ValueCheckConfig:
+    """Knobs for the pipeline.
+
+    ``use_authorship=False`` removes cross-scope filtering (every candidate
+    is treated as reportable); ``pruners=None`` enables all four pruning
+    strategies, a set restricts them, an empty set disables pruning;
+    ``use_familiarity=False`` keeps detection order instead of DOK ranking;
+    ``dok_weights`` supports the per-factor ablations.
+    """
+
+    use_authorship: bool = True
+    pruners: frozenset[str] | None = None
+    use_familiarity: bool = True
+    dok_weights: DokWeights = field(default_factory=DokWeights)
+    peer_min_occurrences: int = 10
+    peer_unused_fraction: float = 0.5
+    cursor_min_increments: int = 2
+    # §9 extensions (both off by default, matching the paper's tool):
+    # the commit-history/comment pruner of §9.1 and the survey-free EA
+    # familiarity model of §9.2.
+    history_pruning: bool = False
+    familiarity_model: str = "dok"  # 'dok' | 'ea'
+
+    def without_factor(self, factor: str) -> "ValueCheckConfig":
+        return replace(self, dok_weights=self.dok_weights.without(factor))
+
+
+class ValueCheck:
+    """Run the full pipeline over a project snapshot."""
+
+    def __init__(self, config: ValueCheckConfig | None = None):
+        self.config = config or ValueCheckConfig()
+
+    def detect_candidates(self, project: Project) -> list[Candidate]:
+        """Stage 1: raw unused definitions from every module."""
+        candidates: list[Candidate] = []
+        for path in sorted(project.modules):
+            module = project.modules[path]
+            candidates.extend(detect_module(module, project.vfg(path)))
+        return candidates
+
+    def _resolve_authorship(
+        self, project: Project, candidates: list[Candidate], rev: int | str | None
+    ) -> list[Finding]:
+        """Stage 2: cross-scope resolution (or its ablation)."""
+        if self.config.use_authorship:
+            resolver = CrossScopeResolver(project, rev=rev)
+            return resolver.resolve_all(candidates)
+        blame = BlameIndex(project.repo, rev=rev) if project.repo is not None else None
+        findings = []
+        for candidate in candidates:
+            author_name = ""
+            introduced_day = -1
+            if blame is not None:
+                info = blame.line_info(candidate.file, candidate.line)
+                if info is not None:
+                    author_name = info.author.name
+                    introduced_day = info.day
+            findings.append(
+                Finding(
+                    candidate=candidate,
+                    authorship=AuthorshipInfo(
+                        cross_scope=True,
+                        def_author=author_name,
+                        introducing_author=author_name,
+                        blamed_file=candidate.file,
+                        introduced_day=introduced_day,
+                        reason="authorship filtering disabled",
+                    ),
+                )
+            )
+        return findings
+
+    def analyze(self, project: Project, rev: int | str | None = None) -> Report:
+        """Run all stages and return the report."""
+        started = time.perf_counter()
+        candidates = self.detect_candidates(project)
+        findings = self._resolve_authorship(project, candidates, rev)
+
+        pipeline = default_pipeline(
+            enable=set(self.config.pruners) if self.config.pruners is not None else None,
+            min_increments=self.config.cursor_min_increments,
+            peer_min_occurrences=self.config.peer_min_occurrences,
+            peer_unused_fraction=self.config.peer_unused_fraction,
+            include_history=self.config.history_pruning,
+        )
+        context = PruneContext(project=project)
+        cross = [finding for finding in findings if finding.authorship and finding.authorship.cross_scope]
+        rest = [finding for finding in findings if not (finding.authorship and finding.authorship.cross_scope)]
+        cross = pipeline.apply(cross, context)
+        prune_stats = pipeline.stats(cross)
+        findings = cross + rest
+
+        model = None
+        if project.repo is not None:
+            if self.config.familiarity_model == "ea":
+                from repro.core.familiarity import EaModel
+
+                model = EaModel(project.repo)
+            else:
+                model = DokModel(project.repo, weights=self.config.dok_weights)
+        findings = rank_findings(
+            findings, model=model, until_rev=rev, use_familiarity=self.config.use_familiarity
+        )
+        return Report(
+            project=project.name,
+            findings=findings,
+            prune_stats=prune_stats,
+            seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,392 @@
+"""Top-level corpus generation: profile → (repository, ground truth).
+
+Author model
+------------
+
+* **owners** create files (round 0) — first authorship, so high DOK;
+* **veterans** are recurring contributors: a warm-up delivery (round 1)
+  precedes their construct edit, giving them DL ≥ 2 on the file;
+* **newcomers** touch a file exactly once (the construct edit itself) —
+  the low-familiarity developers the paper's insight targets;
+* **support** / **logging** authors own the library files that host
+  callees (making ignored returns cross-scope).
+
+Bug edits are authored by newcomers with high probability (85%) and by
+veterans otherwise; minor false positives are mostly the file owner's own
+deliberate choices (infallible-return sites) with a minority of
+newcomer/veteran debug leftovers.  The DOK ranking signal of §6 *emerges*
+from these histories rather than being attached to findings."""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.project import Project
+from repro.corpus.assembly import Construct, FilePlan, SupportFunction, assemble_repository
+from repro.corpus.ground_truth import GroundTruthEntry, GroundTruthLedger
+from repro.corpus.names import NamePool
+from repro.corpus import snippets
+from repro.corpus.profiles import (
+    AGE_BUCKETS,
+    AppProfile,
+    BUG_SCENARIO_WEIGHTS,
+    COMPONENT_WEIGHTS,
+    PROFILES,
+    SEVERITY_WEIGHTS,
+    scaled,
+)
+from repro.errors import CorpusError
+from repro.vcs.objects import Author
+from repro.vcs.repository import Repository
+
+_MIN_PEER_SITES = 12  # peer pruning needs > 10 occurrences per callee
+
+
+def _weighted_choice(rng: random.Random, weights: dict[str, float]) -> str:
+    roll = rng.random() * sum(weights.values())
+    acc = 0.0
+    for key, weight in weights.items():
+        acc += weight
+        if roll <= acc:
+            return key
+    return next(iter(weights))
+
+
+def _sample_age(rng: random.Random) -> int:
+    roll = rng.random()
+    acc = 0.0
+    for (lo, hi), weight in AGE_BUCKETS:
+        acc += weight
+        if roll <= acc:
+            return rng.randrange(lo, hi)
+    lo, hi = AGE_BUCKETS[-1][0]
+    return rng.randrange(lo, hi)
+
+
+@dataclass
+class SyntheticApp:
+    """One generated application."""
+
+    profile: AppProfile
+    scale: float
+    repo: Repository
+    ledger: GroundTruthLedger
+    build_config: frozenset[str] = frozenset()
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @property
+    def detection_day(self) -> int:
+        return self.profile.detection_day
+
+    def project(self) -> Project:
+        return Project.from_repository(
+            self.repo, name=self.profile.name, build_config=set(self.build_config)
+        )
+
+
+@dataclass
+class _Planned:
+    construct: Construct
+    age: int
+    domain: str
+
+
+class _AppGenerator:
+    def __init__(self, profile: AppProfile, scale: float, seed: int):
+        self.profile = scaled(profile, scale)
+        self.base_profile = profile
+        self.scale = scale
+        # zlib.crc32 is process-stable (built-in str hash is randomised
+        # per interpreter run, which would make corpora non-reproducible).
+        name_hash = zlib.crc32(profile.name.encode())
+        self.rng = random.Random((seed * 1_000_003) ^ name_hash)
+        self.pool = NamePool(self.rng, list(profile.domains))
+        prefix = profile.name
+        self.owners = [Author(f"{prefix}-dev{i}") for i in range(profile.n_owner_authors)]
+        self.newcomers = [Author(f"{prefix}-new{i}") for i in range(profile.n_drifter_authors)]
+        self.veterans = [Author(f"{prefix}-vet{i}") for i in range(max(3, profile.n_drifter_authors // 2))]
+        self.support_authors = [Author(f"{prefix}-lib{i}") for i in range(4)]
+        self.logging_author = Author(f"{prefix}-logging")
+        self.support_functions: list[SupportFunction] = []
+        self.planned: list[_Planned] = []
+        self.peer_callees: list[str] = []
+        self.ledger = GroundTruthLedger(app=profile.name, detection_day=profile.detection_day)
+
+    # -- planning ----------------------------------------------------------
+
+    def _plan(self, construct: Construct, age: int | None = None, domain: str | None = None) -> None:
+        self.support_functions.extend(construct.support)
+        construct.support = []
+        self.planned.append(
+            _Planned(
+                construct=construct,
+                age=age if age is not None else self.rng.randrange(100, 2200),
+                domain=domain or self.pool.domain(),
+            )
+        )
+
+    def _bug_role(self) -> str:
+        return "newcomer" if self.rng.random() < 0.85 else "veteran"
+
+    def _plan_bugs(self) -> None:
+        counts = self.profile.counts
+        for _ in range(counts.bugs):
+            scenario = _weighted_choice(self.rng, BUG_SCENARIO_WEIGHTS)
+            role = self._bug_role()
+            if scenario == "ignored_return":
+                construct = snippets.make_bug_ignored_return(
+                    self.pool, self.rng, role, coverity_findable=self.rng.random() < 0.5
+                )
+            elif scenario == "overwritten_def":
+                construct = snippets.make_bug_overwritten_def(self.pool, self.rng, role)
+            elif scenario == "overwritten_arg":
+                flavor = "overwrite" if self.rng.random() < 0.7 else "unused"
+                construct = snippets.make_bug_overwritten_arg(self.pool, self.rng, role, flavor)
+            else:
+                construct = snippets.make_bug_field_def(self.pool, self.rng, role)
+            component = _weighted_choice(self.rng, COMPONENT_WEIGHTS)
+            severity = _weighted_choice(self.rng, SEVERITY_WEIGHTS)
+            # Developers label bugs by their consequence, which follows
+            # the scenario's shape: clobbered fields are semantic bugs
+            # (Fig. 6b), and a clobbered local computation occasionally
+            # is too (Fig. 1a); discarded statuses and ignored arguments
+            # are missing checks.  The resulting mix lands on Table 3's
+            # ~134:20 split.
+            if scenario == "field_def" and self.rng.random() < 0.7:
+                bug_type = "semantic"
+            elif scenario == "overwritten_def" and self.rng.random() < 0.1:
+                bug_type = "semantic"
+            else:
+                bug_type = "missing_check"
+            age = _sample_age(self.rng)
+            assert construct.truth is not None
+            construct.truth = GroundTruthEntry(
+                category=construct.truth.category,
+                file="",
+                function=construct.truth.function,
+                var=construct.truth.var,
+                is_bug=True,
+                expected_cross_scope=True,
+                expected_pruner=None,
+                bug_type=bug_type,
+                component=component,
+                severity=severity,
+                introduced_day=self.profile.detection_day - age,
+            )
+            domain = component if component in self.base_profile.domains else None
+            self._plan(construct, age=age, domain=domain)
+
+    def _plan_benign(self) -> None:
+        counts = self.profile.counts
+        for _ in range(counts.config_dep):
+            self._plan(snippets.make_config_dep(self.pool, self.rng, self.pool.macro()))
+        for _ in range(counts.cursor):
+            self._plan(snippets.make_cursor(self.pool, self.rng))
+        for index in range(counts.hints):
+            # Mostly explicit attributes (which every tool honours); a
+            # minority of comment markers and hinted parameters.
+            slot = index % 7
+            if slot == 6:
+                self._plan(snippets.make_hint_param(self.pool, self.rng))
+            elif slot == 5:
+                self._plan(snippets.make_hint(self.pool, self.rng, "comment"))
+            else:
+                self._plan(snippets.make_hint(self.pool, self.rng, "attribute"))
+        self._plan_peers(counts.peer_sites)
+        for index in range(counts.fp_minor):
+            if self.rng.random() < 0.7:
+                construct = snippets.make_fp_minor(self.pool, self.rng, "owner", "infallible_return")
+            else:
+                role = "newcomer" if self.rng.random() < 0.3 else "veteran"
+                flavor = "debug" if self.rng.random() < 0.6 else "infallible_return"
+                construct = snippets.make_fp_minor(self.pool, self.rng, role, flavor)
+            self._plan(construct)
+        newcomer_fraction = self.base_profile.same_author_newcomer_fraction
+        for index in range(counts.same_author):
+            # Dead stores and same-author ignored returns dominate; flow-
+            # sensitive overwrites (which Infer/Coverity also see) are a
+            # minority, keeping those tools' report volumes plausible.
+            flavor = ("dead_store", "ignored", "dead_store", "ignored", "overwritten")[index % 5]
+            late = self.rng.random() < newcomer_fraction
+            self._plan(snippets.make_same_author(self.pool, self.rng, flavor, late=late))
+        for _ in range(counts.pruned_bug_config):
+            self._plan(
+                snippets.make_pruned_bug_config(self.pool, self.rng, self.pool.macro()),
+                age=_sample_age(self.rng),
+            )
+        for _ in range(counts.pruned_bug_peer):
+            if not self.peer_callees:
+                self._plan_peers(_MIN_PEER_SITES)
+            callee = self.rng.choice(self.peer_callees)
+            self._plan(
+                snippets.make_pruned_bug_peer(self.pool, self.rng, callee),
+                age=_sample_age(self.rng),
+            )
+        for _ in range(counts.filler):
+            self._plan(snippets.make_filler(self.pool, self.rng))
+
+    def _plan_peers(self, total_sites: int) -> None:
+        """Create logging callees and one ignoring worker per site.  Every
+        callee gets at least _MIN_PEER_SITES sites so the >10-occurrence
+        threshold holds even at small corpus scales."""
+        if total_sites <= 0:
+            return
+        n_callees = max(1, total_sites // 18)
+        sites_per_callee = max(_MIN_PEER_SITES, -(-total_sites // n_callees))
+        for _ in range(n_callees):
+            support = snippets.make_peer_callee(self.pool)
+            callee_name = support.lines[0].split()[1].split("(")[0]
+            self.peer_callees.append(callee_name)
+            self.support_functions.append(support)
+        remaining = max(total_sites, _MIN_PEER_SITES * n_callees)
+        callee_cycle = 0
+        while remaining > 0:
+            callee = self.peer_callees[callee_cycle % len(self.peer_callees)]
+            # Keep per-callee counts balanced by cycling.
+            self._plan(snippets.make_peer_site(self.pool, self.rng, callee))
+            callee_cycle += 1
+            remaining -= 1
+
+    # -- placement ---------------------------------------------------------
+
+    def _resolve_intro_author(self, construct: Construct, owner: Author) -> Author:
+        if construct.intro_role == "newcomer":
+            return self.rng.choice(self.newcomers)
+        if construct.intro_role == "veteran":
+            return self.rng.choice(self.veterans)
+        return owner
+
+    def _build_file_plans(self) -> list[FilePlan]:
+        self.rng.shuffle(self.planned)
+        plans: list[FilePlan] = []
+        per_file = 5
+        for start in range(0, len(self.planned), per_file):
+            group = self.planned[start : start + per_file]
+            domain = group[0].domain
+            if domain not in self.base_profile.domains:
+                domain = self.rng.choice(self.base_profile.domains)
+            path = self.pool.file_name(domain)
+            owner = self.rng.choice(self.owners)
+            intro_days = [
+                self.profile.detection_day - planned.age for planned in group
+            ]
+            creation_day = max(0, min(intro_days) - self.rng.randrange(100, 900))
+            plan = FilePlan(path=path, owner=owner, creation_day=creation_day)
+            for planned, intro_day in zip(group, intro_days):
+                construct = planned.construct
+                intro_author = self._resolve_intro_author(construct, owner)
+                plan.add_construct(construct, intro_author, intro_day)
+                if construct.truth is not None:
+                    entry = construct.truth
+                    self.ledger.add(
+                        GroundTruthEntry(
+                            category=entry.category,
+                            file=path,
+                            function=entry.function,
+                            var=entry.var,
+                            is_bug=entry.is_bug,
+                            expected_cross_scope=entry.expected_cross_scope,
+                            expected_pruner=entry.expected_pruner,
+                            bug_type=entry.bug_type,
+                            component=entry.component,
+                            severity=entry.severity,
+                            introduced_day=(
+                                entry.introduced_day
+                                if entry.introduced_day >= 0
+                                else intro_day
+                            ),
+                        )
+                    )
+            plans.append(plan)
+        plans.extend(self._build_support_plans())
+        return plans
+
+    def _build_support_plans(self) -> list[FilePlan]:
+        plans: list[FilePlan] = []
+        regular = [s for s in self.support_functions if s.author_role == "support"]
+        logging = [s for s in self.support_functions if s.author_role == "logging"]
+        per_file = 12
+        for index in range(0, len(regular), per_file):
+            group = regular[index : index + per_file]
+            author = self.support_authors[(index // per_file) % len(self.support_authors)]
+            path = f"lib/support_{index // per_file}.c"
+            plan = FilePlan(path=path, owner=author, creation_day=self.rng.randrange(0, 400))
+            for support_index, support in enumerate(group):
+                construct = Construct(
+                    category="support",
+                    function=f"support_{index}_{support_index}",
+                    var="",
+                    prelude=list(support.prelude),
+                    lines=[_as_tagged(line) for line in support.lines],
+                )
+                plan.add_construct(construct, author, plan.creation_day)
+            plans.append(plan)
+        if logging:
+            plan = FilePlan(
+                path="lib/logging.c",
+                owner=self.logging_author,
+                creation_day=self.rng.randrange(0, 400),
+            )
+            for support_index, support in enumerate(logging):
+                construct = Construct(
+                    category="support",
+                    function=f"logging_{support_index}",
+                    var="",
+                    prelude=list(support.prelude),
+                    lines=[_as_tagged(line) for line in support.lines],
+                )
+                plan.add_construct(construct, self.logging_author, plan.creation_day)
+            plans.append(plan)
+        return plans
+
+    # -- driver ------------------------------------------------------------
+
+    def generate(self) -> SyntheticApp:
+        self._plan_bugs()
+        self._plan_benign()
+        plans = self._build_file_plans()
+        extra: dict[str, tuple[Author, int, str]] = {}
+        if self.base_profile.is_kernel:
+            extra["include/kbuild.c"] = (
+                self.owners[0],
+                0,
+                '#define KBUILD_MODNAME "core"\nint kbuild_marker_present = 1;\n',
+            )
+        repo = assemble_repository(self.base_profile.name, plans, self.rng, extra)
+        # A final no-op-ish commit stamps the detection day so blame ages
+        # and DOK history cut off where the paper's analysis ran.
+        repo.commit(
+            self.owners[0],
+            "release snapshot",
+            {"RELEASE": f"{self.base_profile.display} {self.base_profile.version}\n"},
+            day=self.profile.detection_day,
+        )
+        return SyntheticApp(
+            profile=self.base_profile,
+            scale=self.scale,
+            repo=repo,
+            ledger=self.ledger,
+        )
+
+
+def _as_tagged(line: str):
+    from repro.corpus.assembly import TaggedLine
+
+    return TaggedLine(text=line, round=0)
+
+
+def generate_app(name: str, scale: float = 1.0, seed: int = 7) -> SyntheticApp:
+    """Generate one application corpus by profile name."""
+    if name not in PROFILES:
+        raise CorpusError(f"unknown application profile {name!r}")
+    return _AppGenerator(PROFILES[name], scale, seed).generate()
+
+
+def generate_all(scale: float = 1.0, seed: int = 7) -> dict[str, SyntheticApp]:
+    """Generate every evaluated application at the given scale."""
+    return {name: generate_app(name, scale=scale, seed=seed) for name in PROFILES}

@@ -1,0 +1,115 @@
+"""Ground-truth ledger: what was planted, and what should happen to it.
+
+Every planted construct registers an entry describing the expected
+pipeline outcome (cross-scope? pruned by which strategy? a real bug?) and
+the bug-report metadata Figure 7 aggregates.  The evaluation joins
+analysis findings against the ledger by (file, function, variable) — the
+analyses themselves never see it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.findings import Finding
+
+
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """One planted construct."""
+
+    category: str  # generator category (bug_overwritten, cursor, peer, ...)
+    file: str
+    function: str
+    var: str  # variable name, or callee name for ignored returns
+    is_bug: bool
+    expected_cross_scope: bool
+    expected_pruner: str | None = None  # which strategy should claim it
+    bug_type: str | None = None  # 'missing_check' | 'semantic'
+    component: str | None = None  # Figure 7a
+    severity: str | None = None  # Figure 7b: high/medium/low
+    introduced_day: int = -1  # Figure 7c (age = detection day - this)
+
+    @property
+    def join_key(self) -> tuple[str, str, str]:
+        return (self.file, self.function, self.var)
+
+
+@dataclass
+class GroundTruthLedger:
+    """All planted constructs of one synthetic application."""
+
+    app: str
+    detection_day: int
+    entries: list[GroundTruthEntry] = field(default_factory=list)
+    _index_cache: dict[tuple[str, str, str], GroundTruthEntry] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def add(self, entry: GroundTruthEntry) -> None:
+        self.entries.append(entry)
+        self._index_cache = None
+
+    def by_category(self, category: str) -> list[GroundTruthEntry]:
+        return [entry for entry in self.entries if entry.category == category]
+
+    def bugs(self) -> list[GroundTruthEntry]:
+        return [entry for entry in self.entries if entry.is_bug]
+
+    def lookup(self, file: str, function: str, var: str) -> GroundTruthEntry | None:
+        return self._index().get((file, function, var))
+
+    def _index(self) -> dict[tuple[str, str, str], GroundTruthEntry]:
+        if self._index_cache is None:
+            self._index_cache = {entry.join_key: entry for entry in self.entries}
+        return self._index_cache
+
+    def match_finding(self, finding: Finding) -> GroundTruthEntry | None:
+        """Join an analysis finding back to its planted construct."""
+        candidate = finding.candidate
+        index = self._index()
+        exact = index.get((candidate.file, candidate.function, candidate.var))
+        if exact is not None:
+            return exact
+        # Ignored returns carry the callee name as the variable; planted
+        # entries for assigned forms may use the local instead.
+        if candidate.callee is not None:
+            return index.get((candidate.file, candidate.function, candidate.callee))
+        return None
+
+    def match_warning(self, file: str, function: str, var: str) -> GroundTruthEntry | None:
+        """Join a baseline warning (same key shape)."""
+        return self._index().get((file, function, var))
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for entry in self.entries:
+            out[entry.category] = out.get(entry.category, 0) + 1
+        return out
+
+    # -- (de)serialisation — lets generated corpora ship their ground
+    # truth next to the sources, so external tool runs can be scored
+    # (`valuecheck score`).
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "detection_day": self.detection_day,
+            "entries": [asdict(entry) for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GroundTruthLedger":
+        ledger = cls(app=data["app"], detection_day=data["detection_day"])
+        for raw in data["entries"]:
+            ledger.add(GroundTruthEntry(**raw))
+        return ledger
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GroundTruthLedger":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,113 @@
+"""Identifier pools for generated code.
+
+Names are drawn per application *domain* so the corpora read like their
+real counterparts (filesystem verbs in NFS-ganesha, TLS nouns in OpenSSL,
+…).  All choices flow through the caller's seeded RNG, so generation is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+VERBS = [
+    "read", "write", "open", "close", "flush", "sync", "alloc", "free",
+    "init", "reset", "update", "commit", "apply", "check", "verify",
+    "parse", "encode", "decode", "lookup", "insert", "remove", "scan",
+    "map", "unmap", "lock", "unlock", "attach", "detach", "resolve",
+    "register", "probe", "submit", "poll", "drain", "merge", "split",
+]
+
+NOUNS_BY_DOMAIN = {
+    "filesystem": [
+        "inode", "dentry", "superblock", "extent", "bitmap", "journal",
+        "mount", "acl", "xattr", "quota", "dirent", "blockmap", "fsal",
+        "layout", "lease", "handle", "export", "attrmask",
+    ],
+    "security": [
+        "cred", "keyring", "policy", "label", "capset", "token", "sctx",
+        "permset", "audit", "sid", "acl_entry", "mask",
+    ],
+    "network": [
+        "sock", "skb", "route", "neigh", "frag", "qdisc", "session",
+        "endpoint", "channel", "stream", "datagram", "backlog",
+    ],
+    "memory": [
+        "page", "slab", "zone", "vma", "pool", "arena", "chunk", "span",
+        "region", "mapping",
+    ],
+    "drivers": [
+        "device", "queue", "ring", "dma", "irq", "regmap", "phy", "port",
+        "bridge", "adapter", "firmware",
+    ],
+    "storage": [
+        "buf_pool", "redo_log", "undo_seg", "tablespace", "btree", "trx",
+        "rollback", "checkpoint", "page_arch", "doublewrite",
+    ],
+    "crypto": [
+        "cipher", "digest", "hmac", "master_secret", "session_ticket",
+        "keyshare", "cert_chain", "nonce", "pkey", "x509",
+    ],
+    "other": [
+        "config", "option", "stat", "counter", "timer", "worker", "task",
+        "context", "request", "reply", "entry", "record",
+    ],
+}
+
+VAR_NAMES = [
+    "ret", "rc", "err", "status", "attr", "flags", "count", "len",
+    "offset", "mode", "level", "idx", "nbytes", "result", "state",
+    "code", "val", "pos", "total", "avail",
+]
+
+TYPE_SUFFIXES = ["t", "info", "state", "ctx", "desc", "cfg", "args", "opts"]
+
+LOG_VERBS = ["log", "trace", "note", "report", "emit", "record"]
+
+
+class NamePool:
+    """Deterministic unique-name factory for one generated application."""
+
+    def __init__(self, rng: random.Random, domains: list[str]):
+        self.rng = rng
+        self.domains = domains
+        self._counter = 0
+
+    def _next(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def domain(self) -> str:
+        return self.rng.choice(self.domains)
+
+    def function(self, domain: str | None = None, verb: str | None = None) -> str:
+        domain = domain or self.domain()
+        noun = self.rng.choice(NOUNS_BY_DOMAIN[domain])
+        verb = verb or self.rng.choice(VERBS)
+        return f"{verb}_{noun}_{self._next()}"
+
+    def log_function(self) -> str:
+        verb = self.rng.choice(LOG_VERBS)
+        return f"{verb}_msg_{self._next()}"
+
+    def variable(self) -> str:
+        return f"{self.rng.choice(VAR_NAMES)}{self._next()}"
+
+    def type_name(self, domain: str | None = None) -> str:
+        domain = domain or self.domain()
+        noun = self.rng.choice(NOUNS_BY_DOMAIN[domain])
+        suffix = self.rng.choice(TYPE_SUFFIXES)
+        return f"{noun}_{suffix}_{self._next()}"
+
+    def struct_name(self, domain: str | None = None) -> str:
+        domain = domain or self.domain()
+        noun = self.rng.choice(NOUNS_BY_DOMAIN[domain])
+        return f"{noun}_req_{self._next()}"
+
+    def file_name(self, domain: str) -> str:
+        noun = self.rng.choice(NOUNS_BY_DOMAIN[domain])
+        return f"{domain}/{noun}_{self._next()}.c"
+
+    def macro(self) -> str:
+        noun = self.rng.choice(NOUNS_BY_DOMAIN[self.domain()]).upper()
+        return f"CONFIG_{noun}_{self._next()}"

@@ -1,0 +1,269 @@
+"""Corpus for the §3.1 preliminary study and the §8.3.2 recall experiment.
+
+The paper's procedure: run plain liveness on the 2019 and 2021 snapshots
+of the four projects, collect the 325 unused definitions present in 2019
+but gone by 2021, randomly sample 60, check the removing commits'
+messages (42 were bug fixes), and observe 39 of those 42 cross author
+scopes.  §8.3.2 then runs full ValueCheck on the 39 known cross-scope
+bugs and detects 37 (two lost to peer-definition pruning).
+
+This generator plants exactly that structure: constructs that are unused
+definitions in the 2019 snapshot and are later *removed* by a commit
+whose message is either a bug fix or a cleanup; cross-scope-ness and
+peer-style (recall-miss) flavours are planted at the paper's fractions.
+Deletion commits exercise the blame carrying logic the main corpus's
+insertion-only histories do not.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.names import NamePool
+from repro.vcs.objects import Author, iso_to_day
+from repro.vcs.repository import Repository
+
+DAY_2019 = iso_to_day("2019-01-01")
+DAY_2021 = iso_to_day("2021-01-01")
+
+# Paper fractions: 42 of 60 sampled were bug-fix removals; 39 of the 42
+# crossed author scopes; 2 of the 39 are peer-prunable (the recall misses).
+BUGFIX_FRACTION = 42 / 60
+CROSS_OF_BUGFIX = 39 / 42
+CLEANUP_CROSS_FRACTION = 0.3
+TOTAL_AT_SCALE_1 = 325
+PEER_MISSES_AT_SCALE_1 = 2
+
+
+@dataclass(frozen=True)
+class PrelimEntry:
+    """One planted historical unused definition."""
+
+    file: str
+    function: str
+    var: str
+    removed_by_bugfix: bool
+    cross_scope: bool
+    peer_style: bool  # detectable only with peer pruning disabled
+
+    @property
+    def join_key(self) -> tuple[str, str, str]:
+        return (self.file, self.function, self.var)
+
+
+@dataclass
+class PreliminaryStudyCorpus:
+    repo: Repository
+    entries: list[PrelimEntry] = field(default_factory=list)
+    day_2019: int = DAY_2019
+    day_2021: int = DAY_2021
+
+    def bugfix_entries(self) -> list[PrelimEntry]:
+        return [entry for entry in self.entries if entry.removed_by_bugfix]
+
+    def cross_scope_bugs(self) -> list[PrelimEntry]:
+        return [entry for entry in self.entries if entry.removed_by_bugfix and entry.cross_scope]
+
+
+class _PrelimBuilder:
+    def __init__(self, scale: float, seed: int):
+        self.scale = scale
+        self.rng = random.Random(seed * 7919 + 13)
+        self.pool = NamePool(self.rng, ["filesystem", "network", "security", "other"])
+        self.repo = Repository("prelim")
+        self.entries: list[PrelimEntry] = []
+        self.owners = [Author(f"hist-dev{i}") for i in range(12)]
+        self.newcomers = [Author(f"hist-new{i}") for i in range(10)]
+        self.logging_author = Author("hist-logging")
+        self._commits: list[tuple[int, Author, str, dict[str, str | None]]] = []
+
+    def _queue(self, day: int, author: Author, message: str, changes: dict[str, str | None]) -> None:
+        self._commits.append((day, author, message, changes))
+
+    def _construct(self, index: int, cross: bool, bugfix: bool, peer_style: bool) -> None:
+        owner = self.rng.choice(self.owners)
+        newcomer = self.rng.choice(self.newcomers)
+        fn = self.pool.function()
+        ret = self.pool.variable()
+        path = f"hist/{fn}.c"
+        create_day = self.rng.randrange(0, DAY_2019 - 800)
+        insert_day = self.rng.randrange(create_day + 30, DAY_2019 - 10)
+        fix_day = self.rng.randrange(DAY_2019 + 30, DAY_2021 - 10)
+
+        if peer_style:
+            callee = f"note_msg_hist{index}"
+            v1 = (
+                f"int {callee}(int level);\n"
+                f"void {fn}(int level)\n"
+                "{\n"
+                "    if (level < 0) { return; }\n"
+                "}\n"
+            )
+            v2 = (
+                f"int {callee}(int level);\n"
+                f"void {fn}(int level)\n"
+                "{\n"
+                "    if (level < 0) { return; }\n"
+                f"    {callee}(level);\n"
+                "}\n"
+            )
+            v3 = (
+                f"int {callee}(int level);\n"
+                f"void {fn}(int level)\n"
+                "{\n"
+                "    int rc;\n"
+                "    if (level < 0) { return; }\n"
+                f"    rc = {callee}(level);\n"
+                "    if (rc < 0) { return; }\n"
+                "}\n"
+            )
+            self._queue(create_day, owner, f"add {path}", {path: v1})
+            self._queue(insert_day, newcomer if cross else owner, f"wire telemetry into {fn}", {path: v2})
+            message = f"Fix unchecked status from {callee} in {fn}"
+            self._queue(fix_day, owner, message, {path: v3})
+            self.entries.append(
+                PrelimEntry(
+                    file=path,
+                    function=fn,
+                    var=callee,
+                    removed_by_bugfix=True,
+                    cross_scope=cross,
+                    peer_style=True,
+                )
+            )
+            return
+
+        callee_a = f"{fn}_load"
+        callee_b = f"{fn}_mask"
+        header = (
+            f"static int {callee_a}(int v)\n{{\n    if (v < 0) {{ return -1; }}\n    return 0;\n}}\n"
+            f"static int {callee_b}(int v)\n{{\n    return v & 7;\n}}\n"
+        )
+        v1 = (
+            header
+            + f"int {fn}(int v)\n"
+            + "{\n"
+            + f"    int {ret};\n"
+            + f"    {ret} = {callee_a}(v);\n"
+            + f"    if ({ret} < 0) {{ return -1; }}\n"
+            + "    return 0;\n"
+            + "}\n"
+        )
+        # The overwriting line makes the first definition unused (2019 state).
+        v2 = (
+            header
+            + f"int {fn}(int v)\n"
+            + "{\n"
+            + f"    int {ret};\n"
+            + f"    {ret} = {callee_a}(v);\n"
+            + f"    {ret} = {callee_b}(v);\n"
+            + f"    if ({ret} < 0) {{ return -1; }}\n"
+            + "    return 0;\n"
+            + "}\n"
+        )
+        if bugfix:
+            # The fix checks the first status before recomputing.
+            v3 = (
+                header
+                + f"int {fn}(int v)\n"
+                + "{\n"
+                + f"    int {ret};\n"
+                + f"    {ret} = {callee_a}(v);\n"
+                + f"    if ({ret} < 0) {{ return -1; }}\n"
+                + f"    {ret} = {callee_b}(v);\n"
+                + f"    if ({ret} < 0) {{ return -1; }}\n"
+                + "    return 0;\n"
+                + "}\n"
+            )
+            message = f"Fix lost error status of {callee_a} in {fn}"
+        else:
+            # A cleanup simply drops the dead first assignment.
+            v3 = (
+                header
+                + f"int {fn}(int v)\n"
+                + "{\n"
+                + f"    int {ret};\n"
+                + f"    {ret} = {callee_b}(v);\n"
+                + f"    if ({ret} < 0) {{ return -1; }}\n"
+                + "    return 0;\n"
+                + "}\n"
+            )
+            message = f"cleanup: drop dead assignment in {fn}"
+        self._queue(create_day, owner, f"add {path}", {path: v1})
+        insert_author = newcomer if cross else owner
+        self._queue(insert_day, insert_author, f"recompute mask in {fn}", {path: v2})
+        self._queue(fix_day, owner, message, {path: v3})
+        self.entries.append(
+            PrelimEntry(
+                file=path,
+                function=fn,
+                var=ret,
+                removed_by_bugfix=bugfix,
+                cross_scope=cross,
+                peer_style=False,
+            )
+        )
+
+    def _peer_noise(self, callees: list[str]) -> None:
+        """Static worker files making every peer-style callee mostly
+        ignored across both snapshots."""
+        lines = ["/* telemetry fan-out */"]
+        protos = [f"int {callee}(int level);" for callee in callees]
+        body: list[str] = []
+        for index, callee in enumerate(callees):
+            for site in range(12):
+                body.append(f"void fanout_{index}_{site}(int level)")
+                body.append("{")
+                body.append(f"    {callee}(level + {site});")
+                body.append("}")
+        defs = [
+            f"int {callee}(int level)\n{{\n    return level;\n}}" for callee in callees
+        ]
+        content = "\n".join(protos + body) + "\n"
+        self._queue(100, self.logging_author, "add telemetry fanout", {"hist/fanout.c": content})
+        self._queue(
+            101,
+            self.logging_author,
+            "add telemetry backend",
+            {"hist/telemetry.c": "\n".join(defs) + "\n"},
+        )
+
+    def build(self) -> PreliminaryStudyCorpus:
+        total = max(6, math.floor(TOTAL_AT_SCALE_1 * self.scale + 0.5))
+        n_bugfix = round(total * BUGFIX_FRACTION)
+        n_cross_bugfix = round(n_bugfix * CROSS_OF_BUGFIX)
+        n_peer = min(
+            n_cross_bugfix,
+            max(1, math.floor(PEER_MISSES_AT_SCALE_1 * self.scale + 0.5)) if self.scale >= 0.05 else 1,
+        )
+        plan: list[tuple[bool, bool, bool]] = []  # (cross, bugfix, peer)
+        for index in range(total):
+            bugfix = index < n_bugfix
+            if bugfix:
+                cross = index < n_cross_bugfix
+                peer = index < n_peer
+            else:
+                cross = self.rng.random() < CLEANUP_CROSS_FRACTION
+                peer = False
+            plan.append((cross, bugfix, peer))
+        self.rng.shuffle(plan)
+        peer_callees: list[str] = []
+        for index, (cross, bugfix, peer) in enumerate(plan):
+            self._construct(index, cross=cross, bugfix=bugfix, peer_style=peer)
+            if peer:
+                peer_callees.append(self.entries[-1].var)
+        if peer_callees:
+            self._peer_noise(peer_callees)
+        self._commits.sort(key=lambda item: item[0])
+        for day, author, message, changes in self._commits:
+            self.repo.commit(author, message, changes, day=day)
+        # Snapshot anchors so snapshot_at_day finds commits at both dates.
+        self.repo.commit(self.owners[0], "2021 tree state", {"NOTES": "2021\n"}, day=DAY_2021 + 5)
+        return PreliminaryStudyCorpus(repo=self.repo, entries=self.entries)
+
+
+def generate_preliminary_corpus(scale: float = 1.0, seed: int = 11) -> PreliminaryStudyCorpus:
+    """Generate the historical-differential corpus at the given scale."""
+    return _PrelimBuilder(scale, seed).build()

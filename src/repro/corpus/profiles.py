@@ -1,0 +1,234 @@
+"""Application profiles: the paper's published per-app statistics.
+
+Counts at ``scale=1.0`` reproduce the magnitudes of Table 4 (candidate
+breakdown), Table 2/5 (bugs and minor false positives) and §8.5.1 (the
+same-author unused definitions that only surface when cross-scope
+filtering is ablated: 2259 total detected without authorship, of which
+210 are the cross-scope reports).  ``scaled()`` shrinks every count
+proportionally while keeping each non-zero category represented, so tests
+and benchmarks can run at laptop-friendly sizes with the same *shape*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.vcs.objects import iso_to_day
+
+
+@dataclass(frozen=True)
+class CategoryCounts:
+    """How many constructs of each category to plant (per application)."""
+
+    # Cross-scope candidates pruned per strategy (Table 4 columns).
+    config_dep: int
+    cursor: int
+    hints: int
+    peer_sites: int  # total ignored call sites of peer-pruned functions
+    # Cross-scope survivors (Table 2 / Table 5).
+    bugs: int  # confirmed by developers
+    fp_minor: int  # reported but judged minor / not bugs
+    # Unused definitions that are NOT cross-scope (visible only in the
+    # w/o-Authorship ablation, §8.5.1).
+    same_author: int
+    # Real bugs lost to pruning (§8.3.4's sampled false negatives).
+    pruned_bug_config: int = 0
+    pruned_bug_peer: int = 0
+    # Plain filler functions (no candidates) for realistic bulk.
+    filler: int = 40
+
+    @property
+    def original(self) -> int:
+        """Expected Table 4 '#Original' (cross-scope candidates)."""
+        return (
+            self.config_dep
+            + self.cursor
+            + self.hints
+            + self.peer_sites
+            + self.bugs
+            + self.fp_minor
+            + self.pruned_bug_config
+            + self.pruned_bug_peer
+        )
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """One evaluated application."""
+
+    name: str
+    display: str
+    version: str
+    domains: tuple[str, ...]
+    counts: CategoryCounts
+    n_owner_authors: int
+    n_drifter_authors: int
+    detection_date: str  # analysis day (head commit)
+    is_kernel: bool = False  # plants the KBUILD marker (baseline compat)
+    loc_paper: str = ""  # the paper's Table 7 LOC column, for reports
+    # Fraction of same-author unused defs written by low-familiarity
+    # newcomers (self-contained later additions).  Shapes the
+    # w/o-Authorship ablation of Table 6: these rank alongside real bugs
+    # once cross-scope filtering is removed.
+    same_author_newcomer_fraction: float = 0.25
+
+    @property
+    def detection_day(self) -> int:
+        return iso_to_day(self.detection_date)
+
+
+# Bug-type mix (Table 3): 134 missing-check vs 20 semantic of 154.
+MISSING_CHECK_FRACTION = 134 / 154
+
+# Figure 7a component distribution over confirmed bugs.
+COMPONENT_WEIGHTS = {
+    "filesystem": 0.38,
+    "security": 0.17,
+    "network": 0.14,
+    "memory": 0.11,
+    "drivers": 0.12,
+    "other": 0.08,
+}
+
+# Figure 7b severity distribution.
+SEVERITY_WEIGHTS = {"high": 0.15, "medium": 0.59, "low": 0.26}
+
+# Figure 7c age buckets (days before detected) with sampling weights.
+AGE_BUCKETS = [
+    ((10, 100), 0.04),
+    ((100, 500), 0.07),
+    ((500, 1000), 0.08),
+    ((1000, 2500), 0.81),
+]
+
+# Scenario mix for planted bugs (documented assumption; the paper gives
+# examples of each shape but no exact split).
+BUG_SCENARIO_WEIGHTS = {
+    "ignored_return": 0.40,
+    "overwritten_def": 0.30,
+    "overwritten_arg": 0.15,
+    "field_def": 0.15,
+}
+
+PROFILES: dict[str, AppProfile] = {
+    "linux": AppProfile(
+        name="linux",
+        display="Linux",
+        version="5.19",
+        domains=("filesystem", "network", "memory", "drivers", "security"),
+        counts=CategoryCounts(
+            config_dep=1,
+            cursor=22,
+            hints=46,
+            peer_sites=127,
+            bugs=44,
+            fp_minor=19,
+            same_author=600,
+            pruned_bug_config=1,
+            pruned_bug_peer=1,
+            filler=120,
+        ),
+        n_owner_authors=40,
+        n_drifter_authors=30,
+        detection_date="2022-07-31",
+        is_kernel=True,
+        loc_paper="27.8M",
+        same_author_newcomer_fraction=0.04,
+    ),
+    "nfs-ganesha": AppProfile(
+        name="nfs-ganesha",
+        display="NFS-ganesha",
+        version="4.46",
+        domains=("filesystem", "security", "network"),
+        counts=CategoryCounts(
+            config_dep=7,
+            cursor=7,
+            hints=839,
+            peer_sites=23,
+            bugs=18,
+            fp_minor=4,
+            same_author=150,
+            pruned_bug_peer=1,
+            filler=40,
+        ),
+        n_owner_authors=10,
+        n_drifter_authors=8,
+        detection_date="2022-07-31",
+        loc_paper="315K",
+        same_author_newcomer_fraction=0.60,
+    ),
+    "mysql": AppProfile(
+        name="mysql",
+        display="MySQL",
+        version="8.0.21",
+        domains=("storage", "filesystem", "network", "memory", "security"),
+        counts=CategoryCounts(
+            config_dep=37,
+            cursor=83,
+            hints=3031,
+            peer_sites=4493,
+            bugs=74,
+            fp_minor=25,
+            same_author=1100,
+            pruned_bug_config=1,
+            pruned_bug_peer=2,
+            filler=150,
+        ),
+        n_owner_authors=30,
+        n_drifter_authors=20,
+        detection_date="2022-07-31",
+        loc_paper="1.7M",
+        same_author_newcomer_fraction=0.08,
+    ),
+    "openssl": AppProfile(
+        name="openssl",
+        display="OpenSSL",
+        version="3.0.0",
+        domains=("crypto", "security", "network"),
+        counts=CategoryCounts(
+            config_dep=18,
+            cursor=74,
+            hints=322,
+            peer_sites=202,
+            bugs=18,
+            fp_minor=8,
+            same_author=200,
+            pruned_bug_peer=1,
+            filler=60,
+        ),
+        n_owner_authors=15,
+        n_drifter_authors=10,
+        detection_date="2022-07-31",
+        loc_paper="1.5M",
+        same_author_newcomer_fraction=0.50,
+    ),
+}
+
+
+def _scale_count(count: int, scale: float) -> int:
+    if count == 0:
+        return 0
+    return max(1, math.floor(count * scale + 0.5))
+
+
+def scaled(profile: AppProfile, scale: float) -> AppProfile:
+    """Shrink (or grow) every category count by ``scale``; non-zero
+    categories keep at least one representative."""
+    if scale == 1.0:
+        return profile
+    counts = profile.counts
+    new_counts = replace(
+        counts,
+        config_dep=_scale_count(counts.config_dep, scale),
+        cursor=_scale_count(counts.cursor, scale),
+        hints=_scale_count(counts.hints, scale),
+        peer_sites=_scale_count(counts.peer_sites, scale),
+        bugs=_scale_count(counts.bugs, scale),
+        fp_minor=_scale_count(counts.fp_minor, scale),
+        same_author=_scale_count(counts.same_author, scale),
+        pruned_bug_config=_scale_count(counts.pruned_bug_config, scale),
+        pruned_bug_peer=_scale_count(counts.pruned_bug_peer, scale),
+        filler=_scale_count(counts.filler, scale),
+    )
+    return replace(profile, counts=new_counts)

@@ -1,0 +1,688 @@
+"""Construct builders: each returns a :class:`Construct` that plants
+exactly one unused-definition candidate (or, for fillers, none).
+
+Every builder documents which pipeline stage is expected to handle its
+output; the corpus tests assert those expectations hold when the real
+analyses run."""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.assembly import Construct, SupportFunction, TaggedLine
+from repro.corpus.ground_truth import GroundTruthEntry
+from repro.corpus.names import NamePool
+
+L = TaggedLine
+
+
+def _truth(
+    construct: Construct,
+    *,
+    is_bug: bool,
+    cross: bool,
+    pruner: str | None = None,
+    bug_type: str | None = None,
+    component: str | None = None,
+    severity: str | None = None,
+) -> None:
+    construct.truth = GroundTruthEntry(
+        category=construct.category,
+        file="",  # stamped at placement
+        function=construct.function,
+        var=construct.var,
+        is_bug=is_bug,
+        expected_cross_scope=cross,
+        expected_pruner=pruner,
+        bug_type=bug_type,
+        component=component,
+        severity=severity,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fillers
+# ---------------------------------------------------------------------------
+
+
+def make_filler(pool: NamePool, rng: random.Random) -> Construct:
+    """A clean function: every parameter and local is genuinely used."""
+    fn = pool.function()
+    a, b = pool.variable(), pool.variable()
+    shape = rng.randrange(5)
+    if shape == 4:
+        # Classic kernel-style goto error handling.
+        lines = [
+            L(f"int {fn}(int {a})"),
+            L("{"),
+            L(f"    int {b} = -1;"),
+            L(f"    if ({a} < 0) {{ goto out; }}"),
+            L(f"    {b} = {a} + 1;"),
+            L("out:"),
+            L(f"    return {b};"),
+            L("}"),
+        ]
+        return Construct(category="filler", function=fn, var="", lines=lines)
+    if shape == 3:
+        lines = [
+            L(f"int {fn}(int {a})"),
+            L("{"),
+            L(f"    int {b} = 0;"),
+            L(f"    switch ({a} + {b}) {{"),
+            L("    case 0:"),
+            L(f"        {b} = 1;"),
+            L("        break;"),
+            L(f"    case {rng.randrange(1, 5)}:"),
+            L(f"        {b} = {a} + 1;"),
+            L("        break;"),
+            L("    default:"),
+            L(f"        {b} = {a};"),
+            L("    }"),
+            L(f"    return {b};"),
+            L("}"),
+        ]
+        return Construct(category="filler", function=fn, var="", lines=lines)
+    if shape == 0:
+        lines = [
+            L(f"int {fn}(int {a}, int {b})"),
+            L("{"),
+            L(f"    int total = {a} + {b};"),
+            L(f"    if (total > {rng.randrange(2, 9)}) {{ return total; }}"),
+            L(f"    return {a};"),
+            L("}"),
+        ]
+    elif shape == 1:
+        lines = [
+            L(f"int {fn}(int {a})"),
+            L("{"),
+            L(f"    int acc = 0;"),
+            L(f"    for (int i = 0; i < {a}; i++) {{ acc = acc + i; }}"),
+            L("    return acc;"),
+            L("}"),
+        ]
+    else:
+        lines = [
+            L(f"int {fn}(int {a}, int {b})"),
+            L("{"),
+            L(f"    while ({a} > {b}) {{ {a} = {a} - 1; }}"),
+            L(f"    return {a};"),
+            L("}"),
+        ]
+    return Construct(category="filler", function=fn, var="", lines=lines)
+
+
+# ---------------------------------------------------------------------------
+# Real bugs (cross-scope, must survive pruning and be reported)
+# ---------------------------------------------------------------------------
+
+
+def make_bug_overwritten_def(
+    pool: NamePool, rng: random.Random, intro_role: str
+) -> Construct:
+    """Scenario 3 (Figure 8): a value assigned by the owner, overwritten on
+    all paths by another developer before any use."""
+    fn = pool.function(verb="check")
+    ret = pool.variable()
+    callee_a = pool.function(verb="get")
+    callee_b = pool.function(verb="calc")
+    arg = pool.variable()
+    construct = Construct(
+        category="bug_overwritten",
+        function=fn,
+        var=ret,
+        intro_role=intro_role,
+        prelude=[f"int {callee_a}(int v);", f"int {callee_b}(int v);"],
+        lines=[
+            L(f"int {fn}(int {arg})"),
+            L("{"),
+            L(f"    int {ret};"),
+            L(f"    {ret} = {callee_a}({arg});"),
+            L(f"    {ret} = {callee_b}({arg});", round=2),
+            L(f"    if ({ret} < 0) {{ return {ret}; }}"),
+            L("    return 0;"),
+            L("}"),
+        ],
+        support=[
+            SupportFunction(
+                lines=[
+                    f"int {callee_a}(int v)",
+                    "{",
+                    f"    if (v < 0) {{ return -{rng.randrange(1, 20)}; }}",
+                    "    return 0;",
+                    "}",
+                ]
+            ),
+            SupportFunction(
+                lines=[
+                    f"int {callee_b}(int v)",
+                    "{",
+                    f"    return v & {rng.randrange(1, 255)};",
+                    "}",
+                ]
+            ),
+        ],
+    )
+    _truth(construct, is_bug=True, cross=True, bug_type=None)
+    return construct
+
+
+def make_bug_ignored_return(
+    pool: NamePool, rng: random.Random, intro_role: str, coverity_findable: bool
+) -> Construct:
+    """Scenario 1 (Figure 6a-style): a status-returning callee whose result
+    one developer discards."""
+    fn = pool.function(verb="apply")
+    callee = pool.function(verb="init")
+    loc = pool.variable()
+    support = [
+        SupportFunction(
+            lines=[
+                f"int {callee}(int v)",
+                "{",
+                f"    if (v < 0) {{ return -{rng.randrange(1, 30)}; }}",
+                "    return 0;",
+                "}",
+            ]
+        )
+    ]
+    if coverity_findable:
+        # Give the callee peers that DO check the result, so a
+        # usage-percentage checker can infer the return matters.
+        for peer_index in range(3):
+            user = pool.function(verb="probe")
+            support.append(
+                SupportFunction(
+                    prelude=[f"int {callee}(int v);"],
+                    lines=[
+                        f"int {user}(int v)",
+                        "{",
+                        "    int rc;",
+                        f"    rc = {callee}(v + {peer_index});",
+                        "    if (rc < 0) { return rc; }",
+                        "    return 0;",
+                        "}",
+                    ],
+                )
+            )
+    construct = Construct(
+        category="bug_ignored_return",
+        function=fn,
+        var=callee,
+        intro_role=intro_role,
+        prelude=[f"int {callee}(int v);"],
+        lines=[
+            L(f"void {fn}(int mode)"),
+            L("{"),
+            L(f"    int {loc} = mode + 1;"),
+            L(f"    {callee}({loc});", round=2),
+            L("}"),
+        ],
+        support=support,
+    )
+    _truth(construct, is_bug=True, cross=True, bug_type=None)
+    return construct
+
+
+def make_bug_overwritten_arg(
+    pool: NamePool, rng: random.Random, intro_role: str, flavor: str
+) -> Construct:
+    """Scenario 2 (Figure 1b): a parameter whose incoming value another
+    developer's code never observes.  ``flavor`` is 'overwrite' (the value
+    is clobbered inside the callee) or 'unused' (never read at all)."""
+    fn = pool.function(verb="open")
+    ty = pool.type_name()
+    bufsz = pool.variable()
+    caller = pool.function(verb="register")
+    prelude = [f"typedef int {ty};"]
+    constant = rng.choice((512, 1024, 1400, 4096))
+    if flavor == "overwrite":
+        lines = [
+            L(f"int {fn}({ty} mode, int {bufsz})"),
+            L("{"),
+            L("    if (mode < 0) { return -1; }"),
+            L(f"    {bufsz} = {constant};", round=2),
+            L(f"    if ({bufsz} > 0) {{ return {bufsz}; }}"),
+            L("    return 0;"),
+            L("}"),
+        ]
+        category = "bug_overwritten_arg"
+    else:
+        # The whole function is the newcomer's (round 2), so the parameter
+        # definition itself belongs to the boundary-crossing author.
+        lines = [
+            L(f"int {fn}({ty} mode, int {bufsz})", round=2),
+            L("{", round=2),
+            L("    if (mode < 0) { return -1; }", round=2),
+            L(f"    return {constant};", round=2),
+            L("}", round=2),
+        ]
+        category = "bug_unused_param"
+    construct = Construct(
+        category=category,
+        function=fn,
+        var=bufsz,
+        intro_role=intro_role,
+        prelude=prelude,
+        lines=lines,
+        support=[
+            SupportFunction(
+                prelude=[f"typedef int {ty};", f"int {fn}({ty} mode, int {bufsz});"],
+                lines=[
+                    f"void {caller}(void)",
+                    "{",
+                    "    int r;",
+                    f"    r = {fn}(1, 0);",
+                    "    if (r < 0) { return; }",
+                    "}",
+                ],
+            )
+        ],
+    )
+    _truth(construct, is_bug=True, cross=True, bug_type=None)
+    return construct
+
+
+def make_bug_field_def(pool: NamePool, rng: random.Random, intro_role: str) -> Construct:
+    """Field-sensitive scenario 3: a struct field set by the owner, then
+    overwritten by another developer before any read."""
+    fn = pool.function(verb="update")
+    struct = pool.struct_name()
+    construct = Construct(
+        category="bug_field",
+        function=fn,
+        var="req#flags",
+        intro_role=intro_role,
+        prelude=[f"struct {struct} {{ int mode; int flags; }};"],
+        lines=[
+            L(f"int {fn}(int v)"),
+            L("{"),
+            L(f"    struct {struct} req;"),
+            L("    req.flags = v;"),
+            L(f"    req.flags = v | {rng.randrange(2, 64)};", round=2),
+            L("    req.mode = 1;"),
+            L("    return req.flags + req.mode;"),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=True, cross=True, bug_type=None)
+    return construct
+
+
+# ---------------------------------------------------------------------------
+# Benign cross-scope candidates, claimed by each pruning strategy
+# ---------------------------------------------------------------------------
+
+
+def make_config_dep(pool: NamePool, rng: random.Random, macro: str) -> Construct:
+    """§5.1: the candidate definition's only use sits under a disabled
+    #if.  An earlier definition of the same variable *is* read, so AST
+    walkers (Clang) stay silent — maintained code bases are warning-clean
+    (§8.4.1) — while the flow-sensitive detector still sees the dead
+    redefinition."""
+    fn = pool.function(verb="trace")
+    var = pool.variable()
+    emitter = pool.function(verb="emit")
+    seeder = pool.function(verb="record")
+    construct = Construct(
+        category="config_dep",
+        function=fn,
+        var=var,
+        intro_role="newcomer",
+        prelude=[f"void {seeder}(int v);"],
+        lines=[
+            L(f"int {fn}(int level)"),
+            L("{"),
+            L(f"    int {var} = level;"),
+            L(f"    {seeder}({var});"),
+            L(f"    {var} = level + {rng.randrange(1, 9)};", round=2),
+            L(f"#if {macro}", round=2),
+            L(f"    {emitter}({var});", round=2),
+            L("#endif", round=2),
+            L("    return level;"),
+            L("}"),
+        ],
+        support=[
+            SupportFunction(
+                lines=[f"void {seeder}(int v)", "{", "    if (v) { return; }", "}"]
+            )
+        ],
+    )
+    _truth(construct, is_bug=False, cross=True, pruner="config_dependency")
+    return construct
+
+
+def make_cursor(pool: NamePool, rng: random.Random) -> Construct:
+    """§5.2 (Figure 5): the trailing cursor increment is dead by design."""
+    fn = pool.function(verb="encode")
+    construct = Construct(
+        category="cursor",
+        function=fn,
+        var="o",
+        intro_role="newcomer",
+        lines=[
+            L(f"static void {fn}(char *output, char c)"),
+            L("{"),
+            L("    char *o = output;", round=2),
+            L("    if (c == '-')", round=2),
+            L("        *o++ = '_';", round=2),
+            L("    *o++ = '\\0';", round=2),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=False, cross=True, pruner="cursor")
+    return construct
+
+
+def make_hint(pool: NamePool, rng: random.Random, flavor: str) -> Construct:
+    """§5.3: the developer said the definition is unused on purpose."""
+    fn = pool.function(verb="probe")
+    var = pool.variable()
+    if flavor == "attribute":
+        body = [L(f"    int {var} __attribute__((unused)) = mode + {rng.randrange(1, 9)};", round=2)]
+    else:
+        # Comment marker on a dead *redefinition*; the earlier definition
+        # is read, so AST walkers stay silent (see make_config_dep).
+        body = [
+            L(f"    int {var} = mode;", round=2),
+            L(f"    if ({var} < 0) {{ return -1; }}", round=2),
+            L(f"    {var} = mode & 3; /* unused, kept for the debugger */", round=2),
+        ]
+    construct = Construct(
+        category="hint",
+        function=fn,
+        var=var,
+        intro_role="newcomer",
+        lines=[
+            L(f"int {fn}(int mode)"),
+            L("{"),
+            *body,
+            L("    return mode;"),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=False, cross=True, pruner="unused_hints")
+    return construct
+
+
+def make_hint_param(pool: NamePool, rng: random.Random) -> Construct:
+    """§5.3, parameter form: ``[[maybe_unused]]`` on an ignored argument."""
+    fn = pool.function(verb="flush")
+    ty = pool.type_name()
+    caller = pool.function(verb="drain")
+    construct = Construct(
+        category="hint",
+        function=fn,
+        var="force",
+        intro_role="newcomer",
+        prelude=[f"typedef int {ty};"],
+        lines=[
+            L(f"int {fn}({ty} depth, int force [[maybe_unused]])", round=2),
+            L("{", round=2),
+            L("    if (depth < 0) { return -1; }", round=2),
+            L("    return depth;", round=2),
+            L("}", round=2),
+        ],
+        support=[
+            SupportFunction(
+                prelude=[f"typedef int {ty};", f"int {fn}({ty} depth, int force);"],
+                lines=[
+                    f"void {caller}(void)",
+                    "{",
+                    "    int r;",
+                    f"    r = {fn}(3, 1);",
+                    "    if (r < 0) { return; }",
+                    "}",
+                ],
+            )
+        ],
+    )
+    _truth(construct, is_bug=False, cross=True, pruner="unused_hints")
+    return construct
+
+
+def make_peer_callee(pool: NamePool) -> SupportFunction:
+    """A logging-style function whose return value nobody checks."""
+    callee = pool.log_function()
+    return SupportFunction(
+        author_role="logging",
+        lines=[
+            f"int {callee}(int level)",
+            "{",
+            "    return level;",
+            "}",
+        ],
+    )
+
+
+def make_peer_site(pool: NamePool, rng: random.Random, callee: str) -> Construct:
+    """§5.4: a worker function ignoring the result of a peer-pruned callee
+    (exactly one candidate)."""
+    fn = pool.function(verb="submit")
+    construct = Construct(
+        category="peer",
+        function=fn,
+        var=callee,
+        intro_role="owner",
+        prelude=[f"int {callee}(int level);"],
+        lines=[
+            L(f"void {fn}(int level)"),
+            L("{"),
+            L(f"    {callee}(level + {rng.randrange(0, 5)});"),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=False, cross=True, pruner="peer_definition")
+    return construct
+
+
+# ---------------------------------------------------------------------------
+# Reported-but-minor false positives (survive the whole pipeline)
+# ---------------------------------------------------------------------------
+
+
+def make_fp_minor(pool: NamePool, rng: random.Random, intro_role: str, flavor: str) -> Construct:
+    if flavor == "infallible_return":
+        # The callee cannot fail here, so the developer ignores the status.
+        # Cross-scope comes from the callee living in another team's file,
+        # so the call can be the host owner's own round-0 code (the common
+        # case: experienced developers knowingly skip the check).
+        fn = pool.function(verb="reset")
+        callee = pool.function(verb="set")
+        by_owner = intro_role == "owner"
+        call_round = 0 if by_owner else 2
+        lines = [L(f"void {fn}(int v)"), L("{")]
+        if not by_owner:
+            lines.append(L("    /* cache warm-up for the fast path */", round=1))
+        lines.extend([L(f"    {callee}(v);", round=call_round), L("}")])
+        construct = Construct(
+            category="fp_minor",
+            function=fn,
+            var=callee,
+            intro_role=intro_role,
+            prelude=[f"int {callee}(int v);"],
+            lines=lines,
+            support=[
+                SupportFunction(
+                    lines=[
+                        f"int {callee}(int v)",
+                        "{",
+                        "    if (v < 0) { return 0; }",
+                        "    return 0;",
+                        "}",
+                    ]
+                )
+            ],
+        )
+    else:  # leftover debug accumulator (dead redefinition; see make_config_dep)
+        fn = pool.function(verb="scan")
+        var = pool.variable()
+        construct = Construct(
+            category="fp_minor",
+            function=fn,
+            var=var,
+            intro_role=intro_role,
+            lines=[
+                L(f"int {fn}(int mode)"),
+                L("{"),
+                L("    /* instrumentation sweep */", round=1),
+                L(f"    int {var} = mode * {rng.randrange(2, 7)}; /* debug counter */", round=2),
+                L(f"    if ({var} < 0) {{ return -1; }}", round=2),
+                L(f"    {var} = mode >> 1;", round=2),
+                L("    return mode;"),
+                L("}"),
+            ],
+        )
+    _truth(construct, is_bug=False, cross=True, pruner=None)
+    return construct
+
+
+# ---------------------------------------------------------------------------
+# Same-author unused definitions (filtered by the authorship stage)
+# ---------------------------------------------------------------------------
+
+
+def make_same_author(
+    pool: NamePool, rng: random.Random, flavor: str, late: bool = False
+) -> Construct:
+    """A non-cross-scope unused definition.  With ``late=True`` the whole
+    function is a later insertion by a newcomer (their own self-contained
+    code, still single-author): these populate the low-familiarity noise
+    that swamps the w/o-Authorship ablation in the paper's §8.5.1."""
+    construct = _make_same_author_body(pool, rng, flavor)
+    if late:
+        construct.intro_role = "newcomer"
+        construct.lines = [L(line.text, round=2) for line in construct.lines]
+    return construct
+
+
+def _make_same_author_body(pool: NamePool, rng: random.Random, flavor: str) -> Construct:
+    if flavor == "overwritten":
+        fn = pool.function(verb="sync")
+        ret = pool.variable()
+        helper = f"{fn}_helper"
+        construct = Construct(
+            category="same_author",
+            function=fn,
+            var=ret,
+            intro_role="owner",
+            lines=[
+                L(f"static int {helper}(int v)"),
+                L("{"),
+                L("    return v + 1;"),
+                L("}"),
+                L(f"int {fn}(int v)"),
+                L("{"),
+                L(f"    int {ret};"),
+                L(f"    {ret} = {helper}(v);"),
+                L(f"    {ret} = 0;"),
+                L(f"    if ({ret} < v) {{ return 1; }}"),
+                L("    return 0;"),
+                L("}"),
+            ],
+        )
+    elif flavor == "dead_store":
+        fn = pool.function(verb="poll")
+        var = pool.variable()
+        construct = Construct(
+            category="same_author",
+            function=fn,
+            var=var,
+            intro_role="owner",
+            lines=[
+                L(f"int {fn}(int mode)"),
+                L("{"),
+                L(f"    int {var} = mode * 2;"),
+                L(f"    if ({var} > mode) {{ {var} = mode; }}"),
+                L("    return mode;"),
+                L("}"),
+            ],
+        )
+    else:  # ignored return of a same-file, same-author helper
+        fn = pool.function(verb="drain")
+        helper = f"{fn}_note"
+        construct = Construct(
+            category="same_author",
+            function=fn,
+            var=helper,
+            intro_role="owner",
+            lines=[
+                L(f"static int {helper}(int v)"),
+                L("{"),
+                L("    return v;"),
+                L("}"),
+                L(f"void {fn}(int v)"),
+                L("{"),
+                L(f"    {helper}(v);"),
+                L("}"),
+            ],
+        )
+    _truth(construct, is_bug=False, cross=False, pruner=None)
+    return construct
+
+
+# ---------------------------------------------------------------------------
+# Real bugs that pruning wrongly claims (§8.3.4's sampled false negatives)
+# ---------------------------------------------------------------------------
+
+
+def make_pruned_bug_config(pool: NamePool, rng: random.Random, macro: str) -> Construct:
+    """A genuine overwritten-definition bug whose variable also appears
+    under a disabled #if — the config pruner claims it."""
+    fn = pool.function(verb="commit")
+    ret = pool.variable()
+    callee_a = pool.function(verb="get")
+    dump = pool.function(verb="report")
+    construct = Construct(
+        category="pruned_bug_config",
+        function=fn,
+        var=ret,
+        intro_role="newcomer",
+        prelude=[f"int {callee_a}(int v);"],
+        lines=[
+            L(f"int {fn}(int v)"),
+            L("{"),
+            L(f"    int {ret};"),
+            L(f"    {ret} = {callee_a}(v);"),
+            L(f"    {ret} = v + 1;", round=2),
+            L(f"#if {macro}"),
+            L(f"    {dump}({ret});"),
+            L("#endif"),
+            L(f"    if ({ret} < 0) {{ return -1; }}"),
+            L("    return 0;"),
+            L("}"),
+        ],
+        support=[
+            SupportFunction(
+                lines=[
+                    f"int {callee_a}(int v)",
+                    "{",
+                    f"    if (v > {rng.randrange(3, 60)}) {{ return -1; }}",
+                    "    return 0;",
+                    "}",
+                ]
+            )
+        ],
+    )
+    _truth(construct, is_bug=True, cross=True, pruner="config_dependency")
+    return construct
+
+
+def make_pruned_bug_peer(pool: NamePool, rng: random.Random, peer_callee: str) -> Construct:
+    """A genuine ignored-return bug on a callee whose peers mostly ignore
+    the result — peer pruning claims it (the paper's dominant pruning FN)."""
+    fn = pool.function(verb="verify")
+    construct = Construct(
+        category="pruned_bug_peer",
+        function=fn,
+        var=peer_callee,
+        intro_role="newcomer",
+        prelude=[f"int {peer_callee}(int level);"],
+        lines=[
+            L(f"void {fn}(int level)"),
+            L("{"),
+            L(f"    {peer_callee}(level);", round=2),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=True, cross=True, pruner="peer_definition")
+    return construct

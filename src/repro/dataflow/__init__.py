@@ -1,0 +1,32 @@
+"""Dataflow analyses over the load/store IR.
+
+:mod:`repro.dataflow.framework` provides a generic worklist solver for
+backward may-analyses (union meet);
+:mod:`repro.dataflow.liveness` is the classic flow-sensitive liveness of
+named variables (paper §2.1), used by the core detector, by baselines and
+by the §3.1 preliminary-study replication;
+:mod:`repro.dataflow.reaching` computes reaching definitions for the
+value-flow graph.
+"""
+
+from repro.dataflow.framework import BackwardSolver, BlockStates
+from repro.dataflow.liveness import (
+    LivenessResult,
+    gen_vars,
+    kill_var,
+    live_variables,
+    unused_definitions,
+)
+from repro.dataflow.reaching import ReachingDefinitions, reaching_definitions
+
+__all__ = [
+    "BackwardSolver",
+    "BlockStates",
+    "LivenessResult",
+    "gen_vars",
+    "kill_var",
+    "live_variables",
+    "unused_definitions",
+    "ReachingDefinitions",
+    "reaching_definitions",
+]

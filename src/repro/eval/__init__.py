@@ -1,0 +1,13 @@
+"""Evaluation harness: one driver per table/figure of the paper's §8.
+
+All drivers run over :class:`repro.eval.suite.EvalSuite`, which generates
+the four application corpora once and caches projects and default
+ValueCheck reports.  Each driver returns a result object with structured
+``rows`` plus a ``render()`` that prints the same table/series the paper
+reports; the benchmarks under ``benchmarks/`` wrap these drivers.
+"""
+
+from repro.eval.suite import AppRun, EvalSuite
+from repro.eval.metrics import fp_rate, join_findings, real_bug_count
+
+__all__ = ["AppRun", "EvalSuite", "fp_rate", "join_findings", "real_bug_count"]

@@ -1,0 +1,55 @@
+"""§6 calibration experiment: recover the DOK weights by survey + fit.
+
+Runs the synthetic developer survey over each application's repository
+(40 lines per app, as in the paper) and fits the linear model, reporting
+fitted weights next to the published (3.1, 1.2, 0.2, 0.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.calibration import collect_survey, fit_dok_weights
+from repro.core.familiarity import DokWeights
+from repro.eval.suite import APP_ORDER, EvalSuite
+
+
+@dataclass
+class CalibrationResult:
+    fitted: dict[str, DokWeights] = field(default_factory=dict)
+    pooled: DokWeights | None = None
+
+    def render(self) -> str:
+        reference = DokWeights()
+        lines = [
+            "DOK weight calibration (§6)",
+            f"{'Source':<14}{'α0':>8}{'αFA':>8}{'αDL':>8}{'αAC':>8}",
+            f"{'paper':<14}{reference.alpha0:>8.2f}{reference.alpha_fa:>8.2f}"
+            f"{reference.alpha_dl:>8.2f}{reference.alpha_ac:>8.2f}",
+        ]
+        for app, weights in self.fitted.items():
+            lines.append(
+                f"{app:<14}{weights.alpha0:>8.2f}{weights.alpha_fa:>8.2f}"
+                f"{weights.alpha_dl:>8.2f}{weights.alpha_ac:>8.2f}"
+            )
+        if self.pooled is not None:
+            lines.append(
+                f"{'pooled':<14}{self.pooled.alpha0:>8.2f}{self.pooled.alpha_fa:>8.2f}"
+                f"{self.pooled.alpha_dl:>8.2f}{self.pooled.alpha_ac:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run(suite: EvalSuite, noise: float = 0.25, seed: int = 17) -> CalibrationResult:
+    result = CalibrationResult()
+    pooled_samples = []
+    for name in APP_ORDER:
+        run_state = suite.run(name)
+        samples = collect_survey(
+            run_state.app.repo, max_samples=40, noise=noise, seed=seed
+        )
+        pooled_samples.extend(samples)
+        if len(samples) >= 4:
+            result.fitted[run_state.app.profile.display] = fit_dok_weights(samples)
+    if len(pooled_samples) >= 4:
+        result.pooled = fit_dok_weights(pooled_samples)
+    return result

@@ -1,0 +1,175 @@
+"""Dependency-free SVG charts for the figure experiments.
+
+The paper's artifact renders ``figure_7_dist.pdf`` and
+``figure_9_detected_bug_dok.pdf``; matplotlib is not guaranteed offline,
+so this module emits self-contained SVG with the same content: grouped
+bar charts for Figure 7's three categorisations and a line chart for
+Figure 9's precision-vs-cutoff curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_FONT = 'font-family="Menlo, monospace" font-size="11"'
+_BAR = "#4878a8"
+_ACCENT = "#b05030"
+_GRID = "#cccccc"
+
+
+def _esc(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+@dataclass
+class _Canvas:
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str = _BAR) -> None:
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" fill="{fill}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, anchor: str = "start", rotate: float | None = None) -> None:
+        transform = f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate is not None else ""
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" {_FONT} text-anchor="{anchor}"{transform}>'
+            f"{_esc(content)}</text>"
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, stroke: str = _GRID, width: float = 1.0) -> None:
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], stroke: str = _ACCENT) -> None:
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" stroke-width="2"/>'
+        )
+
+    def circle(self, x: float, y: float, r: float = 3.0, fill: str = _ACCENT) -> None:
+        self.parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{fill}"/>')
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def bar_chart(
+    title: str,
+    data: dict[str, float],
+    width: int = 420,
+    height: int = 240,
+    value_format: str = "{:.0%}",
+) -> str:
+    """A single horizontal-category bar chart as an SVG string."""
+    canvas = _Canvas(width, height)
+    canvas.text(width / 2, 18, title, anchor="middle")
+    if not data:
+        canvas.text(width / 2, height / 2, "(no data)", anchor="middle")
+        return canvas.render()
+    left, right, top, bottom = 50, 12, 34, 58
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    peak = max(data.values()) or 1.0
+    n = len(data)
+    slot = plot_w / n
+    bar_w = slot * 0.62
+    # Gridlines at quarters.
+    for q in range(5):
+        y = top + plot_h * (1 - q / 4)
+        canvas.line(left, y, width - right, y)
+        canvas.text(left - 4, y + 4, value_format.format(peak * q / 4), anchor="end")
+    for index, (label, value) in enumerate(data.items()):
+        x = left + index * slot + (slot - bar_w) / 2
+        bar_h = plot_h * (value / peak)
+        canvas.rect(x, top + plot_h - bar_h, bar_w, bar_h)
+        canvas.text(x + bar_w / 2, top + plot_h - bar_h - 4, value_format.format(value), anchor="middle")
+        canvas.text(
+            left + index * slot + slot / 2,
+            top + plot_h + 14,
+            label,
+            anchor="middle",
+            rotate=-25 if len(label) > 8 else None,
+        )
+    return canvas.render()
+
+
+def line_chart(
+    title: str,
+    series: list[tuple[float, float]],
+    x_label: str = "cutoff",
+    y_label: str = "precision",
+    width: int = 420,
+    height: int = 240,
+) -> str:
+    """A single line chart (Figure 9 style) as an SVG string."""
+    canvas = _Canvas(width, height)
+    canvas.text(width / 2, 18, title, anchor="middle")
+    if not series:
+        canvas.text(width / 2, height / 2, "(no data)", anchor="middle")
+        return canvas.render()
+    left, right, top, bottom = 56, 16, 34, 46
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    xs = [x for x, _ in series]
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+
+    def px(x: float) -> float:
+        return left + plot_w * (x - x_min) / span
+
+    def py(y: float) -> float:
+        return top + plot_h * (1 - y)
+
+    for q in range(5):
+        fraction = q / 4
+        y = py(fraction)
+        canvas.line(left, y, width - right, y)
+        canvas.text(left - 4, y + 4, f"{fraction:.0%}", anchor="end")
+    points = [(px(x), py(y)) for x, y in series]
+    canvas.polyline(points)
+    for (x, y), (cx, cy) in zip(series, points):
+        canvas.circle(cx, cy)
+        canvas.text(cx, cy - 8, f"{y:.1%}", anchor="middle")
+        canvas.text(cx, top + plot_h + 16, f"{x:g}", anchor="middle")
+    canvas.text(width / 2, height - 8, x_label, anchor="middle")
+    return canvas.render()
+
+
+def figure7_svg(result) -> str:
+    """Render Figure 7's three panels stacked into one SVG document."""
+    panels = [
+        bar_chart("(a) component distribution", result.component_fractions()),
+        bar_chart("(b) security severity", result.severity_fractions()),
+        bar_chart("(c) days before detected", result.age_fractions()),
+    ]
+    width, panel_height = 420, 240
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{panel_height * len(panels)}">'
+    ]
+    for index, panel in enumerate(panels):
+        parts.append(f'<g transform="translate(0 {index * panel_height})">')
+        body = panel.split("\n", 1)[1]  # strip the inner <svg> open tag
+        parts.append(body.rsplit("</svg>", 1)[0])
+        parts.append("</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure9_svg(result) -> str:
+    """Render Figure 9's precision-vs-cutoff curve."""
+    return line_chart(
+        "Precision of bug detection vs report cutoff",
+        [(float(cutoff), precision) for cutoff, precision in result.series()],
+    )

@@ -1,0 +1,83 @@
+"""Ablation E13: the §9 extensions — history pruning and EA ranking.
+
+Two questions the paper leaves open:
+
+* §9.1 — what does pruning legacy/debug code *by commit history and
+  comments* buy?  We enable the optional HistoryPruner and measure the
+  change in reported findings, false positives, and lost real bugs.
+* §9.2 — how does the survey-free EA familiarity model rank compared to
+  DOK?  We swap the ranking model and compare real bugs in the top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.valuecheck import ValueCheckConfig
+from repro.eval.metrics import real_bug_count
+from repro.eval.suite import APP_ORDER, EvalSuite
+
+
+@dataclass
+class ExtensionsResult:
+    cutoff: int
+    # per app: (reported, real) under default / +history / EA ranking
+    default: dict[str, tuple[int, int]] = field(default_factory=dict)
+    with_history: dict[str, tuple[int, int]] = field(default_factory=dict)
+    top_dok: dict[str, int] = field(default_factory=dict)
+    top_ea: dict[str, int] = field(default_factory=dict)
+
+    def _totals(self, cells: dict[str, tuple[int, int]]) -> tuple[int, int]:
+        return (
+            sum(found for found, _ in cells.values()),
+            sum(real for _, real in cells.values()),
+        )
+
+    def render(self) -> str:
+        default_found, default_real = self._totals(self.default)
+        history_found, history_real = self._totals(self.with_history)
+        lines = [
+            "§9 extensions ablation",
+            "(a) history pruning (§9.1): reported/real",
+            f"    default:        {default_found}/{default_real}"
+            f"  (FP {1 - default_real / default_found:.0%})"
+            if default_found
+            else "    default:        0/0",
+        ]
+        if history_found:
+            lines.append(
+                f"    +history prune: {history_found}/{history_real}"
+                f"  (FP {1 - history_real / history_found:.0%}, "
+                f"{default_real - history_real} real bug(s) lost)"
+            )
+        lines.append(f"(b) ranking model (§9.2): real bugs in top-{self.cutoff}")
+        lines.append(f"    DOK: {sum(self.top_dok.values())}    EA: {sum(self.top_ea.values())}")
+        return "\n".join(lines)
+
+
+def run(suite: EvalSuite, cutoff: int = 20) -> ExtensionsResult:
+    result = ExtensionsResult(cutoff=cutoff)
+    for name in APP_ORDER:
+        run_state = suite.run(name)
+        display = run_state.app.profile.display
+        ledger = run_state.ledger
+
+        default_report = run_state.report
+        reported = default_report.reported()
+        result.default[display] = (len(reported), real_bug_count(ledger, reported))
+        result.top_dok[display] = real_bug_count(ledger, default_report.top(cutoff))
+
+        history_report = suite.report_with(
+            name, ValueCheckConfig(history_pruning=True), cache_key="history"
+        )
+        history_reported = history_report.reported()
+        result.with_history[display] = (
+            len(history_reported),
+            real_bug_count(ledger, history_reported),
+        )
+
+        ea_report = suite.report_with(
+            name, ValueCheckConfig(familiarity_model="ea"), cache_key="ea"
+        )
+        result.top_ea[display] = real_bug_count(ledger, ea_report.top(cutoff))
+    return result

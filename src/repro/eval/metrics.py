@@ -1,0 +1,43 @@
+"""Scoring helpers: join analysis output to the ground-truth ledger."""
+
+from __future__ import annotations
+
+from repro.core.findings import Finding
+from repro.corpus.ground_truth import GroundTruthEntry, GroundTruthLedger
+
+
+def join_findings(
+    ledger: GroundTruthLedger, findings: list[Finding]
+) -> list[tuple[Finding, GroundTruthEntry | None]]:
+    """Pair each finding with its planted construct (None if unplanted)."""
+    return [(finding, ledger.match_finding(finding)) for finding in findings]
+
+
+def real_bug_count(ledger: GroundTruthLedger, findings: list[Finding]) -> int:
+    """How many findings correspond to planted real bugs."""
+    seen: set[tuple[str, str, str]] = set()
+    count = 0
+    for finding, entry in join_findings(ledger, findings):
+        if entry is not None and entry.is_bug and entry.join_key not in seen:
+            seen.add(entry.join_key)
+            count += 1
+    return count
+
+
+def fp_rate(found: int, real: int) -> float:
+    """Bug false-positive rate as the paper reports it (found vs real)."""
+    if found == 0:
+        return 0.0
+    return 1.0 - real / found
+
+
+def format_fp(found: int, real: int) -> str:
+    return f"{found}/{real}/{fp_rate(found, real):.0%}"
+
+
+def precision_at(
+    ledger: GroundTruthLedger, findings: list[Finding], cutoff: int
+) -> tuple[int, int]:
+    """(real, reported) within the top-``cutoff`` ranked findings."""
+    top = findings[:cutoff]
+    return real_bug_count(ledger, top), len(top)

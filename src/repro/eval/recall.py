@@ -1,0 +1,69 @@
+"""§8.3.2 recall: run full ValueCheck on the known historical bugs.
+
+The known-bug set is the cross-scope, bug-fix-removed differential from
+the preliminary study.  ValueCheck analyses the 2019 snapshot; a known
+bug counts as detected when it appears among the reported findings.  The
+paper detects 37 of 39, the two misses both claimed by peer-definition
+pruning — the same mechanism should explain our misses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.project import Project
+from repro.core.valuecheck import ValueCheck
+from repro.corpus.preliminary import PreliminaryStudyCorpus
+from repro.eval.preliminary import PreliminaryResult, run as run_preliminary
+
+
+@dataclass
+class RecallResult:
+    known_bugs: int
+    detected: int
+    missed_keys: list[tuple[str, str, str]] = field(default_factory=list)
+    missed_pruned_by: dict[tuple[str, str, str], str | None] = field(default_factory=dict)
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.known_bugs if self.known_bugs else 0.0
+
+    def render(self) -> str:
+        lines = [
+            "Recall on known historical bugs (§8.3.2)",
+            f"  known cross-scope bugs: {self.known_bugs}",
+            f"  detected by ValueCheck: {self.detected}  (recall {self.recall:.1%})",
+        ]
+        for key in self.missed_keys:
+            reason = self.missed_pruned_by.get(key) or "not detected"
+            lines.append(f"  missed: {key[1]}/{key[2]} ({reason})")
+        return "\n".join(lines)
+
+
+def run(
+    corpus: PreliminaryStudyCorpus, preliminary: PreliminaryResult | None = None
+) -> RecallResult:
+    if preliminary is None:
+        preliminary = run_preliminary(corpus)
+    repo = corpus.repo
+    rev_2019 = repo.rev_at_day(corpus.day_2019)
+    project = Project.from_repository(repo, rev=rev_2019, name="prelim-2019")
+    report = ValueCheck().analyze(project, rev=rev_2019)
+
+    reported_keys = {
+        (f.candidate.file, f.candidate.function, f.candidate.var) for f in report.reported()
+    }
+    all_keys = {
+        (f.candidate.file, f.candidate.function, f.candidate.var): f for f in report.findings
+    }
+    known = preliminary.full_cross_bug_keys or preliminary.cross_bug_keys
+    detected = [key for key in known if key in reported_keys]
+    missed = [key for key in known if key not in reported_keys]
+    missed_pruned_by = {
+        key: (all_keys[key].pruned_by if key in all_keys else None) for key in missed
+    }
+    return RecallResult(
+        known_bugs=len(known),
+        detected=len(detected),
+        missed_keys=missed,
+        missed_pruned_by=missed_pruned_by,
+    )

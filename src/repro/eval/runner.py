@@ -1,0 +1,141 @@
+"""Run every experiment and render the combined report (the equivalent of
+the artifact's ``run.sh`` → ``result/`` pipeline)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.corpus.preliminary import generate_preliminary_corpus
+from repro.eval import (
+    suite as suite_mod,
+)
+from repro.eval import (
+    calibration_experiment,
+    extensions,
+    figure7,
+    figure9,
+    pointer_comparison,
+    preliminary,
+    recall,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.eval.suite import EvalSuite
+
+
+@dataclass
+class EvaluationRun:
+    suite: EvalSuite
+    results: dict[str, object] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def render(self) -> str:
+        parts = [
+            f"ValueCheck reproduction — full evaluation "
+            f"(scale={self.suite.scale}, seed={self.suite.seed})",
+            "=" * 72,
+        ]
+        for key in (
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "figure7",
+            "figure9",
+            "preliminary",
+            "recall",
+            "calibration",
+            "pointer_comparison",
+            "extensions",
+        ):
+            if key in self.results:
+                parts.append(self.results[key].render())
+                parts.append("-" * 72)
+        parts.append(f"total evaluation time: {self.seconds:.1f}s")
+        return "\n".join(parts)
+
+    def save(self, directory: str | Path) -> None:
+        """Write the artifact-appendix result bundle: the same key files
+        the paper's `run.sh` produces (CSV per table, SVG per figure, and
+        per-app detected.csv reports)."""
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        (base / "evaluation.txt").write_text(self.render() + "\n")
+        for name, run_state in self.suite.runs.items():
+            app_dir = base / name
+            app_dir.mkdir(exist_ok=True)
+            run_state.report.to_csv(app_dir / "detected.csv")
+
+        if "table2" in self.results:
+            table = self.results["table2"]
+            lines = ["application,detected,confirmed"]
+            lines += [f"{row.app},{row.detected},{row.confirmed}" for row in table.rows]
+            lines.append(f"Total,{table.total_detected},{table.total_confirmed}")
+            (base / "table_2_detected_bugs.csv").write_text("\n".join(lines) + "\n")
+
+        if "table6" in self.results:
+            table = self.results["table6"]
+            groups = list(table.detected)
+            apps = list(next(iter(table.detected.values())))
+            lines = ["application," + ",".join(groups)]
+            for app in apps:
+                lines.append(app + "," + ",".join(str(table.detected[g][app]) for g in groups))
+            lines.append("Total," + ",".join(str(table.total(g)) for g in groups))
+            (base / "table_6_dok_effect.csv").write_text("\n".join(lines) + "\n")
+
+        if "table7" in self.results:
+            table = self.results["table7"]
+            lines = ["application,loc,full_seconds,incremental_seconds_per_commit"]
+            lines += [
+                f"{row.app},{row.loc},{row.full_seconds:.3f},{row.incremental_seconds:.4f}"
+                for row in table.rows
+            ]
+            (base / "table_7_time_analysis.csv").write_text("\n".join(lines) + "\n")
+
+        from repro.eval.charts import figure7_svg, figure9_svg
+
+        if "figure7" in self.results:
+            (base / "figure_7_dist.svg").write_text(figure7_svg(self.results["figure7"]))
+        if "figure9" in self.results:
+            (base / "figure_9_detected_bug_dok.svg").write_text(
+                figure9_svg(self.results["figure9"])
+            )
+
+
+def run_all(
+    scale: float | None = None,
+    seed: int = suite_mod.DEFAULT_SEED,
+    prelim_scale: float | None = None,
+) -> EvaluationRun:
+    started = time.perf_counter()
+    suite = EvalSuite.build(scale=scale, seed=seed)
+    run_state = EvaluationRun(suite=suite)
+    run_state.results["table2"] = table2.run(suite)
+    run_state.results["table3"] = table3.run(suite)
+    run_state.results["table4"] = table4.run(suite)
+    run_state.results["table5"] = table5.run(suite)
+    run_state.results["table6"] = table6.run(suite)
+    run_state.results["table7"] = table7.run(suite)
+    run_state.results["figure7"] = figure7.run(suite)
+    run_state.results["figure9"] = figure9.run(suite)
+    corpus = generate_preliminary_corpus(
+        scale=prelim_scale if prelim_scale is not None else suite.scale, seed=seed + 4
+    )
+    prelim_result = preliminary.run(corpus)
+    run_state.results["preliminary"] = prelim_result
+    run_state.results["recall"] = recall.run(corpus, prelim_result)
+    run_state.results["calibration"] = calibration_experiment.run(suite)
+    run_state.results["pointer_comparison"] = pointer_comparison.run(
+        suite.run("openssl").project, app_name="openssl"
+    )
+    run_state.results["extensions"] = extensions.run(suite)
+    run_state.seconds = time.perf_counter() - started
+    return run_state

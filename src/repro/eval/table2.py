@@ -1,0 +1,50 @@
+"""Table 2: number of bugs newly detected / confirmed per application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.metrics import real_bug_count
+from repro.eval.suite import APP_ORDER, EvalSuite
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    app: str
+    detected: int
+    confirmed: int
+
+
+@dataclass
+class Table2Result:
+    rows: list[Table2Row]
+
+    @property
+    def total_detected(self) -> int:
+        return sum(row.detected for row in self.rows)
+
+    @property
+    def total_confirmed(self) -> int:
+        return sum(row.confirmed for row in self.rows)
+
+    def render(self) -> str:
+        lines = ["Table 2: bugs newly detected by ValueCheck", f"{'Application':<14}{'#Detected':>10}{'#Confirmed':>12}"]
+        for row in self.rows:
+            lines.append(f"{row.app:<14}{row.detected:>10}{row.confirmed:>12}")
+        lines.append(f"{'Total':<14}{self.total_detected:>10}{self.total_confirmed:>12}")
+        return "\n".join(lines)
+
+
+def run(suite: EvalSuite) -> Table2Result:
+    rows = []
+    for name in APP_ORDER:
+        run_state = suite.run(name)
+        reported = run_state.report.reported()
+        rows.append(
+            Table2Row(
+                app=run_state.app.profile.display,
+                detected=len(reported),
+                confirmed=real_bug_count(run_state.ledger, reported),
+            )
+        )
+    return Table2Result(rows=rows)

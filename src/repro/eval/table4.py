@@ -1,0 +1,88 @@
+"""Table 4: prune-rate breakdown and sampled pruning false negatives.
+
+'#Original' is the cross-scope candidate count before pruning; per-pruner
+columns attribute pruned cases to the pipeline stage that claimed them;
+the sampled false-negative column redoes §8.3.4: sample up to 100 pruned
+cases per application and report how many are real bugs."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.eval.metrics import join_findings
+from repro.eval.suite import APP_ORDER, EvalSuite
+
+PRUNER_ORDER = ("config_dependency", "cursor", "unused_hints", "peer_definition")
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    app: str
+    original: int
+    pruned_by: dict[str, int]
+    detected_after: int
+    sampled: int
+    sampled_false_negatives: int
+
+    @property
+    def total_pruned(self) -> int:
+        return sum(self.pruned_by.values())
+
+    @property
+    def prune_rate(self) -> float:
+        return self.total_pruned / self.original if self.original else 0.0
+
+    @property
+    def sampled_fn_rate(self) -> float:
+        return self.sampled_false_negatives / self.sampled if self.sampled else 0.0
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row]
+
+    def render(self) -> str:
+        header = (
+            f"{'App':<14}{'#Orig':>7}"
+            + "".join(f"{name[:9]:>11}" for name in PRUNER_ORDER)
+            + f"{'Total':>8}{'#After':>8}{'%FN(sampled)':>14}"
+        )
+        lines = ["Table 4: prune-rate breakdown", header]
+        for row in self.rows:
+            lines.append(
+                f"{row.app:<14}{row.original:>7}"
+                + "".join(f"{row.pruned_by.get(name, 0):>11}" for name in PRUNER_ORDER)
+                + f"{row.total_pruned:>7} ({row.prune_rate:.0%})"[:16].rjust(8)
+                + f"{row.detected_after:>8}"
+                + f"{row.sampled_fn_rate:>13.0%}"
+            )
+        return "\n".join(lines)
+
+
+def run(suite: EvalSuite, sample_size: int = 100, sample_seed: int = 23) -> Table4Result:
+    rows = []
+    for name in APP_ORDER:
+        run_state = suite.run(name)
+        report = run_state.report
+        original = len(report.cross_scope())
+        pruned = report.pruned()
+        detected_after = len(report.reported())
+        rng = random.Random(sample_seed)
+        sample = pruned if len(pruned) <= sample_size else rng.sample(pruned, sample_size)
+        false_negatives = sum(
+            1
+            for _, entry in join_findings(run_state.ledger, sample)
+            if entry is not None and entry.is_bug
+        )
+        rows.append(
+            Table4Row(
+                app=run_state.app.profile.display,
+                original=original,
+                pruned_by=dict(report.prune_stats),
+                detected_after=detected_after,
+                sampled=len(sample),
+                sampled_false_negatives=false_negatives,
+            )
+        )
+    return Table4Result(rows=rows)

@@ -1,0 +1,88 @@
+"""Table 5: comparison with Clang, fb-infer, Smatch and Coverity.
+
+Cells follow the paper's format: ``found/real/FP%``; tools that cannot
+analyse an application render ``-*`` (analysis errors)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import ClangWunused, CoverityUnused, InferDeadStore, SmatchUnused
+from repro.errors import AnalysisUnsupported
+from repro.eval.metrics import format_fp, real_bug_count
+from repro.eval.suite import APP_ORDER, EvalSuite
+
+TOOL_ORDER = ("clang", "infer", "smatch", "coverity", "valuecheck")
+
+
+@dataclass(frozen=True)
+class ToolCell:
+    found: int
+    real: int
+    supported: bool = True
+
+    def render(self) -> str:
+        if not self.supported:
+            return "-*"
+        if self.found == 0:
+            return "0"
+        return format_fp(self.found, self.real)
+
+
+@dataclass
+class Table5Result:
+    # cells[tool][app]
+    cells: dict[str, dict[str, ToolCell]] = field(default_factory=dict)
+
+    def totals(self, tool: str) -> ToolCell:
+        per_app = self.cells[tool]
+        supported = [cell for cell in per_app.values() if cell.supported]
+        return ToolCell(
+            found=sum(cell.found for cell in supported),
+            real=sum(cell.real for cell in supported),
+        )
+
+    def render(self) -> str:
+        apps = list(next(iter(self.cells.values())))
+        lines = [
+            "Table 5: unused-definition bugs per tool (found/real/FP%)",
+            f"{'Tool':<12}" + "".join(f"{app:>16}" for app in apps) + f"{'Total':>16}",
+        ]
+        for tool in TOOL_ORDER:
+            per_app = self.cells[tool]
+            cells = "".join(f"{per_app[app].render():>16}" for app in apps)
+            lines.append(f"{tool:<12}{cells}{self.totals(tool).render():>16}")
+        return "\n".join(lines)
+
+
+def run(suite: EvalSuite) -> Table5Result:
+    result = Table5Result()
+    baselines = {
+        "clang": ClangWunused(),
+        "infer": InferDeadStore(),
+        "smatch": SmatchUnused(),
+        "coverity": CoverityUnused(),
+    }
+    for tool in TOOL_ORDER:
+        result.cells[tool] = {}
+    for name in APP_ORDER:
+        run_state = suite.run(name)
+        display = run_state.app.profile.display
+        ledger = run_state.ledger
+        for tool, baseline in baselines.items():
+            try:
+                report = baseline.analyze(run_state.project)
+            except AnalysisUnsupported:
+                result.cells[tool][display] = ToolCell(found=0, real=0, supported=False)
+                continue
+            real_keys = set()
+            for warning in report.warnings:
+                entry = ledger.match_warning(warning.file, warning.function, warning.var)
+                if entry is not None and entry.is_bug:
+                    real_keys.add(entry.join_key)
+            result.cells[tool][display] = ToolCell(found=report.count(), real=len(real_keys))
+        reported = run_state.report.reported()
+        result.cells["valuecheck"][display] = ToolCell(
+            found=len(reported), real=real_bug_count(ledger, reported)
+        )
+    return result

@@ -1,0 +1,65 @@
+"""Table 6: effect of authorship filtering and the DOK model.
+
+Six groups, each reporting how many of an application's top-20 reports
+are real bugs: the full pipeline, w/o Authorship (no cross-scope filter),
+w/o Familiarity (detection order instead of DOK ranking), and w/o each
+DOK factor (AC, DL, FA)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.valuecheck import ValueCheckConfig
+from repro.eval.metrics import real_bug_count
+from repro.eval.suite import APP_ORDER, EvalSuite
+
+GROUPS = ("valuecheck", "wo_authorship", "wo_familiarity", "wo_ac", "wo_dl", "wo_fa")
+
+_CONFIGS: dict[str, ValueCheckConfig] = {
+    "valuecheck": ValueCheckConfig(),
+    "wo_authorship": ValueCheckConfig(use_authorship=False),
+    "wo_familiarity": ValueCheckConfig(use_familiarity=False),
+    "wo_ac": ValueCheckConfig().without_factor("AC"),
+    "wo_dl": ValueCheckConfig().without_factor("DL"),
+    "wo_fa": ValueCheckConfig().without_factor("FA"),
+}
+
+
+@dataclass
+class Table6Result:
+    cutoff: int
+    # detected[group][app] = real bugs within top-`cutoff`
+    detected: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def total(self, group: str) -> int:
+        return sum(self.detected[group].values())
+
+    def render(self) -> str:
+        apps = list(next(iter(self.detected.values())))
+        lines = [
+            f"Table 6: real bugs within the top {self.cutoff} reports",
+            f"{'App':<14}" + "".join(f"{group:>16}" for group in GROUPS),
+        ]
+        for app in apps:
+            lines.append(
+                f"{app:<14}" + "".join(f"{self.detected[group][app]:>16}" for group in GROUPS)
+            )
+        lines.append(f"{'Total':<14}" + "".join(f"{self.total(group):>16}" for group in GROUPS))
+        return "\n".join(lines)
+
+
+def run(suite: EvalSuite, cutoff: int = 20) -> Table6Result:
+    result = Table6Result(cutoff=cutoff)
+    for group in GROUPS:
+        result.detected[group] = {}
+    for name in APP_ORDER:
+        run_state = suite.run(name)
+        display = run_state.app.profile.display
+        for group in GROUPS:
+            if group == "valuecheck":
+                report = run_state.report
+            else:
+                report = suite.report_with(name, _CONFIGS[group], cache_key=group)
+            top = report.top(cutoff)
+            result.detected[group][display] = real_bug_count(run_state.ledger, top)
+    return result

@@ -1,0 +1,372 @@
+"""AST node definitions for MiniC.
+
+All nodes are plain dataclasses carrying a 1-based source ``line``.  The
+AST is deliberately closer to C's surface syntax than to an IR — lowering
+to the load/store IR lives in :mod:`repro.ir.builder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Types
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for MiniC types."""
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_void(self) -> bool:
+        return False
+
+    def is_struct(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class NamedType(Type):
+    """A scalar/builtin or typedef-like named type (``int``, ``size_t`` …)."""
+
+    name: str
+
+    def is_void(self) -> bool:
+        return self.name == "void"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """A reference to ``struct name``; fields live in the StructDef."""
+
+    name: str
+
+    def is_struct(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    length: int | None = None
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length if self.length is not None else ''}]"
+
+
+VOID = NamedType("void")
+INT = NamedType("int")
+CHAR = NamedType("char")
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    text: str = ""
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: str
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix unary op: ``! ~ - + * & ++ --`` and ``sizeof``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Postfix(Expr):
+    """Postfix ``++``/``--``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """``target op value`` where op is ``=`` or a compound (``+=`` …)."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``cond ? then : other``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: Expr
+    args: list[Expr]
+
+
+@dataclass
+class Member(Expr):
+    """``base.field`` (arrow=False) or ``base->field`` (arrow=True)."""
+
+    base: Expr
+    field_name: str
+    arrow: bool
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Type
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    operand: "Expr | Type"
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Declarator:
+    """One declared name inside a declaration statement."""
+
+    name: str
+    type: Type
+    init: Expr | None
+    attrs: tuple[str, ...]
+    line: int
+
+
+@dataclass
+class DeclStmt(Stmt):
+    declarators: list[Declarator] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None  # None for the empty statement ';'
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    other: Stmt | None = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+    do_while: bool = False
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class SwitchCase:
+    """One ``case value:`` arm (value None for ``default:``)."""
+
+    value: Expr | None
+    body: list[Stmt]
+    line: int
+
+
+@dataclass
+class SwitchStmt(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class GotoStmt(Stmt):
+    label: str = ""
+
+
+@dataclass
+class LabelStmt(Stmt):
+    label: str = ""
+    statement: Stmt | None = None
+
+
+# --------------------------------------------------------------------------
+# Top-level declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+    attrs: tuple[str, ...]
+    line: int
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: Block | None  # None for a pure prototype
+    line: int
+    end_line: int = 0
+    storage: tuple[str, ...] = ()
+
+    @property
+    def is_prototype(self) -> bool:
+        return self.body is None
+
+    def span(self) -> tuple[int, int]:
+        return (self.line, self.end_line or self.line)
+
+
+@dataclass
+class StructField:
+    name: str
+    type: Type
+    line: int
+
+
+@dataclass
+class StructDef:
+    name: str
+    fields: list[StructField]
+    line: int
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type: Type
+    init: Expr | None
+    line: int
+    attrs: tuple[str, ...] = ()
+
+
+@dataclass
+class TypedefDecl:
+    name: str
+    aliased: Type
+    line: int
+
+
+@dataclass
+class TranslationUnit:
+    """A parsed source file."""
+
+    filename: str
+    functions: list[FunctionDef] = field(default_factory=list)
+    structs: list[StructDef] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
+    typedefs: list[TypedefDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef | None:
+        for fn in self.functions:
+            if fn.name == name and not fn.is_prototype:
+                return fn
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None
+
+    def struct(self, name: str) -> StructDef | None:
+        for st in self.structs:
+            if st.name == name:
+                return st
+        return None

@@ -1,0 +1,280 @@
+"""Hand-written lexer for the MiniC dialect.
+
+Produces a flat token stream with line/column information.  Comments are
+skipped but the raw source is retained by callers (several pruning
+strategies in :mod:`repro.core.pruning` match against raw source text,
+e.g. ``/* unused */`` markers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    CHAR = "char"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "void",
+        "long",
+        "short",
+        "unsigned",
+        "signed",
+        "float",
+        "double",
+        "bool",
+        "size_t",
+        "ssize_t",
+        "struct",
+        "union",
+        "enum",
+        "typedef",
+        "static",
+        "const",
+        "extern",
+        "inline",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "sizeof",
+        "goto",
+        "switch",
+        "case",
+        "default",
+        "NULL",
+    }
+)
+
+# Multi-character punctuators, longest first so maximal munch works.
+_PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token."""
+
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.value == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value == text
+
+    def __repr__(self) -> str:  # compact, useful in parser errors
+        return f"Token({self.kind.value}, {self.value!r}, L{self.line})"
+
+
+class Lexer:
+    """Tokenizes MiniC text; see :func:`tokenize` for the usual entry point."""
+
+    def __init__(self, text: str, filename: str = "<memory>"):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- character helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.text):
+                return
+            if self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.filename, self.line, self.column)
+
+    # -- skipping ----------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments (both ``//`` and ``/* */``)."""
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line = self.line
+                self._advance(2)
+                while self.pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    self.line = start_line
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    # -- token scanners ----------------------------------------------------
+
+    def _scan_identifier(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.text[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, column)
+
+    def _scan_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == ".":  # float literal; normalised to INT kind
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        # Integer suffixes are accepted and dropped.
+        while self._peek() and self._peek() in "uUlLfF":
+            self._advance()
+        return Token(TokenKind.INT, self.text[start : self.pos], line, column)
+
+    def _scan_quoted(self, quote: str, kind: TokenKind) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self._error(f"unterminated {kind.value} literal")
+            if ch == "\\":
+                chars.append(ch)
+                self._advance()
+                chars.append(self._peek())
+                self._advance()
+                continue
+            if ch == quote:
+                self._advance()
+                break
+            if ch == "\n":
+                raise self._error(f"newline in {kind.value} literal")
+            chars.append(ch)
+            self._advance()
+        return Token(kind, "".join(chars), line, column)
+
+    def _scan_punct(self) -> Token:
+        line, column = self.line, self.column
+        for punct in _PUNCTUATORS:
+            if self.text.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, line, column)
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+    # -- driver ------------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            return Token(TokenKind.EOF, "", self.line, self.column)
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._scan_identifier()
+        if ch.isdigit():
+            return self._scan_number()
+        if ch == '"':
+            return self._scan_quoted('"', TokenKind.STRING)
+        if ch == "'":
+            return self._scan_quoted("'", TokenKind.CHAR)
+        return self._scan_punct()
+
+    def all_tokens(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+
+def tokenize(text: str, filename: str = "<memory>") -> list[Token]:
+    """Tokenize ``text`` and return the token list (EOF-terminated)."""
+    return Lexer(text, filename).all_tokens()

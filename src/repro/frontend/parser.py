@@ -1,0 +1,671 @@
+"""Recursive-descent parser for MiniC.
+
+Covers the C subset the corpus and the paper's examples use: functions,
+struct definitions, typedefs, local/global declarations, pointers and
+address-of, field accesses (``.`` / ``->``), array indexing, all common
+operators including compound assignment and postfix/prefix increment,
+``if``/``while``/``do``/``for``/``goto``/labels, casts (including the
+``(void)`` discard idiom), and unused-hint attributes
+(``__attribute__((unused))`` and ``[[maybe_unused]]``).
+
+Typedef and struct names are tracked so ``acl_t entry;`` parses as a
+declaration; unknown ``IDENT IDENT``/``IDENT * IDENT`` statement prefixes
+are also treated as declarations, which matches how system C code reads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.preprocessor import PreprocessedSource, preprocess
+
+_TYPE_KEYWORDS = frozenset(
+    {"int", "char", "void", "long", "short", "unsigned", "signed", "float", "double", "bool", "size_t", "ssize_t"}
+)
+_QUALIFIERS = frozenset({"const", "static", "extern", "inline"})
+
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+
+class Parser:
+    """Parses one translation unit from a token stream."""
+
+    def __init__(self, tokens: list[Token], filename: str = "<memory>"):
+        self.tokens = tokens
+        self.filename = filename
+        self.pos = 0
+        self.typedef_names: set[str] = set()
+        self.struct_names: set[str] = set()
+
+    # -- token helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _check_punct(self, text: str) -> bool:
+        return self._peek().is_punct(text)
+
+    def _check_keyword(self, text: str) -> bool:
+        return self._peek().is_keyword(text)
+
+    def _accept_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._check_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self._check_punct(text):
+            raise self._error(f"expected {text!r}, found {self._peek().value!r}")
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, self.filename, token.line, token.column)
+
+    # -- type recognition ------------------------------------------------
+
+    def _starts_type(self, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        if token.kind is TokenKind.KEYWORD:
+            return token.value in _TYPE_KEYWORDS or token.value in _QUALIFIERS or token.value in ("struct", "union", "enum")
+        if token.kind is TokenKind.IDENT:
+            return token.value in self.typedef_names or token.value in self.struct_names
+        return False
+
+    def _looks_like_declaration(self) -> bool:
+        """Heuristic for statement-level IDENT-led declarations."""
+        if not self._peek().kind is TokenKind.IDENT:
+            return False
+        if self._peek().value in self.typedef_names:
+            return True
+        # IDENT IDENT ... ('=' | ';' | ',' | '[')
+        if self._peek(1).kind is TokenKind.IDENT:
+            follow = self._peek(2)
+            return follow.is_punct("=") or follow.is_punct(";") or follow.is_punct(",") or follow.is_punct("[")
+        # IDENT '*'+ IDENT ('=' | ';' | ',')
+        offset = 1
+        while self._peek(offset).is_punct("*"):
+            offset += 1
+        if offset > 1 and self._peek(offset).kind is TokenKind.IDENT:
+            follow = self._peek(offset + 1)
+            return follow.is_punct("=") or follow.is_punct(";") or follow.is_punct(",")
+        return False
+
+    def _parse_type(self) -> ast.Type:
+        quals: list[str] = []
+        while self._peek().kind is TokenKind.KEYWORD and self._peek().value in _QUALIFIERS:
+            quals.append(self._advance().value)
+        token = self._peek()
+        base: ast.Type
+        if token.is_keyword("struct") or token.is_keyword("union"):
+            self._advance()
+            name_token = self._advance()
+            if name_token.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                raise self._error("expected struct name")
+            self.struct_names.add(name_token.value)
+            base = ast.StructType(name_token.value)
+        elif token.is_keyword("enum"):
+            self._advance()
+            if self._peek().kind is TokenKind.IDENT:
+                self._advance()
+            base = ast.NamedType("int")
+        elif token.kind is TokenKind.KEYWORD and token.value in _TYPE_KEYWORDS:
+            words = [self._advance().value]
+            while self._peek().kind is TokenKind.KEYWORD and self._peek().value in _TYPE_KEYWORDS:
+                words.append(self._advance().value)
+            base = ast.NamedType(" ".join(words))
+        elif token.kind is TokenKind.IDENT:
+            self._advance()
+            base = ast.NamedType(token.value)
+        else:
+            raise self._error(f"expected a type, found {token.value!r}")
+        while True:
+            if self._accept_punct("*"):
+                base = ast.PointerType(base)
+                while self._peek().is_keyword("const"):
+                    self._advance()
+            else:
+                break
+        return base
+
+    def _parse_attrs(self) -> tuple[str, ...]:
+        """Parse zero or more GNU/C++ attribute specifiers."""
+        attrs: list[str] = []
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.IDENT and token.value in ("__attribute__", "__attribute"):
+                self._advance()
+                self._expect_punct("(")
+                self._expect_punct("(")
+                depth = 0
+                while True:
+                    inner = self._advance()
+                    if inner.kind is TokenKind.EOF:
+                        raise self._error("unterminated __attribute__")
+                    if inner.is_punct("("):
+                        depth += 1
+                    elif inner.is_punct(")"):
+                        if depth == 0:
+                            break
+                        depth -= 1
+                    elif inner.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+                        attrs.append(inner.value.strip("_"))
+                self._expect_punct(")")
+            elif token.is_punct("[") and self._peek(1).is_punct("["):
+                self._advance()
+                self._advance()
+                while not self._check_punct("]"):
+                    inner = self._advance()
+                    if inner.kind is TokenKind.EOF:
+                        raise self._error("unterminated [[attribute]]")
+                    if inner.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+                        attrs.append(inner.value)
+                self._expect_punct("]")
+                self._expect_punct("]")
+            else:
+                return tuple(attrs)
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.value in _ASSIGN_OPS:
+            op = self._advance().value
+            value = self._parse_assignment()
+            return ast.Assign(line=token.line, op=op, target=left, value=value)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._check_punct("?"):
+            token = self._advance()
+            then = self.parse_expression()
+            self._expect_punct(":")
+            other = self._parse_conditional()
+            return ast.Conditional(line=token.line, cond=cond, then=then, other=other)
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            precedence = _BINARY_PRECEDENCE.get(token.value) if token.kind is TokenKind.PUNCT else None
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(line=token.line, op=token.value, left=left, right=right)
+
+    def _is_cast_ahead(self) -> bool:
+        """At '(' — decide whether this opens a cast expression."""
+        if not self._check_punct("("):
+            return False
+        if not self._starts_type(1):
+            return False
+        offset = 1
+        depth = 0
+        while True:
+            token = self._peek(offset)
+            if token.kind is TokenKind.EOF:
+                return False
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                if depth == 0:
+                    break
+                depth -= 1
+            elif token.is_punct(";") or token.is_punct("{"):
+                return False
+            offset += 1
+        after = self._peek(offset + 1)
+        # A cast is followed by an operand, never by an operator/terminator.
+        if after.kind in (TokenKind.IDENT, TokenKind.INT, TokenKind.CHAR, TokenKind.STRING):
+            return True
+        if after.kind is TokenKind.KEYWORD and after.value in ("sizeof", "NULL"):
+            return True
+        return after.is_punct("(") or after.is_punct("*") or after.is_punct("&") or after.is_punct("-") or after.is_punct("!") or after.is_punct("~")
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.value in ("!", "~", "-", "+", "*", "&"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.value, operand=operand)
+        if token.kind is TokenKind.PUNCT and token.value in ("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.value, operand=operand)
+        if token.is_keyword("sizeof"):
+            self._advance()
+            if self._check_punct("(") and self._starts_type(1):
+                self._advance()
+                target = self._parse_type()
+                self._expect_punct(")")
+                return ast.SizeOf(line=token.line, operand=target)
+            operand = self._parse_unary()
+            return ast.SizeOf(line=token.line, operand=operand)
+        if self._is_cast_ahead():
+            self._advance()  # '('
+            target = self._parse_type()
+            self._expect_punct(")")
+            operand = self._parse_unary()
+            return ast.Cast(line=token.line, target_type=target, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("("):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check_punct(")"):
+                    args.append(self.parse_expression())
+                    while self._accept_punct(","):
+                        args.append(self.parse_expression())
+                self._expect_punct(")")
+                expr = ast.Call(line=token.line, callee=expr, args=args)
+            elif token.is_punct("["):
+                self._advance()
+                index = self.parse_expression()
+                self._expect_punct("]")
+                expr = ast.Index(line=token.line, base=expr, index=index)
+            elif token.is_punct("."):
+                self._advance()
+                name = self._advance()
+                expr = ast.Member(line=token.line, base=expr, field_name=name.value, arrow=False)
+            elif token.is_punct("->"):
+                self._advance()
+                name = self._advance()
+                expr = ast.Member(line=token.line, base=expr, field_name=name.value, arrow=True)
+            elif token.is_punct("++") or token.is_punct("--"):
+                self._advance()
+                expr = ast.Postfix(line=token.line, op=token.value, operand=expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            text = token.value
+            try:
+                value = int(text.rstrip("uUlLfF") or "0", 0)
+            except ValueError:
+                value = int(float(text.rstrip("uUlLfF")))
+            return ast.IntLiteral(line=token.line, value=value, text=text)
+        if token.kind is TokenKind.CHAR:
+            self._advance()
+            return ast.CharLiteral(line=token.line, value=token.value)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            parts = [token.value]
+            while self._peek().kind is TokenKind.STRING:  # adjacent literal concat
+                parts.append(self._advance().value)
+            return ast.StringLiteral(line=token.line, value="".join(parts))
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=0, text="NULL")
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.Identifier(line=token.line, name=token.value)
+        if token.is_punct("("):
+            self._advance()
+            expr = self.parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_declarators(self, base_type: ast.Type) -> list[ast.Declarator]:
+        declarators: list[ast.Declarator] = []
+        while True:
+            decl_type = base_type
+            while self._accept_punct("*"):
+                decl_type = ast.PointerType(decl_type)
+            name_token = self._advance()
+            if name_token.kind is not TokenKind.IDENT:
+                raise self._error(f"expected declarator name, found {name_token.value!r}")
+            while self._check_punct("[") and not self._peek(1).is_punct("["):
+                self._advance()
+                length: int | None = None
+                if self._peek().kind is TokenKind.INT:
+                    length = int(self._advance().value.rstrip("uUlL"), 0)
+                self._expect_punct("]")
+                decl_type = ast.ArrayType(decl_type, length)
+            attrs = self._parse_attrs()
+            init: ast.Expr | None = None
+            if self._accept_punct("="):
+                init = self.parse_expression()
+            declarators.append(
+                ast.Declarator(name=name_token.value, type=decl_type, init=init, attrs=attrs, line=name_token.line)
+            )
+            if not self._accept_punct(","):
+                return declarators
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.is_punct("{"):
+            return self.parse_block()
+        if token.is_keyword("if"):
+            self._advance()
+            self._expect_punct("(")
+            cond = self.parse_expression()
+            self._expect_punct(")")
+            then = self.parse_statement()
+            other: ast.Stmt | None = None
+            if self._accept_keyword("else"):
+                other = self.parse_statement()
+            return ast.IfStmt(line=token.line, cond=cond, then=then, other=other)
+        if token.is_keyword("while"):
+            self._advance()
+            self._expect_punct("(")
+            cond = self.parse_expression()
+            self._expect_punct(")")
+            body = self.parse_statement()
+            return ast.WhileStmt(line=token.line, cond=cond, body=body)
+        if token.is_keyword("do"):
+            self._advance()
+            body = self.parse_statement()
+            if not self._accept_keyword("while"):
+                raise self._error("expected 'while' after do-body")
+            self._expect_punct("(")
+            cond = self.parse_expression()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return ast.WhileStmt(line=token.line, cond=cond, body=body, do_while=True)
+        if token.is_keyword("for"):
+            self._advance()
+            self._expect_punct("(")
+            init: ast.Stmt | None = None
+            if not self._check_punct(";"):
+                if self._starts_type() or self._looks_like_declaration():
+                    base_type = self._parse_type()
+                    declarators = self._parse_declarators(base_type)
+                    init = ast.DeclStmt(line=token.line, declarators=declarators)
+                else:
+                    init = ast.ExprStmt(line=token.line, expr=self.parse_expression())
+            self._expect_punct(";")
+            cond: ast.Expr | None = None
+            if not self._check_punct(";"):
+                cond = self.parse_expression()
+            self._expect_punct(";")
+            step: ast.Expr | None = None
+            if not self._check_punct(")"):
+                step = self.parse_expression()
+                while self._accept_punct(","):  # comma-separated steps
+                    right = self.parse_expression()
+                    step = ast.Binary(line=right.line, op=",", left=step, right=right)
+            self._expect_punct(")")
+            body = self.parse_statement()
+            return ast.ForStmt(line=token.line, init=init, cond=cond, step=step, body=body)
+        if token.is_keyword("switch"):
+            return self._parse_switch()
+        if token.is_keyword("return"):
+            self._advance()
+            value: ast.Expr | None = None
+            if not self._check_punct(";"):
+                value = self.parse_expression()
+            self._expect_punct(";")
+            return ast.ReturnStmt(line=token.line, value=value)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.BreakStmt(line=token.line)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_punct(";")
+            return ast.ContinueStmt(line=token.line)
+        if token.is_keyword("goto"):
+            self._advance()
+            label = self._advance()
+            self._expect_punct(";")
+            return ast.GotoStmt(line=token.line, label=label.value)
+        if token.is_punct(";"):
+            self._advance()
+            return ast.ExprStmt(line=token.line, expr=None)
+        if token.kind is TokenKind.IDENT and self._peek(1).is_punct(":") and not self._peek(2).is_punct(":"):
+            self._advance()
+            self._advance()
+            inner = self.parse_statement() if not self._check_punct("}") else None
+            return ast.LabelStmt(line=token.line, label=token.value, statement=inner)
+        if self._starts_type() or self._looks_like_declaration():
+            # Could still be an expression like a cast at statement level;
+            # declarations always have an identifier declarator before ; or =.
+            saved = self.pos
+            try:
+                if self._peek().kind is TokenKind.IDENT and self._peek().value not in self.typedef_names:
+                    self.typedef_names.add(self._peek().value)  # heuristic type
+                base_type = self._parse_type()
+                declarators = self._parse_declarators(base_type)
+                self._expect_punct(";")
+                return ast.DeclStmt(line=token.line, declarators=declarators)
+            except ParseError:
+                self.pos = saved
+        expr = self.parse_expression()
+        self._expect_punct(";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_switch(self) -> ast.SwitchStmt:
+        token = self._advance()  # 'switch'
+        self._expect_punct("(")
+        cond = self.parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: list[ast.SwitchCase] = []
+        current: ast.SwitchCase | None = None
+        while not self._check_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise self._error("unterminated switch")
+            if self._check_keyword("case"):
+                case_token = self._advance()
+                value = self.parse_expression()
+                self._expect_punct(":")
+                current = ast.SwitchCase(value=value, body=[], line=case_token.line)
+                cases.append(current)
+            elif self._check_keyword("default"):
+                default_token = self._advance()
+                self._expect_punct(":")
+                current = ast.SwitchCase(value=None, body=[], line=default_token.line)
+                cases.append(current)
+            else:
+                if current is None:
+                    raise self._error("statement before first case label in switch")
+                current.body.append(self.parse_statement())
+        self._expect_punct("}")
+        return ast.SwitchStmt(line=token.line, cond=cond, cases=cases)
+
+    def parse_block(self) -> ast.Block:
+        open_token = self._expect_punct("{")
+        statements: list[ast.Stmt] = []
+        while not self._check_punct("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise self._error("unterminated block")
+            statements.append(self.parse_statement())
+        self._expect_punct("}")
+        return ast.Block(line=open_token.line, statements=statements)
+
+    # -- top level -------------------------------------------------------------
+
+    def _parse_struct_def(self) -> ast.StructDef:
+        token = self._advance()  # 'struct' or 'union'
+        name_token = self._advance()
+        self.struct_names.add(name_token.value)
+        self._expect_punct("{")
+        fields: list[ast.StructField] = []
+        while not self._check_punct("}"):
+            field_type = self._parse_type()
+            declarators = self._parse_declarators(field_type)
+            self._expect_punct(";")
+            for declarator in declarators:
+                fields.append(ast.StructField(name=declarator.name, type=declarator.type, line=declarator.line))
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return ast.StructDef(name=name_token.value, fields=fields, line=token.line)
+
+    def _parse_typedef(self) -> ast.TypedefDecl:
+        token = self._advance()  # 'typedef'
+        if self._check_keyword("struct") and self._peek(2).is_punct("{"):
+            # typedef struct Name { ... } Alias;
+            self._advance()
+            tag = self._advance().value
+            self.struct_names.add(tag)
+            self._expect_punct("{")
+            while not self._check_punct("}"):
+                field_type = self._parse_type()
+                self._parse_declarators(field_type)
+                self._expect_punct(";")
+            self._expect_punct("}")
+            alias = self._advance().value
+            self._expect_punct(";")
+            self.typedef_names.add(alias)
+            return ast.TypedefDecl(name=alias, aliased=ast.StructType(tag), line=token.line)
+        aliased = self._parse_type()
+        alias = self._advance().value
+        self._expect_punct(";")
+        self.typedef_names.add(alias)
+        return ast.TypedefDecl(name=alias, aliased=aliased, line=token.line)
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(filename=self.filename)
+        while self._peek().kind is not TokenKind.EOF:
+            token = self._peek()
+            if token.is_keyword("typedef"):
+                unit.typedefs.append(self._parse_typedef())
+                continue
+            if (token.is_keyword("struct") or token.is_keyword("union")) and self._peek(2).is_punct("{"):
+                unit.structs.append(self._parse_struct_def())
+                continue
+            storage: list[str] = []
+            while self._peek().kind is TokenKind.KEYWORD and self._peek().value in ("static", "extern", "inline"):
+                storage.append(self._advance().value)
+            decl_type = self._parse_type()
+            name_token = self._advance()
+            if name_token.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                raise self._error(f"expected a name at top level, found {name_token.value!r}")
+            if self._check_punct("("):
+                unit.functions.append(self._parse_function_rest(decl_type, name_token, tuple(storage)))
+            else:
+                self.pos -= 1  # put the name back; reuse declarator parsing
+                declarators = self._parse_declarators(decl_type)
+                self._expect_punct(";")
+                for declarator in declarators:
+                    unit.globals.append(
+                        ast.GlobalVar(
+                            name=declarator.name,
+                            type=declarator.type,
+                            init=declarator.init,
+                            line=declarator.line,
+                            attrs=declarator.attrs,
+                        )
+                    )
+        return unit
+
+    def _parse_function_rest(
+        self, return_type: ast.Type, name_token: Token, storage: tuple[str, ...]
+    ) -> ast.FunctionDef:
+        self._expect_punct("(")
+        params: list[ast.Param] = []
+        if not self._check_punct(")"):
+            if self._check_keyword("void") and self._peek(1).is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    if self._check_punct("..."):
+                        self._advance()
+                        break
+                    param_type = self._parse_type()
+                    param_name = ""
+                    param_line = self._peek().line
+                    if self._peek().kind is TokenKind.IDENT:
+                        param_token = self._advance()
+                        param_name = param_token.value
+                        param_line = param_token.line
+                    while self._check_punct("[") and not self._peek(1).is_punct("["):
+                        self._advance()
+                        if self._peek().kind is TokenKind.INT:
+                            self._advance()
+                        self._expect_punct("]")
+                        param_type = ast.PointerType(param_type)
+                    attrs = self._parse_attrs()
+                    params.append(ast.Param(name=param_name, type=param_type, attrs=attrs, line=param_line))
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        self._parse_attrs()
+        if self._accept_punct(";"):
+            return ast.FunctionDef(
+                name=name_token.value,
+                return_type=return_type,
+                params=params,
+                body=None,
+                line=name_token.line,
+                end_line=name_token.line,
+                storage=storage,
+            )
+        body = self.parse_block()
+        end_line = self.tokens[self.pos - 1].line if self.pos > 0 else name_token.line
+        return ast.FunctionDef(
+            name=name_token.value,
+            return_type=return_type,
+            params=params,
+            body=body,
+            line=name_token.line,
+            end_line=end_line,
+            storage=storage,
+        )
+
+
+def parse_source(
+    text: str,
+    filename: str = "<memory>",
+    config: set[str] | None = None,
+) -> tuple[ast.TranslationUnit, PreprocessedSource]:
+    """Preprocess and parse ``text``; returns the AST and the preprocessed
+    source (whose conditional regions feed the config-dependency pruner)."""
+    preprocessed = preprocess(text, filename=filename, config=config)
+    tokens = tokenize(preprocessed.text, filename=filename)
+    parser = Parser(tokens, filename=filename)
+    unit = parser.parse_translation_unit()
+    return unit, preprocessed

@@ -1,0 +1,198 @@
+"""AST pretty-printer (unparser) for MiniC.
+
+Renders a parsed translation unit back to compilable MiniC text.  Used by
+corpus debugging tools and tested by a round-trip property: parsing the
+printed output must yield a program whose lowered IR has the same shape
+as the original's.
+
+Notes on fidelity: comments and preprocessor directives are not part of
+the AST, so they do not survive; expressions are re-parenthesised
+conservatively (always correct, occasionally redundant)."""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+
+_INDENT = "    "
+
+
+def print_type(type_: ast.Type) -> str:
+    if isinstance(type_, ast.PointerType):
+        return f"{print_type(type_.pointee)} *"
+    if isinstance(type_, ast.StructType):
+        return f"struct {type_.name}"
+    if isinstance(type_, ast.ArrayType):  # handled specially in declarators
+        return print_type(type_.element)
+    return str(type_)
+
+
+def _attrs(attrs: tuple[str, ...]) -> str:
+    filtered = [attr for attr in attrs if attr]
+    if not filtered:
+        return ""
+    return " " + " ".join(f"__attribute__(({attr}))" for attr in filtered)
+
+
+def print_expr(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.text or str(expr.value)
+    if isinstance(expr, ast.CharLiteral):
+        return f"'{expr.value}'"
+    if isinstance(expr, ast.StringLiteral):
+        return f'"{expr.value}"'
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}({print_expr(expr.operand)})"
+    if isinstance(expr, ast.Postfix):
+        return f"({print_expr(expr.operand)}){expr.op}"
+    if isinstance(expr, ast.Binary):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, ast.Assign):
+        return f"{print_expr(expr.target)} {expr.op} {print_expr(expr.value)}"
+    if isinstance(expr, ast.Conditional):
+        return f"({print_expr(expr.cond)} ? {print_expr(expr.then)} : {print_expr(expr.other)})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(print_expr(argument) for argument in expr.args)
+        return f"{print_expr(expr.callee)}({args})"
+    if isinstance(expr, ast.Member):
+        op = "->" if expr.arrow else "."
+        return f"{print_expr(expr.base)}{op}{expr.field_name}"
+    if isinstance(expr, ast.Index):
+        return f"{print_expr(expr.base)}[{print_expr(expr.index)}]"
+    if isinstance(expr, ast.Cast):
+        return f"({print_type(expr.target_type)}) ({print_expr(expr.operand)})"
+    if isinstance(expr, ast.SizeOf):
+        if isinstance(expr.operand, ast.Expr):
+            return f"sizeof({print_expr(expr.operand)})"
+        return f"sizeof({print_type(expr.operand)})"
+    raise TypeError(f"unprintable expression {type(expr).__name__}")
+
+
+def _print_declarator(declarator: ast.Declarator) -> str:
+    type_ = declarator.type
+    suffix = ""
+    while isinstance(type_, ast.ArrayType):
+        suffix += f"[{type_.length if type_.length is not None else ''}]"
+        type_ = type_.element
+    text = f"{print_type(type_)} {declarator.name}{suffix}{_attrs(declarator.attrs)}"
+    if declarator.init is not None:
+        text += f" = {print_expr(declarator.init)}"
+    return text
+
+
+def print_stmt(stmt: ast.Stmt, depth: int = 1) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block):
+        lines = [f"{_INDENT * (depth - 1)}{{"]
+        for inner in stmt.statements:
+            lines.extend(print_stmt(inner, depth))
+        lines.append(f"{_INDENT * (depth - 1)}}}")
+        return lines
+    if isinstance(stmt, ast.DeclStmt):
+        return [f"{pad}{_print_declarator(d)};" for d in stmt.declarators]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad};"] if stmt.expr is None else [f"{pad}{print_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.IfStmt):
+        lines = [f"{pad}if ({print_expr(stmt.cond)})"]
+        lines.extend(_as_block(stmt.then, depth))
+        if stmt.other is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_as_block(stmt.other, depth))
+        return lines
+    if isinstance(stmt, ast.WhileStmt):
+        if stmt.do_while:
+            lines = [f"{pad}do"]
+            lines.extend(_as_block(stmt.body, depth))
+            lines.append(f"{pad}while ({print_expr(stmt.cond)});")
+            return lines
+        lines = [f"{pad}while ({print_expr(stmt.cond)})"]
+        lines.extend(_as_block(stmt.body, depth))
+        return lines
+    if isinstance(stmt, ast.ForStmt):
+        init = ""
+        if isinstance(stmt.init, ast.DeclStmt):
+            init = "; ".join(_print_declarator(d) for d in stmt.init.declarators)
+        elif isinstance(stmt.init, ast.ExprStmt) and stmt.init.expr is not None:
+            init = print_expr(stmt.init.expr)
+        cond = print_expr(stmt.cond) if stmt.cond is not None else ""
+        step = print_expr(stmt.step) if stmt.step is not None else ""
+        lines = [f"{pad}for ({init}; {cond}; {step})"]
+        lines.extend(_as_block(stmt.body, depth))
+        return lines
+    if isinstance(stmt, ast.SwitchStmt):
+        lines = [f"{pad}switch ({print_expr(stmt.cond)}) {{"]
+        for case in stmt.cases:
+            label = "default:" if case.value is None else f"case {print_expr(case.value)}:"
+            lines.append(f"{pad}{label}")
+            for inner in case.body:
+                lines.extend(print_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {print_expr(stmt.value)};"]
+    if isinstance(stmt, ast.BreakStmt):
+        return [f"{pad}break;"]
+    if isinstance(stmt, ast.ContinueStmt):
+        return [f"{pad}continue;"]
+    if isinstance(stmt, ast.GotoStmt):
+        return [f"{pad}goto {stmt.label};"]
+    if isinstance(stmt, ast.LabelStmt):
+        lines = [f"{stmt.label}:"]
+        if stmt.statement is not None:
+            lines.extend(print_stmt(stmt.statement, depth))
+        return lines
+    raise TypeError(f"unprintable statement {type(stmt).__name__}")
+
+
+def _as_block(stmt: ast.Stmt, depth: int) -> list[str]:
+    if isinstance(stmt, ast.Block):
+        return print_stmt(stmt, depth + 1)
+    lines = [f"{_INDENT * depth}{{"]
+    lines.extend(print_stmt(stmt, depth + 1))
+    lines.append(f"{_INDENT * depth}}}")
+    return lines
+
+
+def print_function(fn: ast.FunctionDef) -> list[str]:
+    params = ", ".join(
+        f"{print_type(p.type)} {p.name}{_attrs(p.attrs)}".strip() for p in fn.params
+    ) or "void"
+    storage = " ".join(fn.storage)
+    header = f"{storage + ' ' if storage else ''}{print_type(fn.return_type)} {fn.name}({params})"
+    if fn.body is None:
+        return [header + ";"]
+    return [header, *print_stmt(fn.body, 1)]
+
+
+def print_unit(unit: ast.TranslationUnit) -> str:
+    """Render a whole translation unit back to MiniC text."""
+    lines: list[str] = []
+    for typedef in unit.typedefs:
+        if isinstance(typedef.aliased, ast.StructType):
+            lines.append(f"typedef struct {typedef.aliased.name} {typedef.name};")
+        else:
+            lines.append(f"typedef {print_type(typedef.aliased)} {typedef.name};")
+    for struct in unit.structs:
+        lines.append(f"struct {struct.name} {{")
+        for field in struct.fields:
+            declarator = ast.Declarator(
+                name=field.name, type=field.type, init=None, attrs=(), line=field.line
+            )
+            lines.append(f"{_INDENT}{_print_declarator(declarator)};")
+        lines.append("};")
+    for global_var in unit.globals:
+        declarator = ast.Declarator(
+            name=global_var.name,
+            type=global_var.type,
+            init=global_var.init,
+            attrs=global_var.attrs,
+            line=global_var.line,
+        )
+        lines.append(f"{_print_declarator(declarator)};")
+    for fn in unit.functions:
+        lines.extend(print_function(fn))
+        lines.append("")
+    return "\n".join(lines)

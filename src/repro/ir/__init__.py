@@ -1,0 +1,78 @@
+"""Load/store IR — the analysis substrate.
+
+The paper's detection algorithm (Fig. 4) is specified over LLVM ``-O0``
+bitcode: every local variable is a stack slot, reads are ``load``
+instructions and writes are ``store`` instructions.  This package provides
+exactly that shape in Python: :mod:`repro.ir.values` (operand kinds),
+:mod:`repro.ir.instructions` (the instruction set and address forms),
+:mod:`repro.ir.module` (functions, blocks, modules) and
+:mod:`repro.ir.builder` (AST lowering).
+"""
+
+from repro.ir.values import (
+    Value,
+    Temp,
+    ConstInt,
+    ConstStr,
+    FuncRef,
+    ParamValue,
+    Undef,
+)
+from repro.ir.instructions import (
+    Address,
+    VarAddr,
+    FieldAddr,
+    DerefAddr,
+    ElementAddr,
+    GlobalAddr,
+    Instruction,
+    Alloca,
+    Load,
+    Store,
+    StoreKind,
+    BinOp,
+    UnOp,
+    Select,
+    CastOp,
+    AddrOf,
+    Call,
+    Ret,
+    Br,
+)
+from repro.ir.module import BasicBlock, Function, Module, VarInfo
+from repro.ir.builder import lower_unit, lower_source
+
+__all__ = [
+    "Value",
+    "Temp",
+    "ConstInt",
+    "ConstStr",
+    "FuncRef",
+    "ParamValue",
+    "Undef",
+    "Address",
+    "VarAddr",
+    "FieldAddr",
+    "DerefAddr",
+    "ElementAddr",
+    "GlobalAddr",
+    "Instruction",
+    "Alloca",
+    "Load",
+    "Store",
+    "StoreKind",
+    "BinOp",
+    "UnOp",
+    "Select",
+    "CastOp",
+    "AddrOf",
+    "Call",
+    "Ret",
+    "Br",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "VarInfo",
+    "lower_unit",
+    "lower_source",
+]

@@ -1,0 +1,378 @@
+"""Instruction set and address forms for the load/store IR.
+
+Design notes
+------------
+
+* **Addresses** describe where a load reads from / a store writes to.
+  ``VarAddr`` and ``FieldAddr`` are *direct* (they name a tracked variable
+  or field pseudo-variable of the current function) — these are the only
+  addresses that create unused-definition candidates.  ``DerefAddr``,
+  ``ElementAddr`` and ``GlobalAddr`` are indirect or out of scope for the
+  paper's detector (which considers local variables only, §3.1).
+
+* **Field sensitivity** follows the paper §4.2.1: a direct access to field
+  ``f`` of struct variable ``s`` is treated as its own pseudo-variable,
+  named ``s#f`` (the paper uses ``v n`` with the field offset; we use the
+  field name, which is stable and readable).
+
+* **Store kinds** record *why* a store exists.  The core detector treats
+  them uniformly, but pruning strategies and the baseline tools
+  distinguish them (e.g. fb-infer's Dead Store does not flag declaration
+  initialisers, and parameter entry stores are what make "assigned but
+  unused argument" detectable at all).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ir.values import Value, Temp
+
+
+# --------------------------------------------------------------------------
+# Addresses
+# --------------------------------------------------------------------------
+
+
+class Address:
+    """Base class for lvalue addresses."""
+
+    __slots__ = ()
+
+    def tracked_var(self) -> str | None:
+        """The liveness-tracked variable this address directly denotes,
+        or None for indirect/global addresses."""
+        return None
+
+    def base_var(self) -> str | None:
+        """The named local whose storage is involved, if any (for arrays
+        and fields this is the aggregate)."""
+        return self.tracked_var()
+
+
+@dataclass(frozen=True, slots=True)
+class VarAddr(Address):
+    """The stack slot of local/parameter ``var``."""
+
+    var: str
+
+    def tracked_var(self) -> str | None:
+        return self.var
+
+    def __str__(self) -> str:
+        return f"&{self.var}"
+
+
+@dataclass(frozen=True, slots=True)
+class FieldAddr(Address):
+    """Field ``field`` of struct-typed local ``var`` (possibly a dotted
+    path for nested members)."""
+
+    var: str
+    field: str
+
+    def tracked_var(self) -> str | None:
+        return f"{self.var}#{self.field}"
+
+    def base_var(self) -> str | None:
+        return self.var
+
+    def __str__(self) -> str:
+        return f"&{self.var}.{self.field}"
+
+
+@dataclass(frozen=True, slots=True)
+class DerefAddr(Address):
+    """Memory reached through pointer value ``pointer`` (optionally a
+    struct field of the pointee, for ``p->f``)."""
+
+    pointer: Value
+    field: str | None = None
+
+    def __str__(self) -> str:
+        suffix = f"->{self.field}" if self.field else ""
+        return f"*({self.pointer}){suffix}"
+
+
+@dataclass(frozen=True, slots=True)
+class ElementAddr(Address):
+    """Element of array-typed local ``var`` at a dynamic index."""
+
+    var: str
+    index: Value
+
+    def base_var(self) -> str | None:
+        return self.var
+
+    def __str__(self) -> str:
+        return f"&{self.var}[{self.index}]"
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalAddr(Address):
+    """A global variable; excluded from unused-definition tracking."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+# --------------------------------------------------------------------------
+# Instructions
+# --------------------------------------------------------------------------
+
+
+class StoreKind(enum.Enum):
+    ASSIGN = "assign"  # plain '=' assignment
+    DECL_INIT = "decl_init"  # initialiser at declaration
+    PARAM_INIT = "param_init"  # implicit store of incoming argument
+    COMPOUND = "compound"  # '+=' and friends (read-modify-write)
+    INCREMENT = "increment"  # '++'/'--' (read-modify-write by a constant)
+
+
+_next_instruction_id = 0
+
+
+def _new_instruction_id() -> int:
+    global _next_instruction_id
+    _next_instruction_id += 1
+    return _next_instruction_id
+
+
+@dataclass(eq=False)
+class Instruction:
+    """Base class; ``line`` is the 1-based source line the instruction was
+    lowered from."""
+
+    line: int
+    uid: int = field(default_factory=_new_instruction_id, init=False, compare=False)
+
+    def operands(self) -> list[Value]:
+        """Leaf operand values read by this instruction."""
+        return []
+
+    def result(self) -> Temp | None:
+        """The temp defined by this instruction, if any."""
+        return None
+
+    def addresses(self) -> list[Address]:
+        """Addresses referenced (for pointer-analysis constraint extraction)."""
+        return []
+
+
+@dataclass(eq=False)
+class Alloca(Instruction):
+    """Declares stack storage for ``var`` (parameters included)."""
+
+    var: str = ""
+    type_name: str = "int"
+    is_param: bool = False
+
+    def __str__(self) -> str:
+        kind = "param" if self.is_param else "local"
+        return f"alloca {self.var} ; {kind} {self.type_name}"
+
+
+@dataclass(eq=False)
+class Load(Instruction):
+    dest: Temp = None  # type: ignore[assignment]
+    addr: Address = None  # type: ignore[assignment]
+
+    def operands(self) -> list[Value]:
+        if isinstance(self.addr, DerefAddr):
+            return [self.addr.pointer]
+        if isinstance(self.addr, ElementAddr):
+            return [self.addr.index]
+        return []
+
+    def result(self) -> Temp | None:
+        return self.dest
+
+    def addresses(self) -> list[Address]:
+        return [self.addr]
+
+    def __str__(self) -> str:
+        return f"{self.dest} = load {self.addr}"
+
+
+@dataclass(eq=False)
+class Store(Instruction):
+    addr: Address = None  # type: ignore[assignment]
+    value: Value = None  # type: ignore[assignment]
+    kind: StoreKind = StoreKind.ASSIGN
+    # Set when the stored value is `old(var) + increment_delta` for a
+    # constant delta (from ++/--/+=c/x=x+c); feeds cursor pruning.
+    increment_delta: int | None = None
+
+    def operands(self) -> list[Value]:
+        ops = [self.value]
+        if isinstance(self.addr, DerefAddr):
+            ops.append(self.addr.pointer)
+        if isinstance(self.addr, ElementAddr):
+            ops.append(self.addr.index)
+        return ops
+
+    def addresses(self) -> list[Address]:
+        return [self.addr]
+
+    def __str__(self) -> str:
+        return f"store {self.value} -> {self.addr} ; {self.kind.value}"
+
+
+@dataclass(eq=False)
+class BinOp(Instruction):
+    dest: Temp = None  # type: ignore[assignment]
+    op: str = "+"
+    lhs: Value = None  # type: ignore[assignment]
+    rhs: Value = None  # type: ignore[assignment]
+
+    def operands(self) -> list[Value]:
+        return [self.lhs, self.rhs]
+
+    def result(self) -> Temp | None:
+        return self.dest
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(eq=False)
+class UnOp(Instruction):
+    dest: Temp = None  # type: ignore[assignment]
+    op: str = "-"
+    operand: Value = None  # type: ignore[assignment]
+
+    def operands(self) -> list[Value]:
+        return [self.operand]
+
+    def result(self) -> Temp | None:
+        return self.dest
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.op}{self.operand}"
+
+
+@dataclass(eq=False)
+class Select(Instruction):
+    """Ternary: dest = cond ? then_value : else_value (both arms lowered
+    eagerly; see builder notes)."""
+
+    dest: Temp = None  # type: ignore[assignment]
+    cond: Value = None  # type: ignore[assignment]
+    then_value: Value = None  # type: ignore[assignment]
+    else_value: Value = None  # type: ignore[assignment]
+
+    def operands(self) -> list[Value]:
+        return [self.cond, self.then_value, self.else_value]
+
+    def result(self) -> Temp | None:
+        return self.dest
+
+    def __str__(self) -> str:
+        return f"{self.dest} = select {self.cond}, {self.then_value}, {self.else_value}"
+
+
+@dataclass(eq=False)
+class CastOp(Instruction):
+    """A cast; ``to_void`` marks the `(void)expr` discard idiom, which the
+    unused-hints pruner treats as an explicit developer hint."""
+
+    dest: Temp = None  # type: ignore[assignment]
+    value: Value = None  # type: ignore[assignment]
+    type_name: str = "int"
+    to_void: bool = False
+
+    def operands(self) -> list[Value]:
+        return [self.value]
+
+    def result(self) -> Temp | None:
+        return self.dest
+
+    def __str__(self) -> str:
+        return f"{self.dest} = ({self.type_name}) {self.value}"
+
+
+@dataclass(eq=False)
+class AddrOf(Instruction):
+    """dest = &slot — the only way a local's address escapes into values."""
+
+    dest: Temp = None  # type: ignore[assignment]
+    addr: Address = None  # type: ignore[assignment]
+
+    def result(self) -> Temp | None:
+        return self.dest
+
+    def addresses(self) -> list[Address]:
+        return [self.addr]
+
+    def __str__(self) -> str:
+        return f"{self.dest} = addrof {self.addr}"
+
+
+@dataclass(eq=False)
+class Call(Instruction):
+    """Direct (``callee`` is a name) or indirect (``callee_value`` is a
+    pointer value) call.
+
+    ``dest`` is None only for calls to known-void functions.  For calls in
+    statement position whose result is discarded, ``dest`` is still
+    created and ``is_stmt`` is set — an implicit definition ``tmp = f()``
+    exactly as the paper's peer-definition discussion frames it.
+    """
+
+    dest: Temp | None = None
+    callee: str | None = None
+    callee_value: Value | None = None
+    args: list[Value] = field(default_factory=list)
+    is_stmt: bool = False
+    void_cast: bool = False  # result explicitly discarded via (void)
+
+    def operands(self) -> list[Value]:
+        ops = list(self.args)
+        if self.callee_value is not None:
+            ops.append(self.callee_value)
+        return ops
+
+    def result(self) -> Temp | None:
+        return self.dest
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.callee is None
+
+    def __str__(self) -> str:
+        target = self.callee if self.callee else f"*{self.callee_value}"
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dest} = " if self.dest else ""
+        return f"{prefix}call {target}({args})"
+
+
+@dataclass(eq=False)
+class Ret(Instruction):
+    value: Value | None = None
+
+    def operands(self) -> list[Value]:
+        return [self.value] if self.value is not None else []
+
+    def __str__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret void"
+
+
+@dataclass(eq=False)
+class Br(Instruction):
+    """Terminator: unconditional (cond None) or two-way conditional branch.
+    Targets are block labels; resolved against Function.blocks."""
+
+    cond: Value | None = None
+    then_label: str = ""
+    else_label: str = ""
+
+    def operands(self) -> list[Value]:
+        return [self.cond] if self.cond is not None else []
+
+    def __str__(self) -> str:
+        if self.cond is None:
+            return f"br {self.then_label}"
+        return f"br {self.cond} ? {self.then_label} : {self.else_label}"

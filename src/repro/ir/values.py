@@ -1,0 +1,74 @@
+"""Operand kinds for the load/store IR.
+
+Temps are single-assignment virtual registers produced by instructions;
+everything else is a leaf operand.  Named variables are *not* values —
+they live behind :class:`repro.ir.instructions.VarAddr` slots and are only
+touched through loads and stores, mirroring ``-O0`` LLVM bitcode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Value:
+    """Base class for IR operands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Temp(Value):
+    """A virtual register; ``id`` is unique within its function."""
+
+    id: int
+
+    def __str__(self) -> str:
+        return f"%t{self.id}"
+
+
+@dataclass(frozen=True, slots=True)
+class ConstInt(Value):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class ConstStr(Value):
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True, slots=True)
+class FuncRef(Value):
+    """A reference to a function by name (used for direct calls and for
+    storing function pointers)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class ParamValue(Value):
+    """The incoming value of parameter ``name`` (stored into the parameter's
+    stack slot by the implicit entry store)."""
+
+    name: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"arg({self.name})"
+
+
+@dataclass(frozen=True, slots=True)
+class Undef(Value):
+    """An undefined value (e.g. reading an uninitialised global)."""
+
+    def __str__(self) -> str:
+        return "undef"

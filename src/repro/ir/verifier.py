@@ -1,0 +1,140 @@
+"""IR well-formedness verifier.
+
+Checks the structural invariants the analyses rely on.  The builder is
+trusted in production runs; tests (and the corpus generator's self-check)
+run the verifier over every lowered function to catch lowering bugs at
+the source instead of as mysterious analysis results.
+
+Invariants:
+
+* CFG validity (delegated to :func:`repro.cfg.validate_cfg`);
+* every temp is defined exactly once, and each use appears after its
+  definition in the defining block or in a block reachable from it;
+* every tracked variable touched by a load/store/addr-of has an
+  ``Alloca`` and an entry in ``Function.variables``;
+* parameters have exactly one ``PARAM_INIT`` store, in the entry block;
+* ``return_lines`` is consistent with the ``Ret`` instructions.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import validate_cfg
+from repro.errors import AnalysisError
+from repro.ir.instructions import Alloca, Ret, Store, StoreKind
+from repro.ir.module import Function, Module
+from repro.ir.values import ParamValue, Temp
+
+
+def _reachable_from(function: Function, start) -> set[int]:
+    seen = {id(start)}
+    stack = [start]
+    while stack:
+        block = stack.pop()
+        for successor in block.successors:
+            if id(successor) not in seen:
+                seen.add(id(successor))
+                stack.append(successor)
+    return seen
+
+
+def verify_function(function: Function) -> None:
+    """Raise AnalysisError on any broken invariant."""
+    validate_cfg(function)
+
+    # Temps: single definition; uses dominated in the weak block-order
+    # sense (same block later, or in a block reachable from the def).
+    def_site: dict[Temp, tuple[int, int]] = {}  # temp -> (block id, index)
+    for block in function.blocks:
+        for index, instruction in enumerate(block.instructions):
+            result = instruction.result()
+            if result is not None:
+                if result in def_site:
+                    raise AnalysisError(
+                        f"{function.name}: temp {result} defined twice"
+                    )
+                def_site[result] = (id(block), index)
+    block_reach = {
+        id(block): _reachable_from(function, block) for block in function.blocks
+    }
+    for block in function.blocks:
+        for index, instruction in enumerate(block.instructions):
+            for operand in instruction.operands():
+                if not isinstance(operand, Temp):
+                    continue
+                if operand not in def_site:
+                    raise AnalysisError(
+                        f"{function.name}: use of undefined temp {operand}"
+                    )
+                def_block, def_index = def_site[operand]
+                if def_block == id(block):
+                    if def_index >= index:
+                        raise AnalysisError(
+                            f"{function.name}: temp {operand} used before its definition"
+                        )
+                elif id(block) not in block_reach[def_block]:
+                    raise AnalysisError(
+                        f"{function.name}: temp {operand} used in a block unreachable "
+                        f"from its definition"
+                    )
+
+    # Variables: every direct access is declared.
+    allocated = {
+        instruction.var
+        for instruction in function.instructions()
+        if isinstance(instruction, Alloca)
+    }
+    for instruction in function.instructions():
+        for addr in instruction.addresses():
+            base = addr.base_var()
+            if base is None:
+                continue
+            if base not in function.variables:
+                raise AnalysisError(
+                    f"{function.name}: access to undeclared variable {base!r}"
+                )
+            if base not in allocated:
+                raise AnalysisError(
+                    f"{function.name}: variable {base!r} has no alloca"
+                )
+
+    # Parameters: one PARAM_INIT each, in the entry block.
+    entry_instructions = list(function.entry.instructions)
+    for param in function.params:
+        inits = [
+            instruction
+            for instruction in function.instructions()
+            if isinstance(instruction, Store)
+            and instruction.kind is StoreKind.PARAM_INIT
+            and instruction.addr is not None
+            and instruction.addr.tracked_var() == param.name
+        ]
+        if len(inits) != 1:
+            raise AnalysisError(
+                f"{function.name}: parameter {param.name} has {len(inits)} entry stores"
+            )
+        if inits[0] not in entry_instructions:
+            raise AnalysisError(
+                f"{function.name}: parameter {param.name} initialised outside entry"
+            )
+        if not isinstance(inits[0].value, ParamValue):
+            raise AnalysisError(
+                f"{function.name}: parameter {param.name} init is not a ParamValue"
+            )
+
+    # Return lines recorded for explicit returns.
+    explicit_ret_lines = {
+        instruction.line
+        for instruction in function.instructions()
+        if isinstance(instruction, Ret) and instruction.line != function.end_line
+    }
+    recorded = set(function.return_lines)
+    if not explicit_ret_lines <= recorded | {function.end_line}:
+        raise AnalysisError(
+            f"{function.name}: Ret lines {explicit_ret_lines - recorded} not recorded"
+        )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of a module."""
+    for function in module.functions.values():
+        verify_function(function)

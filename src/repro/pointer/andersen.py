@@ -1,0 +1,333 @@
+"""Field-sensitive Andersen's (inclusion-based) pointer analysis.
+
+Abstract domain
+---------------
+
+Nodes are strings:
+
+* ``tmp:<fn>:%tN``   — a temp (virtual register) in function ``fn``
+* ``loc:<fn>:v``     — the stack slot of local/param ``v`` (abstract object)
+* ``loc:<fn>:v#f``   — field ``f`` of struct local ``v`` (field-sensitive)
+* ``glob:g``         — a global variable's storage
+* ``func:f``         — function ``f`` as an abstract object (for function
+  pointers)
+* ``arg:<fn>#i`` / ``ret:<fn>`` — parameter/return conduits used to wire
+  calls inter-procedurally within the module (the paper analyses one
+  bitcode file at a time; so do we)
+
+Constraints, extracted from the IR:
+
+* ``AddrOf t, &v``      → ``{loc(v)} ⊆ pts(t)``  (base constraint)
+* ``Load t, &v``        → copy ``loc(v) → t``
+* ``Store val → &v``    → copy ``val → loc(v)``
+* ``Load t, *(p)``      → ∀ o ∈ pts(p): copy ``o → t``     (complex)
+* ``Store val → *(p)``  → ∀ o ∈ pts(p): copy ``val → o``   (complex)
+* ``p->f`` variants use the field child ``o#f`` of each pointee
+* calls copy argument values into ``arg:callee#i`` and ``ret:callee``
+  into the destination; indirect calls resolve through ``func:*`` pointees
+
+Arrays are smashed (one abstract object per array).  The solver is the
+classic worklist algorithm: propagate points-to sets along copy edges,
+re-evaluating complex constraints as pointer sets grow.  This matches the
+paper's choice of a scalable may-analysis over a flow-sensitive one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import (
+    AddrOf,
+    Address,
+    BinOp,
+    Call,
+    CastOp,
+    DerefAddr,
+    ElementAddr,
+    FieldAddr,
+    GlobalAddr,
+    Load,
+    Ret,
+    Select,
+    Store,
+    StoreKind,
+    UnOp,
+    VarAddr,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import ConstInt, ConstStr, FuncRef, ParamValue, Temp, Undef, Value
+
+Node = str
+
+
+def temp_node(function: str, temp: Temp) -> Node:
+    return f"tmp:{function}:%t{temp.id}"
+
+
+def loc_node(function: str, var: str) -> Node:
+    return f"loc:{function}:{var}"
+
+
+def global_node(name: str) -> Node:
+    return f"glob:{name}"
+
+
+def func_node(name: str) -> Node:
+    return f"func:{name}"
+
+
+def arg_node(function: str, index: int) -> Node:
+    return f"arg:{function}#{index}"
+
+
+def ret_node(function: str) -> Node:
+    return f"ret:{function}"
+
+
+def field_child(obj: Node, field_name: str) -> Node:
+    return f"{obj}#{field_name}"
+
+
+@dataclass
+class _LoadVia:
+    pointer: Node
+    dest: Node
+    field: str | None
+
+
+@dataclass
+class _StoreVia:
+    pointer: Node
+    value: Node
+    field: str | None
+
+
+@dataclass
+class _IndirectCall:
+    pointer: Node
+    call: Call
+    caller: str
+
+
+@dataclass
+class AndersenResult:
+    """Converged points-to information plus client query helpers."""
+
+    points_to: dict[Node, set[Node]] = field(default_factory=dict)
+    module: Module | None = None
+    # Objects that appear in at least one pointer's points-to set.
+    _pointed: set[Node] = field(default_factory=set)
+    # Resolved callee names for each indirect Call, keyed by uid.
+    indirect_callees: dict[int, list[str]] = field(default_factory=dict)
+
+    def pts(self, node: Node) -> set[Node]:
+        return self.points_to.get(node, set())
+
+    def pts_of_var(self, function: Function | str, var: str) -> set[Node]:
+        name = function if isinstance(function, str) else function.name
+        return self.pts(loc_node(name, var))
+
+    def is_pointed_to(self, function: Function | str, var: str) -> bool:
+        """Paper §4.1: a definition variable included in another pointer's
+        points-to set may be used through indirect reference."""
+        name = function if isinstance(function, str) else function.name
+        base = loc_node(name, var.split("#", 1)[0])
+        exact = loc_node(name, var)
+        return base in self._pointed or exact in self._pointed
+
+    def callees_of(self, call: Call) -> list[str]:
+        if call.callee is not None:
+            return [call.callee]
+        return self.indirect_callees.get(call.uid, [])
+
+
+class _Solver:
+    def __init__(self, module: Module):
+        self.module = module
+        self.points_to: dict[Node, set[Node]] = {}
+        self.copy_edges: dict[Node, set[Node]] = {}
+        self.load_constraints: dict[Node, list[_LoadVia]] = {}
+        self.store_constraints: dict[Node, list[_StoreVia]] = {}
+        self.indirect_calls: dict[Node, list[_IndirectCall]] = {}
+        self.worklist: deque[Node] = deque()
+        self.result = AndersenResult(points_to=self.points_to, module=module)
+
+    # -- constraint construction helpers ----------------------------------
+
+    def _pts(self, node: Node) -> set[Node]:
+        return self.points_to.setdefault(node, set())
+
+    def _add_base(self, node: Node, obj: Node) -> None:
+        if obj not in self._pts(node):
+            self.points_to[node].add(obj)
+            self.worklist.append(node)
+
+    def _add_copy(self, source: Node, target: Node) -> None:
+        edges = self.copy_edges.setdefault(source, set())
+        if target not in edges:
+            edges.add(target)
+            if self._pts(source):
+                self.worklist.append(source)
+
+    def _value_node(self, function: Function, value: Value) -> Node | None:
+        if isinstance(value, Temp):
+            return temp_node(function.name, value)
+        if isinstance(value, FuncRef):
+            node = f"const:{func_node(value.name)}"
+            self._add_base(node, func_node(value.name))
+            return node
+        if isinstance(value, ParamValue):
+            return arg_node(function.name, value.index)
+        if isinstance(value, (ConstInt, ConstStr, Undef)):
+            return None
+        return None
+
+    def _addr_object(self, function: Function, addr: Address) -> Node | None:
+        """The abstract object a *direct* address denotes (None if the
+        address is a deref, handled via complex constraints)."""
+        if isinstance(addr, VarAddr):
+            return loc_node(function.name, addr.var)
+        if isinstance(addr, FieldAddr):
+            return loc_node(function.name, addr.tracked_var() or addr.var)
+        if isinstance(addr, ElementAddr):
+            return loc_node(function.name, addr.var)  # array smashing
+        if isinstance(addr, GlobalAddr):
+            return global_node(addr.name)
+        return None
+
+    # -- constraint extraction ---------------------------------------------
+
+    def build(self) -> None:
+        for function in self.module.functions.values():
+            self._build_function(function)
+
+    def _build_function(self, function: Function) -> None:
+        name = function.name
+        for instruction in function.instructions():
+            if isinstance(instruction, AddrOf):
+                obj = self._addr_object(function, instruction.addr)
+                if obj is not None:
+                    self._add_base(temp_node(name, instruction.dest), obj)
+            elif isinstance(instruction, Load):
+                dest = temp_node(name, instruction.dest)
+                addr = instruction.addr
+                obj = self._addr_object(function, addr)
+                if obj is not None:
+                    self._add_copy(obj, dest)
+                elif isinstance(addr, DerefAddr):
+                    pointer = self._value_node(function, addr.pointer)
+                    if pointer is not None:
+                        self.load_constraints.setdefault(pointer, []).append(
+                            _LoadVia(pointer=pointer, dest=dest, field=addr.field)
+                        )
+                        if self._pts(pointer):
+                            self.worklist.append(pointer)
+            elif isinstance(instruction, Store):
+                value = self._value_node(function, instruction.value)
+                addr = instruction.addr
+                obj = self._addr_object(function, addr)
+                if obj is not None:
+                    if value is not None:
+                        self._add_copy(value, obj)
+                elif isinstance(addr, DerefAddr):
+                    pointer = self._value_node(function, addr.pointer)
+                    if pointer is not None and value is not None:
+                        self.store_constraints.setdefault(pointer, []).append(
+                            _StoreVia(pointer=pointer, value=value, field=addr.field)
+                        )
+                        if self._pts(pointer):
+                            self.worklist.append(pointer)
+            elif isinstance(instruction, (BinOp, UnOp, CastOp, Select)):
+                # Pointer arithmetic / casts / selects preserve pointees.
+                dest = instruction.result()
+                if dest is not None:
+                    dest_node = temp_node(name, dest)
+                    for operand in instruction.operands():
+                        source = self._value_node(function, operand)
+                        if source is not None:
+                            self._add_copy(source, dest_node)
+            elif isinstance(instruction, Call):
+                self._build_call(function, instruction)
+            elif isinstance(instruction, Ret):
+                if instruction.value is not None:
+                    source = self._value_node(function, instruction.value)
+                    if source is not None:
+                        self._add_copy(source, ret_node(name))
+
+    def _wire_direct_call(self, function: Function, call: Call, callee_name: str) -> None:
+        for index, argument in enumerate(call.args):
+            source = self._value_node(function, argument)
+            if source is not None:
+                self._add_copy(source, arg_node(callee_name, index))
+        if call.dest is not None:
+            self._add_copy(ret_node(callee_name), temp_node(function.name, call.dest))
+
+    def _build_call(self, function: Function, call: Call) -> None:
+        if call.callee is not None:
+            self._wire_direct_call(function, call, call.callee)
+            return
+        pointer = self._value_node(function, call.callee_value) if call.callee_value is not None else None
+        if pointer is not None:
+            self.indirect_calls.setdefault(pointer, []).append(
+                _IndirectCall(pointer=pointer, call=call, caller=function.name)
+            )
+            if self._pts(pointer):
+                self.worklist.append(pointer)
+
+    # -- propagation ----------------------------------------------------------
+
+    def solve(self) -> AndersenResult:
+        self.build()
+        resolved_calls: set[tuple[int, str]] = set()
+        iterations = 0
+        limit = 200_000
+        while self.worklist and iterations < limit:
+            iterations += 1
+            node = self.worklist.popleft()
+            pointees = self.points_to.get(node, set())
+            if not pointees:
+                continue
+            # Copy edges.
+            for target in self.copy_edges.get(node, ()):  # pts(target) ⊇ pts(node)
+                target_set = self._pts(target)
+                before = len(target_set)
+                target_set |= pointees
+                if len(target_set) != before:
+                    self.worklist.append(target)
+            # Complex loads: dest ⊇ pts(o) for each pointee o.
+            for load in self.load_constraints.get(node, ()):  # node is the pointer
+                for obj in list(pointees):
+                    source = field_child(obj, load.field) if load.field else obj
+                    self._add_copy(source, load.dest)
+            # Complex stores: o ⊇ pts(value).
+            for store in self.store_constraints.get(node, ()):
+                for obj in list(pointees):
+                    target = field_child(obj, store.field) if store.field else obj
+                    self._add_copy(store.value, target)
+            # Indirect calls: wire params/returns of newly seen pointees.
+            for indirect in self.indirect_calls.get(node, ()):  # node holds func ptrs
+                for obj in list(pointees):
+                    if obj.startswith("func:"):
+                        callee_name = obj[len("func:") :]
+                        key = (indirect.call.uid, callee_name)
+                        if key in resolved_calls:
+                            continue
+                        resolved_calls.add(key)
+                        self.result.indirect_callees.setdefault(indirect.call.uid, []).append(callee_name)
+                        caller_fn = self.module.functions.get(indirect.caller)
+                        if caller_fn is not None:
+                            self._wire_direct_call(caller_fn, indirect.call, callee_name)
+        # Record which objects are pointed to by something other than
+        # themselves (the alias-check client).
+        for node, pointees in self.points_to.items():
+            for obj in pointees:
+                self.result._pointed.add(obj)
+        for callees in self.result.indirect_callees.values():
+            callees.sort()
+        return self.result
+
+
+def analyze_module(module: Module) -> AndersenResult:
+    """Run Andersen's analysis over every function in ``module``."""
+    return _Solver(module).solve()

@@ -1,0 +1,207 @@
+"""Flow-sensitive (intraprocedural) points-to analysis.
+
+The precise-but-costly end of the §4.1 design space: per-program-point
+points-to sets with strong updates on direct stores.  The paper chooses
+Andersen's instead, citing scalability and a "small difference in help
+detecting unused definitions" (Hind & Pioli) — the pointer-analysis
+ablation benchmark measures exactly that on our corpora.
+
+Scope: intraprocedural, with conservative escape handling at calls (a
+location whose address reaches a call argument may be read/written by
+the callee).  The result object exposes the same client interface as
+``AndersenResult``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.traversal import reverse_postorder
+from repro.ir.instructions import (
+    AddrOf,
+    BinOp,
+    Call,
+    CastOp,
+    DerefAddr,
+    ElementAddr,
+    FieldAddr,
+    GlobalAddr,
+    Load,
+    Store,
+    UnOp,
+    Select,
+    VarAddr,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import FuncRef, Temp, Value
+from repro.pointer.andersen import Node, func_node, loc_node, temp_node
+
+_State = dict[Node, frozenset[Node]]
+
+
+def _join(a: _State, b: _State) -> _State:
+    out = dict(a)
+    for key, value in b.items():
+        existing = out.get(key)
+        out[key] = value if existing is None else existing | value
+    return out
+
+
+@dataclass
+class FlowSensitiveResult:
+    """Client-compatible result; points-to sets are the union over all
+    program points (the client queries are flow-insensitive)."""
+
+    module: Module
+    points_to: dict[Node, set[Node]] = field(default_factory=dict)
+    _pointed: set[Node] = field(default_factory=set)
+    indirect_callees: dict[int, list[str]] = field(default_factory=dict)
+
+    def pts(self, node: Node) -> set[Node]:
+        return self.points_to.get(node, set())
+
+    def pts_of_var(self, function: Function | str, var: str) -> set[Node]:
+        name = function if isinstance(function, str) else function.name
+        return self.pts(loc_node(name, var))
+
+    def is_pointed_to(self, function: Function | str, var: str) -> bool:
+        name = function if isinstance(function, str) else function.name
+        base = loc_node(name, var.split("#", 1)[0])
+        return base in self._pointed or loc_node(name, var) in self._pointed
+
+    def callees_of(self, call: Call) -> list[str]:
+        if call.callee is not None:
+            return [call.callee]
+        return self.indirect_callees.get(call.uid, [])
+
+
+class _FunctionSolver:
+    def __init__(self, function: Function, module: Module, result: FlowSensitiveResult):
+        self.function = function
+        self.module = module
+        self.result = result
+        self.name = function.name
+
+    def _value_pts(self, state: _State, value: Value) -> frozenset[Node]:
+        if isinstance(value, Temp):
+            return state.get(temp_node(self.name, value), frozenset())
+        if isinstance(value, FuncRef):
+            return frozenset((func_node(value.name),))
+        return frozenset()
+
+    def _addr_key(self, addr) -> Node | None:
+        if isinstance(addr, VarAddr):
+            return loc_node(self.name, addr.var)
+        if isinstance(addr, FieldAddr):
+            return loc_node(self.name, addr.tracked_var() or addr.var)
+        if isinstance(addr, ElementAddr):
+            return loc_node(self.name, addr.var)
+        if isinstance(addr, GlobalAddr):
+            return f"glob:{addr.name}"
+        return None
+
+    def _record(self, node: Node, pointees: frozenset[Node]) -> None:
+        if pointees:
+            self.result.points_to.setdefault(node, set()).update(pointees)
+
+    def _transfer(self, instruction, state: _State) -> _State:
+        name = self.name
+        if isinstance(instruction, AddrOf):
+            key = self._addr_key(instruction.addr)
+            if key is not None:
+                target = temp_node(name, instruction.dest)
+                state = dict(state)
+                state[target] = frozenset((key,))
+                self._record(target, state[target])
+        elif isinstance(instruction, Load):
+            dest = temp_node(name, instruction.dest)
+            addr = instruction.addr
+            key = self._addr_key(addr)
+            pointees: frozenset[Node] = frozenset()
+            if key is not None:
+                pointees = state.get(key, frozenset())
+            elif isinstance(addr, DerefAddr):
+                for obj in self._value_pts(state, addr.pointer):
+                    pointees |= state.get(obj, frozenset())
+            if pointees:
+                state = dict(state)
+                state[dest] = pointees
+                self._record(dest, pointees)
+        elif isinstance(instruction, Store):
+            value_pts = self._value_pts(state, instruction.value)
+            addr = instruction.addr
+            key = self._addr_key(addr)
+            if key is not None:
+                state = dict(state)
+                state[key] = value_pts  # strong update on direct stores
+                self._record(key, value_pts)
+            elif isinstance(addr, DerefAddr) and value_pts:
+                targets = self._value_pts(state, addr.pointer)
+                if targets:
+                    state = dict(state)
+                    for obj in targets:  # weak update through pointers
+                        state[obj] = state.get(obj, frozenset()) | value_pts
+                        self._record(obj, state[obj])
+        elif isinstance(instruction, (BinOp, UnOp, CastOp, Select)):
+            dest = instruction.result()
+            if dest is not None:
+                merged: frozenset[Node] = frozenset()
+                for operand in instruction.operands():
+                    merged |= self._value_pts(state, operand)
+                if merged:
+                    state = dict(state)
+                    state[temp_node(name, dest)] = merged
+                    self._record(temp_node(name, dest), merged)
+        elif isinstance(instruction, Call):
+            # Conservative escape: every location reachable from pointer
+            # arguments may be read or written by the callee.
+            escaped: frozenset[Node] = frozenset()
+            for argument in instruction.args:
+                escaped |= self._value_pts(state, argument)
+            for obj in escaped:
+                self.result._pointed.add(obj)
+            if instruction.callee is None and instruction.callee_value is not None:
+                funcs = sorted(
+                    node[len("func:") :]
+                    for node in self._value_pts(state, instruction.callee_value)
+                    if node.startswith("func:")
+                )
+                if funcs:
+                    self.result.indirect_callees[instruction.uid] = funcs
+        return state
+
+    def solve(self) -> None:
+        order = reverse_postorder(self.function)
+        seen = {id(block) for block in order}
+        order.extend(b for b in self.function.blocks if id(b) not in seen)
+        block_out: dict[int, _State] = {id(b): {} for b in self.function.blocks}
+        block_in: dict[int, _State] = {id(b): {} for b in self.function.blocks}
+        for _ in range(50):
+            changed = False
+            for block in order:
+                in_state: _State = {}
+                for predecessor in block.predecessors:
+                    in_state = _join(in_state, block_out[id(predecessor)])
+                if in_state != block_in[id(block)]:
+                    block_in[id(block)] = in_state
+                    changed = True
+                state = in_state
+                for instruction in block.instructions:
+                    state = self._transfer(instruction, state)
+                if state != block_out[id(block)]:
+                    block_out[id(block)] = state
+                    changed = True
+            if not changed:
+                break
+        # The pointed set: anything in some pointer's final points-to set.
+        for pointees in self.result.points_to.values():
+            for obj in pointees:
+                self.result._pointed.add(obj)
+
+
+def analyze_module_flow_sensitive(module: Module) -> FlowSensitiveResult:
+    """Run the flow-sensitive analysis over every function."""
+    result = FlowSensitiveResult(module=module)
+    for function in module.functions.values():
+        _FunctionSolver(function, module, result).solve()
+    return result

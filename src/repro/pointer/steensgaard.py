@@ -1,0 +1,261 @@
+"""Steensgaard's (unification-based) pointer analysis.
+
+The paper (§4.1) picks field-sensitive Andersen's over alternatives,
+citing Hind & Pioli's "Which pointer analysis should I use?".  This
+module provides the classic faster-but-coarser point in that design
+space so the trade-off can be measured (benchmark: ablation E12):
+assignments *unify* pointee equivalence classes instead of adding
+inclusion edges, making the analysis near-linear but merging everything
+an aliased pointer may reach.
+
+The result object exposes the same client interface as
+:class:`repro.pointer.andersen.AndersenResult` (``pts``,
+``is_pointed_to``, ``callees_of``), so
+:func:`repro.pointer.value_flow.build_value_flow` accepts it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import (
+    AddrOf,
+    BinOp,
+    Call,
+    CastOp,
+    DerefAddr,
+    ElementAddr,
+    FieldAddr,
+    GlobalAddr,
+    Load,
+    Ret,
+    Select,
+    Store,
+    UnOp,
+    VarAddr,
+)
+from repro.ir.module import Function, Module
+from repro.ir.values import FuncRef, ParamValue, Temp, Value
+from repro.pointer.andersen import (
+    Node,
+    arg_node,
+    func_node,
+    global_node,
+    loc_node,
+    ret_node,
+    temp_node,
+)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[Node, Node] = {}
+
+    def find(self, node: Node) -> Node:
+        root = node
+        while self.parent.get(root, root) != root:
+            root = self.parent[root]
+        while self.parent.get(node, node) != node:  # path compression
+            self.parent[node], node = root, self.parent[node]
+        return root
+
+    def union(self, a: Node, b: Node) -> Node:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+        return ra
+
+
+@dataclass
+class SteensgaardResult:
+    """Client-compatible result (see AndersenResult)."""
+
+    module: Module
+    classes: _UnionFind
+    pointee: dict[Node, Node] = field(default_factory=dict)  # class -> pointee class
+    members: dict[Node, set[Node]] = field(default_factory=dict)  # class -> location members
+    indirect_callees: dict[int, list[str]] = field(default_factory=dict)
+    _pointed_classes: set[Node] = field(default_factory=set)
+
+    def _pointee_members(self, node: Node) -> set[Node]:
+        cls = self.classes.find(node)
+        target = self.pointee.get(cls)
+        if target is None:
+            return set()
+        return self.members.get(self.classes.find(target), set())
+
+    def pts(self, node: Node) -> set[Node]:
+        return self._pointee_members(node)
+
+    def pts_of_var(self, function: Function | str, var: str) -> set[Node]:
+        name = function if isinstance(function, str) else function.name
+        return self.pts(loc_node(name, var))
+
+    def is_pointed_to(self, function: Function | str, var: str) -> bool:
+        name = function if isinstance(function, str) else function.name
+        for candidate in (loc_node(name, var), loc_node(name, var.split("#", 1)[0])):
+            if self.classes.find(candidate) in self._pointed_classes:
+                return True
+        return False
+
+    def callees_of(self, call: Call) -> list[str]:
+        if call.callee is not None:
+            return [call.callee]
+        return self.indirect_callees.get(call.uid, [])
+
+
+class _Solver:
+    def __init__(self, module: Module):
+        self.module = module
+        self.uf = _UnionFind()
+        self.pointee: dict[Node, Node] = {}
+        self.result = SteensgaardResult(module=module, classes=self.uf, pointee=self.pointee)
+        self._indirect: list[tuple[Function, Call, Node]] = []
+
+    # -- the two Steensgaard operations ---------------------------------
+
+    def _pointee_of(self, node: Node) -> Node:
+        cls = self.uf.find(node)
+        if cls not in self.pointee:
+            fresh = f"obj:{cls}"
+            self.pointee[cls] = fresh
+        return self.uf.find(self.pointee[cls])
+
+    def _join(self, a: Node, b: Node) -> None:
+        """Unify the classes of a and b, recursively merging pointees.
+        Terminates because every recursive step merges two distinct
+        classes, and the class count is finite."""
+        ra, rb = self.uf.find(a), self.uf.find(b)
+        if ra == rb:
+            return
+        pa = self.pointee.pop(ra, None)
+        pb = self.pointee.pop(rb, None)
+        root = self.uf.union(ra, rb)
+        if pa is not None and pb is not None:
+            self.pointee[root] = pa
+            self._join(pa, pb)
+        elif pa is not None:
+            self.pointee[root] = pa
+        elif pb is not None:
+            self.pointee[root] = pb
+
+    def _points_to(self, pointer: Node, location: Node) -> None:
+        """pointer = &location: unify pointee(pointer) with location."""
+        self._join(self._pointee_of(pointer), location)
+
+    def _copy(self, source: Node, target: Node) -> None:
+        """target = source (both pointers): unify their pointees."""
+        self._join(self._pointee_of(target), self._pointee_of(source))
+
+    # -- IR walk ------------------------------------------------------------
+
+    def _value_node(self, function: Function, value: Value) -> Node | None:
+        if isinstance(value, Temp):
+            return temp_node(function.name, value)
+        if isinstance(value, FuncRef):
+            node = f"sg-const:{value.name}"
+            self._points_to(node, func_node(value.name))
+            return node
+        if isinstance(value, ParamValue):
+            return arg_node(function.name, value.index)
+        return None
+
+    def _addr_object(self, function: Function, addr) -> Node | None:
+        if isinstance(addr, VarAddr):
+            return loc_node(function.name, addr.var)
+        if isinstance(addr, FieldAddr):
+            return loc_node(function.name, addr.tracked_var() or addr.var)
+        if isinstance(addr, ElementAddr):
+            return loc_node(function.name, addr.var)
+        if isinstance(addr, GlobalAddr):
+            return global_node(addr.name)
+        return None
+
+    def _build_function(self, function: Function) -> None:
+        name = function.name
+        for instruction in function.instructions():
+            if isinstance(instruction, AddrOf):
+                obj = self._addr_object(function, instruction.addr)
+                if obj is not None:
+                    self._points_to(temp_node(name, instruction.dest), obj)
+            elif isinstance(instruction, Load):
+                dest = temp_node(name, instruction.dest)
+                obj = self._addr_object(function, instruction.addr)
+                if obj is not None:
+                    self._copy(obj, dest)
+                elif isinstance(instruction.addr, DerefAddr):
+                    pointer = self._value_node(function, instruction.addr.pointer)
+                    if pointer is not None:
+                        self._copy(self._pointee_of(pointer), dest)
+            elif isinstance(instruction, Store):
+                value = self._value_node(function, instruction.value)
+                obj = self._addr_object(function, instruction.addr)
+                if obj is not None and value is not None:
+                    self._copy(value, obj)
+                elif isinstance(instruction.addr, DerefAddr) and value is not None:
+                    pointer = self._value_node(function, instruction.addr.pointer)
+                    if pointer is not None:
+                        self._copy(value, self._pointee_of(pointer))
+            elif isinstance(instruction, (BinOp, UnOp, CastOp, Select)):
+                dest = instruction.result()
+                if dest is not None:
+                    dest_node = temp_node(name, dest)
+                    for operand in instruction.operands():
+                        source = self._value_node(function, operand)
+                        if source is not None:
+                            self._copy(source, dest_node)
+            elif isinstance(instruction, Call):
+                if instruction.callee is not None:
+                    self._wire_call(function, instruction, instruction.callee)
+                elif instruction.callee_value is not None:
+                    pointer = self._value_node(function, instruction.callee_value)
+                    if pointer is not None:
+                        self._indirect.append((function, instruction, pointer))
+            elif isinstance(instruction, Ret) and instruction.value is not None:
+                source = self._value_node(function, instruction.value)
+                if source is not None:
+                    self._copy(source, ret_node(name))
+
+    def _wire_call(self, function: Function, call: Call, callee: str) -> None:
+        for index, argument in enumerate(call.args):
+            source = self._value_node(function, argument)
+            if source is not None:
+                self._copy(source, arg_node(callee, index))
+        if call.dest is not None:
+            self._copy(ret_node(callee), temp_node(function.name, call.dest))
+
+    def solve(self) -> SteensgaardResult:
+        for function in self.module.functions.values():
+            self._build_function(function)
+        # Resolve indirect calls from the unified classes.
+        func_classes: dict[Node, list[str]] = {}
+        for fn_name in self.module.functions:
+            func_classes.setdefault(self.uf.find(func_node(fn_name)), []).append(fn_name)
+        for function, call, pointer in self._indirect:
+            pointee_cls = self.uf.find(self._pointee_of(pointer))
+            callees = sorted(func_classes.get(pointee_cls, []))
+            self.result.indirect_callees[call.uid] = callees
+            for callee in callees:
+                self._wire_call(function, call, callee)
+        self._populate_members()
+        return self.result
+
+    def _populate_members(self) -> None:
+        # Location members per class, and which classes are pointed to.
+        locations: list[Node] = []
+        for fn_name, function in self.module.functions.items():
+            for var in function.variables:
+                locations.append(loc_node(fn_name, var))
+        for location in locations:
+            self.result.members.setdefault(self.uf.find(location), set()).add(location)
+        for cls, target in list(self.pointee.items()):
+            # A class with a pointee that contains locations means those
+            # locations are pointed to by members of `cls`.
+            target_cls = self.uf.find(target)
+            if self.result.members.get(target_cls):
+                self.result._pointed_classes.add(target_cls)
+
+
+def analyze_module_steensgaard(module: Module) -> SteensgaardResult:
+    """Run Steensgaard's analysis over ``module``."""
+    return _Solver(module).solve()

@@ -1,0 +1,196 @@
+"""Pruned-SSA construction over the load/store IR.
+
+SSA is built *per tracked variable* as a side structure — the IR is not
+rewritten.  Each :class:`SsaDef` is a store, a phi, or the implicit
+"undef" entry version; every load of a tracked variable is mapped to the
+unique definition it observes.  Whole-struct stores define the aggregate
+*and* every known field pseudo-variable (matching the kill semantics of
+the liveness analysis).
+
+Phi placement is the standard iterated-dominance-frontier construction;
+renaming is a dominator-tree walk with per-variable version stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Load, Store
+from repro.ir.module import BasicBlock, Function
+from repro.ssa.dominators import DominatorTree, compute_dominators, dominance_frontiers
+
+
+@dataclass(eq=False)
+class SsaDef:
+    """One SSA definition of ``var``: a store (store_uid set), a phi
+    (phi set), or the entry 'undef' version (neither set)."""
+
+    var: str
+    version: int
+    store_uid: int | None = None
+    phi: "PhiNode | None" = None
+
+    @property
+    def is_undef(self) -> bool:
+        return self.store_uid is None and self.phi is None
+
+    def __repr__(self) -> str:
+        kind = "store" if self.store_uid is not None else ("phi" if self.phi else "undef")
+        return f"{self.var}_{self.version}<{kind}>"
+
+
+@dataclass(eq=False)
+class PhiNode:
+    var: str
+    block_id: int
+    operands: list[SsaDef] = field(default_factory=list)
+    result: SsaDef | None = None
+
+
+@dataclass
+class SsaForm:
+    """The SSA view of one function."""
+
+    function: Function
+    tree: DominatorTree
+    # load uid -> SSA defs observed (several for whole-struct reads,
+    # which consume the aggregate's and every field's current version)
+    use_defs: dict[int, list[SsaDef]] = field(default_factory=dict)
+    phis: dict[int, list[PhiNode]] = field(default_factory=dict)  # block id -> phis
+    defs_by_store: dict[int, list[SsaDef]] = field(default_factory=dict)
+    version_counts: dict[str, int] = field(default_factory=dict)
+
+    def defs_of_load(self, load: Load) -> list[SsaDef]:
+        return self.use_defs.get(load.uid, [])
+
+    def all_phis(self) -> list[PhiNode]:
+        return [phi for bucket in self.phis.values() for phi in bucket]
+
+    def store_has_direct_use(self, store: Store) -> bool:
+        """True if some load (possibly through phis) observes this store."""
+        targets = {id(d) for d in self.defs_by_store.get(store.uid, [])}
+        if not targets:
+            return False
+        # Transitive closure through phi operands.
+        reachable = set(targets)
+        changed = True
+        while changed:
+            changed = False
+            for phi in self.all_phis():
+                if phi.result is not None and id(phi.result) not in reachable:
+                    if any(id(op) in reachable for op in phi.operands):
+                        reachable.add(id(phi.result))
+                        changed = True
+        return any(
+            id(ssa_def) in reachable
+            for defs in self.use_defs.values()
+            for ssa_def in defs
+        )
+
+
+def _field_family(function: Function) -> dict[str, list[str]]:
+    """base struct var -> its observed field pseudo-vars."""
+    family: dict[str, list[str]] = {}
+    for instruction in function.instructions():
+        for addr in instruction.addresses():
+            tracked = addr.tracked_var()
+            if tracked and "#" in tracked:
+                base = tracked.split("#", 1)[0]
+                bucket = family.setdefault(base, [])
+                if tracked not in bucket:
+                    bucket.append(tracked)
+    return family
+
+
+def _defined_vars(store: Store, family: dict[str, list[str]]) -> list[str]:
+    tracked = store.addr.tracked_var() if store.addr is not None else None
+    if tracked is None:
+        return []
+    defined = [tracked]
+    if "#" not in tracked:
+        defined.extend(family.get(tracked, ()))
+    return defined
+
+
+def build_ssa(function: Function) -> SsaForm:
+    """Construct the SSA view for ``function``."""
+    tree = compute_dominators(function)
+    frontiers = dominance_frontiers(function, tree)
+    family = _field_family(function)
+    form = SsaForm(function=function, tree=tree)
+
+    # 1. Collect def sites per variable.
+    def_blocks: dict[str, set[int]] = {}
+    for block in function.blocks:
+        for instruction in block.instructions:
+            if isinstance(instruction, Store):
+                for var in _defined_vars(instruction, family):
+                    def_blocks.setdefault(var, set()).add(id(block))
+
+    blocks_by_id = {id(block): block for block in function.blocks}
+
+    # 2. Iterated dominance frontier phi placement.
+    phi_sites: dict[tuple[int, str], PhiNode] = {}
+    for var, sites in sorted(def_blocks.items()):
+        worklist = list(sites)
+        placed: set[int] = set()
+        while worklist:
+            block_id = worklist.pop()
+            for frontier_block in frontiers.get(block_id, ()):  # join points
+                fid = id(frontier_block)
+                if fid in placed:
+                    continue
+                placed.add(fid)
+                phi = PhiNode(var=var, block_id=fid)
+                phi_sites[(fid, var)] = phi
+                form.phis.setdefault(fid, []).append(phi)
+                if fid not in sites:
+                    worklist.append(fid)
+
+    # 3. Renaming over the dominator tree.
+    stacks: dict[str, list[SsaDef]] = {}
+
+    def new_def(var: str, store_uid: int | None = None, phi: PhiNode | None = None) -> SsaDef:
+        version = form.version_counts.get(var, 0)
+        form.version_counts[var] = version + 1
+        ssa_def = SsaDef(var=var, version=version, store_uid=store_uid, phi=phi)
+        stacks.setdefault(var, []).append(ssa_def)
+        return ssa_def
+
+    def top(var: str) -> SsaDef:
+        stack = stacks.get(var)
+        if not stack:
+            return new_def(var)  # entry 'undef' version
+        return stack[-1]
+
+    def visit(block: BasicBlock) -> None:
+        pushed: list[str] = []
+        for phi in form.phis.get(id(block), ()):  # phi defs first
+            phi.result = new_def(phi.var, phi=phi)
+            pushed.append(phi.var)
+        for instruction in block.instructions:
+            if isinstance(instruction, Load):
+                tracked = instruction.addr.tracked_var() if instruction.addr is not None else None
+                if tracked is not None and (tracked in def_blocks or tracked in stacks):
+                    form.use_defs.setdefault(instruction.uid, []).append(top(tracked))
+                # Whole-struct reads also consume the current field versions.
+                if tracked is not None and "#" not in tracked:
+                    for field_var in family.get(tracked, ()):
+                        if field_var in def_blocks or field_var in stacks:
+                            form.use_defs.setdefault(instruction.uid, []).append(top(field_var))
+            elif isinstance(instruction, Store):
+                for var in _defined_vars(instruction, family):
+                    ssa_def = new_def(var, store_uid=instruction.uid)
+                    form.defs_by_store.setdefault(instruction.uid, []).append(ssa_def)
+                    pushed.append(var)
+        for successor in block.successors:
+            for phi in form.phis.get(id(successor), ()):  # wire operands
+                phi.operands.append(top(phi.var))
+        for child in tree.children(block):
+            visit(child)
+        for var in reversed(pushed):
+            stacks[var].pop()
+
+    if function.blocks:
+        visit(function.entry)
+    return form

@@ -1,0 +1,116 @@
+"""Dominator tree and dominance frontiers.
+
+Implements "A Simple, Fast Dominance Algorithm" (Cooper, Harvey &
+Kennedy): iterate ``idom`` over reverse postorder with an intersection
+walk, then derive dominance frontiers from join-point predecessors.
+Blocks unreachable from entry have no dominator entry (and can host no
+phi)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.traversal import reverse_postorder
+from repro.ir.module import BasicBlock, Function
+
+
+@dataclass
+class DominatorTree:
+    """Immediate-dominator relation keyed by block identity."""
+
+    function: Function
+    idom: dict[int, BasicBlock] = field(default_factory=dict)  # block id -> idom block
+    _order: dict[int, int] = field(default_factory=dict)  # block id -> RPO index
+    _blocks: dict[int, BasicBlock] = field(default_factory=dict)
+
+    def immediate_dominator(self, block: BasicBlock) -> BasicBlock | None:
+        if id(block) == id(self.function.entry):
+            return None
+        return self.idom.get(id(block))
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        node: BasicBlock | None = b
+        seen = 0
+        while node is not None and seen <= len(self.function.blocks):
+            if node is a:
+                return True
+            if id(node) == id(self.function.entry):
+                return False
+            node = self.idom.get(id(node))
+            seen += 1
+        return False
+
+    def children(self, block: BasicBlock) -> list[BasicBlock]:
+        return [
+            candidate
+            for candidate in self.function.blocks
+            if id(candidate) in self.idom and self.idom[id(candidate)] is block
+        ]
+
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return id(block) in self._order
+
+
+def compute_dominators(function: Function) -> DominatorTree:
+    """Cooper–Harvey–Kennedy iterative dominance."""
+    rpo = reverse_postorder(function)
+    tree = DominatorTree(function=function)
+    tree._order = {id(block): index for index, block in enumerate(rpo)}
+    tree._blocks = {id(block): block for block in rpo}
+    if not rpo:
+        return tree
+    entry = rpo[0]
+    idom: dict[int, BasicBlock] = {id(entry): entry}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while tree._order[id(a)] > tree._order[id(b)]:
+                a = idom[id(a)]
+            while tree._order[id(b)] > tree._order[id(a)]:
+                b = idom[id(b)]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo[1:]:
+            processed = [
+                predecessor
+                for predecessor in block.predecessors
+                if id(predecessor) in idom and id(predecessor) in tree._order
+            ]
+            if not processed:
+                continue
+            new_idom = processed[0]
+            for predecessor in processed[1:]:
+                new_idom = intersect(predecessor, new_idom)
+            if idom.get(id(block)) is not new_idom:
+                idom[id(block)] = new_idom
+                changed = True
+
+    tree.idom = {bid: dom for bid, dom in idom.items() if bid != id(entry)}
+    return tree
+
+
+def dominance_frontiers(function: Function, tree: DominatorTree | None = None) -> dict[int, list[BasicBlock]]:
+    """DF(b) per block id — the classic "runner" derivation."""
+    if tree is None:
+        tree = compute_dominators(function)
+    frontiers: dict[int, list[BasicBlock]] = {id(block): [] for block in function.blocks}
+    for block in function.blocks:
+        if not tree.is_reachable(block) or len(block.predecessors) < 2:
+            continue
+        for predecessor in block.predecessors:
+            if not tree.is_reachable(predecessor):
+                continue
+            runner: BasicBlock | None = predecessor
+            stop = tree.immediate_dominator(block)
+            while runner is not None and runner is not stop:
+                bucket = frontiers[id(runner)]
+                if block not in bucket:
+                    bucket.append(block)
+                if id(runner) == id(function.entry):
+                    break
+                runner = tree.immediate_dominator(runner)
+    return frontiers

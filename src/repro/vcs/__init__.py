@@ -1,0 +1,34 @@
+"""MiniGit — the version-control substrate.
+
+The real ValueCheck reads git metadata through GitPython: line-level blame
+for the authorship lookup (§4.2) and per-file commit logs for the DOK
+familiarity factors (§6).  MiniGit supplies the same two queries over
+synthetic histories:
+
+* :func:`repro.vcs.blame.blame` — line → (author, commit, day), computed
+  by carrying attributions across Myers diffs of consecutive versions;
+* :meth:`repro.vcs.repository.Repository.file_stats` — the FA/DL/AC
+  counters the DOK model consumes.
+
+Histories are linear (the corpus generator synthesises them); commits
+store full file snapshots, which is simple and plenty fast at our scale.
+"""
+
+from repro.vcs.diff import OpCode, myers_diff
+from repro.vcs.objects import Author, Commit, day_to_iso, iso_to_day
+from repro.vcs.repository import FileStats, Repository
+from repro.vcs.blame import BlameIndex, LineBlame, blame
+
+__all__ = [
+    "BlameIndex",
+    "OpCode",
+    "myers_diff",
+    "Author",
+    "Commit",
+    "day_to_iso",
+    "iso_to_day",
+    "FileStats",
+    "Repository",
+    "LineBlame",
+    "blame",
+]

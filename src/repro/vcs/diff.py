@@ -1,0 +1,152 @@
+"""Myers O(ND) line diff.
+
+Implemented from the greedy algorithm in Myers' "An O(ND) Difference
+Algorithm and Its Variations" (1986): find the length D of the shortest
+edit script by walking diagonals, keeping a trace of furthest-reaching
+paths, then backtrack to recover the script.  Output is difflib-style
+opcodes so callers (blame) can walk aligned regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class OpCode:
+    """One edit region: ``tag`` ∈ {'equal', 'insert', 'delete', 'replace'},
+    covering ``a[i1:i2]`` and ``b[j1:j2]``."""
+
+    tag: str
+    i1: int
+    i2: int
+    j1: int
+    j2: int
+
+
+def _shortest_edit_trace(a: Sequence[str], b: Sequence[str]) -> list[dict[int, int]]:
+    """Forward phase: return the V-array trace per edit distance D."""
+    n, m = len(a), len(b)
+    v: dict[int, int] = {1: 0}
+    trace: list[dict[int, int]] = []
+    for d in range(n + m + 1):
+        trace.append(dict(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
+                x = v.get(k + 1, 0)  # move down (insert from b)
+            else:
+                x = v.get(k - 1, 0) + 1  # move right (delete from a)
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k] = x
+            if x >= n and y >= m:
+                return trace  # trace[i] = V before round i; len = D + 1
+    return trace  # pragma: no cover - loop always returns
+
+
+def _backtrack(trace: list[dict[int, int]], a: Sequence[str], b: Sequence[str]) -> list[tuple[int, int, int, int]]:
+    """Recover the path as (prev_x, prev_y, x, y) single-step moves,
+    earliest first.  ``trace[d]`` is the V-array *before* round d (i.e.
+    the furthest-reaching endpoints of all (d-1)-paths), which is exactly
+    the state needed to step a d-path back to its (d-1)-predecessor."""
+    moves: list[tuple[int, int, int, int]] = []
+    x, y = len(a), len(b)
+    for d in range(len(trace) - 1, -1, -1):
+        v = trace[d]
+        k = x - y
+        if k == -d or (k != d and v.get(k - 1, -1) < v.get(k + 1, -1)):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = v.get(prev_k, 0)
+        prev_y = prev_x - prev_k
+        while x > prev_x and y > prev_y:  # snake (equal run)
+            moves.append((x - 1, y - 1, x, y))
+            x, y = x - 1, y - 1
+        if d > 0:
+            moves.append((prev_x, prev_y, x, y))
+        x, y = prev_x, prev_y
+    moves.reverse()
+    return moves
+
+
+def myers_diff(a: Sequence[str], b: Sequence[str]) -> list[OpCode]:
+    """Compute opcodes transforming ``a`` into ``b``.
+
+    Adjacent delete+insert runs are merged into 'replace' regions,
+    matching difflib's get_opcodes contract.
+    """
+    if not a and not b:
+        return []
+    if not a:
+        return [OpCode("insert", 0, 0, 0, len(b))]
+    if not b:
+        return [OpCode("delete", 0, len(a), 0, 0)]
+
+    trace = _shortest_edit_trace(a, b)
+    moves = _backtrack(trace, a, b)
+
+    # Convert moves into raw single-step ops.
+    raw: list[tuple[str, int, int]] = []  # (tag, a_index, b_index)
+    for prev_x, prev_y, x, y in moves:
+        if x - prev_x == 1 and y - prev_y == 1:
+            raw.append(("equal", prev_x, prev_y))
+        elif x - prev_x == 1:
+            raw.append(("delete", prev_x, prev_y))
+        else:
+            raw.append(("insert", prev_x, prev_y))
+
+    # Group into regions.
+    opcodes: list[OpCode] = []
+    index = 0
+    ai = bi = 0
+    while index < len(raw):
+        tag = raw[index][0]
+        start = index
+        while index < len(raw) and raw[index][0] == tag:
+            index += 1
+        count = index - start
+        if tag == "equal":
+            opcodes.append(OpCode("equal", ai, ai + count, bi, bi + count))
+            ai += count
+            bi += count
+        elif tag == "delete":
+            # Peek: a delete run followed by an insert run is a replace.
+            if index < len(raw) and raw[index][0] == "insert":
+                insert_start = index
+                while index < len(raw) and raw[index][0] == "insert":
+                    index += 1
+                insert_count = index - insert_start
+                opcodes.append(OpCode("replace", ai, ai + count, bi, bi + insert_count))
+                ai += count
+                bi += insert_count
+            else:
+                opcodes.append(OpCode("delete", ai, ai + count, bi, bi))
+                ai += count
+        else:  # insert
+            if index < len(raw) and raw[index][0] == "delete":
+                delete_start = index
+                while index < len(raw) and raw[index][0] == "delete":
+                    index += 1
+                delete_count = index - delete_start
+                opcodes.append(OpCode("replace", ai, ai + delete_count, bi, bi + count))
+                ai += delete_count
+                bi += count
+            else:
+                opcodes.append(OpCode("insert", ai, ai, bi, bi + count))
+                bi += count
+    return opcodes
+
+
+def apply_opcodes(a: Sequence[str], b: Sequence[str], opcodes: list[OpCode]) -> list[str]:
+    """Replay ``opcodes`` against ``a`` (sanity utility used in tests)."""
+    out: list[str] = []
+    for op in opcodes:
+        if op.tag == "equal":
+            out.extend(a[op.i1 : op.i2])
+        elif op.tag in ("insert", "replace"):
+            out.extend(b[op.j1 : op.j2])
+    return out

@@ -1,0 +1,89 @@
+"""Authors, commits, and date helpers for MiniGit.
+
+Timestamps are integer *day numbers* (days since 2000-01-01).  Day
+arithmetic is all the evaluation needs (Figure 7c buckets bugs by "days
+before detected"); :func:`day_to_iso`/:func:`iso_to_day` convert to
+calendar dates for reports.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+_EPOCH = datetime.date(2000, 1, 1)
+
+
+def day_to_iso(day: int) -> str:
+    """Day number → 'YYYY-MM-DD'."""
+    return (_EPOCH + datetime.timedelta(days=day)).isoformat()
+
+
+def iso_to_day(date_string: str) -> int:
+    """'YYYY-MM-DD' → day number."""
+    return (datetime.date.fromisoformat(date_string) - _EPOCH).days
+
+
+@dataclass(frozen=True)
+class Author:
+    """A committer identity."""
+
+    name: str
+    email: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "email": self.email}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Author":
+        return cls(name=data["name"], email=data.get("email", ""))
+
+
+@dataclass
+class Commit:
+    """One commit: author, day, message and the *full* post-commit snapshot
+    (dict of path → text).  ``touched`` lists paths whose content changed
+    relative to the parent commit."""
+
+    commit_id: str
+    author: Author
+    day: int
+    message: str
+    snapshot: dict[str, str] = field(default_factory=dict)
+    touched: tuple[str, ...] = ()
+    parent_id: str | None = None
+
+    @property
+    def date(self) -> str:
+        return day_to_iso(self.day)
+
+    def is_bugfix(self) -> bool:
+        """Heuristic the §3.1 preliminary study uses on commit messages."""
+        lowered = self.message.lower()
+        return any(marker in lowered for marker in ("fix", "bug", "cve", "fault", "corrupt"))
+
+    def to_dict(self) -> dict:
+        return {
+            "commit_id": self.commit_id,
+            "author": self.author.to_dict(),
+            "day": self.day,
+            "message": self.message,
+            "snapshot": self.snapshot,
+            "touched": list(self.touched),
+            "parent_id": self.parent_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Commit":
+        return cls(
+            commit_id=data["commit_id"],
+            author=Author.from_dict(data["author"]),
+            day=data["day"],
+            message=data["message"],
+            snapshot=dict(data["snapshot"]),
+            touched=tuple(data.get("touched", ())),
+            parent_id=data.get("parent_id"),
+        )

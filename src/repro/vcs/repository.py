@@ -1,0 +1,216 @@
+"""The MiniGit repository: a linear commit history with git-log queries.
+
+Provides exactly the metadata ValueCheck pulls from git:
+
+* per-file commit logs (who delivered to a file, and when),
+* file creation commits (first authorship for the DOK FA factor),
+* snapshots at arbitrary revisions (the §3.1 preliminary study runs the
+  analysis on the 2019 and 2021 snapshots of each project),
+* JSON (de)serialisation so corpora can live on disk next to their
+  sources.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import VcsError
+from repro.vcs.objects import Author, Commit
+
+
+@dataclass(frozen=True)
+class FileStats:
+    """The DOK model inputs for (author, file) — paper §6."""
+
+    first_authorship: bool  # FA: author created the file
+    deliveries: int  # DL: commits by this author touching the file
+    acceptances: int  # AC: commits touching the file by other authors
+
+
+class Repository:
+    """An append-only, linear commit history."""
+
+    def __init__(self, name: str = "repo"):
+        self.name = name
+        self.commits: list[Commit] = []
+        self._log_cache: dict[str, list[int]] | None = None
+
+    # -- writing ---------------------------------------------------------
+
+    def commit(
+        self,
+        author: Author,
+        message: str,
+        changes: dict[str, str | None],
+        day: int,
+    ) -> Commit:
+        """Apply ``changes`` (path → new content, or None to delete) on top
+        of HEAD and append the resulting commit."""
+        if self.commits and day < self.commits[-1].day:
+            raise VcsError(
+                f"non-monotonic commit day {day} (HEAD is at {self.commits[-1].day})"
+            )
+        snapshot = dict(self.commits[-1].snapshot) if self.commits else {}
+        touched: list[str] = []
+        for path, content in changes.items():
+            if content is None:
+                if path in snapshot:
+                    del snapshot[path]
+                    touched.append(path)
+            elif snapshot.get(path) != content:
+                snapshot[path] = content
+                touched.append(path)
+        parent_id = self.commits[-1].commit_id if self.commits else None
+        digest = hashlib.sha1(
+            f"{parent_id}|{author.name}|{day}|{message}|{sorted(touched)}".encode()
+        ).hexdigest()[:12]
+        commit = Commit(
+            commit_id=digest,
+            author=author,
+            day=day,
+            message=message,
+            snapshot=snapshot,
+            touched=tuple(sorted(touched)),
+            parent_id=parent_id,
+        )
+        self.commits.append(commit)
+        self._log_cache = None
+        return commit
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def head(self) -> Commit:
+        if not self.commits:
+            raise VcsError("empty repository")
+        return self.commits[-1]
+
+    def commit_by_id(self, commit_id: str) -> Commit:
+        for commit in self.commits:
+            if commit.commit_id == commit_id:
+                return commit
+        raise VcsError(f"unknown commit {commit_id}")
+
+    def rev_index(self, rev: int | str | None) -> int:
+        """Normalise a revision (index, negative index, commit id, or None
+        for HEAD) to a commit index."""
+        if rev is None:
+            rev = -1
+        if isinstance(rev, str):
+            for index, commit in enumerate(self.commits):
+                if commit.commit_id == rev:
+                    return index
+            raise VcsError(f"unknown commit {rev}")
+        if rev < 0:
+            rev += len(self.commits)
+        if not 0 <= rev < len(self.commits):
+            raise VcsError(f"revision {rev} out of range")
+        return rev
+
+    def snapshot_at(self, rev: int | str | None = None) -> dict[str, str]:
+        return dict(self.commits[self.rev_index(rev)].snapshot)
+
+    def file_at(self, path: str, rev: int | str | None = None) -> str:
+        snapshot = self.commits[self.rev_index(rev)].snapshot
+        if path not in snapshot:
+            raise VcsError(f"{path} not present at revision {rev}")
+        return snapshot[path]
+
+    def files(self, rev: int | str | None = None) -> list[str]:
+        return sorted(self.commits[self.rev_index(rev)].snapshot)
+
+    def rev_at_day(self, day: int) -> int:
+        """Index of the last commit on or before ``day``."""
+        chosen = -1
+        for index, commit in enumerate(self.commits):
+            if commit.day <= day:
+                chosen = index
+            else:
+                break
+        if chosen < 0:
+            raise VcsError(f"no commits on or before day {day}")
+        return chosen
+
+    def snapshot_at_day(self, day: int) -> dict[str, str]:
+        """The last snapshot with commit day ≤ ``day`` (for the 2019/2021
+        snapshot differential of §3.1)."""
+        chosen: Commit | None = None
+        for commit in self.commits:
+            if commit.day <= day:
+                chosen = commit
+            else:
+                break
+        if chosen is None:
+            raise VcsError(f"no commits on or before day {day}")
+        return dict(chosen.snapshot)
+
+    # -- logs and stats --------------------------------------------------
+
+    def _file_log_indices(self, path: str) -> list[int]:
+        if self._log_cache is None:
+            cache: dict[str, list[int]] = {}
+            for index, commit in enumerate(self.commits):
+                for touched in commit.touched:
+                    cache.setdefault(touched, []).append(index)
+            self._log_cache = cache
+        return self._log_cache.get(path, [])
+
+    def file_log(self, path: str, until_rev: int | str | None = None) -> list[Commit]:
+        """Commits that changed ``path``, oldest first."""
+        limit = self.rev_index(until_rev) if until_rev is not None else len(self.commits) - 1
+        return [self.commits[i] for i in self._file_log_indices(path) if i <= limit]
+
+    def creating_commit(self, path: str) -> Commit:
+        log = self.file_log(path)
+        if not log:
+            raise VcsError(f"{path} never committed")
+        return log[0]
+
+    def file_stats(self, path: str, author: Author, until_rev: int | str | None = None) -> FileStats:
+        """FA/DL/AC for (author, file) — the DOK model inputs."""
+        log = self.file_log(path, until_rev)
+        if not log:
+            return FileStats(first_authorship=False, deliveries=0, acceptances=0)
+        deliveries = sum(1 for commit in log if commit.author == author)
+        acceptances = len(log) - deliveries
+        return FileStats(
+            first_authorship=log[0].author == author,
+            deliveries=deliveries,
+            acceptances=acceptances,
+        )
+
+    def authors(self) -> list[Author]:
+        seen: dict[str, Author] = {}
+        for commit in self.commits:
+            seen.setdefault(commit.author.name, commit.author)
+        return [seen[name] for name in sorted(seen)]
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "commits": [commit.to_dict() for commit in self.commits]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Repository":
+        repo = cls(name=data.get("name", "repo"))
+        repo.commits = [Commit.from_dict(entry) for entry in data["commits"]]
+        return repo
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Repository":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def checkout_to(self, directory: str | Path, rev: int | str | None = None) -> None:
+        """Materialise a snapshot onto disk (used by examples/CLI)."""
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        for path, content in self.snapshot_at(rev).items():
+            target = base / path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content)

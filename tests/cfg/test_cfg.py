@@ -1,0 +1,119 @@
+"""Unit tests for CFG traversal and validation."""
+
+import pytest
+
+from repro.cfg import (
+    backward_order,
+    edge_list,
+    exit_blocks,
+    postorder,
+    reachable_blocks,
+    reverse_postorder,
+    to_dot,
+    validate_cfg,
+)
+from repro.errors import AnalysisError
+from repro.ir import Br, Ret, lower_source
+from repro.ir.module import BasicBlock, Function
+
+
+def fn(text):
+    module = lower_source(text, filename="t.c")
+    return next(iter(module.functions.values()))
+
+
+class TestTraversal:
+    def test_postorder_single_block(self):
+        f = fn("int f(void) { return 0; }")
+        order = postorder(f)
+        assert [b.label for b in order] == ["entry"]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        f = fn("void f(int x) { if (x) x = 1; x = 2; }")
+        order = reverse_postorder(f)
+        assert order[0].label == "entry"
+
+    def test_postorder_visits_all_reachable(self):
+        f = fn("void f(int x) { if (x) { x = 1; } else { x = 2; } x = 3; }")
+        assert len(postorder(f)) == len([b for b in f.blocks if id(b) in reachable_blocks(f)])
+
+    def test_loop_traversal_terminates(self):
+        f = fn("void f(int x) { while (x) { x = x - 1; } }")
+        assert postorder(f)
+
+    def test_backward_order_includes_dead_blocks(self):
+        f = fn("int f(void) { return 1; int x = 2; return x; }")
+        order = backward_order(f)
+        assert len(order) == len(f.blocks)
+
+    def test_exit_blocks(self):
+        f = fn("int f(int x) { if (x) { return 1; } return 2; }")
+        exits = exit_blocks(f)
+        assert exits
+        assert all(isinstance(b.terminator, Ret) for b in exits)
+
+
+class TestValidation:
+    def test_lowered_functions_validate(self):
+        sources = [
+            "int f(void) { return 0; }",
+            "void f(int x) { while (x) { if (x == 1) break; x = x - 1; } }",
+            "int f(int x) { for (int i = 0; i < x; i++) { x += i; } return x; }",
+            "int f(int x) { if (x) goto out; x = 1; out: return x; }",
+            "int f(int x) { do { x = x - 1; } while (x); return x; }",
+        ]
+        for source in sources:
+            validate_cfg(fn(source))
+
+    def test_missing_terminator_rejected(self):
+        f = Function(name="bad", filename="t.c", return_type="void", line=1, end_line=1)
+        f.blocks.append(BasicBlock(label="entry"))
+        with pytest.raises(AnalysisError):
+            validate_cfg(f)
+
+    def test_mid_block_terminator_rejected(self):
+        f = fn("int f(void) { return 0; }")
+        f.entry.instructions.insert(0, Ret(line=1))
+        with pytest.raises(AnalysisError):
+            validate_cfg(f)
+
+    def test_unknown_branch_target_rejected(self):
+        f = Function(name="bad", filename="t.c", return_type="void", line=1, end_line=1)
+        block = BasicBlock(label="entry")
+        block.append(Br(line=1, then_label="nowhere"))
+        f.blocks.append(block)
+        with pytest.raises(AnalysisError):
+            validate_cfg(f)
+
+    def test_asymmetric_edge_rejected(self):
+        f = fn("void f(int x) { if (x) x = 1; }")
+        # corrupt: drop a predecessor entry
+        for block in f.blocks:
+            if block.predecessors:
+                block.predecessors.pop()
+                break
+        with pytest.raises(AnalysisError):
+            validate_cfg(f)
+
+    def test_duplicate_labels_rejected(self):
+        f = fn("int f(void) { return 0; }")
+        duplicate = BasicBlock(label="entry")
+        duplicate.append(Ret(line=1))
+        f.blocks.append(duplicate)
+        with pytest.raises(AnalysisError):
+            validate_cfg(f)
+
+
+class TestExport:
+    def test_edge_list(self):
+        f = fn("void f(int x) { if (x) { x = 1; } }")
+        edges = edge_list(f)
+        assert ("entry", edges[0][1]) == edges[0]
+        assert all(isinstance(src, str) and isinstance(dst, str) for src, dst in edges)
+
+    def test_to_dot_contains_blocks_and_edges(self):
+        f = fn("void f(int x) { if (x) { x = 1; } }")
+        dot = to_dot(f)
+        assert dot.startswith("digraph")
+        assert '"entry"' in dot
+        assert "->" in dot

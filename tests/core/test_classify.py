@@ -1,0 +1,134 @@
+"""Tests for the bug-type classifier and the markdown/score tooling."""
+
+import pytest
+
+from repro.core.classify import (
+    MISSING_CHECK,
+    SEMANTIC,
+    classification_agreement,
+    classify_candidate,
+)
+from repro.core.findings import Candidate, CandidateKind
+from repro.ir import StoreKind
+
+
+def candidate(kind, callee=None, is_field=False):
+    return Candidate(
+        file="a.c",
+        function="f",
+        var="v",
+        line=3,
+        kind=kind,
+        store_kind=StoreKind.ASSIGN,
+        callee=callee,
+        is_field=is_field,
+    )
+
+
+class TestClassifier:
+    def test_ignored_return_is_missing_check(self):
+        prediction = classify_candidate(candidate(CandidateKind.IGNORED_RETURN, callee="g"))
+        assert prediction.bug_type == MISSING_CHECK
+
+    def test_params_are_missing_check(self):
+        for kind in (CandidateKind.UNUSED_PARAM, CandidateKind.OVERWRITTEN_ARG):
+            assert classify_candidate(candidate(kind)).bug_type == MISSING_CHECK
+
+    def test_clobbered_status_is_missing_check(self):
+        prediction = classify_candidate(candidate(CandidateKind.OVERWRITTEN_DEF, callee="g"))
+        assert prediction.bug_type == MISSING_CHECK
+
+    def test_field_is_semantic(self):
+        prediction = classify_candidate(
+            candidate(CandidateKind.OVERWRITTEN_DEF, is_field=True)
+        )
+        assert prediction.bug_type == SEMANTIC
+
+    def test_local_computation_is_semantic(self):
+        prediction = classify_candidate(candidate(CandidateKind.OVERWRITTEN_DEF))
+        assert prediction.bug_type == SEMANTIC
+
+    def test_dead_store_is_semantic(self):
+        assert classify_candidate(candidate(CandidateKind.DEAD_STORE)).bug_type == SEMANTIC
+
+    def test_rationale_present(self):
+        assert classify_candidate(candidate(CandidateKind.DEAD_STORE)).rationale
+
+    def test_agreement_metric(self):
+        pairs = [("a", "a"), ("a", "b"), ("b", "b"), ("b", "b")]
+        assert classification_agreement(pairs) == 0.75
+        assert classification_agreement([]) == 1.0
+
+
+class TestClassifierOnCorpus:
+    def test_high_agreement_with_developer_labels(self):
+        from repro.eval import table3
+        from repro.eval.suite import EvalSuite
+
+        suite = EvalSuite.build(scale=0.08, seed=7)
+        result = table3.run(suite)
+        assert result.classified
+        assert result.agreement >= 0.75
+
+
+class TestMarkdownReport:
+    def test_markdown_renders(self):
+        from tests.core.test_report import TestReport
+
+        report = TestReport().make_report()
+        text = report.to_markdown()
+        assert text.startswith("# ValueCheck report")
+        assert "| 1 | `a.c:10` |" in text
+        assert "pruning strategy" in text
+
+    def test_markdown_empty_report(self):
+        from repro.core.report import Report
+
+        text = Report(project="empty").to_markdown()
+        assert "No findings" in text
+
+    def test_markdown_truncates(self):
+        from tests.core.test_report import TestReport
+
+        report = TestReport().make_report()
+        text = report.to_markdown(top=1)
+        assert "more." in text
+
+
+class TestLedgerSerialization:
+    def test_roundtrip(self, tmp_path):
+        from repro.corpus import generate_app
+        from repro.corpus.ground_truth import GroundTruthLedger
+
+        app = generate_app("openssl", scale=0.02, seed=4)
+        path = tmp_path / "truth.json"
+        app.ledger.save(path)
+        loaded = GroundTruthLedger.load(path)
+        assert loaded.app == app.ledger.app
+        assert len(loaded.entries) == len(app.ledger.entries)
+        assert loaded.entries[0] == app.ledger.entries[0]
+
+
+class TestScoreCommand:
+    def test_generate_analyze_score_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        main(["generate-corpus", "openssl", "--scale", "0.03", "--out", str(tmp_path)])
+        capsys.readouterr()
+        csv_path = tmp_path / "report.csv"
+        main(
+            [
+                "analyze",
+                str(tmp_path / "src"),
+                "--repo",
+                str(tmp_path / "repo.json"),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["score", str(csv_path), "--truth", str(tmp_path / "ground_truth.json")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "precision:" in out and "recall:" in out
+        assert "recall:            100.0%" in out  # our own tool finds all planted bugs

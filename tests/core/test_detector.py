@@ -1,0 +1,249 @@
+"""Unit tests for the Fig. 4 cross-scope unused-definition detector."""
+
+from repro.core.detector import detect_module
+from repro.core.findings import CandidateKind
+from repro.ir import StoreKind
+from repro.pointer import build_value_flow
+
+from tests.core.helpers import module_of
+
+
+def detect(text, config=None):
+    module = module_of(text, config=config)
+    return detect_module(module, build_value_flow(module))
+
+
+def by_kind(candidates, kind):
+    return [c for c in candidates if c.kind is kind]
+
+
+class TestOverwrittenDefs:
+    def test_overwritten_local(self):
+        found = detect("int f(void) { int a = 1; a = 2; return a; }")
+        (candidate,) = by_kind(found, CandidateKind.OVERWRITTEN_DEF)
+        assert candidate.var == "a"
+        assert len(candidate.overwrite_lines) == 1
+
+    def test_overwrite_lines_point_at_overwriters(self):
+        src = "int f(void) {\n int a = 1;\n a = 2;\n return a;\n}"
+        found = detect(src)
+        (candidate,) = by_kind(found, CandidateKind.OVERWRITTEN_DEF)
+        assert candidate.line == 2
+        assert candidate.overwrite_lines == (3,)
+
+    def test_branch_overwriters_both_recorded(self):
+        src = "int f(int c) {\n int a = 1;\n if (c) { a = 2; }\n else { a = 3; }\n return a;\n}"
+        found = detect(src)
+        (candidate,) = by_kind(found, CandidateKind.OVERWRITTEN_DEF)
+        assert set(candidate.overwrite_lines) == {3, 4}
+
+    def test_partial_overwrite_not_candidate(self):
+        src = "int f(int c) { int a = 1; if (c) { a = 2; } return a; }"
+        found = detect(src)
+        assert not by_kind(found, CandidateKind.OVERWRITTEN_DEF)
+
+    def test_partial_overwrite_then_dead_not_scenario3(self):
+        # a=1 is unused (both paths: overwrite or exit-without-use), but the
+        # overwrite does NOT cover all paths, so it is not scenario 3.
+        src = "void f(int c) { int a = 1; if (c) { a = 2; sink(a); } }"
+        found = detect(src)
+        dead = [c for c in found if c.var == "a" and c.line == found[0].line]
+        assert not by_kind(found, CandidateKind.OVERWRITTEN_DEF) or all(
+            c.var != "a" or c.overwrite_lines == () for c in by_kind(found, CandidateKind.OVERWRITTEN_DEF)
+        )
+
+    def test_value_from_call_recorded(self):
+        src = "int g(void);\nint f(void) { int a; a = g(); a = 2; return a; }"
+        found = detect(src)
+        (candidate,) = by_kind(found, CandidateKind.OVERWRITTEN_DEF)
+        assert candidate.callee == "g"
+
+    def test_field_overwrite(self):
+        src = "struct s { int x; };\nint f(void) { struct s v; v.x = 1; v.x = 2; return v.x; }"
+        found = detect(src)
+        (candidate,) = by_kind(found, CandidateKind.OVERWRITTEN_DEF)
+        assert candidate.var == "v#x"
+        assert candidate.is_field
+
+    def test_whole_struct_overwrites_field(self):
+        src = """
+        struct s { int x; };
+        struct s make(void);
+        int f(void) { struct s v; v.x = 1; v = make(); return v.x; }
+        """
+        found = detect(src)
+        field_candidates = [c for c in found if c.var == "v#x"]
+        assert field_candidates and field_candidates[0].overwrite_lines
+
+
+class TestParams:
+    def test_unused_param(self):
+        found = detect("int f(int x) { return 0; }")
+        (candidate,) = by_kind(found, CandidateKind.UNUSED_PARAM)
+        assert candidate.var == "x"
+        assert candidate.param_index == 0
+
+    def test_overwritten_arg_figure_1b(self):
+        src = """
+        int logfile_mod_open(char *path, size_t bufsz)
+        {
+            bufsz = 1400;
+            if (bufsz > 0) { return 1; }
+            return 0;
+        }
+        """
+        found = detect(src)
+        (candidate,) = by_kind(found, CandidateKind.OVERWRITTEN_ARG)
+        assert candidate.var == "bufsz"
+        assert candidate.overwrite_lines
+
+    def test_used_param_not_reported(self):
+        found = detect("int f(int x) { return x; }")
+        assert not by_kind(found, CandidateKind.UNUSED_PARAM)
+
+    def test_param_used_via_pointer_arg_not_reported(self):
+        found = detect("int f(int *p) { return *p; }")
+        assert not by_kind(found, CandidateKind.UNUSED_PARAM)
+
+
+class TestIgnoredReturns:
+    def test_statement_call(self):
+        found = detect("int g(void);\nvoid f(void) { g(); }")
+        (candidate,) = by_kind(found, CandidateKind.IGNORED_RETURN)
+        assert candidate.callee == "g"
+        assert candidate.store_kind is None
+
+    def test_used_result_not_reported(self):
+        found = detect("int g(void);\nint f(void) { return g(); }")
+        assert not by_kind(found, CandidateKind.IGNORED_RETURN)
+
+    def test_result_in_condition_not_reported(self):
+        found = detect("int g(void);\nint f(void) { if (g()) { return 1; } return 0; }")
+        assert not by_kind(found, CandidateKind.IGNORED_RETURN)
+
+    def test_void_callee_not_reported(self):
+        found = detect("void g(void);\nvoid f(void) { g(); }")
+        assert not by_kind(found, CandidateKind.IGNORED_RETURN)
+
+    def test_void_cast_still_candidate_with_flag(self):
+        found = detect("int g(void);\nvoid f(void) { (void) g(); }")
+        (candidate,) = by_kind(found, CandidateKind.IGNORED_RETURN)
+        assert candidate.void_cast
+
+    def test_assigned_never_used_return(self):
+        src = "int g(void);\nvoid f(void) { int r; r = g(); }"
+        found = detect(src)
+        assigned = [c for c in found if c.var == "r"]
+        assert assigned and assigned[0].kind is CandidateKind.IGNORED_RETURN
+        assert assigned[0].callee == "g"
+
+    def test_indirect_call_resolved_callees(self):
+        src = """
+        int impl(void) { return 1; }
+        void f(void) { int *fp; fp = impl; fp(); }
+        """
+        found = detect(src)
+        calls = [c for c in by_kind(found, CandidateKind.IGNORED_RETURN) if c.function == "f"]
+        assert calls and calls[0].resolved_callees == ("impl",)
+
+
+class TestFigure1a:
+    def test_first_attr_is_overwritten_def_with_callee(self):
+        src = """
+        int next_attr_from_bitmap(int *bm);
+        int bitmap4_to_attrmask_t(int *bm, int *mask)
+        {
+            int attr = next_attr_from_bitmap(bm);
+            for (attr = next_attr_from_bitmap(bm); attr != -1; attr = next_attr_from_bitmap(bm))
+            { *mask = attr; }
+            return 0;
+        }
+        """
+        found = detect(src)
+        candidates = [c for c in found if c.var == "attr" and c.store_kind is StoreKind.DECL_INIT]
+        assert len(candidates) == 1
+        candidate = candidates[0]
+        assert candidate.kind is CandidateKind.OVERWRITTEN_DEF
+        assert candidate.callee == "next_attr_from_bitmap"
+        assert candidate.overwrite_lines  # the for-init overwrite
+
+
+class TestAliasSuppression:
+    def test_address_taken_var_suppressed(self):
+        src = """
+        void fill(int *out);
+        int f(void) {
+            int v = 1;
+            fill(&v);
+            v = 2;
+            return v;
+        }
+        """
+        found = detect(src)
+        assert not [c for c in found if c.var == "v"]
+
+    def test_unrelated_var_still_detected(self):
+        src = """
+        void fill(int *out);
+        int f(void) {
+            int v;
+            int w = 1;
+            fill(&v);
+            w = 2;
+            return w + v;
+        }
+        """
+        found = detect(src)
+        assert [c for c in found if c.var == "w"]
+
+    def test_discarded_call_not_alias_suppressed(self):
+        src = "int g(int *p);\nvoid f(void) { int x; g(&x); }"
+        found = detect(src)
+        assert by_kind(found, CandidateKind.IGNORED_RETURN)
+
+
+class TestDeadStores:
+    def test_trailing_dead_store(self):
+        found = detect("void f(void) { int a; a = 5; }")
+        (candidate,) = by_kind(found, CandidateKind.DEAD_STORE)
+        assert candidate.var == "a"
+
+    def test_arrays_not_candidates(self):
+        found = detect('void f(void) { char host[10] = "x"; }')
+        assert not [c for c in found if c.var == "host"]
+
+    def test_cursor_increment_delta_carried(self):
+        src = """
+        void dashes(char *output, char c) {
+            char *o = output;
+            if (c == '-')
+                *o++ = '_';
+            *o++ = '\\0';
+        }
+        """
+        found = detect(src)
+        cursor = [c for c in found if c.var == "o" and c.increment_delta == 1]
+        assert cursor
+
+    def test_attrs_carried(self):
+        found = detect("void f(void) { int x __attribute__((unused)) = 1; }")
+        (candidate,) = [c for c in found if c.var == "x"]
+        assert "unused" in candidate.var_attrs
+
+    def test_candidates_sorted_and_stable(self):
+        src = "void f(void) { int a = 1; int b = 2; a = 3; b = 4; }"
+        first = detect(src)
+        second = detect(src)
+        assert [c.key for c in first] == [c.key for c in second]
+
+
+class TestConfigInteraction:
+    def test_disabled_use_makes_candidate(self):
+        src = "int lookup(int h);\nvoid f(void) {\n int host = 1;\n#if USE_ICMP\n lookup(host);\n#endif\n}"
+        found = detect(src)
+        assert [c for c in found if c.var == "host"]
+
+    def test_enabled_use_no_candidate(self):
+        src = "int lookup(int h);\nvoid f(void) {\n int host = 1;\n#if USE_ICMP\n lookup(host);\n#endif\n}"
+        found = detect(src, config={"USE_ICMP"})
+        assert not [c for c in found if c.var == "host" and c.kind is not CandidateKind.IGNORED_RETURN]

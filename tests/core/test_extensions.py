@@ -1,0 +1,116 @@
+"""Tests for the §9 extensions: history pruning and EA ranking."""
+
+import pytest
+
+from repro.core.pruning import PruneContext, default_pipeline
+from repro.core.pruning.history import HistoryPruner
+from repro.core.valuecheck import ValueCheck, ValueCheckConfig
+
+from tests.core.helpers import AUTHOR1, AUTHOR2, build_multifile_history, project_from_repo
+
+CLEAN_V1 = (
+    "int probe(void)\n{\n    return 1;\n}\n"
+    "int run(void)\n{\n    int r;\n    r = probe();\n    if (r) { return 1; }\n    return 0;\n}\n"
+)
+# author2 inserts the clobber — a genuine cross-scope overwritten def.
+CLEAN_V2 = CLEAN_V1.replace(
+    "    r = probe();\n", "    r = probe();\n    r = 0;\n"
+)
+DEBUG_V1 = (
+    "int run2(int mode)\n"
+    "{\n"
+    "    return mode;\n"
+    "}\n"
+)
+# author2 inserts a dead debug redefinition with a source marker.
+DEBUG_V2 = (
+    "int run2(int mode)\n"
+    "{\n"
+    "    int probe_count = mode * 3; /* debug instrumentation */\n"
+    "    if (probe_count < 0) { return -1; }\n"
+    "    probe_count = mode >> 1;\n"
+    "    return mode;\n"
+    "}\n"
+)
+
+
+def make_project(debug_message=False):
+    repo = build_multifile_history(
+        [
+            (AUTHOR1, {"clean.c": CLEAN_V1, "probe.c": DEBUG_V1}),
+            (AUTHOR2, {"clean.c": CLEAN_V2}),
+        ]
+    )
+    repo.commit(
+        AUTHOR2,
+        "add debug instrumentation counters" if debug_message else "extend run2",
+        {"probe.c": DEBUG_V2},
+        day=1300,
+    )
+    return project_from_repo(repo)
+
+
+class TestHistoryPruner:
+    def test_source_marker_pruned(self):
+        project = make_project()
+        report = ValueCheck(ValueCheckConfig(history_pruning=True)).analyze(project)
+        probe_findings = [f for f in report.findings if f.candidate.var == "probe_count"]
+        assert probe_findings
+        # The dead redefinition line itself has no marker, but the decl
+        # line does not either — the pruner keys off the commit message
+        # or line markers; the marker is on the decl line here.
+        assert any(f.pruned_by == "history" for f in probe_findings) or all(
+            f.pruned_by is not None for f in probe_findings
+        )
+
+    def test_commit_message_marker_pruned(self):
+        project = make_project(debug_message=True)
+        report = ValueCheck(ValueCheckConfig(history_pruning=True)).analyze(project)
+        probe_findings = [f for f in report.findings if f.candidate.var == "probe_count"]
+        assert probe_findings
+        assert probe_findings[0].pruned_by == "history"
+
+    def test_off_by_default(self):
+        project = make_project(debug_message=True)
+        report = ValueCheck().analyze(project)
+        probe_findings = [f for f in report.findings if f.candidate.var == "probe_count"]
+        assert probe_findings and probe_findings[0].pruned_by is None
+
+    def test_clean_code_untouched(self):
+        project = make_project(debug_message=True)
+        report = ValueCheck(ValueCheckConfig(history_pruning=True)).analyze(project)
+        clean_findings = [f for f in report.reported() if f.candidate.var == "r"]
+        assert clean_findings  # the real overwritten-def still reported
+
+    def test_pipeline_includes_history_when_asked(self):
+        with_history = default_pipeline(include_history=True)
+        assert [p.name for p in with_history.pruners][-1] == "history"
+        without = default_pipeline()
+        assert "history" not in [p.name for p in without.pruners]
+
+    def test_pruner_without_repo_uses_source_only(self):
+        from repro.core.project import Project
+
+        project = Project.from_sources({"p.c": DEBUG_V2})
+        pruner = HistoryPruner()
+        from repro.core.detector import detect_module
+
+        candidates = detect_module(project.modules["p.c"], project.vfg("p.c"))
+        target = [c for c in candidates if c.var == "probe_count"]
+        assert target
+        assert pruner.should_prune(target[0], PruneContext(project=project)) in (True, False)
+
+
+class TestEaRanking:
+    def test_ea_model_config_runs(self):
+        project = make_project()
+        report = ValueCheck(ValueCheckConfig(familiarity_model="ea")).analyze(project)
+        reported = report.reported()
+        assert reported
+        assert all(f.familiarity is not None for f in reported)
+
+    def test_ea_and_dok_may_order_differently_but_both_rank(self):
+        project = make_project()
+        dok = ValueCheck().analyze(project)
+        ea = ValueCheck(ValueCheckConfig(familiarity_model="ea")).analyze(project)
+        assert len(dok.reported()) == len(ea.reported())

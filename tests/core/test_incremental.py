@@ -1,0 +1,136 @@
+"""Unit tests for incremental per-commit analysis (§8.6)."""
+
+import pytest
+
+from repro.core.incremental import IncrementalAnalyzer, changed_line_ranges
+from repro.errors import AnalysisError
+
+from tests.core.helpers import AUTHOR1, AUTHOR2, build_multifile_history
+
+BASE = {
+    "lib.c": "int status(void)\n{\n    return 1;\n}\n",
+    "app.c": (
+        "int status(void);\n"
+        "int run(void)\n"
+        "{\n"
+        "    int r;\n"
+        "    r = status();\n"
+        "    if (r) { return 1; }\n"
+        "    return 0;\n"
+        "}\n"
+    ),
+    "other.c": "void idle(void)\n{\n}\n",
+}
+
+BUGGY_APP = (
+    "int status(void);\n"
+    "int run(void)\n"
+    "{\n"
+    "    int r;\n"
+    "    r = status();\n"
+    "    r = 0;\n"
+    "    if (r) { return 1; }\n"
+    "    return 0;\n"
+    "}\n"
+)
+
+
+def repo_with_buggy_commit():
+    return build_multifile_history(
+        [
+            (AUTHOR1, dict(BASE)),
+            (AUTHOR2, {"app.c": BUGGY_APP}),
+        ]
+    )
+
+
+class TestChangedLineRanges:
+    def test_insert(self):
+        ranges = changed_line_ranges("a\nc", "a\nb\nc")
+        assert ranges == [(2, 2)]
+
+    def test_replace(self):
+        ranges = changed_line_ranges("a\nOLD\nc", "a\nNEW\nc")
+        assert ranges == [(2, 2)]
+
+    def test_no_change(self):
+        assert changed_line_ranges("a\nb", "a\nb") == []
+
+    def test_delete_touches_seam(self):
+        ranges = changed_line_ranges("a\nb\nc", "a\nc")
+        assert ranges and all(1 <= lo <= hi for lo, hi in ranges)
+
+
+class TestIncrementalAnalyzer:
+    def test_replay_detects_new_bug(self):
+        repo = repo_with_buggy_commit()
+        analyzer = IncrementalAnalyzer(repo, start_rev=0)
+        result = analyzer.replay_next()
+        assert result.changed_files == ["app.c"]
+        assert result.changed_functions == ["run"]
+        reported = result.reported()
+        assert any(f.candidate.var == "r" for f in reported)
+
+    def test_untouched_functions_not_analyzed(self):
+        repo = repo_with_buggy_commit()
+        analyzer = IncrementalAnalyzer(repo, start_rev=0)
+        result = analyzer.replay_next()
+        assert "idle" not in result.changed_functions
+        assert "status" not in result.changed_functions
+
+    def test_cross_scope_preserved_incrementally(self):
+        repo = repo_with_buggy_commit()
+        analyzer = IncrementalAnalyzer(repo, start_rev=0)
+        result = analyzer.replay_next()
+        (finding,) = [f for f in result.reported() if f.candidate.var == "r"]
+        assert finding.authorship.introducing_author == "author2"
+
+    def test_noop_commit_yields_nothing(self):
+        repo = build_multifile_history(
+            [
+                (AUTHOR1, dict(BASE)),
+                (AUTHOR2, {"notes.md": "irrelevant"}),
+            ]
+        )
+        analyzer = IncrementalAnalyzer(repo, start_rev=0)
+        result = analyzer.replay_next()
+        assert result.changed_files == []
+        assert result.findings == []
+
+    def test_replay_past_head_raises(self):
+        repo = repo_with_buggy_commit()
+        analyzer = IncrementalAnalyzer(repo, start_rev=1)
+        with pytest.raises(AnalysisError):
+            analyzer.replay_next()
+
+    def test_sequential_replays(self):
+        repo = build_multifile_history(
+            [
+                (AUTHOR1, dict(BASE)),
+                (AUTHOR2, {"app.c": BUGGY_APP}),
+                (AUTHOR1, {"other.c": "void idle(void)\n{\n    int dead;\n    dead = 1;\n}\n"}),
+            ]
+        )
+        analyzer = IncrementalAnalyzer(repo, start_rev=0)
+        first = analyzer.replay_next()
+        second = analyzer.replay_next()
+        assert first.changed_functions == ["run"]
+        assert second.changed_functions == ["idle"]
+
+    def test_file_deletion_handled(self):
+        repo = build_multifile_history(
+            [
+                (AUTHOR1, dict(BASE)),
+                (AUTHOR2, {"other.c": None}),
+            ]
+        )
+        analyzer = IncrementalAnalyzer(repo, start_rev=0)
+        result = analyzer.replay_next()
+        assert result.changed_functions == []
+        assert "other.c" not in analyzer.project.modules
+
+    def test_timing_recorded(self):
+        repo = repo_with_buggy_commit()
+        analyzer = IncrementalAnalyzer(repo, start_rev=0)
+        result = analyzer.replay_next()
+        assert result.seconds > 0

@@ -1,0 +1,53 @@
+"""Tests for corpus statistics and the corpus-stats CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import generate_app
+from repro.corpus.stats import collect_stats
+
+
+@pytest.fixture(scope="module")
+def app():
+    return generate_app("openssl", scale=0.03, seed=6)
+
+
+class TestCollectStats:
+    def test_basic_counts(self, app):
+        stats = collect_stats(app.repo, ledger=app.ledger)
+        assert stats.files > 0
+        assert stats.loc > 100
+        assert stats.functions > stats.files  # several functions per file
+        assert stats.commits == len(app.repo.commits)
+        assert stats.authors > 3
+
+    def test_dates_ordered(self, app):
+        stats = collect_stats(app.repo)
+        assert stats.first_commit <= stats.last_commit
+
+    def test_constructs_from_ledger(self, app):
+        stats = collect_stats(app.repo, ledger=app.ledger)
+        assert stats.constructs == app.ledger.counts()
+
+    def test_render(self, app):
+        text = collect_stats(app.repo, ledger=app.ledger).render()
+        assert "top committers" in text
+        assert "planted constructs" in text
+
+    def test_reuses_supplied_project(self, app):
+        project = app.project()
+        stats = collect_stats(app.repo, project=project)
+        assert stats.loc == project.loc()
+
+
+class TestCliStats:
+    def test_corpus_stats_command(self, tmp_path, capsys):
+        rc = main(["generate-corpus", "openssl", "--scale", "0.02", "--out", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(["corpus-stats", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "planted constructs" in out
+
+    def test_missing_repo_json(self, tmp_path, capsys):
+        assert main(["corpus-stats", str(tmp_path)]) == 2

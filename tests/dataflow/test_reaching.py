@@ -1,0 +1,78 @@
+"""Unit tests for reaching definitions and def-use chains."""
+
+from repro.dataflow.reaching import definition_has_use, reaching_definitions
+from repro.ir import Store, StoreKind, VarAddr, lower_source
+
+
+def fn(text, name=None):
+    module = lower_source(text, filename="t.c")
+    if name is None:
+        name = next(iter(module.functions))
+    return module.functions[name]
+
+
+def stores_of(function, var):
+    return [
+        s
+        for s in function.stores()
+        if s.addr is not None and s.addr.tracked_var() == var
+    ]
+
+
+class TestReachingDefinitions:
+    def test_straightline_def_use(self):
+        f = fn("int f(void) { int a = 1; return a; }")
+        rd = reaching_definitions(f)
+        (store,) = stores_of(f, "a")
+        assert definition_has_use(rd, store)
+
+    def test_overwritten_def_has_no_use(self):
+        f = fn("int f(void) { int a = 1; a = 2; return a; }")
+        rd = reaching_definitions(f)
+        first, second = stores_of(f, "a")
+        assert not definition_has_use(rd, first)
+        assert definition_has_use(rd, second)
+
+    def test_branch_merges_defs(self):
+        src = "int f(int c) { int a = 1; if (c) { a = 2; } return a; }"
+        f = fn(src)
+        rd = reaching_definitions(f)
+        decl, branch = stores_of(f, "a")
+        assert definition_has_use(rd, decl)
+        assert definition_has_use(rd, branch)
+
+    def test_loop_back_edge(self):
+        src = "int f(int n) { int s = 0; while (n) { s = s + 1; n = n - 1; } return s; }"
+        f = fn(src)
+        rd = reaching_definitions(f)
+        for store in stores_of(f, "s"):
+            assert definition_has_use(rd, store)
+
+    def test_defs_of_load(self):
+        src = "int f(int c) { int a = 1; if (c) { a = 2; } return a; }"
+        f = fn(src)
+        rd = reaching_definitions(f)
+        from repro.ir import Load
+
+        final_loads = [
+            i for i in f.instructions() if isinstance(i, Load) and i.addr == VarAddr("a")
+        ]
+        reaching = rd.defs_of(final_loads[-1])
+        assert len(reaching) == 2
+
+    def test_param_init_reaches_use(self):
+        f = fn("int f(int x) { return x; }")
+        rd = reaching_definitions(f)
+        (param_store,) = [s for s in f.stores() if s.kind is StoreKind.PARAM_INIT]
+        assert definition_has_use(rd, param_store)
+
+    def test_field_whole_struct_read_consumes_field_defs(self):
+        src = """
+        struct s { int a; };
+        void sink(struct s v);
+        void f(void) { struct s v; v.a = 1; sink(v); }
+        """
+        f = fn(src, name="f")
+        rd = reaching_definitions(f)
+        (field_store,) = stores_of(f, "v#a")
+        assert definition_has_use(rd, field_store)

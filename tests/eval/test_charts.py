@@ -1,0 +1,91 @@
+"""Tests for the SVG chart renderer and the artifact result bundle."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.eval.charts import bar_chart, figure7_svg, figure9_svg, line_chart
+
+
+def assert_valid_svg(text):
+    root = ET.fromstring(text)
+    assert root.tag.endswith("svg")
+    return root
+
+
+class TestBarChart:
+    def test_valid_svg(self):
+        svg = bar_chart("components", {"filesystem": 0.38, "security": 0.17})
+        assert_valid_svg(svg)
+
+    def test_labels_present(self):
+        svg = bar_chart("components", {"filesystem": 0.38, "security": 0.17})
+        assert "filesystem" in svg and "38%" in svg
+
+    def test_empty_data(self):
+        svg = bar_chart("empty", {})
+        assert "(no data)" in svg
+
+    def test_escaping(self):
+        svg = bar_chart("a<b&c", {"x<y": 1.0})
+        assert_valid_svg(svg)
+        assert "a&lt;b&amp;c" in svg
+
+    def test_custom_format(self):
+        svg = bar_chart("counts", {"a": 12.0}, value_format="{:.0f}")
+        assert ">12<" in svg
+
+
+class TestLineChart:
+    def test_valid_svg(self):
+        svg = line_chart("precision", [(10, 0.975), (20, 0.92), (30, 0.86)])
+        assert_valid_svg(svg)
+        assert "97.5%" in svg
+
+    def test_single_point(self):
+        assert_valid_svg(line_chart("one", [(10, 0.5)]))
+
+    def test_empty(self):
+        assert "(no data)" in line_chart("none", [])
+
+
+class TestFigureRenderers:
+    @pytest.fixture(scope="class")
+    def small_suite(self):
+        from repro.eval.suite import EvalSuite
+
+        return EvalSuite.build(scale=0.03, seed=5)
+
+    def test_figure7_svg(self, small_suite):
+        from repro.eval import figure7
+
+        svg = figure7_svg(figure7.run(small_suite))
+        assert_valid_svg(svg)
+        assert "component distribution" in svg
+
+    def test_figure9_svg(self, small_suite):
+        from repro.eval import figure9
+
+        svg = figure9_svg(figure9.run(small_suite, cutoffs=(1, 2)))
+        assert_valid_svg(svg)
+
+
+class TestArtifactBundle:
+    def test_save_writes_artifact_files(self, tmp_path):
+        from repro.eval.runner import run_all
+
+        run = run_all(scale=0.03, seed=5)
+        run.save(tmp_path)
+        for name in (
+            "evaluation.txt",
+            "table_2_detected_bugs.csv",
+            "table_6_dok_effect.csv",
+            "table_7_time_analysis.csv",
+            "figure_7_dist.svg",
+            "figure_9_detected_bug_dok.svg",
+        ):
+            assert (tmp_path / name).exists(), name
+        assert (tmp_path / "linux" / "detected.csv").exists()
+        table2 = (tmp_path / "table_2_detected_bugs.csv").read_text()
+        assert table2.startswith("application,detected,confirmed")
+        assert "Total," in table2

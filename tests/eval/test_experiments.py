@@ -1,0 +1,187 @@
+"""Integration tests for the per-table/figure experiment drivers.
+
+A small shared suite (module-scoped) keeps these fast; the full-scale
+numbers live in benchmarks + EXPERIMENTS.md."""
+
+import pytest
+
+from repro.eval import (
+    calibration_experiment,
+    figure7,
+    figure9,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.eval.suite import APP_ORDER, EvalSuite
+
+SCALE = 0.06
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return EvalSuite.build(scale=SCALE, seed=7)
+
+
+class TestSuite:
+    def test_builds_all_apps(self, suite):
+        assert set(suite.runs) == set(APP_ORDER)
+
+    def test_reports_cached(self, suite):
+        assert suite.run("linux").report is suite.run("linux").report
+
+
+class TestTable2:
+    def test_confirmed_at_most_detected(self, suite):
+        result = table2.run(suite)
+        for row in result.rows:
+            assert 0 < row.confirmed <= row.detected
+
+    def test_mysql_detects_most(self, suite):
+        result = table2.run(suite)
+        by_app = {row.app: row.detected for row in result.rows}
+        assert by_app["MySQL"] == max(by_app.values())
+
+    def test_render(self, suite):
+        text = table2.run(suite).render()
+        assert "Table 2" in text and "Total" in text
+
+
+class TestTable3:
+    def test_missing_check_dominates(self, suite):
+        result = table3.run(suite)
+        assert result.by_type.get("missing_check", 0) >= result.by_type.get("semantic", 0)
+
+    def test_totals_match_confirmed(self, suite):
+        t2 = table2.run(suite)
+        t3 = table3.run(suite)
+        assert sum(t3.by_type.values()) == t2.total_confirmed
+
+
+class TestTable4:
+    def test_prune_rates_high(self, suite):
+        result = table4.run(suite)
+        for row in result.rows:
+            assert row.prune_rate > 0.5
+            assert row.original == row.total_pruned + row.detected_after
+
+    def test_sampled_fn_rate_low(self, suite):
+        result = table4.run(suite)
+        for row in result.rows:
+            assert row.sampled_fn_rate <= 0.15
+
+    def test_hints_and_peers_dominate_for_mysql(self, suite):
+        result = table4.run(suite)
+        mysql = next(row for row in result.rows if row.app == "MySQL")
+        top_two = sorted(mysql.pruned_by.values(), reverse=True)[:2]
+        assert sum(top_two) / mysql.total_pruned > 0.9
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self, suite):
+        return table5.run(suite)
+
+    def test_clang_finds_nothing(self, result):
+        assert result.totals("clang").found == 0
+
+    def test_infer_unsupported_on_linux(self, result):
+        assert not result.cells["infer"]["Linux"].supported
+
+    def test_smatch_linux_only(self, result):
+        assert result.cells["smatch"]["Linux"].supported
+        assert not result.cells["smatch"]["MySQL"].supported
+
+    def test_valuecheck_best_fp_rate(self, result):
+        vc = result.totals("valuecheck")
+        vc_rate = 1 - vc.real / vc.found
+        for tool in ("infer", "smatch", "coverity"):
+            cell = result.totals(tool)
+            if cell.found:
+                assert 1 - cell.real / cell.found > vc_rate
+
+    def test_valuecheck_finds_most_real_bugs(self, result):
+        vc = result.totals("valuecheck")
+        for tool in ("clang", "infer", "smatch", "coverity"):
+            assert result.totals(tool).real <= vc.real
+
+    def test_render_marks_unsupported(self, result):
+        assert "-*" in result.render()
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self, suite):
+        # Cutoff scales with the corpus so ranking actually gets exercised.
+        return table6.run(suite, cutoff=3)
+
+    def test_full_beats_wo_authorship(self, result):
+        assert result.total("valuecheck") >= result.total("wo_authorship")
+
+    def test_full_at_least_wo_familiarity(self, result):
+        assert result.total("valuecheck") >= result.total("wo_familiarity")
+
+    def test_all_groups_present(self, result):
+        assert set(result.detected) == set(table6.GROUPS)
+
+
+class TestTable7:
+    def test_times_positive_and_incremental_smaller(self, suite):
+        result = table7.run(suite, replay_commits=5)
+        for row in result.rows:
+            assert row.full_seconds > 0
+            assert row.incremental_seconds < row.full_seconds
+
+    def test_loc_reported(self, suite):
+        result = table7.run(suite, replay_commits=2)
+        assert all(row.loc > 100 for row in result.rows)
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self, suite):
+        return figure7.run(suite)
+
+    def test_filesystem_largest_component(self, result):
+        fractions = result.component_fractions()
+        assert fractions.get("filesystem", 0) == max(fractions.values())
+
+    def test_medium_severity_dominates(self, result):
+        fractions = result.severity_fractions()
+        assert fractions.get("medium", 0) == max(fractions.values())
+
+    def test_old_bugs_dominate(self, result):
+        fractions = result.age_fractions()
+        assert fractions.get(">1000", 0) > 0.5
+
+    def test_fractions_sum_to_one(self, result):
+        assert sum(result.component_fractions().values()) == pytest.approx(1.0)
+
+
+class TestFigure9:
+    def test_precision_counts_consistent(self, suite):
+        result = figure9.run(suite, cutoffs=(1, 2, 3))
+        for cutoff in (1, 2, 3):
+            real, reported = result.points[cutoff]
+            assert 0 <= real <= reported
+
+    def test_small_cutoff_precision_high(self, suite):
+        result = figure9.run(suite, cutoffs=(1,))
+        assert result.precision(1) >= 0.75
+
+    def test_render(self, suite):
+        assert "Figure 9" in figure9.run(suite, cutoffs=(1, 2)).render()
+
+
+class TestCalibration:
+    def test_pooled_fit_near_paper(self, suite):
+        result = calibration_experiment.run(suite)
+        assert result.pooled is not None
+        assert result.pooled.alpha_fa == pytest.approx(1.2, abs=0.5)
+        assert result.pooled.alpha_ac == pytest.approx(0.5, abs=0.3)
+
+    def test_render_includes_paper_row(self, suite):
+        assert "paper" in calibration_experiment.run(suite).render()

@@ -1,0 +1,105 @@
+"""Unit tests for evaluation metrics and the extensions driver."""
+
+import pytest
+
+from repro.core.findings import AuthorshipInfo, Candidate, CandidateKind, Finding
+from repro.corpus.ground_truth import GroundTruthEntry, GroundTruthLedger
+from repro.eval.metrics import (
+    format_fp,
+    fp_rate,
+    join_findings,
+    precision_at,
+    real_bug_count,
+)
+from repro.ir import StoreKind
+
+
+def entry(file="a.c", function="f", var="x", is_bug=True):
+    return GroundTruthEntry(
+        category="bug_overwritten",
+        file=file,
+        function=function,
+        var=var,
+        is_bug=is_bug,
+        expected_cross_scope=True,
+    )
+
+
+def finding(file="a.c", function="f", var="x", callee=None, rank=1):
+    return Finding(
+        candidate=Candidate(
+            file=file,
+            function=function,
+            var=var,
+            line=1,
+            kind=CandidateKind.OVERWRITTEN_DEF,
+            store_kind=StoreKind.ASSIGN,
+            callee=callee,
+        ),
+        authorship=AuthorshipInfo(cross_scope=True, introducing_author="a"),
+        rank=rank,
+    )
+
+
+def ledger_with(*entries):
+    ledger = GroundTruthLedger(app="t", detection_day=0)
+    for item in entries:
+        ledger.add(item)
+    return ledger
+
+
+class TestJoin:
+    def test_exact_match(self):
+        ledger = ledger_with(entry())
+        pairs = join_findings(ledger, [finding()])
+        assert pairs[0][1] is not None
+
+    def test_unmatched_is_none(self):
+        ledger = ledger_with(entry())
+        pairs = join_findings(ledger, [finding(var="other")])
+        assert pairs[0][1] is None
+
+    def test_callee_fallback(self):
+        ledger = ledger_with(entry(var="logger"))
+        pairs = join_findings(ledger, [finding(var="r", callee="logger")])
+        assert pairs[0][1] is not None
+
+
+class TestCounting:
+    def test_real_bug_count_dedups(self):
+        ledger = ledger_with(entry())
+        findings = [finding(), finding()]  # two findings, one planted bug
+        assert real_bug_count(ledger, findings) == 1
+
+    def test_non_bug_not_counted(self):
+        ledger = ledger_with(entry(is_bug=False))
+        assert real_bug_count(ledger, [finding()]) == 0
+
+    def test_fp_rate(self):
+        assert fp_rate(10, 7) == pytest.approx(0.3)
+        assert fp_rate(0, 0) == 0.0
+
+    def test_format(self):
+        assert format_fp(10, 7) == "10/7/30%"
+
+    def test_precision_at_cutoff(self):
+        ledger = ledger_with(entry(var="x"), entry(var="y", is_bug=False))
+        findings = [finding(var="x", rank=1), finding(var="y", rank=2)]
+        assert precision_at(ledger, findings, 1) == (1, 1)
+        assert precision_at(ledger, findings, 2) == (1, 2)
+        assert precision_at(ledger, findings, 99) == (1, 2)
+
+
+class TestExtensionsDriver:
+    def test_runs_on_small_suite(self):
+        from repro.eval import extensions
+        from repro.eval.suite import EvalSuite
+
+        suite = EvalSuite.build(scale=0.04, seed=7)
+        result = extensions.run(suite, cutoff=3)
+        assert set(result.default) == set(result.with_history)
+        default_found = sum(found for found, _ in result.default.values())
+        history_found = sum(found for found, _ in result.with_history.values())
+        assert history_found <= default_found
+        assert sum(result.top_ea.values()) > 0
+        assert "extensions ablation" in result.render()

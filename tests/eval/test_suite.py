@@ -1,0 +1,50 @@
+"""Tests for the evaluation suite plumbing (scale resolution, caching)."""
+
+import pytest
+
+from repro.eval.suite import APP_ORDER, DEFAULT_SCALE, EvalSuite, env_scale
+
+
+class TestEnvScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == DEFAULT_SCALE
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.42")
+        assert env_scale() == pytest.approx(0.42)
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return EvalSuite.build(scale=0.02, seed=3)
+
+    def test_app_order_preserved(self, suite):
+        assert tuple(suite.runs) == APP_ORDER
+
+    def test_parse_time_recorded(self, suite):
+        for run_state in suite.runs.values():
+            assert run_state.parse_seconds > 0
+
+    def test_default_reports_nonempty(self, suite):
+        for run_state in suite.runs.values():
+            assert run_state.report.findings
+
+    def test_ablation_cache(self, suite):
+        from repro.core.valuecheck import ValueCheckConfig
+
+        config = ValueCheckConfig(use_familiarity=False)
+        first = suite.report_with("linux", config, cache_key="k")
+        second = suite.report_with("linux", config, cache_key="k")
+        assert first is second
+
+    def test_distinct_cache_keys_rerun(self, suite):
+        from repro.core.valuecheck import ValueCheckConfig
+
+        first = suite.report_with("linux", ValueCheckConfig(use_familiarity=False), "k1")
+        second = suite.report_with("linux", ValueCheckConfig(), "k2")
+        assert first is not second
+
+    def test_ledger_accessible(self, suite):
+        assert suite.run("mysql").ledger.entries

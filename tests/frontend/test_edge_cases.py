@@ -1,0 +1,214 @@
+"""Edge-case coverage for the frontend and lowering: constructs that are
+rare in the corpora but occur in real system C code."""
+
+import pytest
+
+from repro.cfg import validate_cfg
+from repro.dataflow import unused_definitions
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.ir import DerefAddr, FieldAddr, Load, Store, StoreKind, lower_source
+from repro.ir.verifier import verify_module
+
+
+def parse(text, config=None):
+    unit, _ = parse_source(text, filename="t.c", config=config)
+    return unit
+
+
+def lower(text, config=None):
+    module = lower_source(text, filename="t.c", config=config)
+    verify_module(module)
+    return module
+
+
+class TestDeclarationEdges:
+    def test_typedef_chain(self):
+        src = "typedef int u32;\ntypedef u32 sector_t;\nsector_t f(sector_t s)\n{\n    return s;\n}\n"
+        module = lower(src)
+        assert module.functions["f"].params[0].type_name == "sector_t"
+
+    def test_typedef_to_struct_chain(self):
+        src = (
+            "typedef struct req { int id; } req_t;\n"
+            "typedef req_t request_t;\n"
+            "int f(void)\n{\n    request_t r;\n    r.id = 1;\n    return r.id;\n}\n"
+        )
+        module = lower(src)
+        assert module.functions["f"].variables["r"].is_struct
+
+    def test_multi_declarator_with_mixed_pointers(self):
+        src = "void f(void)\n{\n    int a = 1, *p = 0, b = 2;\n    p = &a;\n    b = *p + b;\n    a = b;\n}\n"
+        module = lower(src)
+        f = module.functions["f"]
+        assert f.variables["p"].is_pointer
+        assert not f.variables["b"].is_pointer
+
+    def test_unsigned_long_long(self):
+        module = lower("unsigned long long f(unsigned long long x)\n{\n    return x;\n}\n")
+        assert "unsigned long long" in module.functions["f"].return_type
+
+    def test_const_pointer_params(self):
+        module = lower("int f(const char *name)\n{\n    if (name) { return 1; }\n    return 0;\n}\n")
+        assert module.functions["f"].params[0].is_pointer
+
+    def test_static_global(self):
+        unit = parse("static int counter = 0;\nint f(void)\n{\n    return counter;\n}\n")
+        assert unit.globals[0].name == "counter"
+
+    def test_enum_collapses_to_int(self):
+        module = lower("enum mode { A, B };\n" if False else "int f(enum color c)\n{\n    return c;\n}\n")
+        assert module.functions["f"].params[0].type_name == "int"
+
+
+class TestExpressionEdges:
+    def test_nested_ternary(self):
+        module = lower("int f(int a, int b)\n{\n    int r = a ? (b ? 1 : 2) : 3;\n    return r;\n}\n")
+        assert module.functions["f"]
+
+    def test_chained_comparisons_with_logic(self):
+        module = lower("int f(int a, int b)\n{\n    return a > 0 && b < 10 || a == b;\n}\n")
+        assert module.functions["f"]
+
+    def test_bit_manipulation(self):
+        module = lower(
+            "int f(int flags)\n{\n    flags |= 4;\n    flags &= ~2;\n    flags ^= 1;\n    return flags << 2 >> 1;\n}\n"
+        )
+        found = unused_definitions(module.functions["f"])
+        assert not found  # every compound def feeds the next
+
+    def test_pointer_arith_deref(self):
+        module = lower("int f(int *base, int i)\n{\n    return *(base + i);\n}\n")
+        loads = [x for x in module.functions["f"].instructions() if isinstance(x, Load)]
+        assert any(isinstance(l.addr, DerefAddr) for l in loads)
+
+    def test_address_of_field(self):
+        src = (
+            "struct s { int a; };\n"
+            "void fill(int *p);\n"
+            "int f(void)\n{\n    struct s v;\n    fill(&v.a);\n    return v.a;\n}\n"
+        )
+        module = lower(src)
+        from repro.ir import AddrOf
+
+        addr_ofs = [x for x in module.functions["f"].instructions() if isinstance(x, AddrOf)]
+        assert isinstance(addr_ofs[0].addr, FieldAddr)
+
+    def test_call_in_condition_of_loop(self):
+        src = "int next(void);\nint f(void)\n{\n    int n = 0;\n    while (next() > 0) { n++; }\n    return n;\n}\n"
+        module = lower(src)
+        validate_cfg(module.functions["f"])
+
+    def test_assignment_as_condition(self):
+        src = "int read_one(void);\nint f(void)\n{\n    int c;\n    int total = 0;\n    while ((c = read_one()) > 0) { total += c; }\n    return total;\n}\n"
+        module = lower(src)
+        found = unused_definitions(module.functions["f"])
+        assert not [u for u in found if u.var == "c"]
+
+    def test_comma_in_for_step(self):
+        src = "int f(int n)\n{\n    int j = 0;\n    for (int i = 0; i < n; i++, j += 2) { }\n    return j;\n}\n"
+        module = lower(src)
+        validate_cfg(module.functions["f"])
+
+    def test_negative_hex_and_suffixes(self):
+        module = lower("int f(void)\n{\n    int a = -0x7F;\n    long b = 10L;\n    return a + b;\n}\n")
+        assert module.functions["f"]
+
+    def test_char_escapes(self):
+        module = lower("int f(char c)\n{\n    if (c == '\\n') { return 1; }\n    if (c == '\\t') { return 2; }\n    return 0;\n}\n")
+        assert module.functions["f"]
+
+
+class TestControlFlowEdges:
+    def test_deeply_nested_loops(self):
+        src = (
+            "int f(int n)\n{\n    int total = 0;\n"
+            "    for (int i = 0; i < n; i++) {\n"
+            "        for (int j = 0; j < i; j++) {\n"
+            "            while (total < 100) { total += j; break; }\n"
+            "        }\n    }\n    return total;\n}\n"
+        )
+        module = lower(src)
+        validate_cfg(module.functions["f"])
+
+    def test_early_returns_everywhere(self):
+        src = (
+            "int f(int a)\n{\n"
+            "    if (a < 0) { return -1; }\n"
+            "    if (a == 0) { return 0; }\n"
+            "    if (a > 100) { return 100; }\n"
+            "    return a;\n}\n"
+        )
+        module = lower(src)
+        assert len(module.functions["f"].return_lines) == 4
+
+    def test_infinite_loop_with_break(self):
+        src = "int f(int n)\n{\n    for (;;) {\n        n--;\n        if (n == 0) { break; }\n    }\n    return n;\n}\n"
+        module = lower(src)
+        validate_cfg(module.functions["f"])
+
+    def test_multiple_gotos_same_label(self):
+        src = (
+            "int f(int a)\n{\n"
+            "    int rc = -1;\n"
+            "    if (a < 0) goto out;\n"
+            "    if (a > 9) goto out;\n"
+            "    rc = a;\n"
+            "out:\n    return rc;\n}\n"
+        )
+        module = lower(src)
+        found = unused_definitions(module.functions["f"])
+        assert not [u for u in found if u.var == "rc"]
+
+    def test_do_while_with_continue(self):
+        src = "int f(int n)\n{\n    do {\n        n--;\n        if (n == 3) { continue; }\n    } while (n > 0);\n    return n;\n}\n"
+        module = lower(src)
+        validate_cfg(module.functions["f"])
+
+
+class TestPreprocessorEdges:
+    def test_elif_chain_parses_selected_arm(self):
+        src = (
+            "int f(void)\n{\n"
+            "#if MODE_A\n    return 1;\n"
+            "#elif MODE_B\n    return 2;\n"
+            "#else\n    return 3;\n"
+            "#endif\n}\n"
+        )
+        for config, expected_returns in ((None, 1), ({"MODE_A"}, 1), ({"MODE_B"}, 1)):
+            module = lower(src, config=config)
+            assert len(module.functions["f"].return_lines) == expected_returns
+
+    def test_nested_ifdef_config(self):
+        src = (
+            "int f(int x)\n{\n"
+            "#ifdef OUTER\n"
+            "    x = x + 1;\n"
+            "#ifdef INNER\n"
+            "    x = x + 2;\n"
+            "#endif\n"
+            "#endif\n"
+            "    return x;\n}\n"
+        )
+        both = lower(src, config={"OUTER", "INNER"})
+        outer = lower(src, config={"OUTER"})
+        neither = lower(src)
+        count = lambda m: len([i for i in m.functions["f"].instructions() if isinstance(i, Store) and i.kind is StoreKind.COMPOUND])
+        stores = lambda m: len(m.functions["f"].stores())
+        assert stores(both) > stores(outer) > stores(neither)
+
+
+class TestErrorRecovery:
+    def test_unterminated_function(self):
+        with pytest.raises(ParseError):
+            parse("int f(void) { int a = 1;")
+
+    def test_bad_attribute(self):
+        with pytest.raises(ParseError):
+            parse("int f(int x __attribute__((unused)) { return 0; }")
+
+    def test_case_outside_switch_rejected(self):
+        # 'case' at statement level is a parse error in MiniC
+        with pytest.raises(ParseError):
+            parse("int f(int x) { case 1: return 0; }")

@@ -1,0 +1,150 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = tokenize("bufsz")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.value == "bufsz"
+
+    def test_keyword_vs_identifier(self):
+        toks = tokenize("int integer")[:-1]
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+
+    def test_underscore_identifier(self):
+        (tok,) = tokenize("__attribute__")[:-1]
+        assert tok.kind is TokenKind.IDENT
+
+    def test_decimal_number(self):
+        (tok,) = tokenize("1400")[:-1]
+        assert tok.kind is TokenKind.INT
+        assert tok.value == "1400"
+
+    def test_hex_number(self):
+        (tok,) = tokenize("0xFF")[:-1]
+        assert tok.value == "0xFF"
+
+    def test_number_with_suffix(self):
+        (tok,) = tokenize("10UL")[:-1]
+        assert tok.value == "10UL"
+
+    def test_float_number(self):
+        (tok,) = tokenize("3.14")[:-1]
+        assert tok.value == "3.14"
+
+    def test_string_literal(self):
+        (tok,) = tokenize('"headers.log"')[:-1]
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "headers.log"
+
+    def test_string_with_escape(self):
+        (tok,) = tokenize(r'"%d\n"')[:-1]
+        assert tok.value == r"%d\n"
+
+    def test_char_literal(self):
+        (tok,) = tokenize("'_'")[:-1]
+        assert tok.kind is TokenKind.CHAR
+        assert tok.value == "_"
+
+    def test_char_escape(self):
+        (tok,) = tokenize(r"'\0'")[:-1]
+        assert tok.value == r"\0"
+
+
+class TestOperators:
+    def test_maximal_munch_increments(self):
+        assert values("x++ + ++y") == ["x", "++", "+", "++", "y"]
+
+    def test_arrow_vs_minus(self):
+        assert values("p->f - q") == ["p", "->", "f", "-", "q"]
+
+    def test_shift_and_relational(self):
+        assert values("a << b <= c") == ["a", "<<", "b", "<=", "c"]
+
+    def test_compound_assignment(self):
+        assert values("a += b |= c") == ["a", "+=", "b", "|=", "c"]
+
+    def test_logical_operators(self):
+        assert values("a && b || !c") == ["a", "&&", "b", "||", "!", "c"]
+
+    def test_ellipsis(self):
+        assert values("(...)") == ["(", "...", ")"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x */ b") == ["a", "b"]
+
+    def test_multiline_block_comment_tracks_lines(self):
+        toks = tokenize("a /* 1\n2\n3 */ b")[:-1]
+        assert toks[1].line == 3
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")[:-1]
+        assert [t.line for t in toks] == [1, 2, 4]
+
+    def test_column_numbers(self):
+        toks = tokenize("ab cd")[:-1]
+        assert [t.column for t in toks] == [1, 4]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+    def test_stray_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ok\n  @", filename="f.c")
+        assert excinfo.value.filename == "f.c"
+        assert excinfo.value.line == 2
+
+
+class TestRealisticSnippets:
+    def test_function_header(self):
+        text = "int logfile_mod_open(char *path, size_t bufsz)"
+        vals = values(text)
+        assert vals == ["int", "logfile_mod_open", "(", "char", "*", "path", ",", "size_t", "bufsz", ")"]
+
+    def test_cursor_statement(self):
+        assert values("*o++ = '_';") == ["*", "o", "++", "=", "_", ";"]
+
+    def test_token_helpers(self):
+        tok = Token(TokenKind.PUNCT, ";", 1, 1)
+        assert tok.is_punct(";")
+        assert not tok.is_punct(",")
+        assert not tok.is_keyword(";")

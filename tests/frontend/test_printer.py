@@ -1,0 +1,69 @@
+"""Round-trip tests for the AST pretty-printer: printed output must parse
+and lower to IR with the same analysed behaviour."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import unused_definitions
+from repro.frontend.parser import parse_source
+from repro.frontend.printer import print_unit
+from repro.ir.builder import lower_unit
+
+from tests.test_properties import gen_program
+
+SAMPLES = [
+    "int f(void)\n{\n    return 0;\n}\n",
+    "int f(int a, int b)\n{\n    int c = a + b * 2;\n    return c;\n}\n",
+    "void f(char *o, char c)\n{\n    if (c == '-')\n        *o++ = '_';\n    *o++ = '\\0';\n}\n",
+    "struct s { int a; int b; };\nint f(void)\n{\n    struct s v;\n    v.a = 1;\n    return v.a;\n}\n",
+    "typedef int acl_t;\nacl_t f(acl_t x)\n{\n    return x;\n}\n",
+    "int g(int v);\nint f(int n)\n{\n    int total = 0;\n    for (int i = 0; i < n; i++) {\n        total += g(i);\n    }\n    return total;\n}\n",
+    "int f(int x)\n{\n    switch (x) {\n    case 1:\n        return 10;\n    default:\n        return 0;\n    }\n}\n",
+    "int f(int x)\n{\n    if (x) goto out;\n    x = 1;\nout:\n    return x;\n}\n",
+    "int f(int a)\n{\n    int r = a > 0 ? a : -a;\n    return r;\n}\n",
+    "int verbose = 0;\nint f(void)\n{\n    return verbose;\n}\n",
+    "int f(int n)\n{\n    do { n = n - 1; } while (n > 0);\n    return n;\n}\n",
+    "int f(int force [[maybe_unused]])\n{\n    return 0;\n}\n",
+]
+
+
+def roundtrip(text):
+    unit, _ = parse_source(text, filename="orig.c")
+    printed = print_unit(unit)
+    reparsed, _ = parse_source(printed, filename="printed.c")
+    return unit, printed, reparsed
+
+
+def behaviour(unit):
+    """Analysis-relevant behaviour signature: per-function unused defs."""
+    module = lower_unit(unit)
+    signature = {}
+    for name, function in module.functions.items():
+        signature[name] = sorted(
+            (u.var, u.kind.value, u.is_param) for u in unused_definitions(function)
+        )
+    return signature
+
+
+class TestRoundTrip:
+    def test_samples_reparse(self):
+        for sample in SAMPLES:
+            unit, printed, reparsed = roundtrip(sample)
+            assert [f.name for f in unit.functions] == [f.name for f in reparsed.functions], printed
+
+    def test_samples_preserve_behaviour(self):
+        for sample in SAMPLES:
+            unit, printed, reparsed = roundtrip(sample)
+            assert behaviour(unit) == behaviour(reparsed), printed
+
+    def test_print_idempotent(self):
+        for sample in SAMPLES:
+            unit, printed, reparsed = roundtrip(sample)
+            assert print_unit(reparsed) == printed
+
+    @given(params=st.tuples(st.integers(0, 10_000), st.integers(0, 25)))
+    @settings(max_examples=100, deadline=None)
+    def test_generated_programs_roundtrip(self, params):
+        seed, n = params
+        unit, printed, reparsed = roundtrip(gen_program(seed, n))
+        assert behaviour(unit) == behaviour(reparsed), printed

@@ -1,0 +1,147 @@
+"""Tests for switch-statement parsing, lowering and analysis behaviour."""
+
+import pytest
+
+from repro.cfg import validate_cfg
+from repro.core.detector import detect_module
+from repro.core.findings import CandidateKind
+from repro.dataflow import unused_definitions
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.ir import lower_source
+
+SWITCH_SRC = """
+int classify(int x)
+{
+    int r = 0;
+    switch (x) {
+    case 1:
+        r = 10;
+        break;
+    case 2:
+        r = 20;
+    case 3:
+        r = r + 1;
+        break;
+    default:
+        r = -1;
+    }
+    return r;
+}
+"""
+
+
+class TestParsing:
+    def test_switch_parses(self):
+        unit, _ = parse_source(SWITCH_SRC, filename="t.c")
+        (stmt,) = [
+            s for s in unit.functions[0].body.statements if isinstance(s, ast.SwitchStmt)
+        ]
+        assert len(stmt.cases) == 4
+        assert stmt.cases[-1].value is None  # default
+
+    def test_case_bodies_collected(self):
+        unit, _ = parse_source(SWITCH_SRC, filename="t.c")
+        switch = next(
+            s for s in unit.functions[0].body.statements if isinstance(s, ast.SwitchStmt)
+        )
+        assert len(switch.cases[0].body) == 2  # assignment + break
+
+    def test_statement_before_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("void f(int x) { switch (x) { x = 1; case 1: break; } }")
+
+    def test_empty_switch(self):
+        unit, _ = parse_source("void f(int x) { switch (x) { } }")
+        assert unit.functions[0].name == "f"
+
+    def test_default_only(self):
+        unit, _ = parse_source("int f(int x) { switch (x) { default: return 1; } return 0; }")
+        assert unit.functions[0].name == "f"
+
+
+class TestLowering:
+    def test_cfg_validates(self):
+        module = lower_source(SWITCH_SRC, filename="t.c")
+        validate_cfg(module.functions["classify"])
+
+    def test_fallthrough_semantics(self):
+        # case 2 falls through to case 3: r=20 is read by r=r+1, so the
+        # r=20 definition is used.
+        module = lower_source(SWITCH_SRC, filename="t.c")
+        found = unused_definitions(module.functions["classify"])
+        assert not [u for u in found if u.var == "r"]
+
+    def test_break_jumps_to_exit(self):
+        module = lower_source(SWITCH_SRC, filename="t.c")
+        labels = [b.label for b in module.functions["classify"].blocks]
+        assert any(l.startswith("switchexit") for l in labels)
+
+    def test_dead_case_assignment_detected(self):
+        src = """
+        int f(int x)
+        {
+            int r = 0;
+            switch (x) {
+            case 1:
+                r = 10;
+                r = 11;
+                break;
+            }
+            return r;
+        }
+        """
+        module = lower_source(src, filename="t.c")
+        candidates = detect_module(module)
+        overwritten = [c for c in candidates if c.kind is CandidateKind.OVERWRITTEN_DEF]
+        assert overwritten and overwritten[0].var == "r"
+
+    def test_break_in_switch_inside_loop(self):
+        src = """
+        int f(int n)
+        {
+            int total = 0;
+            while (n > 0) {
+                switch (n) {
+                case 1:
+                    total = total + 1;
+                    break;
+                default:
+                    total = total + 2;
+                }
+                n = n - 1;
+            }
+            return total;
+        }
+        """
+        module = lower_source(src, filename="t.c")
+        validate_cfg(module.functions["f"])
+        # `break` bound to the switch, not the loop: the loop still
+        # decrements n, so nothing about n is unused.
+        found = unused_definitions(module.functions["f"])
+        assert not [u for u in found if u.var == "n"]
+
+    def test_default_mid_position(self):
+        src = """
+        int f(int x)
+        {
+            int r;
+            switch (x) {
+            case 1:
+                r = 1;
+                break;
+            default:
+                r = 0;
+                break;
+            case 2:
+                r = 2;
+                break;
+            }
+            return r;
+        }
+        """
+        module = lower_source(src, filename="t.c")
+        validate_cfg(module.functions["f"])
+        found = unused_definitions(module.functions["f"])
+        assert not [u for u in found if u.var == "r"]

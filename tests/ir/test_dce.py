@@ -1,0 +1,113 @@
+"""Tests for the dead-code-elimination pass and its relationship to the
+unused-definition detector (paper §2.2: the same liveness facts serve
+optimisation and bug detection)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import validate_cfg
+from repro.core.detector import detect_module
+from repro.core.findings import CandidateKind
+from repro.dataflow import unused_definitions
+from repro.ir import Call, Store, lower_source
+from repro.ir.dce import dce_summary, dead_instructions, eliminate_dead_code
+from repro.ir.verifier import verify_function
+
+from tests.test_properties import gen_program
+
+
+def fn(text, name=None):
+    module = lower_source(text, filename="t.c")
+    if name is None:
+        name = next(iter(module.functions))
+    return module.functions[name]
+
+
+class TestDeadInstructions:
+    def test_dead_store_found(self):
+        function = fn("int f(void) { int a = 1; a = 2; return a; }")
+        dead = dead_instructions(function)
+        assert any(isinstance(i, Store) and i.line == 1 for i in dead)
+
+    def test_clean_function_untouched(self):
+        function = fn("int f(int a) { int b = a + 1; return b; }")
+        assert dead_instructions(function) == []
+
+    def test_fully_dead_local_removes_chain(self):
+        function = fn("int g(void);\nint f(void) { int scratch; scratch = 5; return 1; }", name="f")
+        summary = dce_summary(function)
+        assert summary["stores"] == 1
+        assert summary["allocas"] == 1
+
+    def test_calls_never_removed(self):
+        function = fn("int g(void);\nvoid f(void) { g(); }", name="f")
+        dead = dead_instructions(function)
+        assert not any(isinstance(i, Call) for i in dead)
+
+    def test_param_allocas_kept(self):
+        function = fn("int f(int unused_arg) { return 0; }")
+        dead = dead_instructions(function)
+        from repro.ir import Alloca
+
+        assert not any(isinstance(i, Alloca) for i in dead)
+
+
+class TestEliminate:
+    def test_fixpoint_chain(self):
+        # b feeds only a's dead store: removing one exposes the other.
+        src = "int f(int x) { int b = x * 2; int a; a = b + 1; return x; }"
+        function = fn(src)
+        removed = eliminate_dead_code(function)
+        assert removed >= 4  # two stores, loads/binops, two allocas
+        validate_cfg(function)
+        assert unused_definitions(function) == []
+
+    def test_result_still_verifies(self):
+        function = fn("int f(void) { int a = 1; a = 2; int c = 9; return a; }")
+        eliminate_dead_code(function)
+        verify_function(function)
+
+    def test_idempotent(self):
+        function = fn("int f(void) { int a = 1; a = 2; return a; }")
+        eliminate_dead_code(function)
+        assert eliminate_dead_code(function) == 0
+
+
+class TestDetectorAgreement:
+    def test_candidates_are_dce_dead_stores(self):
+        # Every store-shaped detector candidate is something DCE deletes.
+        src = """
+        int g(void);
+        int f(int c) {
+            int a = 1;
+            if (c) { a = 2; } else { a = 3; }
+            int r;
+            r = g();
+            return a;
+        }
+        """
+        module = lower_source(src, filename="t.c")
+        function = module.functions["f"]
+        dead_store_lines = {
+            (i.addr.tracked_var(), i.line)
+            for i in dead_instructions(function)
+            if isinstance(i, Store) and i.addr is not None
+        }
+        for candidate in detect_module(module):
+            if candidate.function != "f":
+                continue
+            if candidate.kind is CandidateKind.IGNORED_RETURN and candidate.store_kind is None:
+                continue
+            assert (candidate.var, candidate.line) in dead_store_lines
+
+    @given(params=st.tuples(st.integers(0, 10_000), st.integers(0, 20)))
+    @settings(max_examples=80, deadline=None)
+    def test_elimination_reaches_clean_state(self, params):
+        seed, n = params
+        module = lower_source(gen_program(seed, n), filename="g.c")
+        function = module.functions["f"]
+        eliminate_dead_code(function)
+        validate_cfg(function)
+        # After DCE no unused definitions remain (calls aside — their
+        # result stores were removed, the calls themselves stay).
+        assert unused_definitions(function, include_params=False) == []

@@ -1,0 +1,137 @@
+"""Unit tests for instruction/value rendering and operand reporting."""
+
+from repro.ir import (
+    AddrOf,
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    CastOp,
+    DerefAddr,
+    ElementAddr,
+    FieldAddr,
+    GlobalAddr,
+    Load,
+    Ret,
+    Select,
+    Store,
+    StoreKind,
+    UnOp,
+    VarAddr,
+)
+from repro.ir.values import ConstInt, ConstStr, FuncRef, ParamValue, Temp, Undef
+
+
+class TestValueRendering:
+    def test_temp(self):
+        assert str(Temp(3)) == "%t3"
+
+    def test_consts(self):
+        assert str(ConstInt(7)) == "7"
+        assert str(ConstStr("hi")) == '"hi"'
+
+    def test_funcref_and_param(self):
+        assert str(FuncRef("main")) == "@main"
+        assert str(ParamValue("x", 0)) == "arg(x)"
+        assert str(Undef()) == "undef"
+
+
+class TestAddressSemantics:
+    def test_var_addr_tracked(self):
+        assert VarAddr("a").tracked_var() == "a"
+        assert VarAddr("a").base_var() == "a"
+
+    def test_field_addr_pseudo_var(self):
+        addr = FieldAddr("s", "mode")
+        assert addr.tracked_var() == "s#mode"
+        assert addr.base_var() == "s"
+
+    def test_deref_not_tracked(self):
+        addr = DerefAddr(Temp(1), field="next")
+        assert addr.tracked_var() is None
+        assert addr.base_var() is None
+
+    def test_element_addr_base_only(self):
+        addr = ElementAddr("arr", ConstInt(0))
+        assert addr.tracked_var() is None
+        assert addr.base_var() == "arr"
+
+    def test_global_addr(self):
+        assert GlobalAddr("g").tracked_var() is None
+
+
+class TestOperandReporting:
+    def test_store_operands_include_pointer(self):
+        store = Store(line=1, addr=DerefAddr(Temp(1)), value=Temp(2))
+        operands = store.operands()
+        assert Temp(1) in operands and Temp(2) in operands
+
+    def test_load_from_element_reports_index(self):
+        load = Load(line=1, dest=Temp(3), addr=ElementAddr("arr", Temp(2)))
+        assert Temp(2) in load.operands()
+
+    def test_call_operands(self):
+        call = Call(line=1, dest=Temp(5), callee=None, callee_value=Temp(4), args=[Temp(1)])
+        assert call.is_indirect
+        assert set(call.operands()) == {Temp(1), Temp(4)}
+
+    def test_select_operands(self):
+        select = Select(line=1, dest=Temp(9), cond=Temp(1), then_value=Temp(2), else_value=Temp(3))
+        assert len(select.operands()) == 3
+
+    def test_ret_void_has_no_operands(self):
+        assert Ret(line=1).operands() == []
+
+    def test_br_conditional_operand(self):
+        br = Br(line=1, cond=Temp(1), then_label="a", else_label="b")
+        assert br.operands() == [Temp(1)]
+        assert Br(line=1, then_label="a").operands() == []
+
+
+class TestInstructionRendering:
+    def test_every_instruction_renders(self):
+        samples = [
+            Alloca(line=1, var="x", type_name="int"),
+            Load(line=1, dest=Temp(1), addr=VarAddr("x")),
+            Store(line=1, addr=VarAddr("x"), value=ConstInt(1), kind=StoreKind.DECL_INIT),
+            BinOp(line=1, dest=Temp(2), op="+", lhs=Temp(1), rhs=ConstInt(1)),
+            UnOp(line=1, dest=Temp(3), op="-", operand=Temp(2)),
+            Select(line=1, dest=Temp(4), cond=Temp(1), then_value=Temp(2), else_value=Temp(3)),
+            CastOp(line=1, dest=Temp(5), value=Temp(4), type_name="void", to_void=True),
+            AddrOf(line=1, dest=Temp(6), addr=VarAddr("x")),
+            Call(line=1, dest=Temp(7), callee="f", args=[Temp(6)]),
+            Ret(line=1, value=Temp(7)),
+            Br(line=1, cond=Temp(1), then_label="a", else_label="b"),
+        ]
+        for instruction in samples:
+            text = str(instruction)
+            assert text and "object at" not in text
+
+    def test_uids_unique(self):
+        a = Ret(line=1)
+        b = Ret(line=1)
+        assert a.uid != b.uid
+
+
+class TestSuppressionMarker:
+    def test_inline_suppression_pruned(self):
+        from repro.core import ValueCheck
+        from repro.core.valuecheck import ValueCheckConfig
+        from tests.core.helpers import AUTHOR1, AUTHOR2, build_multifile_history, project_from_repo
+
+        v1 = "int f(int mode)\n{\n    return mode;\n}\n"
+        v2 = (
+            "int f(int mode)\n"
+            "{\n"
+            "    int probe = mode * 2; /* valuecheck: ignore */\n"
+            "    if (probe < 0) { return -1; }\n"
+            "    probe = mode;\n"
+            "    return mode;\n"
+            "}\n"
+        )
+        # Hmm: the suppression must be on the candidate line (the dead
+        # redefinition) or the decl line; here it is on the decl line.
+        repo = build_multifile_history([(AUTHOR1, {"a.c": v1}), (AUTHOR2, {"a.c": v2})])
+        report = ValueCheck().analyze(project_from_repo(repo))
+        findings = [f for f in report.findings if f.candidate.var == "probe"]
+        assert findings and findings[0].pruned_by == "unused_hints"

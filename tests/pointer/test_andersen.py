@@ -1,0 +1,157 @@
+"""Unit tests for the field-sensitive Andersen's analysis."""
+
+from repro.ir import Call, lower_source
+from repro.pointer.andersen import analyze_module, loc_node
+
+
+def analyze(text):
+    module = lower_source(text, filename="t.c")
+    return module, analyze_module(module)
+
+
+class TestBasicPointsTo:
+    def test_address_of_local(self):
+        module, result = analyze("void f(void) { int x; int *p; p = &x; }")
+        assert loc_node("f", "x") in result.pts_of_var("f", "p")
+
+    def test_copy_through_assignment(self):
+        module, result = analyze("void f(void) { int x; int *p; int *q; p = &x; q = p; }")
+        assert loc_node("f", "x") in result.pts_of_var("f", "q")
+
+    def test_two_targets_join(self):
+        src = "void f(int c) { int x; int y; int *p; if (c) { p = &x; } else { p = &y; } }"
+        module, result = analyze(src)
+        pts = result.pts_of_var("f", "p")
+        assert loc_node("f", "x") in pts and loc_node("f", "y") in pts
+
+    def test_no_points_to_for_scalars(self):
+        module, result = analyze("void f(void) { int x; x = 3; }")
+        assert result.pts_of_var("f", "x") == set()
+
+    def test_pointer_to_pointer(self):
+        src = "void f(void) { int x; int *p; int **pp; p = &x; pp = &p; }"
+        module, result = analyze(src)
+        assert loc_node("f", "p") in result.pts_of_var("f", "pp")
+
+    def test_deref_store_flows(self):
+        # *pp = &y : whatever pp points at (p) now may point at y.
+        src = "void f(void) { int y; int *p; int **pp; pp = &p; *pp = &y; }"
+        module, result = analyze(src)
+        assert loc_node("f", "y") in result.pts_of_var("f", "p")
+
+    def test_deref_load_flows(self):
+        src = "void f(void) { int x; int *p; int **pp; int *q; p = &x; pp = &p; q = *pp; }"
+        module, result = analyze(src)
+        assert loc_node("f", "x") in result.pts_of_var("f", "q")
+
+
+class TestFieldSensitivity:
+    def test_field_address(self):
+        src = "struct s { int a; int b; };\nvoid f(void) { struct s v; int *p; p = &v.a; }"
+        module, result = analyze(src)
+        pts = result.pts_of_var("f", "p")
+        assert loc_node("f", "v#a") in pts
+        assert loc_node("f", "v#b") not in pts
+
+    def test_fields_distinguished(self):
+        src = """
+        struct s { int *a; int *b; };
+        void f(void) { struct s v; int x; int *q; v.a = &x; q = v.b; }
+        """
+        module, result = analyze(src)
+        assert loc_node("f", "x") in result.pts_of_var("f", "v#a")
+        assert result.pts_of_var("f", "q") == set()
+
+    def test_field_via_struct_pointer(self):
+        src = """
+        struct s { int *a; };
+        void f(struct s *sp) { int x; sp->a = &x; }
+        void g(void) { struct s v; f(&v); }
+        """
+        module, result = analyze(src)
+        # f's sp points to g's v; storing &x through sp->a lands in v#a.
+        assert loc_node("f", "x") in result.pts("loc:g:v#a")
+
+
+class TestInterprocedural:
+    def test_argument_passing(self):
+        src = """
+        void callee(int *p) { }
+        void caller(void) { int x; callee(&x); }
+        """
+        module, result = analyze(src)
+        assert loc_node("caller", "x") in result.pts_of_var("callee", "p")
+
+    def test_return_value(self):
+        src = """
+        int g;
+        int *get(void) { return &g; }
+        void use(void) { int *p; p = get(); }
+        """
+        module, result = analyze(src)
+        assert "glob:g" in result.pts_of_var("use", "p")
+
+    def test_is_pointed_to(self):
+        src = "void sink(int *p);\nvoid f(void) { int x; int y; sink(&x); y = 3; }"
+        module, result = analyze(src)
+        assert result.is_pointed_to("f", "x")
+        assert not result.is_pointed_to("f", "y")
+
+
+class TestFunctionPointers:
+    def test_direct_callee(self):
+        module, result = analyze("int g(void);\nvoid f(void) { g(); }")
+        f = module.functions["f"]
+        (call,) = [i for i in f.instructions() if isinstance(i, Call)]
+        assert result.callees_of(call) == ["g"]
+
+    def test_indirect_call_resolved(self):
+        src = """
+        int real_handler(int x) { return x; }
+        void f(void) {
+            int r;
+            int *handler;
+            handler = real_handler;
+            r = handler(1);
+        }
+        """
+        module, result = analyze(src)
+        f = module.functions["f"]
+        (call,) = [i for i in f.instructions() if isinstance(i, Call)]
+        assert result.callees_of(call) == ["real_handler"]
+
+    def test_indirect_call_two_candidates(self):
+        src = """
+        int h1(int x) { return 1; }
+        int h2(int x) { return 2; }
+        void f(int c) {
+            int r;
+            int *handler;
+            if (c) { handler = h1; } else { handler = h2; }
+            r = handler(0);
+        }
+        """
+        module, result = analyze(src)
+        f = module.functions["f"]
+        (call,) = [i for i in f.instructions() if isinstance(i, Call)]
+        assert result.callees_of(call) == ["h1", "h2"]
+
+    def test_indirect_call_wires_args(self):
+        src = """
+        void handler_impl(int *p) { }
+        void f(void) {
+            int x;
+            void *handler;
+            handler = handler_impl;
+            handler(&x);
+        }
+        """
+        module, result = analyze(src)
+        assert loc_node("f", "x") in result.pts_of_var("handler_impl", "p")
+
+
+class TestArrays:
+    def test_array_smashing(self):
+        src = "void f(void) { int *arr[4]; int x; arr[0] = &x; }"
+        module, result = analyze(src)
+        assert loc_node("f", "x") in result.pts("loc:f:arr")

@@ -1,0 +1,120 @@
+"""Unit + property tests for SSA construction and the sparse VFG.
+
+The key property: the sparse value-flow graph must agree with reaching
+definitions on "does this store have a use?" for every store of every
+generated program."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.reaching import definition_has_use, reaching_definitions
+from repro.ir import Load, Store, StoreKind, lower_source
+from repro.pointer.sparse_vfg import build_sparse_vfg
+from repro.ssa import build_ssa
+
+from tests.test_properties import gen_program
+
+
+def fn(text, name=None):
+    module = lower_source(text, filename="t.c")
+    if name is None:
+        name = next(iter(module.functions))
+    return module.functions[name]
+
+
+def stores_of(function, var):
+    return [
+        s for s in function.stores() if s.addr is not None and s.addr.tracked_var() == var
+    ]
+
+
+class TestSsaConstruction:
+    def test_straightline_versions(self):
+        f = fn("int f(void) { int a = 1; a = 2; return a; }")
+        ssa = build_ssa(f)
+        assert ssa.version_counts["a"] == 2
+
+    def test_phi_at_join(self):
+        f = fn("int f(int c) { int a; if (c) { a = 1; } else { a = 2; } return a; }")
+        ssa = build_ssa(f)
+        phis = [phi for phi in ssa.all_phis() if phi.var == "a"]
+        assert len(phis) >= 1
+        assert len(phis[0].operands) == 2
+
+    def test_load_maps_to_phi_after_join(self):
+        f = fn("int f(int c) { int a; if (c) { a = 1; } else { a = 2; } return a; }")
+        ssa = build_ssa(f)
+        final_loads = [i for i in f.instructions() if isinstance(i, Load)]
+        a_loads = [l for l in final_loads if l.addr.tracked_var() == "a"]
+        defs = ssa.defs_of_load(a_loads[-1])
+        assert defs and defs[0].phi is not None
+
+    def test_loop_phi(self):
+        f = fn("int f(int n) { int s = 0; while (n) { s = s + 1; n = n - 1; } return s; }")
+        ssa = build_ssa(f)
+        loop_phis = [phi for phi in ssa.all_phis() if phi.var == "s"]
+        assert loop_phis
+
+    def test_use_before_def_is_undef(self):
+        f = fn("int f(void) { int a; int b = a; a = 1; return a + b; }")
+        ssa = build_ssa(f)
+        loads = [i for i in f.instructions() if isinstance(i, Load) and i.addr.tracked_var() == "a"]
+        first_defs = ssa.defs_of_load(loads[0])
+        assert first_defs and first_defs[0].is_undef
+
+    def test_store_use_straightline(self):
+        f = fn("int f(void) { int a = 1; return a; }")
+        ssa = build_ssa(f)
+        (store,) = stores_of(f, "a")
+        assert ssa.store_has_direct_use(store)
+
+    def test_dead_store_has_no_use(self):
+        f = fn("int f(void) { int a = 1; a = 2; return a; }")
+        ssa = build_ssa(f)
+        first, second = stores_of(f, "a")
+        assert not ssa.store_has_direct_use(first)
+        assert ssa.store_has_direct_use(second)
+
+    def test_whole_struct_read_uses_field_defs(self):
+        src = """
+        struct s { int a; };
+        void sink(struct s v);
+        void f(void) { struct s v; v.a = 1; sink(v); }
+        """
+        f = fn(src, name="f")
+        ssa = build_ssa(f)
+        (field_store,) = stores_of(f, "v#a")
+        assert ssa.store_has_direct_use(field_store)
+
+
+class TestSparseVfg:
+    def test_matches_simple_cases(self):
+        f = fn("int f(int c) { int a = 1; if (c) { a = 2; } return a; }")
+        vfg = build_sparse_vfg(f)
+        decl, branch = stores_of(f, "a")
+        assert vfg.definition_used(decl)
+        assert vfg.definition_used(branch)
+
+    def test_flows_of_reports_loads(self):
+        f = fn("int f(void) { int a = 1; return a; }")
+        vfg = build_sparse_vfg(f)
+        (store,) = stores_of(f, "a")
+        assert len(vfg.flows_of(store)) == 1
+
+    @given(params=st.tuples(st.integers(0, 10_000), st.integers(0, 25)))
+    @settings(max_examples=120, deadline=None)
+    def test_sparse_agrees_with_reaching_definitions(self, params):
+        seed, n = params
+        module = lower_source(gen_program(seed, n), filename="gen.c")
+        function = module.functions["f"]
+        rd = reaching_definitions(function)
+        sparse = build_sparse_vfg(function)
+        for store in function.stores():
+            tracked = store.addr.tracked_var() if store.addr is not None else None
+            if tracked is None:
+                continue
+            assert sparse.definition_used(store) == definition_has_use(rd, store), (
+                tracked,
+                store.line,
+                store.kind,
+            )

@@ -1,0 +1,83 @@
+"""Unit tests for dominator computation and dominance frontiers."""
+
+from repro.ir import lower_source
+from repro.ssa.dominators import compute_dominators, dominance_frontiers
+
+
+def fn(text):
+    module = lower_source(text, filename="t.c")
+    return next(iter(module.functions.values()))
+
+
+def label_of(block):
+    return block.label
+
+
+class TestDominators:
+    def test_entry_has_no_idom(self):
+        f = fn("int f(void) { return 0; }")
+        tree = compute_dominators(f)
+        assert tree.immediate_dominator(f.entry) is None
+
+    def test_straightline_chain(self):
+        f = fn("int f(int x) { if (x) { x = 1; } return x; }")
+        tree = compute_dominators(f)
+        for block in f.blocks:
+            if block is not f.entry and tree.is_reachable(block):
+                assert tree.dominates(f.entry, block)
+
+    def test_branch_join_dominated_by_split(self):
+        f = fn("int f(int c) { int a; if (c) { a = 1; } else { a = 2; } return a; }")
+        tree = compute_dominators(f)
+        by_label = {b.label: b for b in f.blocks}
+        then_block = next(b for b in f.blocks if b.label.startswith("then"))
+        merge_block = next(b for b in f.blocks if b.label.startswith("merge"))
+        assert tree.immediate_dominator(merge_block) is f.entry
+        assert not tree.dominates(then_block, merge_block)
+
+    def test_self_domination(self):
+        f = fn("int f(void) { return 0; }")
+        tree = compute_dominators(f)
+        assert tree.dominates(f.entry, f.entry)
+
+    def test_loop_header_dominates_body(self):
+        f = fn("int f(int n) { while (n) { n = n - 1; } return n; }")
+        tree = compute_dominators(f)
+        header = next(b for b in f.blocks if b.label.startswith("loopcond"))
+        body = next(b for b in f.blocks if b.label.startswith("loopbody"))
+        assert tree.dominates(header, body)
+
+    def test_children_partition(self):
+        f = fn("int f(int c) { int a; if (c) { a = 1; } else { a = 2; } return a; }")
+        tree = compute_dominators(f)
+        children = tree.children(f.entry)
+        assert len(children) >= 3  # then, else, merge all idom'd by entry
+
+    def test_unreachable_block_not_in_tree(self):
+        f = fn("int f(void) { return 1; int a = 2; return a; }")
+        tree = compute_dominators(f)
+        dead = next(b for b in f.blocks if b.label.startswith("dead"))
+        assert not tree.is_reachable(dead)
+
+
+class TestDominanceFrontiers:
+    def test_branch_frontier_is_join(self):
+        f = fn("int f(int c) { int a; if (c) { a = 1; } else { a = 2; } return a; }")
+        tree = compute_dominators(f)
+        frontiers = dominance_frontiers(f, tree)
+        then_block = next(b for b in f.blocks if b.label.startswith("then"))
+        merge_block = next(b for b in f.blocks if b.label.startswith("merge"))
+        assert merge_block in frontiers[id(then_block)]
+
+    def test_entry_frontier_empty_for_straightline(self):
+        f = fn("int f(void) { int a = 1; return a; }")
+        frontiers = dominance_frontiers(f)
+        assert frontiers[id(f.entry)] == []
+
+    def test_loop_header_in_own_frontier(self):
+        f = fn("int f(int n) { while (n) { n = n - 1; } return n; }")
+        frontiers = dominance_frontiers(f)
+        header = next(b for b in f.blocks if b.label.startswith("loopcond"))
+        body = next(b for b in f.blocks if b.label.startswith("loopbody"))
+        assert header in frontiers[id(body)]
+        assert header in frontiers[id(header)]

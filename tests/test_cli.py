@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import generate_app
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    base = tmp_path_factory.mktemp("corpus")
+    app = generate_app("openssl", scale=0.03, seed=9)
+    app.repo.checkout_to(base / "src")
+    app.repo.save(base / "repo.json")
+    return base
+
+
+class TestAnalyze:
+    def test_analyze_with_repo(self, corpus_dir, capsys):
+        rc = main(["analyze", str(corpus_dir / "src"), "--repo", str(corpus_dir / "repo.json")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "reported:" in out
+        assert "#1" in out
+
+    def test_analyze_without_repo(self, corpus_dir, capsys):
+        rc = main(["analyze", str(corpus_dir / "src")])
+        assert rc == 0
+        assert "candidates:" in capsys.readouterr().out
+
+    def test_analyze_writes_csv(self, corpus_dir, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        rc = main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert rc == 0
+        assert csv_path.read_text().startswith("rank,file,line")
+
+    def test_baseline_suppresses_known_findings(self, corpus_dir, tmp_path, capsys):
+        csv_path = tmp_path / "baseline.csv"
+        main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--baseline",
+                str(csv_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 new" in out  # identical tree: everything is known
+
+    def test_analyze_missing_directory(self, tmp_path, capsys):
+        rc = main(["analyze", str(tmp_path / "nope")])
+        assert rc == 2
+
+    def test_analyze_empty_directory(self, tmp_path, capsys):
+        rc = main(["analyze", str(tmp_path)])
+        assert rc == 2
+
+
+class TestGenerateCorpus:
+    def test_generate(self, tmp_path, capsys):
+        rc = main(["generate-corpus", "nfs-ganesha", "--scale", "0.02", "--out", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert (tmp_path / "repo.json").exists()
+        assert list((tmp_path / "src").rglob("*.c"))
+        assert "planted constructs" in out
+
+    def test_unknown_app_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate-corpus", "postgres", "--out", str(tmp_path)])
+
+    def test_roundtrip_generate_then_analyze(self, tmp_path, capsys):
+        main(["generate-corpus", "openssl", "--scale", "0.02", "--out", str(tmp_path)])
+        capsys.readouterr()
+        rc = main(
+            ["analyze", str(tmp_path / "src"), "--repo", str(tmp_path / "repo.json")]
+        )
+        assert rc == 0
+        assert "cross-scope" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_evaluate_small(self, tmp_path, capsys):
+        rc = main(["evaluate", "--scale", "0.03", "--out", str(tmp_path / "result")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 2" in out
+        assert (tmp_path / "result" / "evaluation.txt").exists()
+        assert (tmp_path / "result" / "mysql" / "detected.csv").exists()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,args,expect",
+    [
+        ("quickstart.py", (), "Figure 8 bug"),
+        ("paper_figures.py", (), "the intentional cursor was pruned"),
+        ("corpus_evaluation.py", ("0.05",), "precision@"),
+        ("incremental_ci.py", (), "would have been blocked"),
+    ],
+)
+def test_example_runs(script, args, expect):
+    result = run_example(script, *args)
+    assert result.returncode == 0, result.stderr
+    assert expect in result.stdout
+
+
+def test_custom_corpus_example():
+    result = run_example("custom_corpus.py")
+    assert result.returncode == 0, result.stderr
+    assert "All planted bugs rediscovered" in result.stdout

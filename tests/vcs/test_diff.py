@@ -1,0 +1,90 @@
+"""Unit + property tests for the Myers diff."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vcs.diff import OpCode, apply_opcodes, myers_diff
+
+
+class TestBasicDiffs:
+    def test_identical(self):
+        ops = myers_diff(["a", "b"], ["a", "b"])
+        assert ops == [OpCode("equal", 0, 2, 0, 2)]
+
+    def test_empty_both(self):
+        assert myers_diff([], []) == []
+
+    def test_pure_insert(self):
+        ops = myers_diff([], ["x", "y"])
+        assert ops == [OpCode("insert", 0, 0, 0, 2)]
+
+    def test_pure_delete(self):
+        ops = myers_diff(["x", "y"], [])
+        assert ops == [OpCode("delete", 0, 2, 0, 0)]
+
+    def test_insert_in_middle(self):
+        ops = myers_diff(["a", "c"], ["a", "b", "c"])
+        tags = [op.tag for op in ops]
+        assert "insert" in tags
+        assert apply_opcodes(["a", "c"], ["a", "b", "c"], ops) == ["a", "b", "c"]
+
+    def test_delete_in_middle(self):
+        ops = myers_diff(["a", "b", "c"], ["a", "c"])
+        assert apply_opcodes(["a", "b", "c"], ["a", "c"], ops) == ["a", "c"]
+
+    def test_replace(self):
+        ops = myers_diff(["a", "OLD", "c"], ["a", "NEW", "c"])
+        assert apply_opcodes(["a", "OLD", "c"], ["a", "NEW", "c"], ops) == ["a", "NEW", "c"]
+
+    def test_disjoint(self):
+        a, b = ["1", "2"], ["3", "4"]
+        assert apply_opcodes(a, b, myers_diff(a, b)) == b
+
+    def test_repeated_lines(self):
+        a = ["x", "x", "x"]
+        b = ["x", "x"]
+        assert apply_opcodes(a, b, myers_diff(a, b)) == b
+
+    def test_opcode_regions_are_contiguous(self):
+        a = ["a", "b", "c", "d"]
+        b = ["a", "x", "c", "y", "d", "e"]
+        ops = myers_diff(a, b)
+        ai = bi = 0
+        for op in ops:
+            assert op.i1 == ai and op.j1 == bi
+            ai, bi = op.i2, op.j2
+        assert ai == len(a) and bi == len(b)
+
+
+lines = st.lists(st.sampled_from(["a", "b", "c", "int x = 1;", "", "}"]), max_size=30)
+
+
+class TestDiffProperties:
+    @given(a=lines, b=lines)
+    @settings(max_examples=200, deadline=None)
+    def test_applying_diff_reconstructs_target(self, a, b):
+        assert apply_opcodes(a, b, myers_diff(a, b)) == b
+
+    @given(a=lines)
+    @settings(max_examples=100, deadline=None)
+    def test_self_diff_is_all_equal(self, a):
+        ops = myers_diff(a, a)
+        assert all(op.tag == "equal" for op in ops)
+
+    @given(a=lines, b=lines)
+    @settings(max_examples=200, deadline=None)
+    def test_regions_cover_both_sequences(self, a, b):
+        ops = myers_diff(a, b)
+        ai = bi = 0
+        for op in ops:
+            assert op.i1 == ai and op.j1 == bi
+            assert op.i2 >= op.i1 and op.j2 >= op.j1
+            ai, bi = op.i2, op.j2
+        assert ai == len(a) and bi == len(b)
+
+    @given(a=lines, b=lines)
+    @settings(max_examples=100, deadline=None)
+    def test_equal_regions_match_content(self, a, b):
+        for op in myers_diff(a, b):
+            if op.tag == "equal":
+                assert a[op.i1 : op.i2] == b[op.j1 : op.j2]
