@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Perf trajectory runner: one command, one normalized BENCH_<n>.json.
+
+Runs (1) the pytest-benchmark engine suite with ``--benchmark-json`` and
+(2) direct stage timings — detection, authorship, full pipeline per
+executor, warm-cache replay, and table7 full-vs-incremental seconds —
+then writes everything into a single ``BENCH_<n>.json`` at the repo root
+so future PRs can regress-check performance against the trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--scale 0.1] [--index 1]
+    PYTHONPATH=src python benchmarks/run_bench.py --skip-pytest   # fast path
+
+The schema is stable: timings in seconds, counters as integers; compare
+fields across BENCH_*.json files rather than across hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import ValueCheck, ValueCheckConfig  # noqa: E402
+from repro.engine import AnalysisEngine, ResultCache  # noqa: E402
+from repro.eval import table7  # noqa: E402
+from repro.eval.suite import EvalSuite  # noqa: E402
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+def _next_index() -> int:
+    taken = set()
+    for path in ROOT.glob("BENCH_*.json"):
+        stem = path.stem.split("_", 1)[-1]
+        if stem.isdigit():
+            taken.add(int(stem))
+    return max(taken) + 1 if taken else 1
+
+
+def _run_pytest_benchmarks(scale: float, seed: int) -> list[dict]:
+    """Run the engine pytest-benchmark suite, return normalized rows."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "pytest_bench.json"
+        env = dict(os.environ)
+        env["REPRO_SCALE"] = str(scale)
+        env["REPRO_SEED"] = str(seed)
+        env["PYTHONPATH"] = f"{ROOT / 'src'}:{env.get('PYTHONPATH', '')}".rstrip(":")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "-q",
+                str(ROOT / "benchmarks" / "test_engine_parallel.py"),
+                f"--benchmark-json={out}",
+            ],
+            cwd=ROOT / "benchmarks",
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0 or not out.exists():
+            print(proc.stdout[-2000:], file=sys.stderr)
+            print(proc.stderr[-2000:], file=sys.stderr)
+            raise SystemExit("pytest-benchmark run failed")
+        data = json.loads(out.read_text())
+    rows = []
+    for bench in data.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        rows.append(
+            {
+                "name": bench.get("name"),
+                "mean_seconds": stats.get("mean"),
+                "stddev_seconds": stats.get("stddev"),
+                "min_seconds": stats.get("min"),
+                "rounds": stats.get("rounds"),
+            }
+        )
+    return rows
+
+
+def _stage_timings(scale: float, seed: int, workers: int) -> dict:
+    """Direct timings of the pipeline stages and executor variants."""
+    from repro.corpus import generate_app
+
+    app = generate_app("nfs-ganesha", scale=scale, seed=seed)
+
+    # Detection (engine, serial, no cache) and authorship on one project.
+    project = app.project()
+    engine = AnalysisEngine(executor="serial", cache=None)
+    started = time.perf_counter()
+    run = engine.run(project)
+    detection_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    project.resolver(None).resolve_all(run.candidates)
+    authorship_seconds = time.perf_counter() - started
+
+    executors = {}
+    for kind in EXECUTORS:
+        config = ValueCheckConfig(executor=kind, workers=workers, module_cache=False)
+        fresh = app.project()
+        started = time.perf_counter()
+        ValueCheck(config).analyze(fresh)
+        executors[kind] = time.perf_counter() - started
+
+    # Warm-cache replay: second run over identical content (projects are
+    # parsed outside the timed window; we time the engine pass alone).
+    cache = ResultCache()
+    cached_engine = AnalysisEngine(executor="serial", cache=cache)
+    cached_engine.run(app.project())
+    replay_project = app.project()
+    started = time.perf_counter()
+    warm = cached_engine.run(replay_project)
+    warm_seconds = time.perf_counter() - started
+
+    serial = executors["serial"]
+    return {
+        "detection_seconds": detection_seconds,
+        "authorship_seconds": authorship_seconds,
+        "executors_full_pipeline_seconds": executors,
+        "speedup_thread": serial / executors["thread"] if executors["thread"] else None,
+        "speedup_process": serial / executors["process"] if executors["process"] else None,
+        "cache": {
+            "cold_seconds": detection_seconds,
+            "warm_seconds": warm_seconds,
+            "hits": warm.stats.cache_hits,
+            "misses": warm.stats.cache_misses,
+        },
+        "candidates": len(run.candidates),
+        "non_converged_modules": list(run.stats.non_converged),
+    }
+
+
+def _table7_timings(scale: float, seed: int, replay_commits: int) -> dict:
+    suite = EvalSuite.build(scale=scale, seed=seed)
+    result = table7.run(suite, replay_commits=replay_commits)
+    return {
+        "replay_commits": replay_commits,
+        "rows": [
+            {
+                "app": row.app,
+                "loc": row.loc,
+                "full_seconds": row.full_seconds,
+                "incremental_seconds_per_commit": row.incremental_seconds,
+            }
+            for row in result.rows
+        ],
+        "total_full_seconds": sum(row.full_seconds for row in result.rows),
+        "total_incremental_seconds": sum(row.incremental_seconds for row in result.rows),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--scale", type=float, default=float(os.environ.get("REPRO_SCALE", 0.1)))
+    parser.add_argument("--seed", type=int, default=int(os.environ.get("REPRO_SEED", 7)))
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--replay-commits", type=int, default=10)
+    parser.add_argument("--index", type=int, default=None, help="n in BENCH_<n>.json")
+    parser.add_argument("--out", default=None, help="explicit output path")
+    parser.add_argument(
+        "--skip-pytest",
+        action="store_true",
+        help="skip the pytest-benchmark suite (direct timings only)",
+    )
+    args = parser.parse_args(argv)
+
+    index = args.index if args.index is not None else _next_index()
+    out_path = Path(args.out) if args.out else ROOT / f"BENCH_{index}.json"
+
+    print(f"[run_bench] scale={args.scale} seed={args.seed} workers={args.workers}")
+    payload = {
+        "schema": 1,
+        "bench_index": index,
+        "scale": args.scale,
+        "seed": args.seed,
+        "workers": args.workers,
+        "host": {"cpus": os.cpu_count(), "python": sys.version.split()[0]},
+        "stages": _stage_timings(args.scale, args.seed, args.workers),
+        "table7": _table7_timings(args.scale, args.seed, args.replay_commits),
+    }
+    if not args.skip_pytest:
+        print("[run_bench] running pytest-benchmark suite …")
+        payload["pytest_benchmark"] = _run_pytest_benchmarks(args.scale, args.seed)
+
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    stages = payload["stages"]
+    print(f"[run_bench] detection {stages['detection_seconds']:.2f}s, "
+          f"authorship {stages['authorship_seconds']:.2f}s")
+    for kind, seconds in stages["executors_full_pipeline_seconds"].items():
+        print(f"[run_bench] {kind:<8} full pipeline {seconds:.2f}s")
+    cache = stages["cache"]
+    print(f"[run_bench] warm cache replay {cache['warm_seconds']:.3f}s "
+          f"({cache['hits']} hits / {cache['misses']} misses)")
+    print(f"[run_bench] wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,7 +67,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     project = Project.from_sources(
         sources, name=source_dir.name, repo=repo, build_config=set(args.config or ())
     )
-    config = ValueCheckConfig(use_authorship=repo is not None)
+    config = ValueCheckConfig(
+        use_authorship=repo is not None,
+        executor=args.executor,
+        workers=args.workers,
+        module_cache=not args.no_module_cache,
+    )
     report = ValueCheck(config).analyze(project)
     print(report.summary())
     print()
@@ -187,6 +192,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="an earlier report CSV; only findings not present in it are shown",
     )
     analyze.add_argument("--top", type=int, default=20, help="findings to print")
+    analyze.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="how per-module analysis is scheduled (default: serial)",
+    )
+    analyze.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for thread/process executors (default: all cores)",
+    )
+    analyze.add_argument(
+        "--no-module-cache",
+        action="store_true",
+        help="disable the content-addressed per-module result cache",
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
     generate = subparsers.add_parser("generate-corpus", help="materialise a synthetic app")

@@ -46,7 +46,9 @@ class CrossScopeResolver:
             raise ValueError("cross-scope resolution needs a project with a repository")
         self.project = project
         self.index: ProjectIndex = project.index
-        self.blame = BlameIndex(project.repo, rev=rev)
+        # Revision-keyed cache on the project: repeated analyses at the
+        # same rev reuse one BlameIndex instead of re-blaming every file.
+        self.blame: BlameIndex = project.blame_index(rev)
 
     # -- blame helpers --------------------------------------------------
 

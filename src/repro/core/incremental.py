@@ -14,12 +14,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.cross_scope import CrossScopeResolver
-from repro.core.detector import detect_function
-from repro.core.findings import Finding
+from repro.core.findings import Candidate, Finding
 from repro.core.project import Project
 from repro.core.pruning import PruneContext, default_pipeline
 from repro.core.valuecheck import ValueCheckConfig
+from repro.engine import DEFAULT_CACHE, AnalysisEngine
 from repro.errors import AnalysisError
 from repro.ir.builder import lower_source
 from repro.vcs.diff import myers_diff
@@ -79,7 +78,16 @@ class IncrementalAnalyzer:
         self.project = Project.from_repository(
             repo, rev=self.current_rev, build_config=build_config
         )
+        # Per-module work (detection + index contributions) goes through
+        # the engine so replaying a commit that reverts a file — or
+        # re-replaying a commit — hits the content-addressed cache.
+        self.engine = AnalysisEngine(
+            executor=self.config.executor,
+            workers=self.config.workers,
+            cache=DEFAULT_CACHE if self.config.module_cache else None,
+        )
         # Warm the caches so replay timing measures incremental work only.
+        self.engine.run(self.project)
         _ = self.project.index
 
     def replay_next(self) -> IncrementalResult:
@@ -139,18 +147,29 @@ class IncrementalAnalyzer:
                 if location is not None and location.file in self.project.modules:
                     analysis_set.append((location.file, name))
 
-        candidates = []
+        # One engine pass over every module the analysis set touches:
+        # changed modules are re-analysed (a content-cache miss unless the
+        # commit reverted them), widened callers' modules are warm hits.
+        needed_paths: list[str] = []
+        for path, _ in analysis_set:
+            if path not in needed_paths:
+                needed_paths.append(path)
+        engine_run = self.engine.run(self.project, paths=needed_paths)
+
+        candidates: list[Candidate] = []
         for path, name in analysis_set:
             module = self.project.modules[path]
-            function = module.functions.get(name)
-            if function is None:
+            if module.functions.get(name) is None:
                 continue
-            candidates.extend(detect_function(function, module, self.project.vfg(path)))
+            candidates.extend(
+                candidate
+                for candidate in engine_run.by_path[path].candidates
+                if candidate.function == name
+            )
 
         rev = commit.commit_id
         if self.config.use_authorship and self.repo is not None:
-            resolver = CrossScopeResolver(self.project, rev=rev)
-            findings = resolver.resolve_all(candidates)
+            findings = self.project.resolver(rev).resolve_all(candidates)
         else:
             findings = [Finding(candidate=candidate) for candidate in candidates]
 

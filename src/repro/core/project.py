@@ -19,6 +19,10 @@ from repro.ir.module import Function, Module
 from repro.pointer.value_flow import ValueFlowGraph, build_value_flow
 from repro.vcs.repository import Repository
 
+# Most callers alternate between at most a couple of revisions (HEAD and a
+# replay cursor); a tiny FIFO keeps memory bounded during long replays.
+_REV_CACHE_LIMIT = 4
+
 
 @dataclass(frozen=True)
 class FunctionLocation:
@@ -44,36 +48,51 @@ class CallSite:
 
 @dataclass
 class ProjectIndex:
-    """Cross-file facts: definitions, call sites, peer usage."""
+    """Cross-file facts: definitions, call sites, peer usage.
+
+    Once built the per-callee collections are frozen tuples: the accessors
+    below are hot paths (every candidate probes them during authorship and
+    pruning) and handing out the internal lists would let a caller corrupt
+    the index shared across analyses.
+    """
 
     functions: dict[str, FunctionLocation] = field(default_factory=dict)
-    call_sites: dict[str, list[CallSite]] = field(default_factory=dict)
+    call_sites: dict[str, tuple[CallSite, ...]] = field(default_factory=dict)
     # (signature, param index) -> usage flags of that parameter across all
     # functions sharing the signature (peer-definition pruning, shape 2).
-    param_usage: dict[tuple[tuple[str, ...], int], list[bool]] = field(default_factory=dict)
+    param_usage: dict[tuple[tuple[str, ...], int], tuple[bool, ...]] = field(default_factory=dict)
 
     def location(self, name: str) -> FunctionLocation | None:
         return self.functions.get(name)
 
-    def sites_of(self, callee: str) -> list[CallSite]:
-        return self.call_sites.get(callee, [])
+    def sites_of(self, callee: str) -> tuple[CallSite, ...]:
+        return self.call_sites.get(callee, ())
 
     def return_usage(self, callee: str) -> list[bool]:
         """result_used flags across all call sites of ``callee`` (peer
         definitions of a return value, §5.4)."""
         return [site.result_used for site in self.sites_of(callee)]
 
-    def peer_params(self, signature: tuple[str, ...], index: int) -> list[bool]:
-        return self.param_usage.get((signature, index), [])
+    def peer_params(self, signature: tuple[str, ...], index: int) -> tuple[bool, ...]:
+        return self.param_usage.get((signature, index), ())
 
 
 @dataclass
-class _ModuleContribution:
-    """One module's slice of the project index."""
+class ModuleContribution:
+    """One module's slice of the project index.
+
+    Built per module (and in parallel by the analysis engine — instances
+    must stay picklable), then merged deterministically by
+    :meth:`Project._build_index`.
+    """
 
     functions: dict[str, FunctionLocation] = field(default_factory=dict)
     call_sites: list[CallSite] = field(default_factory=list)
     param_usage: list[tuple[tuple[str, ...], int, bool]] = field(default_factory=list)
+
+
+# Backwards-compatible alias (pre-engine name).
+_ModuleContribution = ModuleContribution
 
 
 def _call_result_used(function: Function, call: Call, use_map) -> bool:
@@ -81,6 +100,48 @@ def _call_result_used(function: Function, call: Call, use_map) -> bool:
         return True  # void calls have no discardable result
     uses = [u for u in use_map.get(call.dest, []) if not (isinstance(u, CastOp) and u.to_void)]
     return bool(uses)
+
+
+def build_contribution(path: str, module: Module, vfg: ValueFlowGraph) -> ModuleContribution:
+    """Compute one module's index contribution (pure function of the
+    module + its value-flow graph, so engine workers can run it off the
+    main process)."""
+    contribution = ModuleContribution()
+    for function in module.functions.values():
+        ast_fn = module.unit.function(function.name) if module.unit else None
+        signature: tuple[str, ...] = (function.return_type,)
+        if ast_fn is not None:
+            signature = (str(ast_fn.return_type), *(str(p.type) for p in ast_fn.params))
+        contribution.functions[function.name] = FunctionLocation(
+            name=function.name,
+            file=path,
+            line=function.line,
+            end_line=function.end_line,
+            return_lines=tuple(function.return_lines),
+            param_lines=tuple(p.decl_line for p in function.params),
+            signature=signature,
+        )
+        use_map = function.temp_use_map()
+        for instruction in function.instructions():
+            if not isinstance(instruction, Call):
+                continue
+            used = _call_result_used(function, instruction, use_map)
+            for callee in vfg.resolve_call(instruction):
+                contribution.call_sites.append(
+                    CallSite(
+                        callee=callee,
+                        file=path,
+                        line=instruction.line,
+                        caller=function.name,
+                        result_used=used,
+                    )
+                )
+        live_entry = live_variables(function).live_at_entry()
+        for param in function.params:
+            contribution.param_usage.append(
+                (signature, param.param_index, param.name in live_entry)
+            )
+    return contribution
 
 
 class Project:
@@ -103,8 +164,13 @@ class Project:
         self.repo = repo
         self.build_config = set(build_config or ())
         self._vfgs: dict[str, ValueFlowGraph] = {}
-        self._contribs: dict[str, "_ModuleContribution"] = {}
+        self._contribs: dict[str, ModuleContribution] = {}
         self._index: ProjectIndex | None = None
+        # Revision-keyed caches for analysis helpers (BlameIndex and the
+        # cross-scope resolver) — rebuilt only when the keyed rev changes
+        # or the project is invalidated, not on every analyze() call.
+        self._blame_cache: dict[object, object] = {}
+        self._resolver_cache: dict[object, object] = {}
 
     # -- construction ----------------------------------------------------
 
@@ -165,62 +231,63 @@ class Project:
                 self._vfgs.pop(path, None)
                 self._contribs.pop(path, None)
         self._index = None
+        # Resolvers capture the index, so they are stale now; blame data
+        # depends only on (repo, rev) and stays valid.
+        self._resolver_cache.clear()
 
-    def _contribution(self, path: str) -> "_ModuleContribution":
+    def blame_index(self, rev: int | str | None = None):
+        """Blame data at ``rev``, cached per revision."""
+        if self.repo is None:
+            raise ReproError(f"project {self.name} has no repository to blame")
+        if rev not in self._blame_cache:
+            from repro.vcs.blame import BlameIndex
+
+            if len(self._blame_cache) >= _REV_CACHE_LIMIT:
+                self._blame_cache.pop(next(iter(self._blame_cache)))
+            self._blame_cache[rev] = BlameIndex(self.repo, rev=rev)
+        return self._blame_cache[rev]
+
+    def resolver(self, rev: int | str | None = None):
+        """Cross-scope resolver at ``rev``, cached per revision (cleared on
+        :meth:`invalidate` because resolvers capture the index)."""
+        if rev not in self._resolver_cache:
+            from repro.core.cross_scope import CrossScopeResolver
+
+            if len(self._resolver_cache) >= _REV_CACHE_LIMIT:
+                self._resolver_cache.pop(next(iter(self._resolver_cache)))
+            self._resolver_cache[rev] = CrossScopeResolver(self, rev=rev)
+        return self._resolver_cache[rev]
+
+    def _contribution(self, path: str) -> ModuleContribution:
         """Per-module index contribution, cached so incremental analysis
         only recomputes touched files."""
         if path not in self._contribs:
-            module = self.modules[path]
-            vfg = self.vfg(path)
-            contribution = _ModuleContribution()
-            for function in module.functions.values():
-                ast_fn = module.unit.function(function.name) if module.unit else None
-                signature: tuple[str, ...] = (function.return_type,)
-                if ast_fn is not None:
-                    signature = (str(ast_fn.return_type), *(str(p.type) for p in ast_fn.params))
-                contribution.functions[function.name] = FunctionLocation(
-                    name=function.name,
-                    file=path,
-                    line=function.line,
-                    end_line=function.end_line,
-                    return_lines=tuple(function.return_lines),
-                    param_lines=tuple(p.decl_line for p in function.params),
-                    signature=signature,
-                )
-                use_map = function.temp_use_map()
-                for instruction in function.instructions():
-                    if not isinstance(instruction, Call):
-                        continue
-                    used = _call_result_used(function, instruction, use_map)
-                    for callee in vfg.resolve_call(instruction):
-                        contribution.call_sites.append(
-                            CallSite(
-                                callee=callee,
-                                file=path,
-                                line=instruction.line,
-                                caller=function.name,
-                                result_used=used,
-                            )
-                        )
-                live_entry = live_variables(function).live_at_entry()
-                for param in function.params:
-                    contribution.param_usage.append(
-                        (signature, param.param_index, param.name in live_entry)
-                    )
-            self._contribs[path] = contribution
+            self._contribs[path] = build_contribution(
+                path, self.modules[path], self.vfg(path)
+            )
         return self._contribs[path]
+
+    def analyzed_paths(self) -> frozenset[str]:
+        """Paths whose per-module results are currently warm (used by the
+        engine tests to assert eviction granularity)."""
+        return frozenset(self._contribs)
 
     def _build_index(self) -> ProjectIndex:
         index = ProjectIndex()
+        call_sites: dict[str, list[CallSite]] = {}
+        param_usage: dict[tuple[tuple[str, ...], int], list[bool]] = {}
         for path in sorted(self.modules):
             contribution = self._contribution(path)
             index.functions.update(contribution.functions)
             for site in contribution.call_sites:
-                index.call_sites.setdefault(site.callee, []).append(site)
+                call_sites.setdefault(site.callee, []).append(site)
             for signature, param_index, used in contribution.param_usage:
-                index.param_usage.setdefault((signature, param_index), []).append(used)
-        for sites in index.call_sites.values():
+                param_usage.setdefault((signature, param_index), []).append(used)
+        for callee, sites in call_sites.items():
             sites.sort(key=lambda site: (site.file, site.line))
+            index.call_sites[callee] = tuple(sites)
+        for key, flags in param_usage.items():
+            index.param_usage[key] = tuple(flags)
         return index
 
     # -- conveniences -------------------------------------------------------

@@ -10,8 +10,12 @@ import csv
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.findings import Finding
+
+if TYPE_CHECKING:
+    from repro.engine.scheduler import EngineStats
 
 
 @dataclass
@@ -22,6 +26,9 @@ class Report:
     findings: list[Finding] = field(default_factory=list)
     prune_stats: dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
+    # How the engine produced the per-module results: executor, worker
+    # count, and cache hit/miss counters (None for hand-built reports).
+    engine_stats: "EngineStats | None" = None
 
     # -- views ----------------------------------------------------------
 
@@ -143,4 +150,14 @@ class Report:
             lines.append(f"  pruned by {name}: {count}")
         if self.seconds:
             lines.append(f"analysis time: {self.seconds:.2f}s")
+        if self.engine_stats is not None:
+            stats = self.engine_stats
+            lines.append(
+                f"engine:        {stats.executor} x{stats.workers} "
+                f"({stats.cache_hits} cached, {stats.analyzed} analyzed)"
+            )
+            if stats.non_converged:
+                lines.append(
+                    f"  WARNING: solver did not converge on {len(stats.non_converged)} module(s)"
+                )
         return "\n".join(lines)

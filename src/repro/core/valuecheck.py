@@ -10,15 +10,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
-from repro.core.cross_scope import CrossScopeResolver
-from repro.core.detector import detect_module
 from repro.core.familiarity import DokModel, DokWeights
 from repro.core.findings import AuthorshipInfo, Candidate, Finding
 from repro.core.project import Project
 from repro.core.pruning import PruneContext, default_pipeline
 from repro.core.ranking import rank_findings
 from repro.core.report import Report
-from repro.vcs.blame import BlameIndex
+from repro.engine import DEFAULT_CACHE, AnalysisEngine, EngineRun
 
 
 @dataclass(frozen=True)
@@ -30,6 +28,11 @@ class ValueCheckConfig:
     strategies, a set restricts them, an empty set disables pruning;
     ``use_familiarity=False`` keeps detection order instead of DOK ranking;
     ``dok_weights`` supports the per-factor ablations.
+
+    ``executor``/``workers`` select how per-module analysis is scheduled
+    (``serial`` | ``thread`` | ``process``); ``module_cache`` toggles the
+    content-addressed result cache.  Findings are bit-identical across
+    executors — the engine merges deterministically.
     """
 
     use_authorship: bool = True
@@ -44,6 +47,10 @@ class ValueCheckConfig:
     # familiarity model of §9.2.
     history_pruning: bool = False
     familiarity_model: str = "dok"  # 'dok' | 'ea'
+    # Engine selection (parallel scheduling + content-addressed caching).
+    executor: str = "serial"  # 'serial' | 'thread' | 'process'
+    workers: int | None = None  # None → os.cpu_count()
+    module_cache: bool = True
 
     def without_factor(self, factor: str) -> "ValueCheckConfig":
         return replace(self, dok_weights=self.dok_weights.without(factor))
@@ -55,22 +62,24 @@ class ValueCheck:
     def __init__(self, config: ValueCheckConfig | None = None):
         self.config = config or ValueCheckConfig()
 
+    def _engine(self) -> AnalysisEngine:
+        return AnalysisEngine(
+            executor=self.config.executor,
+            workers=self.config.workers,
+            cache=DEFAULT_CACHE if self.config.module_cache else None,
+        )
+
     def detect_candidates(self, project: Project) -> list[Candidate]:
         """Stage 1: raw unused definitions from every module."""
-        candidates: list[Candidate] = []
-        for path in sorted(project.modules):
-            module = project.modules[path]
-            candidates.extend(detect_module(module, project.vfg(path)))
-        return candidates
+        return self._engine().run(project).candidates
 
     def _resolve_authorship(
         self, project: Project, candidates: list[Candidate], rev: int | str | None
     ) -> list[Finding]:
         """Stage 2: cross-scope resolution (or its ablation)."""
         if self.config.use_authorship:
-            resolver = CrossScopeResolver(project, rev=rev)
-            return resolver.resolve_all(candidates)
-        blame = BlameIndex(project.repo, rev=rev) if project.repo is not None else None
+            return project.resolver(rev).resolve_all(candidates)
+        blame = project.blame_index(rev) if project.repo is not None else None
         findings = []
         for candidate in candidates:
             author_name = ""
@@ -98,7 +107,8 @@ class ValueCheck:
     def analyze(self, project: Project, rev: int | str | None = None) -> Report:
         """Run all stages and return the report."""
         started = time.perf_counter()
-        candidates = self.detect_candidates(project)
+        engine_run: EngineRun = self._engine().run(project)
+        candidates = engine_run.candidates
         findings = self._resolve_authorship(project, candidates, rev)
 
         pipeline = default_pipeline(
@@ -131,4 +141,5 @@ class ValueCheck:
             findings=findings,
             prune_stats=prune_stats,
             seconds=time.perf_counter() - started,
+            engine_stats=engine_run.stats,
         )

@@ -1,0 +1,78 @@
+"""Pluggable executors for fanning per-module work across workers.
+
+All three share one contract: ``map(fn, items)`` applies ``fn`` to each
+item and returns results **in input order**, which is what makes the
+engine's merge deterministic regardless of completion order.
+
+* ``serial``  — plain loop; zero overhead, the baseline.
+* ``thread``  — :class:`~concurrent.futures.ThreadPoolExecutor`.  Under a
+  GIL build this mostly helps when lowering/IO dominates, but it shares
+  the parent's lowered modules so there is no pickling cost.
+* ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`.  True
+  parallelism on multicore hosts; work items carry source text and are
+  re-lowered in the worker.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def default_workers() -> int:
+    return os.cpu_count() or 1
+
+
+class SerialExecutor:
+    kind = "serial"
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor:
+    kind = "thread"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = max(1, workers or default_workers())
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessExecutor:
+    kind = "process"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = max(1, workers or default_workers())
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if len(items) <= 1 or self.workers == 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items, chunksize=max(1, len(items) // (self.workers * 4))))
+
+
+Executor = SerialExecutor | ThreadExecutor | ProcessExecutor
+
+
+def make_executor(kind: str, workers: int | None = None) -> Executor:
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    if kind == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(f"unknown executor {kind!r} (expected one of {EXECUTOR_KINDS})")

@@ -1,0 +1,159 @@
+"""The analysis engine: cache-aware, parallel per-module scheduling.
+
+One :meth:`AnalysisEngine.run` call takes a project and produces every
+per-module analysis artifact — detection candidates, index contributions,
+solver convergence — by:
+
+1. probing the content-addressed :class:`ResultCache` for each module
+   (key: path + source text + build config, see :mod:`repro.engine.cache`),
+2. fanning the misses across the configured executor
+   (``serial`` | ``thread`` | ``process``), and
+3. merging results **in sorted path order**, so the output is bit-identical
+   to a sequential run no matter how many workers raced.
+
+Contributions are installed into the project's per-module cache, which
+means ``project.index`` afterwards assembles without recomputing anything.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.findings import Candidate
+from repro.core.project import Project
+from repro.engine.cache import DEFAULT_CACHE, ResultCache, module_key
+from repro.engine.executors import make_executor
+from repro.engine.worker import ModuleJob, ModuleResult, analyze_job, analyze_lowered
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """What one engine run did, for reports and benchmarks."""
+
+    executor: str = "serial"
+    workers: int = 1
+    modules: int = 0
+    analyzed: int = 0  # cache misses actually computed
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds: float = 0.0
+    non_converged: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "modules": self.modules,
+            "analyzed": self.analyzed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "seconds": self.seconds,
+            "non_converged": list(self.non_converged),
+        }
+
+
+@dataclass
+class EngineRun:
+    """Merged output of one scheduling round."""
+
+    candidates: list[Candidate] = field(default_factory=list)
+    by_path: dict[str, ModuleResult] = field(default_factory=dict)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+
+class AnalysisEngine:
+    """Schedules per-module analysis over an executor with result reuse.
+
+    ``cache=None`` disables content-addressed reuse (every module is
+    recomputed); modules without retained source text are likewise
+    computed fresh since they cannot be content-addressed.
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        workers: int | None = None,
+        cache: ResultCache | None = DEFAULT_CACHE,
+    ):
+        self.executor = make_executor(executor, workers)
+        self.cache = cache
+
+    def run(self, project: Project, paths: list[str] | None = None) -> EngineRun:
+        started = time.perf_counter()
+        if paths is None:
+            paths = sorted(project.modules)
+        else:
+            paths = [path for path in paths if path in project.modules]
+
+        run = EngineRun()
+        hits = 0
+        keys: dict[str, str] = {}
+        pending: list[str] = []
+        for path in paths:
+            module = project.modules[path]
+            text = module.source.raw if module.source is not None else None
+            if self.cache is not None and text is not None:
+                key = module_key(path, text, project.build_config)
+                keys[path] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    run.by_path[path] = cached
+                    hits += 1
+                    continue
+            pending.append(path)
+
+        for path, result in zip(pending, self._compute(project, pending)):
+            run.by_path[path] = result
+            if self.cache is not None and path in keys:
+                self.cache.put(keys[path], result)
+
+        # Deterministic merge: sorted path order, regardless of executor.
+        for path in paths:
+            result = run.by_path[path]
+            run.candidates.extend(result.candidates)
+            project._contribs[path] = result.contribution
+
+        run.stats = EngineStats(
+            executor=self.executor.kind,
+            workers=self.executor.workers,
+            modules=len(paths),
+            analyzed=len(pending),
+            cache_hits=hits,
+            cache_misses=len(pending),
+            seconds=time.perf_counter() - started,
+            non_converged=tuple(
+                path for path in paths if not run.by_path[path].converged
+            ),
+        )
+        return run
+
+    def _compute(self, project: Project, paths: list[str]) -> list[ModuleResult]:
+        if not paths:
+            return []
+        if self.executor.kind == "process":
+            jobs: list[ModuleJob] = []
+            local: list[str] = []
+            for path in paths:
+                module = project.modules[path]
+                if module.source is not None:
+                    jobs.append(
+                        ModuleJob(
+                            path=path,
+                            text=module.source.raw,
+                            build_config=tuple(sorted(project.build_config)),
+                        )
+                    )
+                else:
+                    local.append(path)
+            results = {r.path: r for r in self.executor.map(analyze_job, jobs)}
+            # Source-less modules cannot cross the pickle boundary as text;
+            # analyse them in-process.
+            for path in local:
+                results[path] = analyze_lowered(path, project.modules[path], project.vfg(path))
+            return [results[path] for path in paths]
+
+        def compute(path: str) -> ModuleResult:
+            return analyze_lowered(path, project.modules[path], project.vfg(path))
+
+        return self.executor.map(compute, paths)

@@ -1,0 +1,58 @@
+"""Per-module analysis unit of work.
+
+Everything here is a pure function of its arguments so it can run on any
+executor — including a process pool, where the argument tuple and the
+returned :class:`ModuleResult` cross a pickle boundary.  Workers in a
+process pool re-lower the module from source text; lowering is
+deterministic, so the results are identical to analysing the parent's
+module object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.detector import detect_module
+from repro.core.findings import Candidate
+from repro.core.project import ModuleContribution, build_contribution
+from repro.ir.builder import lower_source
+from repro.ir.module import Module
+from repro.pointer.value_flow import ValueFlowGraph, build_value_flow
+
+
+@dataclass
+class ModuleResult:
+    """One module's full per-module analysis output (picklable)."""
+
+    path: str
+    candidates: list[Candidate] = field(default_factory=list)
+    contribution: ModuleContribution = field(default_factory=ModuleContribution)
+    converged: bool = True
+
+
+@dataclass(frozen=True)
+class ModuleJob:
+    """A picklable work item: enough to rebuild the module anywhere."""
+
+    path: str
+    text: str
+    build_config: tuple[str, ...]
+
+
+def analyze_lowered(path: str, module: Module, vfg: ValueFlowGraph | None = None) -> ModuleResult:
+    """Analyse an already-lowered module (serial/thread executors)."""
+    if vfg is None:
+        vfg = build_value_flow(module)
+    return ModuleResult(
+        path=path,
+        candidates=detect_module(module, vfg),
+        contribution=build_contribution(path, module, vfg),
+        converged=vfg.andersen.converged,
+    )
+
+
+def analyze_job(job: ModuleJob) -> ModuleResult:
+    """Analyse from source text (process executors; module-level function
+    so it pickles by reference)."""
+    module = lower_source(job.text, filename=job.path, config=set(job.build_config))
+    return analyze_lowered(job.path, module)

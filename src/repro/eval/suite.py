@@ -48,7 +48,16 @@ class EvalSuite:
     _ablation_cache: dict[tuple[str, str], Report] = field(default_factory=dict)
 
     @classmethod
-    def build(cls, scale: float | None = None, seed: int = DEFAULT_SEED) -> "EvalSuite":
+    def build(
+        cls,
+        scale: float | None = None,
+        seed: int = DEFAULT_SEED,
+        config: ValueCheckConfig | None = None,
+    ) -> "EvalSuite":
+        """Generate all corpora and analyse each once.  ``config`` selects
+        the engine executor/caching for the default analyses (repeated
+        builds at the same scale/seed hit the content-addressed module
+        cache and skip per-module re-analysis entirely)."""
         scale = env_scale() if scale is None else scale
         suite = cls(scale=scale, seed=seed)
         apps = generate_all(scale=scale, seed=seed)
@@ -57,7 +66,7 @@ class EvalSuite:
             started = time.perf_counter()
             project = app.project()
             parse_seconds = time.perf_counter() - started
-            report = ValueCheck().analyze(project)
+            report = ValueCheck(config).analyze(project)
             suite.runs[name] = AppRun(
                 app=app, project=project, report=report, parse_seconds=parse_seconds
             )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.incremental import IncrementalAnalyzer
+from repro.core.valuecheck import ValueCheck, ValueCheckConfig
 from repro.eval.suite import APP_ORDER, EvalSuite
 
 
@@ -46,11 +47,24 @@ class Table7Result:
         return "\n".join(lines)
 
 
-def run(suite: EvalSuite, replay_commits: int = 20) -> Table7Result:
+def run(
+    suite: EvalSuite,
+    replay_commits: int = 20,
+    config: ValueCheckConfig | None = None,
+) -> Table7Result:
+    """Regenerate Table 7.  With ``config`` the full-analysis time is
+    re-measured fresh under that engine configuration (executor/worker
+    comparisons need ``module_cache=False`` so every module really runs)
+    instead of reusing the suite's cached default run."""
     rows = []
     for name in APP_ORDER:
         run_state = suite.run(name)
         repo = run_state.app.repo
+        if config is None:
+            full_seconds = run_state.parse_seconds + run_state.report.seconds
+        else:
+            report = ValueCheck(config).analyze(run_state.project)
+            full_seconds = run_state.parse_seconds + report.seconds
         count = min(replay_commits, len(repo.commits) - 1)
         start_rev = len(repo.commits) - 1 - count
         analyzer = IncrementalAnalyzer(
@@ -64,7 +78,7 @@ def run(suite: EvalSuite, replay_commits: int = 20) -> Table7Result:
                 app=run_state.app.profile.display,
                 loc=run_state.project.loc(),
                 loc_paper=run_state.app.profile.loc_paper,
-                full_seconds=run_state.parse_seconds + run_state.report.seconds,
+                full_seconds=full_seconds,
                 incremental_seconds=total_incremental / count if count else 0.0,
                 commits_replayed=count,
             )

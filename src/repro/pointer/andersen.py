@@ -26,14 +26,19 @@ Constraints, extracted from the IR:
 * calls copy argument values into ``arg:callee#i`` and ``ret:callee``
   into the destination; indirect calls resolve through ``func:*`` pointees
 
-Arrays are smashed (one abstract object per array).  The solver is the
-classic worklist algorithm: propagate points-to sets along copy edges,
-re-evaluating complex constraints as pointer sets grow.  This matches the
-paper's choice of a scalable may-analysis over a flow-sensitive one.
+Arrays are smashed (one abstract object per array).  The solver is a
+**difference-propagation** worklist algorithm: each node carries a delta
+of newly-discovered pointees, and only that delta flows along copy edges
+or re-evaluates complex constraints.  The classic formulation re-unions
+whole points-to sets on every pop, which is quadratic in the common case
+of long copy chains; propagating deltas makes each (edge, pointee) pair
+cost O(1) amortised.  This matches the paper's choice of a scalable
+may-analysis over a flow-sensitive one.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -59,6 +64,12 @@ from repro.ir.module import Function, Module
 from repro.ir.values import ConstInt, ConstStr, FuncRef, ParamValue, Temp, Undef, Value
 
 Node = str
+
+# Worklist-pop budget: a backstop against pathological constraint systems.
+# With difference propagation each (node, pointee) pair is popped O(1)
+# times, so real modules converge far below this.  Hitting it clears
+# ``AndersenResult.converged`` and emits a RuntimeWarning.
+ITERATION_LIMIT = 200_000
 
 
 def temp_node(function: str, temp: Temp) -> Node:
@@ -110,6 +121,13 @@ class _IndirectCall:
     caller: str
 
 
+# Shared sentinel for pointer-free nodes: ``pts`` misses are frequent on
+# hot paths (the alias check probes every candidate variable), so a fresh
+# set per miss is pure allocation churn.  Frozen so no caller can mutate
+# shared state by accident.
+_EMPTY_PTS: frozenset[Node] = frozenset()
+
+
 @dataclass
 class AndersenResult:
     """Converged points-to information plus client query helpers."""
@@ -120,9 +138,12 @@ class AndersenResult:
     _pointed: set[Node] = field(default_factory=set)
     # Resolved callee names for each indirect Call, keyed by uid.
     indirect_callees: dict[int, list[str]] = field(default_factory=dict)
+    # False when the solver hit its iteration limit before reaching a
+    # fixpoint — points-to sets are then an under-approximation.
+    converged: bool = True
 
-    def pts(self, node: Node) -> set[Node]:
-        return self.points_to.get(node, set())
+    def pts(self, node: Node) -> set[Node] | frozenset[Node]:
+        return self.points_to.get(node, _EMPTY_PTS)
 
     def pts_of_var(self, function: Function | str, var: str) -> set[Node]:
         name = function if isinstance(function, str) else function.name
@@ -143,14 +164,26 @@ class AndersenResult:
 
 
 class _Solver:
+    """Difference-propagation solver.
+
+    ``delta[node]`` holds pointees added to ``pts(node)`` that have not yet
+    flowed to its successors; the worklist schedules exactly the nodes with
+    a pending delta.  New copy edges and complex constraints are seeded
+    with the *current* points-to set at registration time, so later delta
+    pops only ever handle genuinely new pointees.
+    """
+
     def __init__(self, module: Module):
         self.module = module
         self.points_to: dict[Node, set[Node]] = {}
+        self.delta: dict[Node, set[Node]] = {}
         self.copy_edges: dict[Node, set[Node]] = {}
         self.load_constraints: dict[Node, list[_LoadVia]] = {}
         self.store_constraints: dict[Node, list[_StoreVia]] = {}
         self.indirect_calls: dict[Node, list[_IndirectCall]] = {}
         self.worklist: deque[Node] = deque()
+        self.enqueued: set[Node] = set()
+        self.resolved_calls: set[tuple[int, str]] = set()
         self.result = AndersenResult(points_to=self.points_to, module=module)
 
     # -- constraint construction helpers ----------------------------------
@@ -158,17 +191,34 @@ class _Solver:
     def _pts(self, node: Node) -> set[Node]:
         return self.points_to.setdefault(node, set())
 
-    def _add_base(self, node: Node, obj: Node) -> None:
-        if obj not in self._pts(node):
-            self.points_to[node].add(obj)
+    def _schedule(self, node: Node) -> None:
+        if node not in self.enqueued:
+            self.enqueued.add(node)
             self.worklist.append(node)
+
+    def _diff_into(self, node: Node, objs) -> None:
+        """Merge ``objs`` into ``pts(node)``; only genuinely new pointees
+        enter the delta and reschedule the node."""
+        pts = self._pts(node)
+        fresh = [obj for obj in objs if obj not in pts]
+        if not fresh:
+            return
+        pts.update(fresh)
+        self.delta.setdefault(node, set()).update(fresh)
+        self._schedule(node)
+
+    def _add_base(self, node: Node, obj: Node) -> None:
+        self._diff_into(node, (obj,))
 
     def _add_copy(self, source: Node, target: Node) -> None:
         edges = self.copy_edges.setdefault(source, set())
         if target not in edges:
             edges.add(target)
-            if self._pts(source):
-                self.worklist.append(source)
+            pts = self.points_to.get(source)
+            if pts:
+                # Seed the new edge with everything already known; future
+                # growth arrives through source's delta.
+                self._diff_into(target, pts)
 
     def _value_node(self, function: Function, value: Value) -> Node | None:
         if isinstance(value, Temp):
@@ -218,11 +268,10 @@ class _Solver:
                 elif isinstance(addr, DerefAddr):
                     pointer = self._value_node(function, addr.pointer)
                     if pointer is not None:
-                        self.load_constraints.setdefault(pointer, []).append(
-                            _LoadVia(pointer=pointer, dest=dest, field=addr.field)
-                        )
-                        if self._pts(pointer):
-                            self.worklist.append(pointer)
+                        via = _LoadVia(pointer=pointer, dest=dest, field=addr.field)
+                        self.load_constraints.setdefault(pointer, []).append(via)
+                        for obj in tuple(self.points_to.get(pointer, ())):
+                            self._apply_load(via, obj)
             elif isinstance(instruction, Store):
                 value = self._value_node(function, instruction.value)
                 addr = instruction.addr
@@ -233,11 +282,10 @@ class _Solver:
                 elif isinstance(addr, DerefAddr):
                     pointer = self._value_node(function, addr.pointer)
                     if pointer is not None and value is not None:
-                        self.store_constraints.setdefault(pointer, []).append(
-                            _StoreVia(pointer=pointer, value=value, field=addr.field)
-                        )
-                        if self._pts(pointer):
-                            self.worklist.append(pointer)
+                        via = _StoreVia(pointer=pointer, value=value, field=addr.field)
+                        self.store_constraints.setdefault(pointer, []).append(via)
+                        for obj in tuple(self.points_to.get(pointer, ())):
+                            self._apply_store(via, obj)
             elif isinstance(instruction, (BinOp, UnOp, CastOp, Select)):
                 # Pointer arithmetic / casts / selects preserve pointees.
                 dest = instruction.result()
@@ -269,55 +317,68 @@ class _Solver:
             return
         pointer = self._value_node(function, call.callee_value) if call.callee_value is not None else None
         if pointer is not None:
-            self.indirect_calls.setdefault(pointer, []).append(
-                _IndirectCall(pointer=pointer, call=call, caller=function.name)
-            )
-            if self._pts(pointer):
-                self.worklist.append(pointer)
+            constraint = _IndirectCall(pointer=pointer, call=call, caller=function.name)
+            self.indirect_calls.setdefault(pointer, []).append(constraint)
+            for obj in tuple(self.points_to.get(pointer, ())):
+                self._apply_indirect(constraint, obj)
 
     # -- propagation ----------------------------------------------------------
 
+    def _apply_load(self, load: _LoadVia, obj: Node) -> None:
+        source = field_child(obj, load.field) if load.field else obj
+        self._add_copy(source, load.dest)
+
+    def _apply_store(self, store: _StoreVia, obj: Node) -> None:
+        target = field_child(obj, store.field) if store.field else obj
+        self._add_copy(store.value, target)
+
+    def _apply_indirect(self, indirect: _IndirectCall, obj: Node) -> None:
+        if not obj.startswith("func:"):
+            return
+        callee_name = obj[len("func:") :]
+        key = (indirect.call.uid, callee_name)
+        if key in self.resolved_calls:
+            return
+        self.resolved_calls.add(key)
+        self.result.indirect_callees.setdefault(indirect.call.uid, []).append(callee_name)
+        caller_fn = self.module.functions.get(indirect.caller)
+        if caller_fn is not None:
+            self._wire_direct_call(caller_fn, indirect.call, callee_name)
+
     def solve(self) -> AndersenResult:
         self.build()
-        resolved_calls: set[tuple[int, str]] = set()
         iterations = 0
-        limit = 200_000
+        limit = ITERATION_LIMIT
         while self.worklist and iterations < limit:
             iterations += 1
             node = self.worklist.popleft()
-            pointees = self.points_to.get(node, set())
-            if not pointees:
+            self.enqueued.discard(node)
+            pending = self.delta.pop(node, None)
+            if not pending:
                 continue
-            # Copy edges.
-            for target in self.copy_edges.get(node, ()):  # pts(target) ⊇ pts(node)
-                target_set = self._pts(target)
-                before = len(target_set)
-                target_set |= pointees
-                if len(target_set) != before:
-                    self.worklist.append(target)
-            # Complex loads: dest ⊇ pts(o) for each pointee o.
+            # Copy edges: only the delta flows (difference propagation).
+            for target in tuple(self.copy_edges.get(node, ())):
+                self._diff_into(target, pending)
+            # Complex loads: dest ⊇ pts(o) for each *new* pointee o.
             for load in self.load_constraints.get(node, ()):  # node is the pointer
-                for obj in list(pointees):
-                    source = field_child(obj, load.field) if load.field else obj
-                    self._add_copy(source, load.dest)
-            # Complex stores: o ⊇ pts(value).
+                for obj in pending:
+                    self._apply_load(load, obj)
+            # Complex stores: o ⊇ pts(value) for each new pointee o.
             for store in self.store_constraints.get(node, ()):
-                for obj in list(pointees):
-                    target = field_child(obj, store.field) if store.field else obj
-                    self._add_copy(store.value, target)
+                for obj in pending:
+                    self._apply_store(store, obj)
             # Indirect calls: wire params/returns of newly seen pointees.
             for indirect in self.indirect_calls.get(node, ()):  # node holds func ptrs
-                for obj in list(pointees):
-                    if obj.startswith("func:"):
-                        callee_name = obj[len("func:") :]
-                        key = (indirect.call.uid, callee_name)
-                        if key in resolved_calls:
-                            continue
-                        resolved_calls.add(key)
-                        self.result.indirect_callees.setdefault(indirect.call.uid, []).append(callee_name)
-                        caller_fn = self.module.functions.get(indirect.caller)
-                        if caller_fn is not None:
-                            self._wire_direct_call(caller_fn, indirect.call, callee_name)
+                for obj in pending:
+                    self._apply_indirect(indirect, obj)
+        self.result.converged = not self.worklist
+        if not self.result.converged:
+            warnings.warn(
+                f"Andersen solver hit the {limit} iteration limit on module "
+                f"{self.module.filename!r}; points-to results are truncated",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         # Record which objects are pointed to by something other than
         # themselves (the alias-check client).
         for node, pointees in self.points_to.items():

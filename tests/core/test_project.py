@@ -75,7 +75,7 @@ class TestIndex:
         project = Project.from_sources(SOURCES)
         location = project.index.location("helper")
         peers = project.index.peer_params(location.signature, 0)
-        assert peers == [True]
+        assert peers == (True,)
 
     def test_index_cached(self):
         project = Project.from_sources(SOURCES)

@@ -155,3 +155,29 @@ class TestArrays:
         src = "void f(void) { int *arr[4]; int x; arr[0] = &x; }"
         module, result = analyze(src)
         assert loc_node("f", "x") in result.pts("loc:f:arr")
+
+
+class TestSolverContract:
+    def test_converged_on_ordinary_modules(self):
+        module, result = analyze(
+            "void f(void) { int x; int *p; int **pp; p = &x; pp = &p; *pp = &x; }"
+        )
+        assert result.converged is True
+
+    def test_pts_miss_returns_shared_frozenset(self):
+        module, result = analyze("void f(void) { int x; x = 3; }")
+        miss1 = result.pts("loc:f:nonexistent")
+        miss2 = result.pts("loc:f:other_nonexistent")
+        assert miss1 is miss2
+        assert isinstance(miss1, frozenset) and not miss1
+
+    def test_delta_matches_exhaustive_chain(self):
+        # A long copy chain: classic re-propagation is quadratic here, the
+        # delta solver should still reach the identical fixpoint.
+        n = 40
+        decls = "".join(f"int *p{i}; " for i in range(n))
+        copies = "".join(f"p{i+1} = p{i}; " for i in range(n - 1))
+        src = f"void f(void) {{ int x; {decls} p0 = &x; {copies} }}"
+        module, result = analyze(src)
+        for i in range(n):
+            assert loc_node("f", "x") in result.pts_of_var("f", f"p{i}")
