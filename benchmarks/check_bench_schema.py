@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Validator for BENCH_<n>.json trajectory files.
+
+Every PR's benchmark run appends a ``BENCH_<n>.json`` at the repo root;
+trajectory comparisons across PRs only work while those files stay
+structurally comparable.  This validator asserts the invariants:
+
+* common fields (``schema``, ``bench_index``, ``scale``, ``seed``,
+  ``stages``, ``table7``) exist with sane types;
+* schema ≥ 2 files carry the **metrics schema version**
+  (``metrics_schema``) plus the ``stages.observability`` section
+  (stage wall-times, prune kills, summarised metrics snapshot);
+* no benchmark was emitted from an unconverged solver run.
+
+Schema 1 files (PR 1, before the observability subsystem) are
+grandfathered: they must satisfy the common-field checks only.
+
+Run directly (``python benchmarks/check_bench_schema.py``) or through
+the tier-1 test ``tests/test_bench_schema.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# The metrics schema version current BENCH files must declare.  Imported
+# from repro.obs when available so the two constants cannot drift.
+try:
+    from repro.obs import METRICS_SCHEMA_VERSION
+except ImportError:  # pragma: no cover - direct invocation without PYTHONPATH
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.obs import METRICS_SCHEMA_VERSION
+
+COMMON_FIELDS = {
+    "schema": int,
+    "bench_index": int,
+    "scale": float,
+    "seed": int,
+    "host": dict,
+    "stages": dict,
+    "table7": dict,
+}
+
+STAGE_FIELDS = (
+    "detection_seconds",
+    "authorship_seconds",
+    "executors_full_pipeline_seconds",
+    "cache",
+    "candidates",
+)
+
+OBSERVABILITY_FIELDS = ("stages_seconds", "prune_kills", "counts", "metrics")
+
+
+def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
+    """Return a list of problems (empty = valid)."""
+    problems: list[str] = []
+
+    def problem(message: str) -> None:
+        problems.append(f"{path}: {message}")
+
+    for name, kind in COMMON_FIELDS.items():
+        if name not in payload:
+            problem(f"missing required field {name!r}")
+        elif kind is float:
+            if not isinstance(payload[name], (int, float)):
+                problem(f"field {name!r} must be numeric")
+        elif not isinstance(payload[name], kind):
+            problem(f"field {name!r} must be {kind.__name__}")
+
+    stages = payload.get("stages")
+    if isinstance(stages, dict):
+        for name in STAGE_FIELDS:
+            if name not in stages:
+                problem(f"stages missing {name!r}")
+        if stages.get("non_converged_modules"):
+            problem(
+                "emitted from an unconverged solver run: "
+                f"{stages['non_converged_modules']}"
+            )
+
+    if payload.get("schema", 0) >= 2:
+        if payload.get("metrics_schema") != METRICS_SCHEMA_VERSION:
+            problem(
+                f"metrics_schema is {payload.get('metrics_schema')!r}, "
+                f"expected {METRICS_SCHEMA_VERSION} "
+                "(bump repro.obs.METRICS_SCHEMA_VERSION in lockstep)"
+            )
+        observability = (stages or {}).get("observability")
+        if not isinstance(observability, dict):
+            problem("schema>=2 requires stages.observability")
+        else:
+            for name in OBSERVABILITY_FIELDS:
+                if name not in observability:
+                    problem(f"stages.observability missing {name!r}")
+            metrics = observability.get("metrics", {})
+            if isinstance(metrics, dict) and metrics.get("schema") != METRICS_SCHEMA_VERSION:
+                problem("stages.observability.metrics has a stale snapshot schema")
+    return problems
+
+
+def validate_file(path: Path) -> list[str]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        return [f"{path}: unreadable ({error})"]
+    return validate_payload(payload, str(path))
+
+
+def validate_all(root: Path = ROOT) -> list[str]:
+    problems: list[str] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        problems.extend(validate_file(path))
+    return problems
+
+
+def main() -> int:
+    problems = validate_all()
+    files = sorted(ROOT.glob("BENCH_*.json"))
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} BENCH file(s): ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,12 +28,18 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.core import ValueCheck, ValueCheckConfig  # noqa: E402
 from repro.engine import AnalysisEngine, ResultCache  # noqa: E402
 from repro.eval import table7  # noqa: E402
 from repro.eval.suite import EvalSuite  # noqa: E402
+from repro.obs import METRICS_SCHEMA_VERSION, summarize_snapshot  # noqa: E402
 
 EXECUTORS = ("serial", "thread", "process")
+
+# BENCH_<n>.json payload schema: bump together with the validator in
+# benchmarks/check_bench_schema.py.
+BENCH_SCHEMA_VERSION = 2
 
 
 def _next_index() -> int:
@@ -104,12 +110,17 @@ def _stage_timings(scale: float, seed: int, workers: int) -> dict:
     authorship_seconds = time.perf_counter() - started
 
     executors = {}
+    reports = {}
     for kind in EXECUTORS:
         config = ValueCheckConfig(executor=kind, workers=workers, module_cache=False)
-        fresh = app.project()
-        started = time.perf_counter()
-        ValueCheck(config).analyze(fresh)
-        executors[kind] = time.perf_counter() - started
+        # Per-kind telemetry wrapping project construction too, so the
+        # exported stage wall-times include parse/lower, not just analyze.
+        telemetry = obs.Telemetry.fresh()
+        with obs.use(telemetry):
+            fresh = app.project()
+            started = time.perf_counter()
+            reports[kind] = ValueCheck(config).analyze(fresh, telemetry=telemetry)
+            executors[kind] = time.perf_counter() - started
 
     # Warm-cache replay: second run over identical content (projects are
     # parsed outside the timed window; we time the engine pass alone).
@@ -120,6 +131,32 @@ def _stage_timings(scale: float, seed: int, workers: int) -> dict:
     started = time.perf_counter()
     warm = cached_engine.run(replay_project)
     warm_seconds = time.perf_counter() - started
+
+    non_converged = list(run.stats.non_converged)
+    for kind, report in reports.items():
+        if not report.converged:
+            non_converged.extend(
+                path for path in report.engine_stats.non_converged
+                if path not in non_converged
+            )
+    if non_converged:
+        # Unconverged points-to results under-approximate: the timings
+        # (and candidate counts) of this run are not comparable with a
+        # converged trajectory, so refuse to emit a BENCH file.
+        raise SystemExit(
+            f"[run_bench] FATAL: Andersen solver did not converge on "
+            f"{len(non_converged)} module(s): {', '.join(sorted(non_converged)[:10])}"
+        )
+
+    # Observability payload: stage wall-times from the serial run's span
+    # trace plus its full metrics snapshot (histograms summarised).
+    serial_report = reports["serial"]
+    observability = {
+        "stages_seconds": serial_report.stage_seconds(),
+        "prune_kills": dict(serial_report.prune_stats),
+        "counts": serial_report.counts(),
+        "metrics": summarize_snapshot(serial_report.metrics),
+    }
 
     serial = executors["serial"]
     return {
@@ -135,7 +172,8 @@ def _stage_timings(scale: float, seed: int, workers: int) -> dict:
             "misses": warm.stats.cache_misses,
         },
         "candidates": len(run.candidates),
-        "non_converged_modules": list(run.stats.non_converged),
+        "non_converged_modules": non_converged,
+        "observability": observability,
     }
 
 
@@ -178,7 +216,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"[run_bench] scale={args.scale} seed={args.seed} workers={args.workers}")
     payload = {
-        "schema": 1,
+        "schema": BENCH_SCHEMA_VERSION,
+        "metrics_schema": METRICS_SCHEMA_VERSION,
         "bench_index": index,
         "scale": args.scale,
         "seed": args.seed,
@@ -190,6 +229,12 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_pytest:
         print("[run_bench] running pytest-benchmark suite …")
         payload["pytest_benchmark"] = _run_pytest_benchmarks(args.scale, args.seed)
+
+    from check_bench_schema import validate_payload
+
+    problems = validate_payload(payload, str(out_path))
+    if problems:
+        raise SystemExit("[run_bench] schema self-check failed:\n  " + "\n  ".join(problems))
 
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     stages = payload["stages"]

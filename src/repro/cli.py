@@ -13,15 +13,21 @@ Subcommands::
     valuecheck evaluate [--scale S] [--seed N] [--out DIR]
         Run every table/figure experiment and write the result bundle
         (the equivalent of the artifact's run.sh → result/).
+
+    valuecheck stats <run_stats.jsonl>
+        Summarise runs recorded with ``analyze --stats-out``: per-stage
+        wall-time and per-pruner kill counts per run.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv as csv_module
+import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.core.project import Project
 from repro.core.valuecheck import ValueCheck, ValueCheckConfig
 from repro.corpus.generator import generate_app
@@ -64,16 +70,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if not sources:
         print("error: no .c files found", file=sys.stderr)
         return 2
-    project = Project.from_sources(
-        sources, name=source_dir.name, repo=repo, build_config=set(args.config or ())
-    )
-    config = ValueCheckConfig(
-        use_authorship=repo is not None,
-        executor=args.executor,
-        workers=args.workers,
-        module_cache=not args.no_module_cache,
-    )
-    report = ValueCheck(config).analyze(project)
+    # One ambient telemetry covers parsing AND analysis, so the exported
+    # trace is a single parse→rank span tree.
+    telemetry = obs.Telemetry.fresh()
+    with obs.use(telemetry):
+        project = Project.from_sources(
+            sources, name=source_dir.name, repo=repo, build_config=set(args.config or ())
+        )
+        config = ValueCheckConfig(
+            use_authorship=repo is not None,
+            executor=args.executor,
+            workers=args.workers,
+            module_cache=not args.no_module_cache,
+        )
+        report = ValueCheck(config).analyze(project)
     print(report.summary())
     print()
     reported = report.reported()
@@ -95,6 +105,32 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.csv:
         report.to_csv(args.csv)
         print(f"\nwrote {args.csv}")
+    if args.trace:
+        Path(args.trace).write_text(json.dumps(telemetry.tracer.to_chrome(), indent=1) + "\n")
+        print(f"wrote Chrome trace to {args.trace} (load in chrome://tracing or ui.perfetto.dev)")
+    if args.trace_tree:
+        print()
+        print(telemetry.tracer.render_tree())
+    if args.stats_out:
+        obs.write_jsonl(args.stats_out, report.stats_record())
+        print(f"appended run record to {args.stats_out}")
+    if args.prometheus:
+        Path(args.prometheus).write_text(obs.to_prometheus(report.metrics))
+        print(f"wrote Prometheus exposition to {args.prometheus}")
+    if not report.converged:
+        print("WARNING: Andersen solver did not converge on every module; "
+              "findings may be incomplete", file=sys.stderr)
+    return 0
+
+
+def _cmd_run_stats(args: argparse.Namespace) -> int:
+    """Summarise JSONL run records produced by ``analyze --stats-out``."""
+    path = Path(args.stats_file)
+    if not path.exists():
+        print(f"error: {path} not found", file=sys.stderr)
+        return 2
+    records = obs.read_jsonl(path)
+    print(obs.render_stats_table(records), end="")
     return 0
 
 
@@ -209,7 +245,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the content-addressed per-module result cache",
     )
+    analyze.add_argument(
+        "--trace",
+        help="write the run's span tree as Chrome trace-event JSON",
+    )
+    analyze.add_argument(
+        "--trace-tree",
+        action="store_true",
+        help="print the span tree (human-readable) after the report",
+    )
+    analyze.add_argument(
+        "--stats-out",
+        help="append this run's metrics record to a JSONL stats file",
+    )
+    analyze.add_argument(
+        "--prometheus",
+        help="write the run's metrics in Prometheus text exposition format",
+    )
     analyze.set_defaults(func=_cmd_analyze)
+
+    run_stats = subparsers.add_parser(
+        "stats", help="summarise runs recorded with `analyze --stats-out`"
+    )
+    run_stats.add_argument("stats_file", help="a JSONL file of run records")
+    run_stats.set_defaults(func=_cmd_run_stats)
 
     generate = subparsers.add_parser("generate-corpus", help="materialise a synthetic app")
     generate.add_argument("app", choices=sorted(PROFILES))

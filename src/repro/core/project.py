@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.dataflow.liveness import live_variables
 from repro.errors import ReproError
 from repro.ir.builder import lower_source
@@ -244,7 +245,8 @@ class Project:
 
             if len(self._blame_cache) >= _REV_CACHE_LIMIT:
                 self._blame_cache.pop(next(iter(self._blame_cache)))
-            self._blame_cache[rev] = BlameIndex(self.repo, rev=rev)
+            with obs.span("blame_index", project=self.name):
+                self._blame_cache[rev] = BlameIndex(self.repo, rev=rev)
         return self._blame_cache[rev]
 
     def resolver(self, rev: int | str | None = None):
@@ -273,6 +275,10 @@ class Project:
         return frozenset(self._contribs)
 
     def _build_index(self) -> ProjectIndex:
+        with obs.span("project_index", project=self.name):
+            return self._build_index_inner()
+
+    def _build_index_inner(self) -> ProjectIndex:
         index = ProjectIndex()
         call_sites: dict[str, list[CallSite]] = {}
         param_usage: dict[tuple[tuple[str, ...], int], list[bool]] = {}

@@ -8,6 +8,7 @@ from typing import Protocol
 from repro.core.findings import Candidate
 from repro.core.project import Project
 from repro.ir.module import Function, Module
+from repro.obs import MetricsRegistry
 
 
 @dataclass
@@ -15,6 +16,17 @@ class PruneContext:
     """Everything a pruner may consult about a candidate's surroundings."""
 
     project: Project
+    # Per-run metrics registry; pruners record through the helpers below
+    # (no-ops when the pipeline runs without telemetry).
+    metrics: MetricsRegistry | None = None
+
+    def count(self, name: str, value: float = 1, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, value, **labels)
 
     def module_of(self, candidate: Candidate) -> Module | None:
         return self.project.modules.get(candidate.file)

@@ -32,6 +32,17 @@ class PeerDefinitionPruner:
         unused = sum(1 for used in usage_flags if not used)
         return unused > self.unused_fraction * len(usage_flags)
 
+    def _examine(self, context: PruneContext, usage_flags, shape: str) -> bool:
+        """Decide one peer set, recording its site statistics: how many
+        peer definition sites were consulted and what fraction ignored
+        the value (the §5.4 thresholds act on exactly these numbers)."""
+        flags = list(usage_flags)
+        context.observe("prune.peer_sites", len(flags), shape=shape)
+        if flags:
+            unused = sum(1 for used in flags if not used)
+            context.observe("prune.peer_unused_fraction", unused / len(flags), shape=shape)
+        return self._mostly_unused(flags)
+
     def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
         index = context.project.index
         if candidate.kind is CandidateKind.IGNORED_RETURN:
@@ -39,7 +50,9 @@ class PeerDefinitionPruner:
                 (candidate.callee,) if candidate.callee else ()
             )
             for callee in callees:
-                if callee and self._mostly_unused(index.return_usage(callee)):
+                if callee and self._examine(
+                    context, index.return_usage(callee), shape="return"
+                ):
                     return True
             return False
         if candidate.kind.is_param_shape:
@@ -47,5 +60,5 @@ class PeerDefinitionPruner:
             if location is None or candidate.param_index < 0:
                 return False
             peers = index.peer_params(location.signature, candidate.param_index)
-            return self._mostly_unused(peers)
+            return self._examine(context, peers, shape="param")
         return False

@@ -20,7 +20,16 @@ class PruningPipeline:
     pruners: list[Pruner] = field(default_factory=list)
 
     def apply(self, findings: list[Finding], context: PruneContext) -> list[Finding]:
-        """Return findings with ``pruned_by`` stamped (survivors keep None)."""
+        """Return findings with ``pruned_by`` stamped (survivors keep None).
+
+        Accounting (when ``context.metrics`` is set): every pruner gets a
+        ``prune.killed{pruner=...}`` counter — zero-initialised so stage
+        sums stay comparable across runs — plus ``prune.examined`` and
+        ``prune.survived`` totals that reconcile with the report's
+        candidate counts.
+        """
+        for pruner in self.pruners:
+            context.count("prune.killed", 0, pruner=pruner.name)
         out: list[Finding] = []
         for finding in findings:
             pruned_by: str | None = None
@@ -28,6 +37,11 @@ class PruningPipeline:
                 if pruner.should_prune(finding.candidate, context):
                     pruned_by = pruner.name
                     break
+            context.count("prune.examined")
+            if pruned_by is not None:
+                context.count("prune.killed", 1, pruner=pruned_by)
+            else:
+                context.count("prune.survived")
             out.append(replace(finding, pruned_by=pruned_by))
         return out
 

@@ -11,6 +11,7 @@ from dataclasses import replace
 
 from repro.core.familiarity import DokModel
 from repro.core.findings import Finding
+from repro.obs import MetricsRegistry
 
 
 def score_finding(finding: Finding, model: DokModel, until_rev: int | str | None = None) -> Finding:
@@ -31,6 +32,7 @@ def rank_findings(
     model: DokModel | None = None,
     until_rev: int | str | None = None,
     use_familiarity: bool = True,
+    metrics: MetricsRegistry | None = None,
 ) -> list[Finding]:
     """Rank *reported* findings; unreported findings pass through unranked.
 
@@ -48,5 +50,12 @@ def rank_findings(
                 finding.key,
             )
         )
+        if metrics is not None:
+            for finding in reported:
+                if finding.familiarity is not None:
+                    metrics.observe("rank.familiarity", finding.familiarity)
+    if metrics is not None:
+        metrics.inc("rank.reported", len(reported))
+        metrics.inc("rank.unreported", len(others))
     ranked = [finding.with_rank(position + 1) for position, finding in enumerate(reported)]
     return ranked + others

@@ -13,9 +13,12 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.findings import Finding
+from repro.obs import METRICS_SCHEMA_VERSION, summarize_snapshot
+from repro.obs.sinks import STAGE_ORDER
 
 if TYPE_CHECKING:
     from repro.engine.scheduler import EngineStats
+    from repro.obs import Tracer
 
 
 @dataclass
@@ -28,7 +31,16 @@ class Report:
     seconds: float = 0.0
     # How the engine produced the per-module results: executor, worker
     # count, and cache hit/miss counters (None for hand-built reports).
+    # Legacy view — the full accounting lives in ``metrics``.
     engine_stats: "EngineStats | None" = None
+    # Per-run metrics snapshot (repro.obs schema) and the span tracer the
+    # run recorded into (None for hand-built reports).
+    metrics: dict | None = None
+    trace: "Tracer | None" = None
+    # False when the Andersen solver failed to reach a fixpoint on at
+    # least one module: points-to facts (and thus findings) may then be
+    # under-approximated.
+    converged: bool = True
 
     # -- views ----------------------------------------------------------
 
@@ -68,6 +80,32 @@ class Report:
             "pruned": len(self.pruned()),
             "reported": len(self.reported()),
         }
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Wall-time per pipeline stage, from the run's span trace."""
+        if self.trace is None:
+            return {}
+        totals = self.trace.stage_totals()
+        return {stage: totals[stage] for stage in STAGE_ORDER if stage in totals}
+
+    def stats_record(self) -> dict:
+        """One self-contained JSONL record for ``--stats-out`` files
+        (consumed by ``valuecheck stats`` and trajectory comparisons)."""
+        record = {
+            "schema": METRICS_SCHEMA_VERSION,
+            "project": self.project,
+            "seconds": self.seconds,
+            "converged": self.converged,
+            "counts": self.counts(),
+            "prune_stats": dict(self.prune_stats),
+            "stages": self.stage_seconds(),
+        }
+        if self.engine_stats is not None:
+            record["executor"] = self.engine_stats.executor
+            record["engine"] = self.engine_stats.as_dict()
+        if self.metrics is not None:
+            record["metrics"] = summarize_snapshot(self.metrics)
+        return record
 
     # -- rendering -------------------------------------------------------------
 
@@ -160,4 +198,9 @@ class Report:
                 lines.append(
                     f"  WARNING: solver did not converge on {len(stats.non_converged)} module(s)"
                 )
+        stages = self.stage_seconds()
+        if stages:
+            lines.append("stage wall-time:")
+            for stage, seconds in stages.items():
+                lines.append(f"  {stage:<12}{seconds:9.3f}s")
         return "\n".join(lines)

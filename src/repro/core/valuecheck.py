@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.core.familiarity import DokModel, DokWeights
 from repro.core.findings import AuthorshipInfo, Candidate, Finding
 from repro.core.project import Project
@@ -104,42 +105,80 @@ class ValueCheck:
             )
         return findings
 
-    def analyze(self, project: Project, rev: int | str | None = None) -> Report:
-        """Run all stages and return the report."""
+    def analyze(
+        self,
+        project: Project,
+        rev: int | str | None = None,
+        telemetry: obs.Telemetry | None = None,
+    ) -> Report:
+        """Run all stages and return the report.
+
+        Telemetry: every call records into a **fresh** metrics registry
+        (re-entrant ``analyze`` calls never double-count), while spans
+        join the ambient tracer when one is active — so a caller that
+        wraps project construction + analysis in ``obs.use(...)`` gets a
+        single parse→rank trace.  Pass ``telemetry`` explicitly to own
+        the registry (e.g. to accumulate across runs deliberately).
+        """
         started = time.perf_counter()
-        engine_run: EngineRun = self._engine().run(project)
-        candidates = engine_run.candidates
-        findings = self._resolve_authorship(project, candidates, rev)
+        if telemetry is None:
+            ambient = obs.current()
+            tracer = ambient.tracer if ambient is not None else obs.Tracer()
+            telemetry = obs.Telemetry(tracer=tracer, metrics=obs.MetricsRegistry())
+        registry = telemetry.metrics
+        with obs.use(telemetry), telemetry.tracer.span("analyze", project=project.name):
+            engine_run: EngineRun = self._engine().run(project, metrics=registry)
+            candidates = engine_run.candidates
+            registry.inc("detect.candidates", len(candidates))
 
-        pipeline = default_pipeline(
-            enable=set(self.config.pruners) if self.config.pruners is not None else None,
-            min_increments=self.config.cursor_min_increments,
-            peer_min_occurrences=self.config.peer_min_occurrences,
-            peer_unused_fraction=self.config.peer_unused_fraction,
-            include_history=self.config.history_pruning,
-        )
-        context = PruneContext(project=project)
-        cross = [finding for finding in findings if finding.authorship and finding.authorship.cross_scope]
-        rest = [finding for finding in findings if not (finding.authorship and finding.authorship.cross_scope)]
-        cross = pipeline.apply(cross, context)
-        prune_stats = pipeline.stats(cross)
-        findings = cross + rest
+            with telemetry.tracer.span("resolve"):
+                findings = self._resolve_authorship(project, candidates, rev)
+            cross = [f for f in findings if f.authorship and f.authorship.cross_scope]
+            rest = [f for f in findings if not (f.authorship and f.authorship.cross_scope)]
+            registry.inc("resolve.cross_scope", len(cross))
+            registry.inc("resolve.local", len(rest))
 
-        model = None
-        if project.repo is not None:
-            if self.config.familiarity_model == "ea":
-                from repro.core.familiarity import EaModel
+            pipeline = default_pipeline(
+                enable=set(self.config.pruners) if self.config.pruners is not None else None,
+                min_increments=self.config.cursor_min_increments,
+                peer_min_occurrences=self.config.peer_min_occurrences,
+                peer_unused_fraction=self.config.peer_unused_fraction,
+                include_history=self.config.history_pruning,
+            )
+            context = PruneContext(project=project, metrics=registry)
+            with telemetry.tracer.span("prune"):
+                cross = pipeline.apply(cross, context)
+            prune_stats = pipeline.stats(cross)
+            findings = cross + rest
 
-                model = EaModel(project.repo)
-            else:
-                model = DokModel(project.repo, weights=self.config.dok_weights)
-        findings = rank_findings(
-            findings, model=model, until_rev=rev, use_familiarity=self.config.use_familiarity
-        )
+            model = None
+            if project.repo is not None:
+                if self.config.familiarity_model == "ea":
+                    from repro.core.familiarity import EaModel
+
+                    model = EaModel(project.repo)
+                else:
+                    model = DokModel(project.repo, weights=self.config.dok_weights)
+            with telemetry.tracer.span("rank"):
+                findings = rank_findings(
+                    findings,
+                    model=model,
+                    until_rev=rev,
+                    use_familiarity=self.config.use_familiarity,
+                    metrics=registry,
+                )
+        converged = not engine_run.stats.non_converged
+        if not converged:
+            registry.inc("andersen.non_converged_modules", len(engine_run.stats.non_converged))
+        seconds = time.perf_counter() - started
+        registry.observe("analyze.run_seconds", seconds)
         return Report(
             project=project.name,
             findings=findings,
             prune_stats=prune_stats,
-            seconds=time.perf_counter() - started,
+            seconds=seconds,
             engine_stats=engine_run.stats,
+            metrics=registry.snapshot(),
+            trace=telemetry.tracer,
+            converged=converged,
         )

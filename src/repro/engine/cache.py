@@ -9,10 +9,11 @@ detection semantics change — gives a key under which results can be
 reused across analyses, projects, processes in a pool, and repeated
 evaluation-suite runs.
 
-The cache is process-wide, thread-safe and LRU-bounded.  Counters are
-kept both globally and per :class:`CacheBinding` so one engine run can
-report its own hit/miss tally even when several analyses share the
-default cache.
+The cache is process-wide, thread-safe and LRU-bounded.  The counters
+here are cumulative, process-lifetime tallies; per-run hit/miss
+accounting (plus lookup-latency histograms) lives in the engine run's
+:class:`~repro.obs.MetricsRegistry`, so one engine run reports its own
+tally even when several analyses share the default cache.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ from typing import Iterable
 
 # Bump whenever detection/pointer/index semantics change in a way that
 # alters per-module results: cached entries from older code must miss.
-ANALYSIS_VERSION = "engine-1"
+ANALYSIS_VERSION = "engine-2"
 
 DEFAULT_CAPACITY = 4096
 

@@ -13,6 +13,15 @@ solver convergence — by:
 
 Contributions are installed into the project's per-module cache, which
 means ``project.index`` afterwards assembles without recomputing anything.
+
+Telemetry: ``run`` records into a per-run :class:`MetricsRegistry`
+(supplied by the caller, or fresh) — cache lookup latency histograms,
+hit/miss counters, per-module timing percentiles via the worker
+snapshots, and Andersen iteration/convergence stats.  Worker snapshots
+merge in sorted path order; cache *hits* replay only the deterministic
+slice of their stored snapshot (counts, iterations), never stale
+timings.  :class:`EngineStats` remains as a legacy summary view of the
+same run, kept for ``Report.engine_stats`` compatibility.
 """
 
 from __future__ import annotations
@@ -20,16 +29,23 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.findings import Candidate
 from repro.core.project import Project
 from repro.engine.cache import DEFAULT_CACHE, ResultCache, module_key
 from repro.engine.executors import make_executor
 from repro.engine.worker import ModuleJob, ModuleResult, analyze_job, analyze_lowered
+from repro.obs import MetricsRegistry, deterministic_view
 
 
 @dataclass(frozen=True)
 class EngineStats:
-    """What one engine run did, for reports and benchmarks."""
+    """What one engine run did, for reports and benchmarks.
+
+    Legacy summary view: the per-run :class:`MetricsRegistry` (see
+    ``EngineRun.metrics`` / ``Report.metrics``) carries the same facts
+    plus histograms; this dataclass survives for established callers.
+    """
 
     executor: str = "serial"
     workers: int = 1
@@ -60,6 +76,9 @@ class EngineRun:
     candidates: list[Candidate] = field(default_factory=list)
     by_path: dict[str, ModuleResult] = field(default_factory=dict)
     stats: EngineStats = field(default_factory=EngineStats)
+    # Per-run metrics registry (fresh per run unless the caller shares
+    # one): the authoritative accounting superseding ``stats``.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
 
 class AnalysisEngine:
@@ -79,41 +98,69 @@ class AnalysisEngine:
         self.executor = make_executor(executor, workers)
         self.cache = cache
 
-    def run(self, project: Project, paths: list[str] | None = None) -> EngineRun:
+    def run(
+        self,
+        project: Project,
+        paths: list[str] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> EngineRun:
         started = time.perf_counter()
+        registry = metrics if metrics is not None else MetricsRegistry()
         if paths is None:
             paths = sorted(project.modules)
         else:
             paths = [path for path in paths if path in project.modules]
 
-        run = EngineRun()
+        run = EngineRun(metrics=registry)
         hits = 0
         keys: dict[str, str] = {}
         pending: list[str] = []
-        for path in paths:
-            module = project.modules[path]
-            text = module.source.raw if module.source is not None else None
-            if self.cache is not None and text is not None:
-                key = module_key(path, text, project.build_config)
-                keys[path] = key
-                cached = self.cache.get(key)
-                if cached is not None:
-                    run.by_path[path] = cached
-                    hits += 1
-                    continue
-            pending.append(path)
+        with obs.span("engine", executor=self.executor.kind, modules=len(paths)):
+            for path in paths:
+                module = project.modules[path]
+                text = module.source.raw if module.source is not None else None
+                if self.cache is not None and text is not None:
+                    probe_started = time.perf_counter()
+                    key = module_key(path, text, project.build_config)
+                    keys[path] = key
+                    cached = self.cache.get(key)
+                    probe_seconds = time.perf_counter() - probe_started
+                    outcome = "hit" if cached is not None else "miss"
+                    registry.inc("engine.cache.lookups", outcome=outcome)
+                    registry.observe(
+                        "engine.cache.lookup_seconds", probe_seconds, outcome=outcome
+                    )
+                    if cached is not None:
+                        run.by_path[path] = cached
+                        hits += 1
+                        continue
+                pending.append(path)
 
-        for path, result in zip(pending, self._compute(project, pending)):
-            run.by_path[path] = result
-            if self.cache is not None and path in keys:
-                self.cache.put(keys[path], result)
+            fresh = set(pending)
+            for path, result in zip(pending, self._compute(project, pending)):
+                run.by_path[path] = result
+                if self.cache is not None and path in keys:
+                    self.cache.put(keys[path], result)
 
-        # Deterministic merge: sorted path order, regardless of executor.
-        for path in paths:
-            result = run.by_path[path]
-            run.candidates.extend(result.candidates)
-            project._contribs[path] = result.contribution
+            # Deterministic merge: sorted path order, regardless of executor.
+            for path in paths:
+                result = run.by_path[path]
+                run.candidates.extend(result.candidates)
+                project._contribs[path] = result.contribution
+                if result.metrics is not None:
+                    # Hits replay only content facts (iteration counts,
+                    # convergence) — their stored timings are stale.
+                    if path in fresh:
+                        registry.merge(result.metrics)
+                    else:
+                        registry.merge(deterministic_view(result.metrics))
 
+        registry.inc("engine.runs")
+        registry.inc("engine.modules", len(paths))
+        registry.inc("engine.modules_analyzed", len(pending))
+        registry.set_gauge("engine.workers", self.executor.workers)
+        seconds = time.perf_counter() - started
+        registry.observe("engine.run_seconds", seconds)
         run.stats = EngineStats(
             executor=self.executor.kind,
             workers=self.executor.workers,
@@ -121,7 +168,7 @@ class AnalysisEngine:
             analyzed=len(pending),
             cache_hits=hits,
             cache_misses=len(pending),
-            seconds=time.perf_counter() - started,
+            seconds=seconds,
             non_converged=tuple(
                 path for path in paths if not run.by_path[path].converged
             ),

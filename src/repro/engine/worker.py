@@ -6,17 +6,28 @@ returned :class:`ModuleResult` cross a pickle boundary.  Workers in a
 process pool re-lower the module from source text; lowering is
 deterministic, so the results are identical to analysing the parent's
 module object.
+
+Telemetry: each worker records into a **module-local**
+:class:`~repro.obs.MetricsRegistry` and ships the snapshot back inside
+the :class:`ModuleResult` (a plain dict, so it pickles).  The scheduler
+merges those snapshots in sorted path order, which is what makes the
+merged registry identical across serial/thread/process executors.
+Spans, by contrast, only reach the ambient tracer from in-process
+workers — a process pool cannot share a tracer, so its stage costs
+travel exclusively through the metrics snapshots.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.detector import detect_module
 from repro.core.findings import Candidate
 from repro.core.project import ModuleContribution, build_contribution
 from repro.ir.builder import lower_source
 from repro.ir.module import Module
+from repro.obs import MetricsRegistry
 from repro.pointer.value_flow import ValueFlowGraph, build_value_flow
 
 
@@ -28,6 +39,9 @@ class ModuleResult:
     candidates: list[Candidate] = field(default_factory=list)
     contribution: ModuleContribution = field(default_factory=ModuleContribution)
     converged: bool = True
+    # Worker-local metrics snapshot (repro.obs schema): stage timings,
+    # Andersen iteration counts, convergence counters for this module.
+    metrics: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -41,13 +55,26 @@ class ModuleJob:
 
 def analyze_lowered(path: str, module: Module, vfg: ValueFlowGraph | None = None) -> ModuleResult:
     """Analyse an already-lowered module (serial/thread executors)."""
-    if vfg is None:
-        vfg = build_value_flow(module)
+    local = MetricsRegistry()
+    with local.time("module.analyze_seconds"):
+        if vfg is None:
+            with local.time("module.vfg_seconds"):
+                vfg = build_value_flow(module)
+        with local.time("module.detect_seconds"), obs.span("detect", module=path):
+            candidates = detect_module(module, vfg)
+        with local.time("module.contribution_seconds"):
+            contribution = build_contribution(path, module, vfg)
+    converged = vfg.andersen.converged
+    local.inc("andersen.modules")
+    local.observe("andersen.iterations", vfg.andersen.iterations)
+    if not converged:
+        local.inc("andersen.non_converged")
     return ModuleResult(
         path=path,
-        candidates=detect_module(module, vfg),
-        contribution=build_contribution(path, module, vfg),
-        converged=vfg.andersen.converged,
+        candidates=candidates,
+        contribution=contribution,
+        converged=converged,
+        metrics=local.snapshot(),
     )
 
 

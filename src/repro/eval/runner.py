@@ -7,6 +7,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.corpus.preliminary import generate_preliminary_corpus
 from repro.eval import (
     suite as suite_mod,
@@ -34,6 +35,19 @@ class EvaluationRun:
     suite: EvalSuite
     results: dict[str, object] = field(default_factory=dict)
     seconds: float = 0.0
+    # Span tracer covering suite construction and every experiment, for
+    # the per-experiment wall-time breakdown below (and Chrome export).
+    trace: "obs.Tracer | None" = None
+
+    def experiment_seconds(self) -> dict[str, float]:
+        if self.trace is None:
+            return {}
+        totals = self.trace.stage_totals()
+        return {
+            name: seconds
+            for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1])
+            if name.startswith("experiment:") or name == "build_suite"
+        }
 
     def render(self) -> str:
         parts = [
@@ -59,6 +73,12 @@ class EvaluationRun:
             if key in self.results:
                 parts.append(self.results[key].render())
                 parts.append("-" * 72)
+        timings = self.experiment_seconds()
+        if timings:
+            parts.append("experiment wall-time:")
+            for name, seconds in timings.items():
+                parts.append(f"  {name:<32}{seconds:9.3f}s")
+            parts.append("-" * 72)
         parts.append(f"total evaluation time: {self.seconds:.1f}s")
         return "\n".join(parts)
 
@@ -114,28 +134,40 @@ def run_all(
     scale: float | None = None,
     seed: int = suite_mod.DEFAULT_SEED,
     prelim_scale: float | None = None,
+    telemetry: obs.Telemetry | None = None,
 ) -> EvaluationRun:
     started = time.perf_counter()
-    suite = EvalSuite.build(scale=scale, seed=seed)
-    run_state = EvaluationRun(suite=suite)
-    run_state.results["table2"] = table2.run(suite)
-    run_state.results["table3"] = table3.run(suite)
-    run_state.results["table4"] = table4.run(suite)
-    run_state.results["table5"] = table5.run(suite)
-    run_state.results["table6"] = table6.run(suite)
-    run_state.results["table7"] = table7.run(suite)
-    run_state.results["figure7"] = figure7.run(suite)
-    run_state.results["figure9"] = figure9.run(suite)
-    corpus = generate_preliminary_corpus(
-        scale=prelim_scale if prelim_scale is not None else suite.scale, seed=seed + 4
-    )
-    prelim_result = preliminary.run(corpus)
-    run_state.results["preliminary"] = prelim_result
-    run_state.results["recall"] = recall.run(corpus, prelim_result)
-    run_state.results["calibration"] = calibration_experiment.run(suite)
-    run_state.results["pointer_comparison"] = pointer_comparison.run(
-        suite.run("openssl").project, app_name="openssl"
-    )
-    run_state.results["extensions"] = extensions.run(suite)
+    telemetry = telemetry or obs.Telemetry.fresh()
+    with obs.use(telemetry):
+        with obs.span("build_suite"):
+            suite = EvalSuite.build(scale=scale, seed=seed)
+        run_state = EvaluationRun(suite=suite, trace=telemetry.tracer)
+
+        def experiment(name: str, thunk):
+            with obs.span(f"experiment:{name}"):
+                run_state.results[name] = thunk()
+
+        experiment("table2", lambda: table2.run(suite))
+        experiment("table3", lambda: table3.run(suite))
+        experiment("table4", lambda: table4.run(suite))
+        experiment("table5", lambda: table5.run(suite))
+        experiment("table6", lambda: table6.run(suite))
+        experiment("table7", lambda: table7.run(suite))
+        experiment("figure7", lambda: figure7.run(suite))
+        experiment("figure9", lambda: figure9.run(suite))
+        with obs.span("experiment:preliminary"):
+            corpus = generate_preliminary_corpus(
+                scale=prelim_scale if prelim_scale is not None else suite.scale,
+                seed=seed + 4,
+            )
+            prelim_result = preliminary.run(corpus)
+            run_state.results["preliminary"] = prelim_result
+        experiment("recall", lambda: recall.run(corpus, prelim_result))
+        experiment("calibration", lambda: calibration_experiment.run(suite))
+        experiment(
+            "pointer_comparison",
+            lambda: pointer_comparison.run(suite.run("openssl").project, app_name="openssl"),
+        )
+        experiment("extensions", lambda: extensions.run(suite))
     run_state.seconds = time.perf_counter() - started
     return run_state

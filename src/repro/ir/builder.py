@@ -626,5 +626,9 @@ def lower_unit(unit: ast.TranslationUnit, source: PreprocessedSource | None = No
 
 def lower_source(text: str, filename: str = "<memory>", config: set[str] | None = None) -> Module:
     """Parse and lower MiniC source text in one step."""
-    unit, preprocessed = parse_source(text, filename=filename, config=config)
-    return lower_unit(unit, preprocessed)
+    from repro import obs
+
+    with obs.span("parse", module=filename):
+        unit, preprocessed = parse_source(text, filename=filename, config=config)
+    with obs.span("lower", module=filename):
+        return lower_unit(unit, preprocessed)

@@ -1,0 +1,124 @@
+"""Observability: tracing, metrics and sinks for the analysis pipeline.
+
+The subsystem has three parts (all stdlib-only):
+
+* :mod:`repro.obs.trace` — a span tracer (`Tracer.span("andersen",
+  module=...)`) that produces a hierarchical wall-time trace exportable
+  as Chrome ``trace_event`` JSON or a human-readable tree;
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  with deterministic worker-snapshot merging (supersedes the ad-hoc
+  ``Report.engine_stats`` counters);
+* :mod:`repro.obs.sinks` — JSONL run records, Prometheus text
+  exposition, and the ``valuecheck stats`` summary table.
+
+Instrumentation sites use the **ambient telemetry** established with
+:func:`use`::
+
+    telemetry = Telemetry.fresh()
+    with use(telemetry):
+        project = Project.from_sources(sources)   # parse/lower spans
+        report = ValueCheck().analyze(project)    # engine→rank spans
+
+Deep pipeline code calls the module-level :func:`span` /
+:func:`metrics` helpers, which no-op (cheaply) when no telemetry is
+active — the un-instrumented fast path stays free.  Metrics are
+namespaced *per run*: each ``ValueCheck.analyze`` call records into a
+fresh registry (re-entrant calls never double-count), while spans join
+whatever tracer is ambient so one trace can cover parse → rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    deterministic_view,
+    metric_key,
+    parse_key,
+    summarize,
+    summarize_snapshot,
+)
+from repro.obs.sinks import (
+    read_jsonl,
+    render_stats_table,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+
+@dataclass
+class Telemetry:
+    """One tracer + one metrics registry, travelling together."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @classmethod
+    def fresh(cls, trace: bool = True) -> "Telemetry":
+        return cls(tracer=Tracer(enabled=trace), metrics=MetricsRegistry())
+
+
+# The ambient telemetry stack.  Pushed/popped on the orchestrating
+# thread; the Tracer/MetricsRegistry themselves are thread-safe, so
+# worker threads may record into whatever was ambient when they started.
+_lock = threading.Lock()
+_stack: list[Telemetry] = []
+
+
+def current() -> Telemetry | None:
+    with _lock:
+        return _stack[-1] if _stack else None
+
+
+@contextmanager
+def use(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Make ``telemetry`` ambient for the duration of the block."""
+    with _lock:
+        _stack.append(telemetry)
+    try:
+        yield telemetry
+    finally:
+        with _lock:
+            _stack.pop()
+
+
+def span(name: str, **attrs):
+    """A span on the ambient tracer, or a shared no-op context manager."""
+    telemetry = current()
+    if telemetry is None or not telemetry.tracer.enabled:
+        return NULL_SPAN
+    return telemetry.tracer.span(name, **attrs)
+
+
+def metrics() -> MetricsRegistry | None:
+    """The ambient metrics registry, if any."""
+    telemetry = current()
+    return telemetry.metrics if telemetry is not None else None
+
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "current",
+    "deterministic_view",
+    "metric_key",
+    "metrics",
+    "parse_key",
+    "read_jsonl",
+    "render_stats_table",
+    "span",
+    "summarize",
+    "summarize_snapshot",
+    "to_prometheus",
+    "use",
+    "write_jsonl",
+]

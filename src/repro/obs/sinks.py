@@ -1,0 +1,145 @@
+"""Telemetry sinks: JSONL run records, Prometheus text, summary tables.
+
+Three consumers, three formats:
+
+* **JSONL** (`--stats-out run_stats.jsonl`) — one self-contained JSON
+  object per pipeline run, for trajectory comparison across PRs and the
+  ``valuecheck stats`` summary table.
+* **Prometheus text exposition** — counters as ``_total``, histograms as
+  ``_count``/``_sum`` plus quantile samples, for scraping in a service
+  deployment.
+* **Summary table** — the human-facing ``valuecheck stats`` rendering:
+  per-stage wall-time and per-pruner kill counts per recorded run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import base_name, parse_key, summarize
+
+
+def write_jsonl(path: str | Path, record: dict) -> None:
+    """Append one run record to a JSONL stats file (created on demand)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def _prometheus_name(key: str) -> tuple[str, str]:
+    """Split a canonical metric key into (prometheus name, label block)."""
+    name, labels = parse_key(key)
+    flat = name.replace(".", "_").replace("-", "_")
+    if labels:
+        inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        return flat, "{" + inner + "}"
+    return flat, ""
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a metrics snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(flat: str, kind: str) -> None:
+        if flat not in seen_types:
+            seen_types.add(flat)
+            lines.append(f"# TYPE {flat} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        flat, labels = _prometheus_name(key)
+        header(f"{flat}_total", "counter")
+        lines.append(f"{flat}_total{labels} {value}")
+    for key, value in snapshot.get("gauges", {}).items():
+        flat, labels = _prometheus_name(key)
+        header(flat, "gauge")
+        lines.append(f"{flat}{labels} {value}")
+    for key, values in snapshot.get("histograms", {}).items():
+        flat, labels = _prometheus_name(key)
+        header(flat, "summary")
+        stats = values if isinstance(values, dict) else summarize(values)
+        lines.append(f"{flat}_count{labels} {stats.get('count', 0)}")
+        lines.append(f"{flat}_sum{labels} {stats.get('sum', 0.0)}")
+        for quantile in ("p50", "p90", "p99"):
+            if quantile in stats:
+                q = {"p50": "0.5", "p90": "0.9", "p99": "0.99"}[quantile]
+                base_labels = labels[1:-1] if labels else ""
+                merged = ",".join(part for part in (base_labels, f'quantile="{q}"') if part)
+                lines.append(f"{flat}{{{merged}}} {stats[quantile]}")
+    return "\n".join(lines) + "\n"
+
+
+# The pipeline stages `valuecheck stats` breaks wall-time down by, in
+# execution order (see docs/OBSERVABILITY.md for the span schema).
+STAGE_ORDER = (
+    "parse",
+    "lower",
+    "vfg",
+    "andersen",
+    "engine",
+    "detect",
+    "resolve",
+    "prune",
+    "rank",
+)
+
+
+def _fmt_seconds(value: float | None) -> str:
+    return f"{value:.3f}" if value is not None else "—"
+
+
+def render_stats_table(records: list[dict]) -> str:
+    """The ``valuecheck stats`` table over JSONL run records."""
+    if not records:
+        return "no runs recorded"
+    parts: list[str] = []
+    for index, record in enumerate(records):
+        counts = record.get("counts", {})
+        parts.append(
+            f"run {index}: project={record.get('project', '?')} "
+            f"executor={record.get('executor', '?')} "
+            f"seconds={_fmt_seconds(record.get('seconds'))} "
+            f"converged={record.get('converged', True)}"
+        )
+        parts.append(
+            f"  candidates={counts.get('candidates', 0)} "
+            f"cross_scope={counts.get('cross_scope', 0)} "
+            f"pruned={counts.get('pruned', 0)} "
+            f"reported={counts.get('reported', 0)}"
+        )
+        stages = record.get("stages", {})
+        if stages:
+            parts.append("  stage         wall-time")
+            for stage in STAGE_ORDER:
+                if stage in stages:
+                    parts.append(f"    {stage:<12}{stages[stage]:9.3f}s")
+            for stage in sorted(set(stages) - set(STAGE_ORDER)):
+                parts.append(f"    {stage:<12}{stages[stage]:9.3f}s")
+        kills = record.get("prune_stats", {})
+        if kills:
+            parts.append("  pruner               killed")
+            for pruner, killed in sorted(kills.items()):
+                parts.append(f"    {pruner:<20}{killed:>5}")
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def prune_kills(snapshot: dict) -> dict[str, float]:
+    """Per-pruner kill counters from a snapshot: pruner name -> count."""
+    kills: dict[str, float] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        if base_name(key) == "prune.killed":
+            _, labels = parse_key(key)
+            kills[labels.get("pruner", "?")] = value
+    return kills

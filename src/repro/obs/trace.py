@@ -1,0 +1,170 @@
+"""Span-based tracer: a hierarchical wall-time trace of one pipeline run.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("analyze", project="openssl"):
+        with tracer.span("andersen", module="ssl.c"):
+            ...
+    print(tracer.render_tree())
+    Path("trace.json").write_text(json.dumps(tracer.to_chrome()))
+
+Spans nest per thread (each thread keeps its own open-span stack), so
+worker threads produce their own span roots; the Chrome export carries a
+``tid`` per thread, which is how ``chrome://tracing`` / Perfetto lay the
+tracks out.  Process-pool workers cannot share a tracer — their stage
+costs travel back as metrics instead (see :mod:`repro.engine.worker`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) timed region."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    start: float  # seconds since tracer epoch
+    end: float | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+
+class Tracer:
+    """Thread-safe span recorder with Chrome trace-event export."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 0
+        self._stacks = threading.local()
+        # Stable small ints per OS thread id, in order of first appearance.
+        self._thread_ids: dict[int, int] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def _thread_id(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._thread_ids:
+                self._thread_ids[ident] = len(self._thread_ids)
+            return self._thread_ids[ident]
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span | None]:
+        if not self.enabled:
+            yield None
+            return
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent,
+            thread_id=self._thread_id(),
+            start=time.perf_counter() - self._epoch,
+            attrs=dict(attrs),
+        )
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record.end = time.perf_counter() - self._epoch
+            with self._lock:
+                self._spans.append(record)
+
+    # -- views -----------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def span_names(self) -> set[str]:
+        return {span.name for span in self.spans()}
+
+    def stage_totals(self) -> dict[str, float]:
+        """Total wall-time per span name.  Nested spans count toward their
+        own name only, so pipeline stages (distinct names) never
+        double-count each other."""
+        totals: dict[str, float] = {}
+        for span in self.spans():
+            totals[span.name] = totals.get(span.name, 0.0) + span.seconds
+        return totals
+
+    def children_of(self, span_id: int | None) -> list[Span]:
+        return sorted(
+            (span for span in self.spans() if span.parent_id == span_id),
+            key=lambda span: span.start,
+        )
+
+    # -- exports ---------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` format (load in chrome://tracing or
+        https://ui.perfetto.dev): one complete ("X") event per span, with
+        microsecond timestamps relative to the tracer epoch."""
+        events = []
+        for span in self.spans():
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round(span.start * 1e6, 3),
+                    "dur": round(span.seconds * 1e6, 3),
+                    "pid": 0,
+                    "tid": span.thread_id,
+                    "cat": "repro",
+                    "args": {str(k): str(v) for k, v in span.attrs.items()},
+                }
+            )
+        events.sort(key=lambda event: (event["ts"], event["tid"], event["name"]))
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def render_tree(self, max_children: int = 40) -> str:
+        """Human-readable span tree (roots in start order)."""
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            attrs = ""
+            if span.attrs:
+                inner = ", ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+                attrs = f"  [{inner}]"
+            lines.append(f"{'  ' * depth}{span.name:<24} {span.seconds * 1e3:9.3f} ms{attrs}")
+            children = self.children_of(span.span_id)
+            for child in children[:max_children]:
+                emit(child, depth + 1)
+            if len(children) > max_children:
+                lines.append(f"{'  ' * (depth + 1)}… {len(children) - max_children} more span(s)")
+
+        for root in self.children_of(None):
+            emit(root, 0)
+        return "\n".join(lines)
+
+
+#: Reusable "tracing off" context manager (avoids allocating one per call).
+NULL_SPAN = nullcontext(None)

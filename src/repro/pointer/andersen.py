@@ -38,7 +38,6 @@ may-analysis over a flow-sensitive one.
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -68,7 +67,8 @@ Node = str
 # Worklist-pop budget: a backstop against pathological constraint systems.
 # With difference propagation each (node, pointee) pair is popped O(1)
 # times, so real modules converge far below this.  Hitting it clears
-# ``AndersenResult.converged`` and emits a RuntimeWarning.
+# ``AndersenResult.converged``; the engine records the event in the run's
+# metrics registry and propagates the flag into ``Report.converged``.
 ITERATION_LIMIT = 200_000
 
 
@@ -141,6 +141,9 @@ class AndersenResult:
     # False when the solver hit its iteration limit before reaching a
     # fixpoint — points-to sets are then an under-approximation.
     converged: bool = True
+    # Worklist pops the solver spent reaching (or abandoning) the
+    # fixpoint; feeds the `andersen.iterations` histogram.
+    iterations: int = 0
 
     def pts(self, node: Node) -> set[Node] | frozenset[Node]:
         return self.points_to.get(node, _EMPTY_PTS)
@@ -372,13 +375,7 @@ class _Solver:
                 for obj in pending:
                     self._apply_indirect(indirect, obj)
         self.result.converged = not self.worklist
-        if not self.result.converged:
-            warnings.warn(
-                f"Andersen solver hit the {limit} iteration limit on module "
-                f"{self.module.filename!r}; points-to results are truncated",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        self.result.iterations = iterations
         # Record which objects are pointed to by something other than
         # themselves (the alias-check client).
         for node, pointees in self.points_to.items():

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.dataflow.reaching import ReachingDefinitions, reaching_definitions
 from repro.ir.instructions import AddrOf, Call, FieldAddr, Store, VarAddr
 from repro.ir.module import Function, Module
@@ -85,10 +86,12 @@ def _collect_unused_call_results(function: Function) -> set[int]:
 def build_value_flow(module: Module, andersen: AndersenResult | None = None) -> ValueFlowGraph:
     """Build the value-flow graph for ``module`` (running Andersen's
     analysis unless a result is supplied)."""
-    if andersen is None:
-        andersen = analyze_module(module)
-    graph = ValueFlowGraph(module=module, andersen=andersen)
-    for function in module.functions.values():
-        graph.address_taken[function.name] = _collect_address_taken(function)
-        graph.unused_call_results[function.name] = _collect_unused_call_results(function)
+    with obs.span("vfg", module=module.filename):
+        if andersen is None:
+            with obs.span("andersen", module=module.filename):
+                andersen = analyze_module(module)
+        graph = ValueFlowGraph(module=module, andersen=andersen)
+        for function in module.functions.values():
+            graph.address_taken[function.name] = _collect_address_taken(function)
+            graph.unused_call_results[function.name] = _collect_unused_call_results(function)
     return graph

@@ -227,10 +227,12 @@ class TestConvergence:
         report = ValueCheck(ValueCheckConfig(module_cache=False)).analyze(project)
         assert report.engine_stats.non_converged == ()
 
-    def test_limit_hit_sets_flag_and_warns(self, monkeypatch):
+    def test_limit_hit_is_recorded_not_warned(self, monkeypatch, recwarn):
         # Shrink the iteration budget instead of crafting a pathological
-        # module: any real propagation then trips the limit.
+        # module: any real propagation then trips the limit.  The event is
+        # *recorded* (converged flag + metrics + Report), never a warning.
         import repro.pointer.andersen as andersen_mod
+        from repro.engine.worker import analyze_lowered
         from repro.ir.builder import lower_source
 
         monkeypatch.setattr(andersen_mod, "ITERATION_LIMIT", 1)
@@ -239,6 +241,26 @@ class TestConvergence:
             "  p = &x; q = p; r = q; p = &y; }"
         )
         module = lower_source(src, filename="t.c")
-        with pytest.warns(RuntimeWarning, match="iteration limit"):
-            result = analyze_module(module)
+        result = analyze_module(module)
         assert result.converged is False
+        assert result.iterations == 1
+        assert not recwarn.list
+
+        module_result = analyze_lowered("t.c", lower_source(src, filename="t.c"))
+        assert module_result.converged is False
+        assert module_result.metrics["counters"]["andersen.non_converged"] == 1
+
+        report = ValueCheck(ValueCheckConfig(use_authorship=False, module_cache=False)).analyze(
+            Project.from_sources({"t.c": src})
+        )
+        assert report.converged is False
+        assert report.engine_stats.non_converged == ("t.c",)
+        assert report.metrics["counters"]["andersen.non_converged_modules"] == 1
+
+    def test_iterations_recorded_on_convergence(self):
+        from repro.ir.builder import lower_source
+
+        src = "void f(void) { int x; int *p; p = &x; }"
+        result = analyze_module(lower_source(src, filename="t.c"))
+        assert result.converged is True
+        assert result.iterations > 0

@@ -1,0 +1,89 @@
+"""Sinks: JSONL round-trips, Prometheus exposition, summary tables."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    MetricsRegistry,
+    read_jsonl,
+    render_stats_table,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.sinks import prune_kills
+
+
+class TestJsonl:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "stats" / "runs.jsonl"
+        write_jsonl(path, {"project": "a", "seconds": 1.5})
+        write_jsonl(path, {"project": "b", "seconds": 2.5})
+        records = read_jsonl(path)
+        assert [record["project"] for record in records] == ["a", "b"]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"project": "a"}\n\n{"project": "b"}\n')
+        assert len(read_jsonl(path)) == 2
+
+
+class TestPrometheus:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("engine.runs")
+        registry.inc("prune.killed", 5, pruner="cursor")
+        registry.set_gauge("engine.workers", 4)
+        registry.observe("module.analyze_seconds", 0.25)
+        registry.observe("module.analyze_seconds", 0.75)
+        return registry.snapshot()
+
+    def test_counters_as_totals(self):
+        text = to_prometheus(self._snapshot())
+        assert "# TYPE engine_runs_total counter" in text
+        assert "engine_runs_total 1" in text
+        assert 'prune_killed_total{pruner="cursor"} 5' in text
+
+    def test_gauges(self):
+        assert "engine_workers 4" in to_prometheus(self._snapshot())
+
+    def test_histograms_as_summaries(self):
+        text = to_prometheus(self._snapshot())
+        assert "module_analyze_seconds_count 2" in text
+        assert "module_analyze_seconds_sum 1.0" in text
+        assert 'module_analyze_seconds{quantile="0.5"} 0.25' in text
+
+    def test_accepts_summarised_histograms(self):
+        from repro.obs import summarize_snapshot
+
+        text = to_prometheus(summarize_snapshot(self._snapshot()))
+        assert "module_analyze_seconds_count 2" in text
+
+
+class TestSummaryTable:
+    RECORD = {
+        "project": "openssl",
+        "executor": "thread",
+        "seconds": 1.234,
+        "converged": True,
+        "counts": {"candidates": 10, "cross_scope": 6, "pruned": 4, "reported": 2},
+        "stages": {"parse": 0.5, "rank": 0.01, "custom_stage": 0.2},
+        "prune_stats": {"cursor": 3, "unused_hints": 1},
+    }
+
+    def test_renders_stages_and_kills(self):
+        table = render_stats_table([self.RECORD])
+        assert "project=openssl" in table
+        assert "executor=thread" in table
+        assert "parse" in table and "rank" in table and "custom_stage" in table
+        assert "cursor" in table and "   3" in table
+
+    def test_empty(self):
+        assert render_stats_table([]) == "no runs recorded"
+
+
+class TestPruneKills:
+    def test_extracts_labelled_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("prune.killed", 2, pruner="cursor")
+        registry.inc("prune.killed", 0, pruner="peer_definition")
+        registry.inc("prune.examined", 9)
+        assert prune_kills(registry.snapshot()) == {"cursor": 2, "peer_definition": 0}

@@ -1,0 +1,94 @@
+"""Tier-1 guard: every BENCH_<n>.json at the repo root validates.
+
+Runs the same validator the benchmark harness self-checks with before
+writing a file, so a BENCH payload that drifts from the metrics schema
+fails the test suite — not just a later trajectory comparison."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from check_bench_schema import (  # noqa: E402
+    OBSERVABILITY_FIELDS,
+    validate_all,
+    validate_payload,
+)
+from repro.obs import METRICS_SCHEMA_VERSION  # noqa: E402
+
+
+def _valid_v2_payload():
+    return {
+        "schema": 2,
+        "metrics_schema": METRICS_SCHEMA_VERSION,
+        "bench_index": 2,
+        "scale": 0.1,
+        "seed": 42,
+        "host": {"cpus": 8},
+        "stages": {
+            "detection_seconds": 1.0,
+            "authorship_seconds": 1.0,
+            "executors_full_pipeline_seconds": {},
+            "cache": {},
+            "candidates": 10,
+            "observability": {
+                "stages_seconds": {"parse": 0.1},
+                "prune_kills": {"cursor": 1},
+                "counts": {"candidates": 10},
+                "metrics": {"schema": METRICS_SCHEMA_VERSION},
+            },
+        },
+        "table7": {},
+    }
+
+
+class TestRepoBenchFiles:
+    def test_all_checked_in_bench_files_validate(self):
+        assert list(ROOT.glob("BENCH_*.json")), "no BENCH files at repo root"
+        assert validate_all(ROOT) == []
+
+
+class TestValidator:
+    def test_valid_v2_payload_passes(self):
+        assert validate_payload(_valid_v2_payload()) == []
+
+    def test_missing_metrics_schema_rejected(self):
+        payload = _valid_v2_payload()
+        del payload["metrics_schema"]
+        assert any("metrics_schema" in p for p in validate_payload(payload))
+
+    def test_stale_metrics_schema_rejected(self):
+        payload = _valid_v2_payload()
+        payload["metrics_schema"] = METRICS_SCHEMA_VERSION + 1
+        assert any("metrics_schema" in p for p in validate_payload(payload))
+
+    def test_missing_observability_section_rejected(self):
+        payload = _valid_v2_payload()
+        del payload["stages"]["observability"]
+        assert any("observability" in p for p in validate_payload(payload))
+
+    def test_each_observability_field_required(self):
+        for name in OBSERVABILITY_FIELDS:
+            payload = _valid_v2_payload()
+            del payload["stages"]["observability"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_unconverged_run_rejected(self):
+        payload = _valid_v2_payload()
+        payload["stages"]["non_converged_modules"] = ["app.c"]
+        assert any("unconverged" in p for p in validate_payload(payload))
+
+    def test_schema1_grandfathered_without_observability(self):
+        payload = _valid_v2_payload()
+        payload["schema"] = 1
+        del payload["metrics_schema"]
+        del payload["stages"]["observability"]
+        assert validate_payload(payload) == []
+
+    def test_missing_common_field_rejected(self):
+        payload = _valid_v2_payload()
+        del payload["table7"]
+        assert any("table7" in p for p in validate_payload(payload))

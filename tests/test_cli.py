@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -70,12 +72,76 @@ class TestAnalyze:
         assert rc == 0
         assert "0 new" in out  # identical tree: everything is known
 
+    def test_analyze_summary_includes_stage_walltime(self, corpus_dir, capsys):
+        rc = main(["analyze", str(corpus_dir / "src")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stage wall-time:" in out
+        assert "parse" in out and "rank" in out
+
     def test_analyze_missing_directory(self, tmp_path, capsys):
         rc = main(["analyze", str(tmp_path / "nope")])
         assert rc == 2
 
     def test_analyze_empty_directory(self, tmp_path, capsys):
         rc = main(["analyze", str(tmp_path)])
+        assert rc == 2
+
+
+class TestTelemetryFlags:
+    def test_trace_writes_chrome_json(self, corpus_dir, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        rc = main(["analyze", str(corpus_dir / "src"), "--trace", str(trace_path)])
+        assert rc == 0
+        chrome = json.loads(trace_path.read_text())
+        names = {event["name"] for event in chrome["traceEvents"]}
+        assert {"analyze", "parse", "engine", "prune", "rank"} <= names
+        assert all(event["ph"] == "X" for event in chrome["traceEvents"])
+
+    def test_trace_tree_prints_nested_spans(self, corpus_dir, capsys):
+        rc = main(["analyze", str(corpus_dir / "src"), "--trace-tree"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "analyze" in out
+        assert "  engine" in out  # indented child span
+
+    def test_stats_out_appends_jsonl(self, corpus_dir, tmp_path, capsys):
+        stats_path = tmp_path / "runs.jsonl"
+        for _ in range(2):
+            rc = main(
+                ["analyze", str(corpus_dir / "src"), "--stats-out", str(stats_path)]
+            )
+            assert rc == 0
+        records = [
+            json.loads(line) for line in stats_path.read_text().splitlines() if line
+        ]
+        assert len(records) == 2
+        for record in records:
+            assert record["converged"] is True
+            assert "counts" in record and "stages" in record and "metrics" in record
+
+    def test_prometheus_exposition(self, corpus_dir, tmp_path, capsys):
+        prom_path = tmp_path / "metrics.prom"
+        rc = main(["analyze", str(corpus_dir / "src"), "--prometheus", str(prom_path)])
+        assert rc == 0
+        text = prom_path.read_text()
+        assert "# TYPE" in text
+        assert "detect_candidates_total" in text
+        assert "prune_killed_total{" in text
+
+    def test_stats_subcommand_renders_table(self, corpus_dir, tmp_path, capsys):
+        stats_path = tmp_path / "runs.jsonl"
+        main(["analyze", str(corpus_dir / "src"), "--stats-out", str(stats_path)])
+        capsys.readouterr()
+        rc = main(["stats", str(stats_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "run 0:" in out
+        assert "stage         wall-time" in out
+        assert "pruner               killed" in out
+
+    def test_stats_subcommand_missing_file(self, tmp_path, capsys):
+        rc = main(["stats", str(tmp_path / "nope.jsonl")])
         assert rc == 2
 
 
