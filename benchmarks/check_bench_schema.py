@@ -10,10 +10,15 @@ structurally comparable.  This validator asserts the invariants:
 * schema ≥ 2 files carry the **metrics schema version**
   (``metrics_schema``) plus the ``stages.observability`` section
   (stage wall-times, prune kills, summarised metrics snapshot);
+* schema ≥ 3 files carry the ``stages.service`` section (analysis
+  service cold-start vs warm ``analyze_diff`` latency, request
+  counters);
 * no benchmark was emitted from an unconverged solver run.
 
-Schema 1 files (PR 1, before the observability subsystem) are
-grandfathered: they must satisfy the common-field checks only.
+Older schemas are grandfathered at the level they were written: schema 1
+files (PR 1, before the observability subsystem) satisfy the
+common-field checks only; schema 2 files (PR 2, before the analysis
+service) need no ``stages.service``.
 
 Run directly (``python benchmarks/check_bench_schema.py``) or through
 the tier-1 test ``tests/test_bench_schema.py``.
@@ -54,6 +59,15 @@ STAGE_FIELDS = (
 )
 
 OBSERVABILITY_FIELDS = ("stages_seconds", "prune_kills", "counts", "metrics")
+
+SERVICE_FIELDS = (
+    "open_seconds",
+    "cold_analyze_seconds",
+    "warm_analyze_diff_seconds",
+    "warm_analyze_seconds",
+    "speedup_warm_diff",
+    "requests",
+)
 
 
 def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
@@ -100,6 +114,28 @@ def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
             metrics = observability.get("metrics", {})
             if isinstance(metrics, dict) and metrics.get("schema") != METRICS_SCHEMA_VERSION:
                 problem("stages.observability.metrics has a stale snapshot schema")
+
+    if payload.get("schema", 0) >= 3:
+        service = (stages or {}).get("service")
+        if not isinstance(service, dict):
+            problem("schema>=3 requires stages.service")
+        else:
+            for name in SERVICE_FIELDS:
+                if name not in service:
+                    problem(f"stages.service missing {name!r}")
+            warm = service.get("warm_analyze_diff_seconds")
+            cold = service.get("cold_analyze_seconds")
+            if (
+                isinstance(warm, (int, float))
+                and isinstance(cold, (int, float))
+                and warm > cold
+            ):
+                # The whole point of the daemon: warm incremental
+                # requests must not be slower than the cold full run.
+                problem(
+                    f"warm analyze_diff ({warm:.3f}s) slower than the "
+                    f"cold analyze ({cold:.3f}s)"
+                )
     return problems
 
 

@@ -22,7 +22,6 @@ import os
 import subprocess
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -34,12 +33,14 @@ from repro.engine import AnalysisEngine, ResultCache  # noqa: E402
 from repro.eval import table7  # noqa: E402
 from repro.eval.suite import EvalSuite  # noqa: E402
 from repro.obs import METRICS_SCHEMA_VERSION, summarize_snapshot  # noqa: E402
+from repro.obs.clock import monotonic  # noqa: E402
 
 EXECUTORS = ("serial", "thread", "process")
 
 # BENCH_<n>.json payload schema: bump together with the validator in
-# benchmarks/check_bench_schema.py.
-BENCH_SCHEMA_VERSION = 2
+# benchmarks/check_bench_schema.py.  v3 adds the ``stages.service``
+# section (analysis-service cold vs warm request latency).
+BENCH_SCHEMA_VERSION = 3
 
 
 def _next_index() -> int:
@@ -102,12 +103,12 @@ def _stage_timings(scale: float, seed: int, workers: int) -> dict:
     # Detection (engine, serial, no cache) and authorship on one project.
     project = app.project()
     engine = AnalysisEngine(executor="serial", cache=None)
-    started = time.perf_counter()
+    started = monotonic()
     run = engine.run(project)
-    detection_seconds = time.perf_counter() - started
-    started = time.perf_counter()
+    detection_seconds = monotonic() - started
+    started = monotonic()
     project.resolver(None).resolve_all(run.candidates)
-    authorship_seconds = time.perf_counter() - started
+    authorship_seconds = monotonic() - started
 
     executors = {}
     reports = {}
@@ -118,9 +119,9 @@ def _stage_timings(scale: float, seed: int, workers: int) -> dict:
         telemetry = obs.Telemetry.fresh()
         with obs.use(telemetry):
             fresh = app.project()
-            started = time.perf_counter()
+            started = monotonic()
             reports[kind] = ValueCheck(config).analyze(fresh, telemetry=telemetry)
-            executors[kind] = time.perf_counter() - started
+            executors[kind] = monotonic() - started
 
     # Warm-cache replay: second run over identical content (projects are
     # parsed outside the timed window; we time the engine pass alone).
@@ -128,9 +129,9 @@ def _stage_timings(scale: float, seed: int, workers: int) -> dict:
     cached_engine = AnalysisEngine(executor="serial", cache=cache)
     cached_engine.run(app.project())
     replay_project = app.project()
-    started = time.perf_counter()
+    started = monotonic()
     warm = cached_engine.run(replay_project)
-    warm_seconds = time.perf_counter() - started
+    warm_seconds = monotonic() - started
 
     non_converged = list(run.stats.non_converged)
     for kind, report in reports.items():
@@ -196,6 +197,64 @@ def _table7_timings(scale: float, seed: int, replay_commits: int) -> dict:
     }
 
 
+def _service_timings(scale: float, seed: int) -> dict:
+    """Analysis-service latency: cold start vs warm incremental requests.
+
+    Drives the daemon core in-process (no sockets — the protocol and
+    queue are exercised, network jitter is not measured).  The project
+    opens one commit behind HEAD so ``analyze_diff`` replays a real
+    commit against warm state.
+    """
+    from repro.corpus import generate_app
+    from repro.engine import DEFAULT_CACHE
+    from repro.service import AnalysisService, ServiceConfig
+
+    app = generate_app("nfs-ganesha", scale=scale, seed=seed)
+    DEFAULT_CACHE.clear()  # the daemon must start genuinely cold
+
+    with tempfile.TemporaryDirectory() as tmp:
+        repo_path = Path(tmp) / "repo.json"
+        app.repo.save(repo_path)
+        open_rev = len(app.repo.commits) - 2
+        service = AnalysisService(ServiceConfig(workers=1)).start()
+        try:
+            def request(kind: str, params: dict) -> tuple[dict, float]:
+                started = monotonic()
+                response = service.submit({"id": kind, "type": kind, "params": params})
+                seconds = monotonic() - started
+                if not response.get("ok"):
+                    raise SystemExit(f"[run_bench] service {kind} failed: {response}")
+                return response["result"], seconds
+
+            _, open_seconds = request(
+                "open_project",
+                {"repo": str(repo_path), "rev": open_rev, "project_id": "bench"},
+            )
+            cold, cold_seconds = request("analyze", {"project_id": "bench"})
+            warm_diff, warm_diff_seconds = request(
+                "analyze_diff", {"project_id": "bench", "commit": "next"}
+            )
+            warm, warm_seconds = request("analyze", {"project_id": "bench"})
+            counts = service.request_counts()
+        finally:
+            service.shutdown()
+
+    return {
+        "open_rev": open_rev,
+        "open_seconds": open_seconds,
+        "cold_analyze_seconds": cold_seconds,
+        "warm_analyze_diff_seconds": warm_diff_seconds,
+        "warm_analyze_seconds": warm_seconds,
+        "speedup_warm_diff": (
+            cold_seconds / warm_diff_seconds if warm_diff_seconds else None
+        ),
+        "diff_changed_files": len(warm_diff["changed_files"]),
+        "diff_modules_analyzed": (warm_diff["engine"] or {}).get("analyzed"),
+        "warm_cache_hits": (warm["engine"] or {}).get("cache_hits"),
+        "requests": counts,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--scale", type=float, default=float(os.environ.get("REPRO_SCALE", 0.1)))
@@ -226,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         "stages": _stage_timings(args.scale, args.seed, args.workers),
         "table7": _table7_timings(args.scale, args.seed, args.replay_commits),
     }
+    payload["stages"]["service"] = _service_timings(args.scale, args.seed)
     if not args.skip_pytest:
         print("[run_bench] running pytest-benchmark suite …")
         payload["pytest_benchmark"] = _run_pytest_benchmarks(args.scale, args.seed)
@@ -245,6 +305,10 @@ def main(argv: list[str] | None = None) -> int:
     cache = stages["cache"]
     print(f"[run_bench] warm cache replay {cache['warm_seconds']:.3f}s "
           f"({cache['hits']} hits / {cache['misses']} misses)")
+    service = stages["service"]
+    print(f"[run_bench] service: cold analyze {service['cold_analyze_seconds']:.3f}s, "
+          f"warm analyze_diff {service['warm_analyze_diff_seconds']:.3f}s "
+          f"({service['speedup_warm_diff']:.1f}x)")
     print(f"[run_bench] wrote {out_path}")
     return 0
 

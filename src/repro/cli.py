@@ -17,6 +17,14 @@ Subcommands::
     valuecheck stats <run_stats.jsonl>
         Summarise runs recorded with ``analyze --stats-out``: per-stage
         wall-time and per-pruner kill counts per run.
+
+    valuecheck serve [--port P] [--stdio] [--workers N] ...
+        Run the warm-state analysis daemon (docs/SERVICE.md): projects
+        stay parsed between requests and ``analyze_diff`` re-analyses
+        only changed modules.
+
+    valuecheck client <request-type> [--port P] [--params JSON]
+        Send one request to a running daemon and print the response.
 """
 
 from __future__ import annotations
@@ -105,6 +113,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.csv:
         report.to_csv(args.csv)
         print(f"\nwrote {args.csv}")
+    if args.sarif:
+        report.to_sarif(args.sarif)
+        print(f"wrote SARIF 2.1.0 log to {args.sarif}")
     if args.trace:
         Path(args.trace).write_text(json.dumps(telemetry.tracer.to_chrome(), indent=1) + "\n")
         print(f"wrote Chrome trace to {args.trace} (load in chrome://tracing or ui.perfetto.dev)")
@@ -211,6 +222,70 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve_stdio, serve_tcp
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        request_timeout=args.request_timeout,
+        max_sessions=args.max_sessions,
+        max_session_loc=args.max_session_loc,
+        executor=args.executor,
+    )
+    if args.stdio:
+        service = serve_stdio(config)
+    else:
+        print(
+            f"valuecheck service listening on {args.host}:{args.port} "
+            f"({config.workers} workers, queue depth {config.queue_capacity}; "
+            "Ctrl-C or a shutdown request stops it)",
+            file=sys.stderr,
+        )
+        service, server = serve_tcp(config, host=args.host, port=args.port, block=True)
+        server.server_close()
+    if args.stats_out:
+        obs.write_jsonl(args.stats_out, service.stats_record())
+        print(f"appended service record to {args.stats_out}", file=sys.stderr)
+    if args.prometheus:
+        Path(args.prometheus).write_text(obs.to_prometheus(service.metrics.snapshot()))
+        print(f"wrote Prometheus exposition to {args.prometheus}", file=sys.stderr)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    raw = args.params or ""
+    if raw.startswith("@"):  # large payloads (e.g. a repo snapshot) via file
+        try:
+            raw = Path(raw[1:]).read_text()
+        except OSError as error:
+            print(f"error: cannot read params file: {error}", file=sys.stderr)
+            return 2
+    try:
+        params = json.loads(raw) if raw else {}
+    except ValueError as error:
+        print(f"error: --params is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(params, dict):
+        print("error: --params must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        client = ServiceClient(host=args.host, port=args.port)
+    except OSError as error:
+        print(f"error: cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    with client:
+        try:
+            result = client.request(args.type, params, retries=args.retries)
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="valuecheck",
@@ -223,6 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--repo", help="MiniGit repo.json for authorship + ranking")
     analyze.add_argument("--config", nargs="*", help="enabled build macros")
     analyze.add_argument("--csv", help="write the report as CSV")
+    analyze.add_argument(
+        "--sarif",
+        help="write the report as a SARIF 2.1.0 log (GitHub code scanning etc.)",
+    )
     analyze.add_argument(
         "--baseline",
         help="an earlier report CSV; only findings not present in it are shown",
@@ -289,6 +368,75 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("report", help="a detected.csv produced by `analyze --csv`")
     score.add_argument("--truth", required=True, help="ground_truth.json of the corpus")
     score.set_defaults(func=_cmd_score)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the warm-state analysis service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7432, help="TCP port (0 = pick free)")
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one request stream over stdin/stdout instead of TCP",
+    )
+    serve.add_argument("--workers", type=int, default=2, help="request worker threads")
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=16,
+        help="bounded request queue depth (overflow → queue_full + retry_after)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=120.0,
+        help="per-request deadline in seconds (queue wait + execution)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=8, help="LRU cap on warm projects"
+    )
+    serve.add_argument(
+        "--max-session-loc",
+        type=int,
+        default=None,
+        help="approximate memory cap: total warm LOC before LRU eviction",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="engine executor used inside each request",
+    )
+    serve.add_argument(
+        "--stats-out",
+        help="append the service's lifetime metrics record to a JSONL file on exit",
+    )
+    serve.add_argument(
+        "--prometheus",
+        help="write the service's metrics in Prometheus text format on exit",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client", help="send one request to a running analysis service"
+    )
+    client.add_argument(
+        "type",
+        choices=("open_project", "analyze", "analyze_diff", "stats", "health", "shutdown"),
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7432)
+    client.add_argument(
+        "--params",
+        help="request params as a JSON object, or @path to read them from a file",
+    )
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="how many queue_full rejections to retry (honouring retry_after)",
+    )
+    client.set_defaults(func=_cmd_client)
 
     evaluate = subparsers.add_parser("evaluate", help="run the full evaluation")
     evaluate.add_argument("--scale", type=float, default=None)

@@ -135,6 +135,16 @@ class Report:
             Path(path).write_text(text)
         return text
 
+    def to_sarif(self, path: str | Path | None = None, include_pruned: bool = False) -> dict:
+        """SARIF 2.1.0 log of the reported findings (see repro.core.sarif);
+        written to ``path`` when given, for CI viewers and code scanning."""
+        from repro.core.sarif import report_to_sarif, write_sarif
+
+        log = report_to_sarif(self, include_pruned=include_pruned)
+        if path is not None:
+            write_sarif(log, path)
+        return log
+
     def to_markdown(self, top: int = 25) -> str:
         """Render a human-readable Markdown report (for PRs/dashboards)."""
         counts = self.counts()

@@ -1,0 +1,174 @@
+"""SARIF 2.1.0 export: findings in the standard CI interchange format.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning, VS Code SARIF viewers and most CI dashboards
+ingest.  One :class:`~repro.core.report.Report` (or any finding list)
+becomes one SARIF *run*: each candidate kind is a rule, each reported
+finding a result whose location points at the defining line.
+
+Only reported findings are exported by default — pruned and
+non-cross-scope findings are suppressed exactly as in the CSV report —
+but ``include_pruned=True`` emits them too, with
+``suppressions[].kind = "inSource"`` and the pruner named in the
+justification, so a viewer can audit what the pipeline killed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.findings import CandidateKind, Finding
+
+if TYPE_CHECKING:
+    from repro.core.report import Report
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+
+TOOL_NAME = "valuecheck"
+TOOL_URI = "https://github.com/valuecheck/valuecheck-repro"
+
+# One SARIF rule per unused-definition shape (paper §4.1).
+_RULE_DESCRIPTIONS = {
+    CandidateKind.IGNORED_RETURN: "Return value ignored at a call site",
+    CandidateKind.UNUSED_PARAM: "Parameter value never read",
+    CandidateKind.OVERWRITTEN_ARG: "Parameter overwritten before being read",
+    CandidateKind.OVERWRITTEN_DEF: "Definition overwritten on every path",
+    CandidateKind.DEAD_STORE: "Definition dead at function exit",
+}
+
+
+def _rule(kind: CandidateKind) -> dict:
+    return {
+        "id": kind.value,
+        "name": kind.value.replace("_", " ").title().replace(" ", ""),
+        "shortDescription": {"text": _RULE_DESCRIPTIONS[kind]},
+        "helpUri": TOOL_URI,
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _message(finding: Finding) -> str:
+    candidate = finding.candidate
+    parts = [
+        f"{_RULE_DESCRIPTIONS[candidate.kind]}: "
+        f"`{candidate.var}` in `{candidate.function}`"
+    ]
+    authorship = finding.authorship
+    if authorship is not None and authorship.cross_scope:
+        parts.append(
+            f"cross-scope (introduced by {authorship.introducing_author or 'unknown'})"
+        )
+    if finding.familiarity is not None:
+        parts.append(f"familiarity {finding.familiarity:.2f}")
+    return "; ".join(parts)
+
+
+def _result(finding: Finding) -> dict:
+    candidate = finding.candidate
+    result: dict = {
+        "ruleId": candidate.kind.value,
+        "level": "warning",
+        "message": {"text": _message(finding)},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": candidate.file},
+                    "region": {"startLine": max(1, candidate.line)},
+                },
+                "logicalLocations": [
+                    {"name": candidate.function, "kind": "function"}
+                ],
+            }
+        ],
+        "partialFingerprints": {
+            # Stable across line drift: the same key dedup/ground-truth
+            # joins use (file:function:var:line:kind).
+            "valuecheck/candidateKey": candidate.key,
+        },
+    }
+    if finding.rank is not None:
+        result["rank"] = float(finding.rank)
+    properties: dict = {}
+    if candidate.callee:
+        properties["callee"] = candidate.callee
+    if finding.familiarity is not None:
+        properties["familiarity"] = round(finding.familiarity, 4)
+    if properties:
+        result["properties"] = properties
+    if finding.pruned_by is not None:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "status": "accepted",
+                "justification": f"pruned by {finding.pruned_by}",
+            }
+        ]
+    return result
+
+
+def findings_to_sarif(
+    findings: Iterable[Finding],
+    project: str = "project",
+    include_pruned: bool = False,
+    invocation: dict | None = None,
+) -> dict:
+    """Build one SARIF 2.1.0 log dict from a finding list."""
+    rows = [
+        finding
+        for finding in findings
+        if finding.is_reported or (include_pruned and finding.pruned_by is not None)
+    ]
+    rows.sort(
+        key=lambda finding: (
+            finding.rank if finding.rank is not None else 1 << 30,
+            finding.key,
+        )
+    )
+    used_kinds = sorted({finding.candidate.kind for finding in rows}, key=lambda k: k.value)
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "informationUri": TOOL_URI,
+                "rules": [_rule(kind) for kind in used_kinds],
+            }
+        },
+        "automationDetails": {"id": f"{TOOL_NAME}/{project}"},
+        "results": [_result(finding) for finding in rows],
+        "columnKind": "utf16CodeUnits",
+    }
+    if invocation:
+        run["invocations"] = [dict(invocation, executionSuccessful=True)]
+    return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
+
+
+def report_to_sarif(report: "Report", include_pruned: bool = False) -> dict:
+    """One report → one SARIF log (see :meth:`Report.to_sarif`)."""
+    invocation = {}
+    if report.converged is False:
+        # SARIF has no "under-approximated" flag; surface it as a tool
+        # notification so CI viewers show the caveat next to the results.
+        invocation = {
+            "toolExecutionNotifications": [
+                {
+                    "level": "warning",
+                    "message": {
+                        "text": "Andersen solver did not converge on every "
+                        "module; findings may be incomplete",
+                    },
+                }
+            ]
+        }
+    return findings_to_sarif(
+        report.findings,
+        project=report.project,
+        include_pruned=include_pruned,
+        invocation=invocation or None,
+    )
+
+
+def write_sarif(log: dict, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(log, indent=2, sort_keys=True) + "\n")

@@ -7,7 +7,6 @@ the Table 6 experiment builds its "w/o Authorship", "w/o Familiarity" and
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 
 from repro import obs
@@ -18,6 +17,7 @@ from repro.core.pruning import PruneContext, default_pipeline
 from repro.core.ranking import rank_findings
 from repro.core.report import Report
 from repro.engine import DEFAULT_CACHE, AnalysisEngine, EngineRun
+from repro.obs.clock import monotonic
 
 
 @dataclass(frozen=True)
@@ -120,7 +120,7 @@ class ValueCheck:
         single parse→rank trace.  Pass ``telemetry`` explicitly to own
         the registry (e.g. to accumulate across runs deliberately).
         """
-        started = time.perf_counter()
+        started = monotonic()
         if telemetry is None:
             ambient = obs.current()
             tracer = ambient.tracer if ambient is not None else obs.Tracer()
@@ -170,7 +170,7 @@ class ValueCheck:
         converged = not engine_run.stats.non_converged
         if not converged:
             registry.inc("andersen.non_converged_modules", len(engine_run.stats.non_converged))
-        seconds = time.perf_counter() - started
+        seconds = monotonic() - started
         registry.observe("analyze.run_seconds", seconds)
         return Report(
             project=project.name,

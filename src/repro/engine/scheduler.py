@@ -26,7 +26,6 @@ same run, kept for ``Report.engine_stats`` compatibility.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -36,6 +35,7 @@ from repro.engine.cache import DEFAULT_CACHE, ResultCache, module_key
 from repro.engine.executors import make_executor
 from repro.engine.worker import ModuleJob, ModuleResult, analyze_job, analyze_lowered
 from repro.obs import MetricsRegistry, deterministic_view
+from repro.obs.clock import monotonic
 
 
 @dataclass(frozen=True)
@@ -104,7 +104,7 @@ class AnalysisEngine:
         paths: list[str] | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> EngineRun:
-        started = time.perf_counter()
+        started = monotonic()
         registry = metrics if metrics is not None else MetricsRegistry()
         if paths is None:
             paths = sorted(project.modules)
@@ -120,11 +120,11 @@ class AnalysisEngine:
                 module = project.modules[path]
                 text = module.source.raw if module.source is not None else None
                 if self.cache is not None and text is not None:
-                    probe_started = time.perf_counter()
+                    probe_started = monotonic()
                     key = module_key(path, text, project.build_config)
                     keys[path] = key
                     cached = self.cache.get(key)
-                    probe_seconds = time.perf_counter() - probe_started
+                    probe_seconds = monotonic() - probe_started
                     outcome = "hit" if cached is not None else "miss"
                     registry.inc("engine.cache.lookups", outcome=outcome)
                     registry.observe(
@@ -159,7 +159,7 @@ class AnalysisEngine:
         registry.inc("engine.modules", len(paths))
         registry.inc("engine.modules_analyzed", len(pending))
         registry.set_gauge("engine.workers", self.executor.workers)
-        seconds = time.perf_counter() - started
+        seconds = monotonic() - started
         registry.observe("engine.run_seconds", seconds)
         run.stats = EngineStats(
             executor=self.executor.kind,

@@ -10,7 +10,6 @@ wall time on one application corpus."""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.core.detector import detect_module
@@ -19,6 +18,7 @@ from repro.pointer.andersen import analyze_module
 from repro.pointer.flow_sensitive import analyze_module_flow_sensitive
 from repro.pointer.steensgaard import analyze_module_steensgaard
 from repro.pointer.value_flow import build_value_flow
+from repro.obs.clock import monotonic
 
 ANALYSES = {
     "steensgaard": analyze_module_steensgaard,
@@ -63,7 +63,7 @@ class PointerComparisonResult:
 def run(project: Project, app_name: str | None = None) -> PointerComparisonResult:
     rows = []
     for name, analyze in ANALYSES.items():
-        started = time.perf_counter()
+        started = monotonic()
         total = 0
         for path in sorted(project.modules):
             module = project.modules[path]
@@ -71,6 +71,6 @@ def run(project: Project, app_name: str | None = None) -> PointerComparisonResul
             vfg = build_value_flow(module, andersen=result)
             total += len(detect_module(module, vfg))
         rows.append(
-            PointerRow(analysis=name, candidates=total, seconds=time.perf_counter() - started)
+            PointerRow(analysis=name, candidates=total, seconds=monotonic() - started)
         )
     return PointerComparisonResult(app=app_name or project.name, rows=rows)

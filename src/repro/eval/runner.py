@@ -3,7 +3,6 @@ the artifact's ``run.sh`` → ``result/`` pipeline)."""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,6 +27,7 @@ from repro.eval import (
     table7,
 )
 from repro.eval.suite import EvalSuite
+from repro.obs.clock import monotonic
 
 
 @dataclass
@@ -136,7 +136,7 @@ def run_all(
     prelim_scale: float | None = None,
     telemetry: obs.Telemetry | None = None,
 ) -> EvaluationRun:
-    started = time.perf_counter()
+    started = monotonic()
     telemetry = telemetry or obs.Telemetry.fresh()
     with obs.use(telemetry):
         with obs.span("build_suite"):
@@ -169,5 +169,5 @@ def run_all(
             lambda: pointer_comparison.run(suite.run("openssl").project, app_name="openssl"),
         )
         experiment("extensions", lambda: extensions.run(suite))
-    run_state.seconds = time.perf_counter() - started
+    run_state.seconds = monotonic() - started
     return run_state

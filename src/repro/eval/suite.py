@@ -8,13 +8,13 @@ paper-magnitude candidate counts)."""
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 
 from repro.core.project import Project
 from repro.core.report import Report
 from repro.core.valuecheck import ValueCheck, ValueCheckConfig
 from repro.corpus.generator import SyntheticApp, generate_all
+from repro.obs.clock import monotonic
 
 DEFAULT_SCALE = 0.1
 DEFAULT_SEED = 7
@@ -63,9 +63,9 @@ class EvalSuite:
         apps = generate_all(scale=scale, seed=seed)
         for name in APP_ORDER:
             app = apps[name]
-            started = time.perf_counter()
+            started = monotonic()
             project = app.project()
-            parse_seconds = time.perf_counter() - started
+            parse_seconds = monotonic() - started
             report = ValueCheck(config).analyze(project)
             suite.runs[name] = AppRun(
                 app=app, project=project, report=report, parse_seconds=parse_seconds

@@ -34,6 +34,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs.clock import monotonic, wall_clock
 from repro.obs.metrics import (
     METRICS_SCHEMA_VERSION,
     MetricsRegistry,
@@ -84,8 +85,14 @@ def use(telemetry: Telemetry) -> Iterator[Telemetry]:
     try:
         yield telemetry
     finally:
+        # Remove *this* telemetry, not whatever is on top: concurrent
+        # service workers interleave their push/pop pairs, and a blind
+        # pop() would drop a sibling's telemetry instead of ours.
         with _lock:
-            _stack.pop()
+            for index in range(len(_stack) - 1, -1, -1):
+                if _stack[index] is telemetry:
+                    del _stack[index]
+                    break
 
 
 def span(name: str, **attrs):
@@ -112,6 +119,7 @@ __all__ = [
     "deterministic_view",
     "metric_key",
     "metrics",
+    "monotonic",
     "parse_key",
     "read_jsonl",
     "render_stats_table",
@@ -120,5 +128,6 @@ __all__ = [
     "summarize_snapshot",
     "to_prometheus",
     "use",
+    "wall_clock",
     "write_jsonl",
 ]

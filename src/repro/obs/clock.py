@@ -1,0 +1,31 @@
+"""The one clock source for every duration the pipeline reports.
+
+Durations (``seconds`` fields, span times, histogram observations) must
+come from a *monotonic* clock: ``time.time()`` jumps under NTP slews and
+DST math, which turns long daemon runs into negative or wildly wrong
+latencies.  Every timing site imports :func:`monotonic` from here instead
+of picking a clock ad hoc — ``tests/obs/test_clock.py`` greps the tree to
+keep it that way.
+
+``time.perf_counter`` is the chosen monotonic source: it is the
+highest-resolution monotonic clock CPython offers and is what the repo
+has always used, so historical BENCH trajectories stay comparable.
+
+Wall-clock *timestamps* (a point in calendar time, e.g. "when did this
+run start" in a JSONL record) are a different thing and go through
+:func:`wall_clock`, so an auditor can find every site that deliberately
+wants non-monotonic time.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic seconds for measuring durations.  Differences are meaningful;
+#: absolute values are not (the epoch is arbitrary, typically process start).
+monotonic = time.perf_counter
+
+
+def wall_clock() -> float:
+    """Seconds since the Unix epoch — timestamps only, never durations."""
+    return time.time()

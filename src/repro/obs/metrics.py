@@ -22,9 +22,10 @@ Conventions
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping
+
+from repro.obs.clock import monotonic
 
 # Bump whenever a metric is renamed/removed or its meaning changes:
 # BENCH_<n>.json trajectory files carry this so cross-PR comparisons
@@ -144,11 +145,11 @@ class MetricsRegistry:
     @contextmanager
     def time(self, name: str, **labels) -> Iterator[None]:
         """Observe the wall-time of the guarded block into ``name``."""
-        started = time.perf_counter()
+        started = monotonic()
         try:
             yield
         finally:
-            self.observe(name, time.perf_counter() - started, **labels)
+            self.observe(name, monotonic() - started, **labels)
 
     # -- reading ---------------------------------------------------------
 

@@ -131,6 +131,22 @@ def render_stats_table(records: list[dict]) -> str:
             parts.append("  pruner               killed")
             for pruner, killed in sorted(kills.items()):
                 parts.append(f"    {pruner:<20}{killed:>5}")
+        service = record.get("service")
+        if service:
+            requests = service.get("requests", {})
+            if requests:
+                parts.append("  service requests")
+                for key, count in sorted(requests.items()):
+                    parts.append(f"    {key:<48}{count:>7.0f}")
+            latency = service.get("latency", {})
+            if latency:
+                parts.append("  service latency            count      mean       p90")
+                for key, summary in sorted(latency.items()):
+                    parts.append(
+                        f"    {key:<24}{summary.get('count', 0):>7.0f} "
+                        f"{_fmt_seconds(summary.get('mean')):>9} "
+                        f"{_fmt_seconds(summary.get('p90')):>9}"
+                    )
         parts.append("")
     return "\n".join(parts).rstrip() + "\n"
 

@@ -19,10 +19,11 @@ costs travel back as metrics instead (see :mod:`repro.engine.worker`).
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from repro.obs.clock import monotonic
 
 
 @dataclass
@@ -47,7 +48,7 @@ class Tracer:
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self._epoch = time.perf_counter()
+        self._epoch = monotonic()
         self._lock = threading.Lock()
         self._spans: list[Span] = []
         self._next_id = 0
@@ -86,7 +87,7 @@ class Tracer:
             span_id=span_id,
             parent_id=parent,
             thread_id=self._thread_id(),
-            start=time.perf_counter() - self._epoch,
+            start=monotonic() - self._epoch,
             attrs=dict(attrs),
         )
         stack.append(record)
@@ -94,7 +95,7 @@ class Tracer:
             yield record
         finally:
             stack.pop()
-            record.end = time.perf_counter() - self._epoch
+            record.end = monotonic() - self._epoch
             with self._lock:
                 self._spans.append(record)
 

@@ -1,0 +1,59 @@
+"""The analysis service: a warm-state daemon for incremental requests.
+
+Cold CLI runs re-parse and re-analyse everything; the service keeps
+:class:`~repro.core.project.Project` state and the engine's
+content-addressed cache resident between requests, so an
+``analyze_diff`` after a one-function edit costs one module's
+re-analysis instead of a whole-project pass (paper §8.6's incremental
+mode, exposed as a server).  See docs/SERVICE.md for the protocol,
+backpressure semantics and session eviction policy.
+
+Layers:
+
+* :mod:`repro.service.protocol` — line-delimited JSON envelope, error
+  codes, size caps;
+* :mod:`repro.service.sessions` — warm :class:`ProjectSession` state and
+  the LRU :class:`SessionManager`;
+* :mod:`repro.service.core` — :class:`AnalysisService`: bounded queue,
+  worker pool, per-request timeouts, handlers, graceful shutdown;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — TCP and
+  stdio transports, and the blocking client.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import AnalysisService, ServiceConfig
+from repro.service.protocol import (
+    ERROR_CODES,
+    MAX_REQUEST_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_TYPES,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+from repro.service.server import ServiceServer, serve_stdio, serve_tcp, wait_for_port
+from repro.service.sessions import ProjectSession, SessionManager
+
+__all__ = [
+    "AnalysisService",
+    "ERROR_CODES",
+    "MAX_REQUEST_BYTES",
+    "PROTOCOL_VERSION",
+    "ProjectSession",
+    "ProtocolError",
+    "REQUEST_TYPES",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "SessionManager",
+    "decode_request",
+    "encode",
+    "error_response",
+    "ok_response",
+    "serve_stdio",
+    "serve_tcp",
+    "wait_for_port",
+]

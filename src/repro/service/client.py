@@ -1,0 +1,102 @@
+"""A minimal blocking client for the analysis service.
+
+Used by ``valuecheck client``, the service benchmark, and the end-to-end
+tests.  One socket, synchronous request/response; honours the
+protocol's backpressure contract by retrying ``queue_full`` responses
+after the server's ``retry_after`` hint.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from repro.service.protocol import encode
+
+
+class ServiceError(RuntimeError):
+    """A response with ``ok: false`` surfaced as an exception."""
+
+    def __init__(self, code: str, message: str, retry_after: float | None = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Blocking line-protocol client over one TCP connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._next_id = 0
+
+    # -- low level -------------------------------------------------------
+
+    def request_raw(self, kind: str, params: dict | None = None) -> dict:
+        """Send one request, return the raw response envelope."""
+        self._next_id += 1
+        payload = {"id": self._next_id, "type": kind, "params": params or {}}
+        self._sock.sendall(encode(payload).encode())
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        import json
+
+        return json.loads(line)
+
+    def request(
+        self, kind: str, params: dict | None = None, retries: int = 0
+    ) -> dict[str, Any]:
+        """Send one request, unwrap the result, raise on error.
+
+        ``retries`` bounds how many ``queue_full`` rejections are retried
+        (sleeping the server-provided ``retry_after`` hint each time).
+        """
+        attempt = 0
+        while True:
+            response = self.request_raw(kind, params)
+            if response.get("ok"):
+                return response["result"]
+            error = response.get("error", {})
+            code = error.get("code", "internal")
+            if code == "queue_full" and attempt < retries:
+                attempt += 1
+                time.sleep(error.get("retry_after", 0.1))
+                continue
+            raise ServiceError(code, error.get("message", ""), error.get("retry_after"))
+
+    # -- typed helpers ---------------------------------------------------
+
+    def open_project(self, **params) -> dict:
+        return self.request("open_project", params)
+
+    def analyze(self, project_id: str, **params) -> dict:
+        return self.request("analyze", {"project_id": project_id, **params})
+
+    def analyze_diff(self, project_id: str, **params) -> dict:
+        return self.request("analyze_diff", {"project_id": project_id, **params})
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def health(self) -> dict:
+        return self.request("health")
+
+    def shutdown(self, drain: bool = True) -> dict:
+        return self.request("shutdown", {"drain": drain})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,508 @@
+"""The analysis service core: bounded queue, worker pool, handlers.
+
+Transport-agnostic — the TCP and stdio frontends (``repro.service.server``)
+and in-process callers (benchmarks, tests) all drive the same
+:meth:`AnalysisService.submit`.  Request lifecycle::
+
+    submit ──▶ bounded queue ──▶ worker pool ──▶ handler ──▶ response
+        │ full?                      │ deadline passed?
+        ▼                            ▼
+    queue_full + retry_after     timeout error (work skipped/dropped)
+
+Guarantees:
+
+* **Explicit backpressure** — a full queue rejects immediately with
+  ``retry_after``; an accepted request is always answered.
+* **Per-request timeouts** — the deadline covers queue wait plus
+  execution; a request whose deadline passes while queued is never
+  started, one that overruns while executing has its result dropped and
+  a ``timeout`` error returned (threads cannot be killed mid-handler).
+* **Graceful shutdown** — new work is rejected with ``shutting_down``,
+  every already-accepted request drains through the workers, then the
+  pool stops.
+
+``health`` and ``stats`` are answered inline, outside the queue: an
+operator must be able to observe a saturated daemon.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import obs
+from repro.core.project import Project
+from repro.core.valuecheck import ValueCheckConfig
+from repro.engine import DEFAULT_CACHE
+from repro.obs.clock import monotonic
+from repro.service.protocol import (
+    MAX_REQUEST_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+from repro.service.sessions import SessionManager
+from repro.vcs.repository import Repository
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon knobs: concurrency, backpressure, session caps."""
+
+    workers: int = 2
+    queue_capacity: int = 16
+    request_timeout: float = 120.0
+    max_request_bytes: int = MAX_REQUEST_BYTES
+    max_sessions: int = 8
+    max_session_loc: int | None = None  # approximate memory cap, in LOC
+    retry_after: float = 0.5  # hint sent with queue_full rejections
+    executor: str = "serial"  # engine executor inside each request
+    engine_workers: int | None = None
+
+
+@dataclass
+class _Pending:
+    """One accepted request travelling from submitter to worker."""
+
+    request: dict
+    enqueued_at: float
+    deadline: float
+    done: threading.Event = field(default_factory=threading.Event)
+    response: dict | None = None
+    # Set by the submitter when it gives up waiting: the worker then
+    # skips (if not started) or drops the result (if mid-flight).
+    abandoned: bool = False
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class AnalysisService:
+    """Long-running analysis daemon core holding warm project state."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.telemetry = obs.Telemetry.fresh()
+        self.metrics = self.telemetry.metrics
+        self.sessions = SessionManager(
+            max_sessions=self.config.max_sessions,
+            max_total_loc=self.config.max_session_loc,
+            metrics=self.metrics,
+        )
+        self.started_at = monotonic()
+        self._queue: queue_module.Queue[_Pending | None] = queue_module.Queue(
+            maxsize=self.config.queue_capacity
+        )
+        self._state_lock = threading.Lock()
+        self._accepting = False
+        self._stopped = threading.Event()
+        self._inflight = 0
+        self._idle = threading.Condition(self._state_lock)
+        self._threads: list[threading.Thread] = []
+        self._shutdown_listeners: list[Callable[[], None]] = []
+        self._project_counter = 0
+        self._handlers: dict[str, Callable[[dict], dict]] = {
+            "open_project": self._handle_open_project,
+            "analyze": self._handle_analyze,
+            "analyze_diff": self._handle_analyze_diff,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "AnalysisService":
+        with self._state_lock:
+            if self._threads:
+                return self
+            self._accepting = True
+            for index in range(self.config.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop, name=f"svc-worker-{index}", daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    def add_shutdown_listener(self, callback: Callable[[], None]) -> None:
+        self._shutdown_listeners.append(callback)
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Stop accepting, drain accepted work, stop the workers."""
+        with self._state_lock:
+            already = self._stopped.is_set()
+            self._accepting = False
+        if not already:
+            drained = 0
+            if drain:
+                with self._idle:
+                    while self._queue.unfinished_tasks or self._inflight:
+                        self._idle.wait(timeout=0.05)
+                        drained += 1  # heartbeat only; loop exits when idle
+            for _ in self._threads:
+                self._queue.put(None)  # wake workers past the (empty) queue
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+            self._stopped.set()
+            for callback in self._shutdown_listeners:
+                callback()
+        return {
+            "stopped": True,
+            "drained": bool(drain),
+            "uptime_seconds": round(monotonic() - self.started_at, 6),
+            "requests": self.request_counts(),
+        }
+
+    # -- submission ------------------------------------------------------
+
+    def submit_line(self, line: str | bytes) -> str:
+        """Wire-level entry: one request line in, one response line out."""
+        try:
+            request = decode_request(line, max_bytes=self.config.max_request_bytes)
+        except ProtocolError as error:
+            self.metrics.inc("service.requests", type="invalid", outcome=error.code)
+            return encode(error_response(None, error.code, error.message))
+        return encode(self.submit(request))
+
+    def submit(self, request: dict, timeout: float | None = None) -> dict:
+        """Process one decoded request envelope, blocking for the reply."""
+        kind = request["type"]
+        request_id = request.get("id")
+        params = request.get("params", {})
+
+        # Control-plane requests bypass the queue: they must work while
+        # the data plane is saturated or draining.
+        if kind == "health":
+            return ok_response(request_id, self._health())
+        if kind == "stats":
+            return ok_response(request_id, self._stats())
+        if kind == "shutdown":
+            summary = self.shutdown(drain=params.get("drain", True))
+            self.metrics.inc("service.requests", type=kind, outcome="ok")
+            return ok_response(request_id, summary)
+
+        with self._state_lock:
+            accepting = self._accepting and not self._stopped.is_set()
+        if not accepting:
+            self.metrics.inc("service.requests", type=kind, outcome="shutting_down")
+            return error_response(
+                request_id, "shutting_down", "service is draining; no new work accepted"
+            )
+
+        budget = timeout if timeout is not None else self.config.request_timeout
+        now = monotonic()
+        pending = _Pending(request=request, enqueued_at=now, deadline=now + budget)
+        try:
+            self._queue.put_nowait(pending)
+        except queue_module.Full:
+            self.metrics.inc("service.requests", type=kind, outcome="rejected")
+            self.metrics.inc("service.queue.rejected")
+            return error_response(
+                request_id,
+                "queue_full",
+                f"request queue is full ({self.config.queue_capacity} deep); retry",
+                retry_after=self.config.retry_after,
+            )
+        self.metrics.inc("service.requests", type=kind, outcome="accepted")
+        self.metrics.set_gauge("service.queue.depth", self._queue.qsize())
+
+        if pending.done.wait(timeout=budget):
+            return pending.response  # type: ignore[return-value]
+        with pending.lock:
+            if pending.done.is_set():  # finished in the race window
+                return pending.response  # type: ignore[return-value]
+            pending.abandoned = True
+        self.metrics.inc("service.requests", type=kind, outcome="timed_out")
+        return error_response(
+            request_id,
+            "timeout",
+            f"request exceeded its {budget:.1f}s deadline",
+        )
+
+    # -- worker pool -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            pending = self._queue.get()
+            if pending is None:
+                self._queue.task_done()
+                return
+            try:
+                self._process(pending)
+            finally:
+                self._queue.task_done()
+                with self._idle:
+                    self._idle.notify_all()
+
+    def _process(self, pending: _Pending) -> None:
+        request = pending.request
+        kind = request["type"]
+        request_id = request.get("id")
+        started = monotonic()
+        self.metrics.set_gauge("service.queue.depth", self._queue.qsize())
+        self.metrics.observe(
+            "service.queue.wait_seconds", started - pending.enqueued_at, type=kind
+        )
+        with pending.lock:
+            if pending.abandoned:
+                self.metrics.inc("service.requests", type=kind, outcome="expired")
+                return
+            if started > pending.deadline:
+                # Deadline burned entirely in the queue: answer without
+                # doing the work (the submitter may still be waiting).
+                pending.response = error_response(
+                    request_id, "timeout", "deadline expired while queued"
+                )
+                pending.done.set()
+                self.metrics.inc("service.requests", type=kind, outcome="timed_out")
+                return
+            with self._state_lock:
+                self._inflight += 1
+        try:
+            with self.telemetry.tracer.span(
+                "service.request", type=kind, id=str(request_id)
+            ):
+                handler = self._handlers[kind]
+                try:
+                    response = ok_response(request_id, handler(request.get("params", {})))
+                    outcome = "ok"
+                except ProtocolError as error:
+                    response = error_response(
+                        request_id, error.code, error.message, error.retry_after
+                    )
+                    outcome = error.code
+                except Exception as error:  # noqa: BLE001 — daemon must not die
+                    response = error_response(
+                        request_id, "internal", f"{type(error).__name__}: {error}"
+                    )
+                    outcome = "internal"
+        finally:
+            with self._state_lock:
+                self._inflight -= 1
+        seconds = monotonic() - started
+        self.metrics.observe("service.request_seconds", seconds, type=kind)
+        self.metrics.inc("service.requests", type=kind, outcome=outcome)
+        with pending.lock:
+            if pending.abandoned:
+                self.metrics.inc("service.requests", type=kind, outcome="dropped")
+                return
+            pending.response = response
+            pending.done.set()
+
+    # -- handlers --------------------------------------------------------
+
+    def _session_config(self, params: dict) -> ValueCheckConfig:
+        options = params.get("options", {})
+        if not isinstance(options, dict):
+            raise ProtocolError("invalid_params", "'options' must be an object")
+        return ValueCheckConfig(
+            use_authorship=bool(options.get("use_authorship", True)),
+            executor=options.get("executor", self.config.executor),
+            workers=options.get("workers", self.config.engine_workers),
+            module_cache=bool(options.get("module_cache", True)),
+        )
+
+    def _handle_open_project(self, params: dict) -> dict:
+        sources = params.get("sources")
+        root = params.get("root")
+        repo = None
+        if params.get("repo"):
+            repo_path = Path(params["repo"])
+            if not repo_path.exists():
+                raise ProtocolError("invalid_params", f"repo file {repo_path} not found")
+            repo = Repository.load(repo_path)
+        from_repo = repo is not None and params.get("rev") is not None
+        given = sum(x is not None for x in (sources, root)) + from_repo
+        if given != 1:
+            raise ProtocolError(
+                "invalid_params",
+                "open_project needs exactly one of 'sources', 'root', or 'repo'+'rev'",
+            )
+        if sources is not None:
+            if not isinstance(sources, dict) or not all(
+                isinstance(k, str) and isinstance(v, str) for k, v in sources.items()
+            ):
+                raise ProtocolError(
+                    "invalid_params", "'sources' must map path -> source text"
+                )
+        elif root is not None:
+            root_path = Path(root)
+            if not root_path.is_dir():
+                raise ProtocolError("invalid_params", f"{root_path} is not a directory")
+            sources = {
+                str(path.relative_to(root_path)): path.read_text()
+                for path in sorted(root_path.rglob("*.c"))
+            }
+        if not from_repo and not sources:
+            raise ProtocolError("invalid_params", "no .c sources to open")
+
+        self._project_counter += 1
+        project_id = params.get("project_id") or f"p{self._project_counter}"
+        if not isinstance(project_id, str):
+            raise ProtocolError("invalid_params", "'project_id' must be a string")
+        build_config = set(params.get("build_config", ()) or ())
+        config = self._session_config(params)
+        if repo is None:
+            config = ValueCheckConfig(
+                use_authorship=False,
+                executor=config.executor,
+                workers=config.workers,
+                module_cache=config.module_cache,
+            )
+
+        warm_started = monotonic()
+        if from_repo:
+            project = Project.from_repository(
+                repo, rev=params["rev"], name=project_id, build_config=build_config
+            )
+        else:
+            project = Project.from_sources(
+                sources, name=project_id, repo=repo, build_config=build_config
+            )
+        session, evicted = self.sessions.open(
+            project_id, project, config, rev=params.get("rev") if from_repo else None
+        )
+        return {
+            "project_id": project_id,
+            "modules": len(project.modules),
+            "loc": project.loc(),
+            "has_repo": repo is not None,
+            "rev": session.analyzer.current_rev if repo is not None else None,
+            "warm_seconds": round(monotonic() - warm_started, 6),
+            "evicted": evicted,
+        }
+
+    def _session(self, params: dict):
+        project_id = params.get("project_id")
+        if not isinstance(project_id, str):
+            raise ProtocolError("invalid_params", "'project_id' must be a string")
+        session = self.sessions.get(project_id)
+        if session is None:
+            raise ProtocolError(
+                "unknown_project",
+                f"project {project_id!r} is not open (evicted or never opened); "
+                "send open_project again",
+            )
+        return session
+
+    @staticmethod
+    def _finding_rows(report, top: int) -> list[dict]:
+        return [finding.to_row() for finding in report.reported()[:top]]
+
+    def _handle_analyze(self, params: dict) -> dict:
+        session = self._session(params)
+        top = int(params.get("top", 20))
+        report = session.analyze_full()
+        result = {
+            "project_id": session.project_id,
+            "counts": report.counts(),
+            "prune_stats": dict(report.prune_stats),
+            "seconds": round(report.seconds, 6),
+            "converged": report.converged,
+            "engine": report.engine_stats.as_dict() if report.engine_stats else None,
+            "findings": self._finding_rows(report, top),
+        }
+        if params.get("sarif"):
+            result["sarif"] = report.to_sarif(
+                include_pruned=bool(params.get("include_pruned", False))
+            )
+        return result
+
+    def _handle_analyze_diff(self, params: dict) -> dict:
+        session = self._session(params)
+        changes = params.get("changes")
+        commit = params.get("commit")
+        if changes is not None and (
+            not isinstance(changes, dict)
+            or not all(
+                isinstance(k, str) and (v is None or isinstance(v, str))
+                for k, v in changes.items()
+            )
+        ):
+            raise ProtocolError(
+                "invalid_params", "'changes' must map path -> new text (null = delete)"
+            )
+        top = int(params.get("top", 20))
+        try:
+            incremental, merged = session.analyze_diff(changes=changes, commit=commit)
+        except ValueError as error:
+            raise ProtocolError("invalid_params", str(error)) from error
+        result = {
+            "project_id": session.project_id,
+            "label": incremental.commit_id,
+            "changed_files": incremental.changed_files,
+            "changed_functions": incremental.changed_functions,
+            "analyzed_functions": [list(pair) for pair in incremental.analyzed_functions],
+            "deleted_files": incremental.deleted_files,
+            "seconds": round(incremental.seconds, 6),
+            "engine": (
+                incremental.engine_stats.as_dict() if incremental.engine_stats else None
+            ),
+            "counts": merged.counts(),
+            "prune_stats": dict(merged.prune_stats),
+            "converged": merged.converged,
+            "findings": self._finding_rows(merged, top),
+        }
+        if params.get("sarif"):
+            result["sarif"] = merged.to_sarif(
+                include_pruned=bool(params.get("include_pruned", False))
+            )
+        return result
+
+    # -- control plane ---------------------------------------------------
+
+    def request_counts(self) -> dict[str, float]:
+        return self.metrics.counters_by_name("service.requests")
+
+    def _health(self) -> dict:
+        with self._state_lock:
+            accepting = self._accepting and not self._stopped.is_set()
+            inflight = self._inflight
+        return {
+            "status": "ok" if accepting else "draining",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(monotonic() - self.started_at, 6),
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.config.queue_capacity,
+            "inflight": inflight,
+            "workers": self.config.workers,
+            "sessions": len(self.sessions),
+        }
+
+    def _stats(self) -> dict:
+        cache = DEFAULT_CACHE.stats()
+        return {
+            "health": self._health(),
+            "sessions": self.sessions.stats(),
+            "engine_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "entries": cache.entries,
+                "hit_rate": round(cache.hit_rate, 4),
+            },
+            "metrics": obs.summarize_snapshot(self.metrics.snapshot()),
+        }
+
+    # -- sinks -----------------------------------------------------------
+
+    def stats_record(self) -> dict:
+        """A JSONL record for ``--stats-out`` (``valuecheck stats`` shows
+        the service section alongside per-run records)."""
+        return {
+            "schema": obs.METRICS_SCHEMA_VERSION,
+            "project": "<service>",
+            "seconds": round(monotonic() - self.started_at, 6),
+            "service": {
+                "requests": self.request_counts(),
+                "sessions": self.sessions.stats(),
+                "latency": obs.summarize_snapshot(self.metrics.snapshot())[
+                    "histograms"
+                ],
+            },
+        }

@@ -1,0 +1,115 @@
+"""The analysis service wire protocol: line-delimited JSON.
+
+One request per line, one response line per request, over TCP or stdio.
+A request is an envelope::
+
+    {"id": 7, "type": "analyze", "params": {"project_id": "openssl"}}
+
+``id`` is echoed verbatim in the response (any JSON scalar; optional —
+fire-and-forget clients may omit it).  ``params`` is optional and
+type-specific.  Responses are either::
+
+    {"id": 7, "ok": true,  "result": {...}}
+    {"id": 7, "ok": false, "error": {"code": "queue_full",
+                                     "message": "...",
+                                     "retry_after": 0.5}}
+
+Error codes are part of the protocol contract (clients dispatch on
+them); see :data:`ERROR_CODES`.  Backpressure is explicit: a full queue
+yields ``queue_full`` with a ``retry_after`` hint in seconds — the
+server never silently drops an accepted request.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request line; oversized requests are rejected before
+#: JSON parsing (a malicious or confused client cannot balloon memory).
+MAX_REQUEST_BYTES = 4 << 20
+
+REQUEST_TYPES = (
+    "open_project",
+    "analyze",
+    "analyze_diff",
+    "stats",
+    "health",
+    "shutdown",
+)
+
+#: Every error code a response may carry.
+ERROR_CODES = (
+    "bad_json",  # line is not valid JSON
+    "bad_request",  # envelope malformed (wrong shapes/fields)
+    "unknown_type",  # type not in REQUEST_TYPES
+    "too_large",  # request line exceeds the byte cap
+    "queue_full",  # backpressure: retry after `retry_after` seconds
+    "timeout",  # deadline elapsed before a worker finished it
+    "shutting_down",  # server is draining; no new work accepted
+    "unknown_project",  # project_id not open (possibly evicted — re-open)
+    "invalid_params",  # params failed type-specific validation
+    "internal",  # handler raised; message carries the summary
+)
+
+
+class ProtocolError(Exception):
+    """A request that cannot be accepted, with its wire error code."""
+
+    def __init__(self, code: str, message: str, retry_after: float | None = None):
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+def decode_request(line: str | bytes, max_bytes: int = MAX_REQUEST_BYTES) -> dict:
+    """Parse and validate one request line into its envelope dict."""
+    raw = line if isinstance(line, bytes) else line.encode()
+    if len(raw) > max_bytes:
+        raise ProtocolError(
+            "too_large", f"request is {len(raw)} bytes (cap {max_bytes})"
+        )
+    try:
+        payload = json.loads(raw)
+    except ValueError as error:
+        raise ProtocolError("bad_json", f"invalid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad_request", "request must be a JSON object")
+    kind = payload.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("bad_request", "request needs a string 'type'")
+    if kind not in REQUEST_TYPES:
+        raise ProtocolError(
+            "unknown_type",
+            f"unknown request type {kind!r} (expected one of {', '.join(REQUEST_TYPES)})",
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("bad_request", "'params' must be a JSON object")
+    request_id = payload.get("id")
+    if isinstance(request_id, (dict, list)):
+        raise ProtocolError("bad_request", "'id' must be a JSON scalar")
+    return {"id": request_id, "type": kind, "params": params}
+
+
+def ok_response(request_id: Any, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, code: str, message: str, retry_after: float | None = None
+) -> dict:
+    assert code in ERROR_CODES, code
+    error: dict = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = round(retry_after, 3)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def encode(payload: dict) -> str:
+    """One response/request dict as one wire line (newline-terminated)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"

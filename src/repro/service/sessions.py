@@ -1,0 +1,295 @@
+"""Warm project sessions and their LRU manager.
+
+A :class:`ProjectSession` is the daemon's unit of warm state: a parsed
+:class:`~repro.core.project.Project`, the incremental analyzer bound to
+it (whose engine shares the process-wide content-addressed cache), and
+the findings of the last full analysis keyed by (file, function).  A
+warm ``analyze_diff`` re-analyses only the changed modules, splices the
+fresh findings over the stored ones and re-ranks — so the response is a
+*full* report at incremental cost.
+
+:class:`SessionManager` bounds the daemon's memory: least-recently-used
+sessions are evicted once the entry cap (``max_sessions``) or the
+approximate memory cap (``max_total_loc``, lines of warm source) is
+exceeded.  Requests against an evicted project get an
+``unknown_project`` error and must re-open — eviction is never silent
+state corruption.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.findings import Finding
+from repro.core.incremental import IncrementalAnalyzer, IncrementalResult
+from repro.core.project import Project
+from repro.core.ranking import rank_findings
+from repro.core.report import Report
+from repro.core.valuecheck import ValueCheck, ValueCheckConfig
+from repro.obs import MetricsRegistry
+from repro.obs.clock import monotonic
+from repro.vcs.objects import Commit
+
+FunctionKey = tuple[str, str]  # (file, function)
+
+
+def _group_by_function(findings: list[Finding]) -> dict[FunctionKey, list[Finding]]:
+    grouped: dict[FunctionKey, list[Finding]] = {}
+    for finding in findings:
+        key = (finding.candidate.file, finding.candidate.function)
+        grouped.setdefault(key, []).append(finding)
+    return grouped
+
+
+@dataclass
+class ProjectSession:
+    """One warm project plus everything needed to serve it incrementally."""
+
+    project_id: str
+    project: Project
+    config: ValueCheckConfig
+    analyzer: IncrementalAnalyzer
+    opened_at: float = field(default_factory=monotonic)
+    last_used: float = field(default_factory=monotonic)
+    analyze_count: int = 0
+    diff_count: int = 0
+    # Per-session lock: two workers must not mutate one warm project
+    # concurrently (requests for *different* sessions run in parallel).
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    _findings: dict[FunctionKey, list[Finding]] = field(default_factory=dict)
+    _last_report: Report | None = None
+
+    @classmethod
+    def open(
+        cls,
+        project_id: str,
+        project: Project,
+        config: ValueCheckConfig,
+        rev: int | str | None = None,
+    ) -> "ProjectSession":
+        analyzer = IncrementalAnalyzer.from_project(project, config=config, rev=rev)
+        return cls(
+            project_id=project_id, project=project, config=config, analyzer=analyzer
+        )
+
+    # -- requests --------------------------------------------------------
+
+    def analyze_full(self) -> Report:
+        """A full pipeline run over the warm project (modules the engine
+        has seen before are content-cache hits, not re-analyses)."""
+        with self.lock:
+            report = ValueCheck(self.config).analyze(
+                self.project, rev=self._rev_for_analysis()
+            )
+            self._findings = _group_by_function(report.findings)
+            self._last_report = report
+            self.analyze_count += 1
+            self.last_used = monotonic()
+            return report
+
+    def analyze_diff(
+        self, changes: dict[str, str | None] | None = None, commit: str | None = None
+    ) -> tuple[IncrementalResult, Report]:
+        """Analyse a change set (or replay one commit) incrementally.
+
+        Returns the raw :class:`IncrementalResult` (what was re-analysed,
+        engine cache stats) plus the merged full report: stored findings
+        for untouched functions, fresh findings for re-analysed ones,
+        everything re-ranked together.
+        """
+        with self.lock:
+            if (changes is None) == (commit is None):
+                raise ValueError("analyze_diff takes exactly one of changes/commit")
+            rev: int | str | None = None
+            if commit is not None:
+                resolved = self._resolve_commit(commit)
+                changes = {
+                    path: resolved.snapshot.get(path)
+                    for path in resolved.touched
+                    if path.endswith(self.analyzer.suffixes)
+                }
+                label = resolved.commit_id
+                rev = resolved.commit_id
+            else:
+                label = "edit"
+                # Uncommitted edits cannot be blamed: authorship for the
+                # *changed* functions would attribute new lines to stale
+                # commits.  Sessions without a repo never resolve
+                # authorship anyway; sessions with one keep resolving at
+                # the current revision (documented approximation).
+                rev = self.analyzer.current_rev if self.project.repo else None
+            result = self.analyzer.analyze_changes(
+                changes, label=label, rev=rev, full_modules=True
+            )
+            if commit is not None:
+                self.analyzer.current_rev = self.project.repo.rev_index(rev)
+            merged = self._merge(result, rev)
+            self.diff_count += 1
+            self.last_used = monotonic()
+            return result, merged
+
+    # -- internals -------------------------------------------------------
+
+    def _rev_for_analysis(self) -> int | None:
+        if self.project.repo is None:
+            return None
+        return self.analyzer.current_rev
+
+    def _resolve_commit(self, commit: str) -> Commit:
+        repo = self.project.repo
+        if repo is None:
+            raise ValueError("session has no repository to replay commits from")
+        if commit == "next":
+            next_rev = self.analyzer.current_rev + 1
+            if next_rev >= len(repo.commits):
+                raise ValueError("no commit after the session's current revision")
+            return repo.commits[next_rev]
+        return repo.commits[repo.rev_index(commit)]
+
+    def _merge(self, result: IncrementalResult, rev: int | str | None) -> Report:
+        """Splice incremental findings over the stored full-report view."""
+        changed_files = set(result.changed_files)
+        deleted = set(result.deleted_files)
+        analyzed = set(result.analyzed_functions)
+        kept: dict[FunctionKey, list[Finding]] = {
+            key: rows
+            for key, rows in self._findings.items()
+            if key[0] not in changed_files
+            and key[0] not in deleted
+            and key not in analyzed
+        }
+        merged_findings: list[Finding] = []
+        for rows in kept.values():
+            merged_findings.extend(rows)
+        merged_findings.extend(result.findings)
+
+        model = None
+        if self.project.repo is not None and self.config.use_familiarity:
+            from repro.core.familiarity import DokModel
+
+            model = DokModel(self.project.repo, weights=self.config.dok_weights)
+        merged_findings = rank_findings(
+            merged_findings,
+            model=model,
+            until_rev=rev,
+            use_familiarity=self.config.use_familiarity,
+        )
+
+        prune_stats: dict[str, int] = {}
+        for finding in merged_findings:
+            if finding.pruned_by is not None:
+                prune_stats[finding.pruned_by] = prune_stats.get(finding.pruned_by, 0) + 1
+        converged = True
+        if result.engine_stats is not None:
+            converged = not result.engine_stats.non_converged
+        report = Report(
+            project=self.project.name,
+            findings=merged_findings,
+            prune_stats=prune_stats,
+            seconds=result.seconds,
+            engine_stats=result.engine_stats,
+            converged=converged,
+        )
+        self._findings = _group_by_function(merged_findings)
+        self._last_report = report
+        return report
+
+    # -- introspection ---------------------------------------------------
+
+    def loc(self) -> int:
+        return self.project.loc()
+
+    def stats(self) -> dict:
+        return {
+            "project_id": self.project_id,
+            "project": self.project.name,
+            "modules": len(self.project.modules),
+            "loc": self.loc(),
+            "has_repo": self.project.repo is not None,
+            "analyze_count": self.analyze_count,
+            "diff_count": self.diff_count,
+            "idle_seconds": round(monotonic() - self.last_used, 3),
+        }
+
+
+class SessionManager:
+    """Thread-safe LRU of warm sessions with entry and memory caps."""
+
+    def __init__(
+        self,
+        max_sessions: int = 8,
+        max_total_loc: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self.max_total_loc = max_total_loc
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._sessions: OrderedDict[str, ProjectSession] = OrderedDict()
+
+    def open(
+        self,
+        project_id: str,
+        project: Project,
+        config: ValueCheckConfig,
+        rev: int | str | None = None,
+    ) -> tuple[ProjectSession, list[str]]:
+        """Create (or replace) a warm session; returns it plus the ids of
+        any sessions evicted to make room."""
+        session = ProjectSession.open(project_id, project, config, rev=rev)
+        with self._lock:
+            self._sessions.pop(project_id, None)
+            self._sessions[project_id] = session
+            evicted = self._evict_locked()
+            self._record_gauges_locked()
+        return session, evicted
+
+    def get(self, project_id: str) -> ProjectSession | None:
+        with self._lock:
+            session = self._sessions.get(project_id)
+            if session is not None:
+                self._sessions.move_to_end(project_id)
+            return session
+
+    def close(self, project_id: str) -> bool:
+        with self._lock:
+            found = self._sessions.pop(project_id, None) is not None
+            self._record_gauges_locked()
+            return found
+
+    def _evict_locked(self) -> list[str]:
+        evicted: list[str] = []
+        while len(self._sessions) > self.max_sessions:
+            evicted.append(self._sessions.popitem(last=False)[0])
+        if self.max_total_loc is not None:
+            # Keep at least the most recent session even if it alone
+            # exceeds the cap (the daemon must be able to serve it).
+            while (
+                len(self._sessions) > 1
+                and sum(s.loc() for s in self._sessions.values()) > self.max_total_loc
+            ):
+                evicted.append(self._sessions.popitem(last=False)[0])
+        if evicted and self.metrics is not None:
+            self.metrics.inc("service.sessions.evicted", len(evicted))
+        return evicted
+
+    def _record_gauges_locked(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("service.sessions.open", len(self._sessions))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    def stats(self) -> list[dict]:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [session.stats() for session in sessions]

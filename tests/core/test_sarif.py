@@ -1,0 +1,128 @@
+"""Tests for the SARIF 2.1.0 exporter (repro.core.sarif)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.findings import AuthorshipInfo, Candidate, CandidateKind, Finding
+from repro.core.report import Report
+from repro.core.sarif import SARIF_SCHEMA, findings_to_sarif, report_to_sarif
+from repro.core.valuecheck import ValueCheck
+
+from tests.core.helpers import AUTHOR1, AUTHOR2, build_multifile_history, project_from_repo
+
+CROSS = AuthorshipInfo(cross_scope=True, introducing_author="author2")
+
+
+def _finding(var="r", kind=CandidateKind.OVERWRITTEN_DEF, pruned_by=None, rank=None):
+    return Finding(
+        candidate=Candidate(
+            file="app.c", function="run", var=var, line=5, kind=kind, callee="status"
+        ),
+        authorship=CROSS,
+        pruned_by=pruned_by,
+        rank=rank,
+        familiarity=0.25 if pruned_by is None else None,
+    )
+
+
+class TestFindingsToSarif:
+    def test_envelope_is_sarif_2_1_0(self):
+        log = findings_to_sarif([_finding(rank=1)], project="demo")
+        assert log["version"] == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "valuecheck"
+        assert run["automationDetails"]["id"] == "valuecheck/demo"
+
+    def test_result_location_and_rule(self):
+        log = findings_to_sarif([_finding(rank=1)])
+        run = log["runs"][0]
+        assert [rule["id"] for rule in run["tool"]["driver"]["rules"]] == [
+            "overwritten_def"
+        ]
+        result = run["results"][0]
+        assert result["ruleId"] == "overwritten_def"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "app.c"
+        assert location["region"]["startLine"] == 5
+        assert result["partialFingerprints"]["valuecheck/candidateKey"]
+        assert "cross-scope" in result["message"]["text"]
+
+    def test_pruned_findings_suppressed_only_when_asked(self):
+        findings = [_finding(rank=1), _finding(var="x", pruned_by="cursor")]
+        assert len(findings_to_sarif(findings)["runs"][0]["results"]) == 1
+        log = findings_to_sarif(findings, include_pruned=True)
+        results = log["runs"][0]["results"]
+        assert len(results) == 2
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(suppressed) == 1
+        assert "cursor" in suppressed[0]["suppressions"][0]["justification"]
+
+    def test_results_ordered_by_rank(self):
+        findings = [_finding(var="b", rank=2), _finding(var="a", rank=1)]
+        results = findings_to_sarif(findings)["runs"][0]["results"]
+        assert [r["rank"] for r in results] == [1.0, 2.0]
+
+    def test_log_is_json_serialisable(self):
+        log = findings_to_sarif([_finding(rank=1)])
+        assert json.loads(json.dumps(log)) == log
+
+
+class TestReportToSarif:
+    def test_unconverged_report_carries_notification(self):
+        report = Report(project="p", findings=[_finding(rank=1)], converged=False)
+        log = report_to_sarif(report)
+        notes = log["runs"][0]["invocations"][0]["toolExecutionNotifications"]
+        assert any("converge" in n["message"]["text"] for n in notes)
+
+    def test_to_sarif_writes_file(self, tmp_path):
+        report = Report(project="p", findings=[_finding(rank=1)])
+        out = tmp_path / "report.sarif"
+        log = report.to_sarif(out)
+        assert json.loads(out.read_text()) == json.loads(json.dumps(log))
+
+    def test_pipeline_report_round_trips(self):
+        repo = build_multifile_history(
+            [
+                (
+                    AUTHOR1,
+                    {
+                        "lib.c": "int status(void)\n{\n    return 1;\n}\n",
+                        "app.c": (
+                            "int status(void);\n"
+                            "int run(void)\n"
+                            "{\n"
+                            "    int r;\n"
+                            "    r = status();\n"
+                            "    if (r) { return 1; }\n"
+                            "    return 0;\n"
+                            "}\n"
+                        ),
+                    },
+                ),
+                (
+                    AUTHOR2,
+                    {
+                        "app.c": (
+                            "int status(void);\n"
+                            "int run(void)\n"
+                            "{\n"
+                            "    int r;\n"
+                            "    r = status();\n"
+                            "    r = 0;\n"
+                            "    if (r) { return 1; }\n"
+                            "    return 0;\n"
+                            "}\n"
+                        )
+                    },
+                ),
+            ]
+        )
+        report = ValueCheck().analyze(project_from_repo(repo))
+        log = report.to_sarif()
+        results = log["runs"][0]["results"]
+        assert len(results) == len(report.reported())
+        keys = {r["partialFingerprints"]["valuecheck/candidateKey"] for r in results}
+        assert keys == {f.key for f in report.reported()}

@@ -1,0 +1,79 @@
+"""ANALYSIS_VERSION must invalidate content-addressed cache entries.
+
+The cache key hashes an analysis-version stamp alongside path, build
+config and source text.  If detection semantics change (a version bump)
+while a cache is still warm — the analysis service restarting with new
+code but the old in-process cache, or a future on-disk cache — every
+stale entry must miss and the module must be re-analysed.  Nothing else
+guards against serving results computed by older analysis code.
+"""
+
+import pytest
+
+from repro.core.project import Project
+from repro.engine import AnalysisEngine, ResultCache, module_key
+
+import repro.engine.cache as cache_module
+
+SOURCES = {
+    "a.c": "int f(void)\n{\n    int dead;\n    dead = 1;\n    return 0;\n}\n",
+    "b.c": "int g(void)\n{\n    return 2;\n}\n",
+}
+
+
+@pytest.fixture
+def project():
+    return Project.from_sources(dict(SOURCES))
+
+
+class TestModuleKey:
+    def test_version_is_part_of_the_key(self, monkeypatch):
+        before = module_key("a.c", SOURCES["a.c"], ())
+        monkeypatch.setattr(cache_module, "ANALYSIS_VERSION", "engine-next")
+        after = module_key("a.c", SOURCES["a.c"], ())
+        assert before != after
+
+    def test_key_stable_within_a_version(self):
+        assert module_key("a.c", SOURCES["a.c"], ()) == module_key(
+            "a.c", SOURCES["a.c"], ()
+        )
+
+
+class TestVersionBumpInvalidation:
+    def test_bump_forces_full_reanalysis(self, project, monkeypatch):
+        cache = ResultCache()
+        engine = AnalysisEngine(cache=cache)
+        warm = engine.run(project)
+        assert warm.stats.cache_misses == len(SOURCES)
+
+        # Same cache, same sources: everything hits.
+        rerun = engine.run(project)
+        assert rerun.stats.cache_hits == len(SOURCES)
+        assert rerun.stats.analyzed == 0
+
+        # "Service restart with stale cache": new analysis code (version
+        # bump) finds the old entries unusable and re-analyses everything.
+        monkeypatch.setattr(cache_module, "ANALYSIS_VERSION", "engine-bumped")
+        bumped = engine.run(project)
+        assert bumped.stats.cache_hits == 0
+        assert bumped.stats.cache_misses == len(SOURCES)
+        assert bumped.stats.analyzed == len(SOURCES)
+
+    def test_results_identical_across_the_bump(self, project, monkeypatch):
+        cache = ResultCache()
+        engine = AnalysisEngine(cache=cache)
+        before = engine.run(project)
+        monkeypatch.setattr(cache_module, "ANALYSIS_VERSION", "engine-bumped")
+        after = engine.run(project)
+        assert [c.key for c in before.candidates] == [c.key for c in after.candidates]
+
+    def test_reverting_the_version_restores_hits(self, project, monkeypatch):
+        cache = ResultCache()
+        engine = AnalysisEngine(cache=cache)
+        engine.run(project)
+        monkeypatch.setattr(cache_module, "ANALYSIS_VERSION", "engine-bumped")
+        engine.run(project)
+        monkeypatch.undo()
+        restored = engine.run(project)
+        # The original entries are still under their old-version keys.
+        assert restored.stats.cache_hits == len(SOURCES)

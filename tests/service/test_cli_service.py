@@ -1,0 +1,143 @@
+"""CLI surface of the service: ``valuecheck serve --stdio`` and
+``valuecheck client`` against a live daemon, plus the ``valuecheck
+stats`` rendering of a service lifetime record."""
+
+import io
+import json
+
+from repro import obs
+from repro.cli import main
+from repro.service import ServiceConfig, serve_stdio, serve_tcp, wait_for_port
+from repro.service.protocol import encode
+
+SOURCES = {"m.c": "int f(void)\n{\n    int dead;\n    dead = 1;\n    return 0;\n}\n"}
+
+
+def _lines(*requests):
+    return io.StringIO("".join(encode(r) for r in requests))
+
+
+class TestServeStdio:
+    def test_request_stream(self):
+        stdin = _lines(
+            {"id": 1, "type": "open_project",
+             "params": {"sources": SOURCES, "project_id": "p"}},
+            {"id": 2, "type": "analyze", "params": {"project_id": "p"}},
+            {"id": 3, "type": "shutdown"},
+        )
+        stdout = io.StringIO()
+        service = serve_stdio(ServiceConfig(workers=1), stdin=stdin, stdout=stdout)
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        assert all(r["ok"] for r in responses)
+        assert service.stopped
+
+    def test_eof_shuts_down(self):
+        stdout = io.StringIO()
+        service = serve_stdio(
+            ServiceConfig(workers=1), stdin=_lines(), stdout=stdout
+        )
+        assert service.stopped
+
+    def test_bad_line_answered_not_fatal(self):
+        stdin = io.StringIO("{oops\n" + encode({"id": 2, "type": "health"}))
+        stdout = io.StringIO()
+        serve_stdio(ServiceConfig(workers=1), stdin=stdin, stdout=stdout)
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert responses[0]["error"]["code"] == "bad_json"
+        assert responses[1]["ok"] is True
+
+
+class TestClientCommand:
+    def test_client_round_trip(self, capsys):
+        service, server = serve_tcp(ServiceConfig(workers=1), port=0, block=False)
+        host, port = server.address
+        assert wait_for_port(host, port)
+        try:
+            rc = main(
+                [
+                    "client", "open_project",
+                    "--host", host, "--port", str(port),
+                    "--params", json.dumps({"sources": SOURCES, "project_id": "p"}),
+                ]
+            )
+            assert rc == 0
+            assert json.loads(capsys.readouterr().out)["project_id"] == "p"
+            rc = main(["client", "health", "--host", host, "--port", str(port)])
+            assert rc == 0
+            assert json.loads(capsys.readouterr().out)["status"] == "ok"
+        finally:
+            service.shutdown()
+            server.server_close()
+
+    def test_client_params_from_file(self, tmp_path, capsys):
+        service, server = serve_tcp(ServiceConfig(workers=1), port=0, block=False)
+        host, port = server.address
+        assert wait_for_port(host, port)
+        params_path = tmp_path / "open.json"
+        params_path.write_text(
+            json.dumps({"sources": SOURCES, "project_id": "p"})
+        )
+        try:
+            rc = main(
+                ["client", "open_project", "--host", host, "--port", str(port),
+                 "--params", f"@{params_path}"]
+            )
+            assert rc == 0
+            assert json.loads(capsys.readouterr().out)["project_id"] == "p"
+            rc = main(
+                ["client", "health", "--host", host, "--port", str(port),
+                 "--params", f"@{tmp_path / 'missing.json'}"]
+            )
+            assert rc == 2
+            assert "cannot read params file" in capsys.readouterr().err
+        finally:
+            service.shutdown()
+            server.server_close()
+
+    def test_client_error_exit_codes(self, capsys):
+        service, server = serve_tcp(ServiceConfig(workers=1), port=0, block=False)
+        host, port = server.address
+        assert wait_for_port(host, port)
+        try:
+            rc = main(
+                ["client", "analyze", "--host", host, "--port", str(port),
+                 "--params", json.dumps({"project_id": "ghost"})]
+            )
+            assert rc == 1
+            assert "unknown_project" in capsys.readouterr().err
+            rc = main(
+                ["client", "health", "--host", host, "--port", str(port),
+                 "--params", "{not json"]
+            )
+            assert rc == 2
+        finally:
+            service.shutdown()
+            server.server_close()
+
+    def test_client_unreachable_server(self, capsys):
+        rc = main(["client", "health", "--port", "1"])  # nothing listens there
+        assert rc == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestStatsRendering:
+    def test_service_record_renders_in_stats_table(self, tmp_path, capsys):
+        from repro.service import AnalysisService
+
+        service = AnalysisService(ServiceConfig(workers=1)).start()
+        service.submit(
+            {"id": 1, "type": "open_project",
+             "params": {"sources": SOURCES, "project_id": "p"}}
+        )
+        service.submit({"id": 2, "type": "analyze", "params": {"project_id": "p"}})
+        service.shutdown()
+        stats_path = tmp_path / "svc.jsonl"
+        obs.write_jsonl(stats_path, service.stats_record())
+
+        rc = main(["stats", str(stats_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "service requests" in out
+        assert "service.requests{outcome=ok,type=analyze}" in out
+        assert "service latency" in out

@@ -14,6 +14,7 @@ sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from check_bench_schema import (  # noqa: E402
     OBSERVABILITY_FIELDS,
+    SERVICE_FIELDS,
     validate_all,
     validate_payload,
 )
@@ -43,6 +44,21 @@ def _valid_v2_payload():
         },
         "table7": {},
     }
+
+
+def _valid_v3_payload():
+    payload = _valid_v2_payload()
+    payload["schema"] = 3
+    payload["bench_index"] = 3
+    payload["stages"]["service"] = {
+        "open_seconds": 0.4,
+        "cold_analyze_seconds": 1.2,
+        "warm_analyze_diff_seconds": 0.1,
+        "warm_analyze_seconds": 0.2,
+        "speedup_warm_diff": 12.0,
+        "requests": {"service.requests{outcome=ok,type=analyze}": 2},
+    }
+    return payload
 
 
 class TestRepoBenchFiles:
@@ -92,3 +108,28 @@ class TestValidator:
         payload = _valid_v2_payload()
         del payload["table7"]
         assert any("table7" in p for p in validate_payload(payload))
+
+
+class TestServiceSection:
+    def test_valid_v3_payload_passes(self):
+        assert validate_payload(_valid_v3_payload()) == []
+
+    def test_schema3_requires_service_section(self):
+        payload = _valid_v3_payload()
+        del payload["stages"]["service"]
+        assert any("stages.service" in p for p in validate_payload(payload))
+
+    def test_each_service_field_required(self):
+        for name in SERVICE_FIELDS:
+            payload = _valid_v3_payload()
+            del payload["stages"]["service"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_warm_slower_than_cold_rejected(self):
+        payload = _valid_v3_payload()
+        payload["stages"]["service"]["warm_analyze_diff_seconds"] = 5.0
+        assert any("slower" in p for p in validate_payload(payload))
+
+    def test_schema2_grandfathered_without_service(self):
+        # PR 2 files predate the analysis service; they stay valid.
+        assert validate_payload(_valid_v2_payload()) == []
