@@ -13,12 +13,17 @@ structurally comparable.  This validator asserts the invariants:
 * schema ≥ 3 files carry the ``stages.service`` section (analysis
   service cold-start vs warm ``analyze_diff`` latency, request
   counters);
+* schema ≥ 4 files carry ``analysis_version`` plus the
+  ``stages.provenance`` decision counts (candidates, explained,
+  per-pruner kills) that ``check_bench_trajectory.py`` compares across
+  consecutive BENCH files;
 * no benchmark was emitted from an unconverged solver run.
 
 Older schemas are grandfathered at the level they were written: schema 1
 files (PR 1, before the observability subsystem) satisfy the
 common-field checks only; schema 2 files (PR 2, before the analysis
-service) need no ``stages.service``.
+service) need no ``stages.service``; schema 3 files (PR 3, before
+provenance) need no ``stages.provenance``.
 
 Run directly (``python benchmarks/check_bench_schema.py``) or through
 the tier-1 test ``tests/test_bench_schema.py``.
@@ -68,6 +73,8 @@ SERVICE_FIELDS = (
     "speedup_warm_diff",
     "requests",
 )
+
+PROVENANCE_FIELDS = ("candidates", "explained", "pruned_by", "statuses")
 
 
 def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
@@ -136,6 +143,26 @@ def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
                     f"warm analyze_diff ({warm:.3f}s) slower than the "
                     f"cold analyze ({cold:.3f}s)"
                 )
+
+    if payload.get("schema", 0) >= 4:
+        if not isinstance(payload.get("analysis_version"), str):
+            problem("schema>=4 requires a string 'analysis_version'")
+        provenance = (stages or {}).get("provenance")
+        if not isinstance(provenance, dict):
+            problem("schema>=4 requires stages.provenance")
+        else:
+            for name in PROVENANCE_FIELDS:
+                if name not in provenance:
+                    problem(f"stages.provenance missing {name!r}")
+            candidates = provenance.get("candidates")
+            pruned_by = provenance.get("pruned_by")
+            if isinstance(candidates, int) and isinstance(pruned_by, dict):
+                killed = sum(pruned_by.values())
+                if killed > candidates:
+                    problem(
+                        f"stages.provenance claims {killed} kills out of "
+                        f"{candidates} candidates"
+                    )
     return problems
 
 

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Trajectory comparison across consecutive BENCH_<n>.json files.
+
+``check_bench_schema.py`` asserts each BENCH file is *internally*
+well-formed; this checker asserts the *series* stays honest.  For every
+consecutive pair of comparable files (both schema ≥ 4, same ``scale``
+and ``seed``) it fails when:
+
+* **decision counts drift silently** — the ``stages.provenance``
+  section (candidate count, per-pruner kill counts, explained count,
+  status totals including the reported-findings count) changed between
+  two files that declare the same ``analysis_version``.  Changing what
+  the pipeline decides is fine, but it must be owned by bumping
+  ``repro.engine.cache.ANALYSIS_VERSION``;
+* **wall-time regresses** — detection or the serial full-pipeline run
+  got more than 25% slower stage-over-stage (beyond an absolute noise
+  floor, since these runs are sub-second at the default scale).
+
+Files written before schema 4 (BENCH_1..3) predate the provenance
+section and are grandfathered: pairs involving them are skipped, so the
+checker passes on a series that merely *starts* carrying decision
+counts.
+
+Run directly (``python benchmarks/check_bench_trajectory.py``) or
+through the tier-1 test ``tests/test_bench_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: A stage must slow down by more than this factor to count as a
+#: regression ...
+REGRESSION_FACTOR = 1.25
+#: ... and by more than this many absolute seconds (sub-second stages
+#: jitter by scheduling noise alone).
+NOISE_FLOOR_SECONDS = 0.05
+
+#: The wall-time series compared pair-over-pair: (label, path into the
+#: payload).  Each path component indexes one dict level.
+TIMED_STAGES = (
+    ("detection", ("stages", "detection_seconds")),
+    ("serial full pipeline", ("stages", "executors_full_pipeline_seconds", "serial")),
+)
+
+#: The decision counts that must not drift without an analysis_version
+#: bump, all under ``stages.provenance``.
+DECISION_FIELDS = ("candidates", "explained", "pruned_by", "statuses")
+
+
+def _dig(payload: dict, path: tuple[str, ...]):
+    value = payload
+    for part in path:
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def comparable(prev: dict, curr: dict) -> bool:
+    """Both carry decision counts and were measured on the same corpus."""
+    return (
+        prev.get("schema", 0) >= 4
+        and curr.get("schema", 0) >= 4
+        and prev.get("scale") == curr.get("scale")
+        and prev.get("seed") == curr.get("seed")
+    )
+
+
+def compare_pair(
+    prev: dict, curr: dict, prev_name: str = "<prev>", curr_name: str = "<curr>"
+) -> list[str]:
+    """Problems between two consecutive comparable BENCH payloads."""
+    problems: list[str] = []
+    if not comparable(prev, curr):
+        return problems
+
+    # -- decision-count drift -------------------------------------------
+    prev_version = prev.get("analysis_version")
+    curr_version = curr.get("analysis_version")
+    if prev_version == curr_version:
+        prev_prov = _dig(prev, ("stages", "provenance")) or {}
+        curr_prov = _dig(curr, ("stages", "provenance")) or {}
+        for field in DECISION_FIELDS:
+            before, after = prev_prov.get(field), curr_prov.get(field)
+            if before != after:
+                problems.append(
+                    f"{curr_name}: stages.provenance.{field} drifted from "
+                    f"{before!r} ({prev_name}) to {after!r} without an "
+                    f"analysis_version bump (both are {curr_version!r})"
+                )
+
+    # -- wall-time regression -------------------------------------------
+    for label, path in TIMED_STAGES:
+        before, after = _dig(prev, path), _dig(curr, path)
+        if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+            continue
+        if after > before * REGRESSION_FACTOR and after - before > NOISE_FLOOR_SECONDS:
+            problems.append(
+                f"{curr_name}: {label} regressed {before:.3f}s -> {after:.3f}s "
+                f"({after / before:.2f}x, threshold {REGRESSION_FACTOR:.2f}x "
+                f"over {prev_name})"
+            )
+    return problems
+
+
+def load_series(root: Path = ROOT) -> list[tuple[str, dict]]:
+    """All BENCH payloads at ``root``, ordered by bench index."""
+    series: list[tuple[int, str, dict]] = []
+    for path in root.glob("BENCH_*.json"):
+        stem = path.stem.split("_", 1)[-1]
+        if not stem.isdigit():
+            continue
+        payload = json.loads(path.read_text())
+        series.append((int(stem), path.name, payload))
+    series.sort()
+    return [(name, payload) for _, name, payload in series]
+
+
+def check_series(series: list[tuple[str, dict]]) -> list[str]:
+    problems: list[str] = []
+    for (prev_name, prev), (curr_name, curr) in zip(series, series[1:]):
+        problems.extend(compare_pair(prev, curr, prev_name, curr_name))
+    return problems
+
+
+def check_all(root: Path = ROOT) -> list[str]:
+    return check_series(load_series(root))
+
+
+def main() -> int:
+    series = load_series()
+    problems = check_series(series)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    pairs = sum(
+        comparable(prev, curr) for (_, prev), (_, curr) in zip(series, series[1:])
+    )
+    print(
+        f"checked {len(series)} BENCH file(s), {pairs} comparable pair(s): ok"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

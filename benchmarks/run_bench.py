@@ -30,6 +30,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro import obs  # noqa: E402
 from repro.core import ValueCheck, ValueCheckConfig  # noqa: E402
 from repro.engine import AnalysisEngine, ResultCache  # noqa: E402
+from repro.engine.cache import ANALYSIS_VERSION  # noqa: E402
 from repro.eval import table7  # noqa: E402
 from repro.eval.suite import EvalSuite  # noqa: E402
 from repro.obs import METRICS_SCHEMA_VERSION, summarize_snapshot  # noqa: E402
@@ -39,8 +40,11 @@ EXECUTORS = ("serial", "thread", "process")
 
 # BENCH_<n>.json payload schema: bump together with the validator in
 # benchmarks/check_bench_schema.py.  v3 adds the ``stages.service``
-# section (analysis-service cold vs warm request latency).
-BENCH_SCHEMA_VERSION = 3
+# section (analysis-service cold vs warm request latency).  v4 adds
+# ``analysis_version`` plus the ``stages.provenance`` decision counts
+# (candidates / pruned-by-pruner / explained) consumed by
+# check_bench_trajectory.py.
+BENCH_SCHEMA_VERSION = 4
 
 
 def _next_index() -> int:
@@ -159,6 +163,15 @@ def _stage_timings(scale: float, seed: int, workers: int) -> dict:
         "metrics": summarize_snapshot(serial_report.metrics),
     }
 
+    # Decision-count trajectory: how many candidates each stage saw and
+    # what each pruner killed — drift here without an ANALYSIS_VERSION
+    # bump is what check_bench_trajectory.py flags.
+    provenance = (
+        serial_report.provenance.aggregates()
+        if serial_report.provenance is not None
+        else {}
+    )
+
     serial = executors["serial"]
     return {
         "detection_seconds": detection_seconds,
@@ -175,6 +188,7 @@ def _stage_timings(scale: float, seed: int, workers: int) -> dict:
         "candidates": len(run.candidates),
         "non_converged_modules": non_converged,
         "observability": observability,
+        "provenance": provenance,
     }
 
 
@@ -277,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "schema": BENCH_SCHEMA_VERSION,
         "metrics_schema": METRICS_SCHEMA_VERSION,
+        "analysis_version": ANALYSIS_VERSION,
         "bench_index": index,
         "scale": args.scale,
         "seed": args.seed,

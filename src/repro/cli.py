@@ -110,11 +110,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"#{finding.rank:<3} {candidate.file}:{candidate.line} "
             f"[{candidate.kind.value}] {candidate.function}/{candidate.var}{familiarity}"
         )
+    if args.explain is not None:
+        fragment = args.explain if args.explain != "" else None
+        print()
+        print(report.explain(fragment), end="")
+    if args.explain_json:
+        Path(args.explain_json).write_text(report.explain_jsonl())
+        print(f"\nwrote provenance JSONL to {args.explain_json}")
     if args.csv:
         report.to_csv(args.csv)
         print(f"\nwrote {args.csv}")
     if args.sarif:
-        report.to_sarif(args.sarif)
+        report.to_sarif(args.sarif, include_pruned=args.sarif_include_pruned)
         print(f"wrote SARIF 2.1.0 log to {args.sarif}")
     if args.trace:
         Path(args.trace).write_text(json.dumps(telemetry.tracer.to_chrome(), indent=1) + "\n")
@@ -303,6 +310,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report as a SARIF 2.1.0 log (GitHub code scanning etc.)",
     )
     analyze.add_argument(
+        "--sarif-include-pruned",
+        action="store_true",
+        help="also export pruned candidates as suppressed SARIF results",
+    )
+    analyze.add_argument(
+        "--explain",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FINDING",
+        help="print each candidate's decision trail (detection, cross-scope "
+        "evidence, pruner verdicts, DOK breakdown); optionally filter by a "
+        "finding id / file / file:line fragment",
+    )
+    analyze.add_argument(
+        "--explain-json",
+        metavar="PATH",
+        help="write the provenance records as JSONL (one candidate per line, "
+        "byte-identical across executors)",
+    )
+    analyze.add_argument(
         "--baseline",
         help="an earlier report CSV; only findings not present in it are shown",
     )
@@ -422,7 +450,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "type",
-        choices=("open_project", "analyze", "analyze_diff", "stats", "health", "shutdown"),
+        choices=(
+            "open_project",
+            "analyze",
+            "analyze_diff",
+            "explain",
+            "stats",
+            "health",
+            "shutdown",
+        ),
     )
     client.add_argument("--host", default="127.0.0.1")
     client.add_argument("--port", type=int, default=7432)

@@ -110,6 +110,7 @@ class CrossScopeResolver:
             blamed_file=candidate.file,
             introduced_day=site_author.day,
             reason="ignored return value" + ("" if any_internal else " (external callee)"),
+            peer_sites=len(counterparts),
         )
 
     def _check_param(self, candidate: Candidate) -> AuthorshipInfo:
@@ -153,6 +154,7 @@ class CrossScopeResolver:
                 if candidate.kind is CandidateKind.OVERWRITTEN_ARG
                 else "parameter value unused"
             ),
+            peer_sites=len(site_authors),
         )
 
     def _check_overwritten(self, candidate: Candidate) -> AuthorshipInfo:
@@ -178,6 +180,7 @@ class CrossScopeResolver:
                 blamed_file=candidate.file,
                 introduced_day=introducing.day,
                 reason="definition overwritten by other authors",
+                peer_sites=len(overwriters),
             )
         # Scenario 1 piggy-back (Fig. 4 lines 6-8): a stored value that came
         # from a call is also checked against the callee's return authors.
@@ -194,6 +197,7 @@ class CrossScopeResolver:
             reason="overwriters share the definition's author"
             if overwriters
             else "no overwriter on all paths",
+            peer_sites=len(overwriters),
         )
 
     def _check_value_from_call(
@@ -216,6 +220,7 @@ class CrossScopeResolver:
             blamed_file=candidate.file,
             introduced_day=def_author.day,
             reason="unused return value (assigned form)",
+            peer_sites=len(counterparts),
         )
 
     # -- public API ------------------------------------------------------------
@@ -268,6 +273,7 @@ class CrossScopeResolver:
             cross_scope=cross,
             def_author=def_author.name,
             counterpart_authors=(owner.name,),
+            peer_sites=1,
             introducing_author=def_author.name if cross else "",
             blamed_file=candidate.file if cross else "",
             introduced_day=def_author.day if cross else -1,

@@ -49,23 +49,45 @@ class DokModel:
     def __init__(self, repo: Repository, weights: DokWeights | None = None):
         self.repo = repo
         self.weights = weights or DokWeights()
-        self._cache: dict[tuple[str, str, object], float] = {}
+        self._cache: dict[tuple[str, str, object], dict] = {}
 
-    def score(self, author: Author | str, path: str, until_rev: int | str | None = None) -> float:
-        """Familiarity of ``author`` with ``path`` (higher = more familiar)."""
+    def breakdown(
+        self, author: Author | str, path: str, until_rev: int | str | None = None
+    ) -> dict:
+        """The DOK terms behind one score — the provenance/explain view.
+
+        Raw factors (``fa``/``dl``/``ac``), each weighted term, the
+        intercept and the final score: exactly the numbers ``score``
+        sums, from one shared computation.
+        """
         if isinstance(author, str):
             author = self._author_by_name(author)
         key = (author.name, path, until_rev)
         if key not in self._cache:
             stats = self.repo.file_stats(path, author, until_rev=until_rev)
             weights = self.weights
-            self._cache[key] = (
-                weights.alpha0
-                + weights.alpha_fa * (1.0 if stats.first_authorship else 0.0)
-                + weights.alpha_dl * stats.deliveries
-                - weights.alpha_ac * math.log1p(stats.acceptances)
-            )
-        return self._cache[key]
+            fa = 1 if stats.first_authorship else 0
+            term_fa = weights.alpha_fa * fa
+            term_dl = weights.alpha_dl * stats.deliveries
+            term_ac = weights.alpha_ac * math.log1p(stats.acceptances)
+            self._cache[key] = {
+                "model": "dok",
+                "author": author.name,
+                "file": path,
+                "fa": fa,
+                "dl": stats.deliveries,
+                "ac": stats.acceptances,
+                "alpha0": weights.alpha0,
+                "term_fa": term_fa,
+                "term_dl": term_dl,
+                "term_ac": term_ac,
+                "score": weights.alpha0 + term_fa + term_dl - term_ac,
+            }
+        return dict(self._cache[key])
+
+    def score(self, author: Author | str, path: str, until_rev: int | str | None = None) -> float:
+        """Familiarity of ``author`` with ``path`` (higher = more familiar)."""
+        return self.breakdown(author, path, until_rev=until_rev)["score"]
 
     def _author_by_name(self, name: str) -> Author:
         for author in self.repo.authors():

@@ -75,6 +75,23 @@ class AuthorshipInfo:
     blamed_file: str = ""
     introduced_day: int = -1
     reason: str = ""
+    # How many counterpart sites (call sites, return statements,
+    # overwriting stores) the resolver actually blamed and compared —
+    # the evidence base of the cross-scope verdict.
+    peer_sites: int = 0
+
+    def provenance(self) -> dict:
+        """The resolution-evidence slice of a provenance record."""
+        return {
+            "cross_scope": self.cross_scope,
+            "reason": self.reason,
+            "def_author": self.def_author,
+            "counterpart_authors": list(self.counterpart_authors),
+            "peer_sites": self.peer_sites,
+            "introducing_author": self.introducing_author,
+            "blamed_file": self.blamed_file,
+            "introduced_day": self.introduced_day,
+        }
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ from typing import Protocol
 from repro.core.findings import Candidate
 from repro.core.project import Project
 from repro.ir.module import Function, Module
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, ProvenanceLog, PrunerVerdict
 
 
 @dataclass
@@ -19,6 +19,9 @@ class PruneContext:
     # Per-run metrics registry; pruners record through the helpers below
     # (no-ops when the pipeline runs without telemetry).
     metrics: MetricsRegistry | None = None
+    # Per-run provenance log; the pipeline records one verdict per
+    # pruner consulted (None when the run keeps no audit trail).
+    provenance: ProvenanceLog | None = None
 
     def count(self, name: str, value: float = 1, **labels) -> None:
         if self.metrics is not None:
@@ -51,10 +54,33 @@ class PruneContext:
 
 
 class Pruner(Protocol):
-    """A pruning strategy; ``name`` keys the Table 4 breakdown."""
+    """A pruning strategy; ``name`` keys the Table 4 breakdown.
+
+    ``decide`` is the one decision entry point: it returns the verdict
+    *and* the concrete evidence it rests on, and both the kill counters
+    and the provenance audit trail are derived from that single return
+    value (so the two can never disagree).  ``should_prune`` survives as
+    the boolean convenience view over ``decide``.
+    """
 
     name: str
+
+    def decide(self, candidate: Candidate, context: PruneContext) -> PrunerVerdict:
+        """The verdict for this candidate, with its evidence."""
+        ...
 
     def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
         """True if this candidate is an intentional unused definition."""
         ...
+
+
+class BasePruner:
+    """Shared ``should_prune`` → ``decide`` delegation."""
+
+    name = "base"
+
+    def decide(self, candidate: Candidate, context: PruneContext) -> PrunerVerdict:
+        raise NotImplementedError
+
+    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+        return self.decide(candidate, context).pruned

@@ -16,30 +16,45 @@ from __future__ import annotations
 import re
 
 from repro.core.findings import Candidate, CandidateKind
-from repro.core.pruning.base import PruneContext
+from repro.core.pruning.base import BasePruner, PruneContext
+from repro.obs import PrunerVerdict
 
 
-class ConfigDependencyPruner:
+class ConfigDependencyPruner(BasePruner):
     name = "config_dependency"
 
-    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+    def decide(self, candidate: Candidate, context: PruneContext) -> PrunerVerdict:
         if candidate.kind is CandidateKind.IGNORED_RETURN and candidate.store_kind is None:
-            return False  # discarded calls have no variable to find uses of
+            # Discarded calls have no variable to find uses of.
+            return PrunerVerdict(self.name, False, {"reason": "no variable"})
         module = context.module_of(candidate)
         function = context.function_of(candidate)
         if module is None or module.source is None or function is None:
-            return False
+            return PrunerVerdict(self.name, False, {"reason": "no raw source"})
         var = candidate.var.split("#", 1)[0]
         pattern = re.compile(rf"\b{re.escape(var)}\b")
         raw_lines = module.source.raw.split("\n")
+        regions = 0
         for region in module.source.regions:
             if region.end < function.line or region.start > function.end_line:
                 continue
+            regions += 1
             start = max(region.start, 1)
             end = min(region.end, len(raw_lines))
             for line_number in range(start, end + 1):
                 if line_number == candidate.line:
                     continue
                 if pattern.search(raw_lines[line_number - 1]):
-                    return True
-        return False
+                    return PrunerVerdict(
+                        self.name,
+                        True,
+                        {
+                            "variable": var,
+                            "guard_start": region.start,
+                            "guard_end": region.end,
+                            "use_line": line_number,
+                        },
+                    )
+        return PrunerVerdict(
+            self.name, False, {"variable": var, "guarded_regions": regions}
+        )

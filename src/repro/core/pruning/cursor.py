@@ -12,22 +12,23 @@ least ``min_increments`` stores to the same variable with that same delta
 from __future__ import annotations
 
 from repro.core.findings import Candidate
-from repro.core.pruning.base import PruneContext
+from repro.core.pruning.base import BasePruner, PruneContext
 from repro.ir.instructions import Store
+from repro.obs import PrunerVerdict
 
 
-class CursorPruner:
+class CursorPruner(BasePruner):
     name = "cursor"
 
     def __init__(self, min_increments: int = 2):
         self.min_increments = min_increments
 
-    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+    def decide(self, candidate: Candidate, context: PruneContext) -> PrunerVerdict:
         if candidate.increment_delta is None:
-            return False
+            return PrunerVerdict(self.name, False, {"reason": "not an increment"})
         function = context.function_of(candidate)
         if function is None:
-            return False
+            return PrunerVerdict(self.name, False, {"reason": "function not found"})
         same_delta = 0
         for instruction in function.instructions():
             if (
@@ -37,4 +38,12 @@ class CursorPruner:
                 and instruction.increment_delta == candidate.increment_delta
             ):
                 same_delta += 1
-        return same_delta >= self.min_increments
+        return PrunerVerdict(
+            self.name,
+            same_delta >= self.min_increments,
+            {
+                "delta": candidate.increment_delta,
+                "same_delta_stores": same_delta,
+                "min_increments": self.min_increments,
+            },
+        )

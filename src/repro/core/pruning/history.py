@@ -19,14 +19,15 @@ from __future__ import annotations
 import re
 
 from repro.core.findings import Candidate
-from repro.core.pruning.base import PruneContext
+from repro.core.pruning.base import BasePruner, PruneContext
+from repro.obs import PrunerVerdict
 from repro.vcs.blame import BlameIndex
 
 _MESSAGE_MARKERS = ("debug", "instrument", "telemetry", "diagnostic", "tracing")
 _SOURCE_MARKERS = re.compile(r"\b(debug|instrumentation|legacy|deprecated|diagnostic)\b", re.IGNORECASE)
 
 
-class HistoryPruner:
+class HistoryPruner(BasePruner):
     name = "history"
 
     def __init__(self) -> None:
@@ -41,21 +42,35 @@ class HistoryPruner:
             self._blame_cache[key] = BlameIndex(repo)
         return self._blame_cache[key]
 
-    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+    def decide(self, candidate: Candidate, context: PruneContext) -> PrunerVerdict:
         # Source-comment markers around the definition.
         for line in (candidate.line, candidate.decl_line):
-            if line and _SOURCE_MARKERS.search(context.raw_line(candidate, line)):
-                return True
+            if not line:
+                continue
+            match = _SOURCE_MARKERS.search(context.raw_line(candidate, line))
+            if match:
+                return PrunerVerdict(
+                    self.name,
+                    True,
+                    {"marker": "source", "token": match.group(0).lower(), "line": line},
+                )
         # Commit-message markers on the introducing commit.
         blame = self._blame(context)
         if blame is None:
-            return False
+            return PrunerVerdict(self.name, False, {"reason": "no repository"})
         info = blame.line_info(candidate.file, candidate.line)
         if info is None:
-            return False
+            return PrunerVerdict(self.name, False, {"reason": "line not blamed"})
         try:
             commit = context.project.repo.commit_by_id(info.commit_id)  # type: ignore[union-attr]
         except Exception:
-            return False
+            return PrunerVerdict(self.name, False, {"reason": "commit not found"})
         message = commit.message.lower()
-        return any(marker in message for marker in _MESSAGE_MARKERS)
+        for marker in _MESSAGE_MARKERS:
+            if marker in message:
+                return PrunerVerdict(
+                    self.name,
+                    True,
+                    {"marker": "commit_message", "token": marker, "commit": info.commit_id},
+                )
+        return PrunerVerdict(self.name, False, {"commit": info.commit_id})

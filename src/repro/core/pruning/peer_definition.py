@@ -16,10 +16,11 @@ parameters (defaults match the paper)."""
 from __future__ import annotations
 
 from repro.core.findings import Candidate, CandidateKind
-from repro.core.pruning.base import PruneContext
+from repro.core.pruning.base import BasePruner, PruneContext
+from repro.obs import PrunerVerdict
 
 
-class PeerDefinitionPruner:
+class PeerDefinitionPruner(BasePruner):
     name = "peer_definition"
 
     def __init__(self, min_occurrences: int = 10, unused_fraction: float = 0.5):
@@ -32,33 +33,60 @@ class PeerDefinitionPruner:
         unused = sum(1 for used in usage_flags if not used)
         return unused > self.unused_fraction * len(usage_flags)
 
-    def _examine(self, context: PruneContext, usage_flags, shape: str) -> bool:
+    def _examine(self, context: PruneContext, usage_flags, shape: str) -> dict:
         """Decide one peer set, recording its site statistics: how many
         peer definition sites were consulted and what fraction ignored
-        the value (the §5.4 thresholds act on exactly these numbers)."""
+        the value (the §5.4 thresholds act on exactly these numbers).
+        The returned evidence carries the same counted sites the
+        histograms observe, so the audit trail and the metrics agree by
+        construction."""
         flags = list(usage_flags)
         context.observe("prune.peer_sites", len(flags), shape=shape)
+        unused = sum(1 for used in flags if not used)
         if flags:
-            unused = sum(1 for used in flags if not used)
             context.observe("prune.peer_unused_fraction", unused / len(flags), shape=shape)
-        return self._mostly_unused(flags)
+        return {
+            "shape": shape,
+            "sites": len(flags),
+            "unused": unused,
+            "fraction": unused / len(flags) if flags else 0.0,
+            "min_occurrences": self.min_occurrences,
+            "unused_threshold": self.unused_fraction,
+            "pruned": self._mostly_unused(flags),
+        }
 
-    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
+    def _verdict(self, evidence: dict) -> PrunerVerdict:
+        pruned = evidence.pop("pruned")
+        return PrunerVerdict(self.name, pruned, evidence)
+
+    def decide(self, candidate: Candidate, context: PruneContext) -> PrunerVerdict:
         index = context.project.index
         if candidate.kind is CandidateKind.IGNORED_RETURN:
-            callees = candidate.resolved_callees or (
-                (candidate.callee,) if candidate.callee else ()
-            )
+            callees = [
+                callee
+                for callee in (
+                    candidate.resolved_callees
+                    or ((candidate.callee,) if candidate.callee else ())
+                )
+                if callee
+            ]
+            last: dict | None = None
             for callee in callees:
-                if callee and self._examine(
-                    context, index.return_usage(callee), shape="return"
-                ):
-                    return True
-            return False
+                evidence = self._examine(context, index.return_usage(callee), shape="return")
+                evidence["callee"] = callee
+                if evidence["pruned"]:
+                    return self._verdict(evidence)
+                last = evidence
+            if last is None:
+                return PrunerVerdict(self.name, False, {"reason": "no resolvable callee"})
+            return self._verdict(last)
         if candidate.kind.is_param_shape:
             location = index.location(candidate.function)
             if location is None or candidate.param_index < 0:
-                return False
+                return PrunerVerdict(self.name, False, {"reason": "parameter not indexed"})
             peers = index.peer_params(location.signature, candidate.param_index)
-            return self._examine(context, peers, shape="param")
-        return False
+            evidence = self._examine(context, peers, shape="param")
+            evidence["signature"] = location.signature
+            evidence["param_index"] = candidate.param_index
+            return self._verdict(evidence)
+        return PrunerVerdict(self.name, False, {"reason": "not a peer-comparable shape"})

@@ -27,6 +27,13 @@ class PruningPipeline:
         sums stay comparable across runs — plus ``prune.examined`` and
         ``prune.survived`` totals that reconcile with the report's
         candidate counts.
+
+        Kill counters and provenance verdicts are both derived from the
+        *same* :class:`~repro.obs.PrunerVerdict` objects each pruner's
+        ``decide`` returns: a short-circuiting pruner cannot make the
+        counter and the audit trail disagree.  Pruners after the first
+        kill are never consulted (pipeline order claims the candidate),
+        so the trail ends at the claiming verdict.
         """
         for pruner in self.pruners:
             context.count("prune.killed", 0, pruner=pruner.name)
@@ -34,8 +41,11 @@ class PruningPipeline:
         for finding in findings:
             pruned_by: str | None = None
             for pruner in self.pruners:
-                if pruner.should_prune(finding.candidate, context):
-                    pruned_by = pruner.name
+                verdict = pruner.decide(finding.candidate, context)
+                if context.provenance is not None:
+                    context.provenance.add_verdict(finding.key, verdict)
+                if verdict.pruned:
+                    pruned_by = verdict.pruner
                     break
             context.count("prune.examined")
             if pruned_by is not None:

@@ -9,7 +9,8 @@ these unused definitions"."""
 from __future__ import annotations
 
 from repro.core.findings import Candidate
-from repro.core.pruning.base import PruneContext
+from repro.core.pruning.base import BasePruner, PruneContext
+from repro.obs import PrunerVerdict
 
 _HINT_ATTRS = frozenset({"unused", "maybe_unused"})
 
@@ -18,18 +19,24 @@ _HINT_ATTRS = frozenset({"unused", "maybe_unused"})
 SUPPRESSION_MARKER = "valuecheck: ignore"
 
 
-class UnusedHintsPruner:
+class UnusedHintsPruner(BasePruner):
     name = "unused_hints"
 
-    def should_prune(self, candidate: Candidate, context: PruneContext) -> bool:
-        if any(attr in _HINT_ATTRS for attr in candidate.var_attrs):
-            return True
+    def decide(self, candidate: Candidate, context: PruneContext) -> PrunerVerdict:
+        matched = [attr for attr in candidate.var_attrs if attr in _HINT_ATTRS]
+        if matched:
+            return PrunerVerdict(
+                self.name, True, {"hint": "attribute", "attribute": matched[0]}
+            )
         if candidate.void_cast:
-            return True
+            return PrunerVerdict(self.name, True, {"hint": "void_cast"})
         for line in {candidate.line, candidate.decl_line}:
             if not line:
                 continue
             text = context.raw_line(candidate, line).lower()
-            if "unused" in text or SUPPRESSION_MARKER in text:
-                return True
-        return False
+            for token in ("unused", SUPPRESSION_MARKER):
+                if token in text:
+                    return PrunerVerdict(
+                        self.name, True, {"hint": "token", "token": token, "line": line}
+                    )
+        return PrunerVerdict(self.name, False, {"hint": None})

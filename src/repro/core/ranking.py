@@ -11,7 +11,7 @@ from dataclasses import replace
 
 from repro.core.familiarity import DokModel
 from repro.core.findings import Finding
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, ProvenanceLog
 
 
 def score_finding(finding: Finding, model: DokModel, until_rev: int | str | None = None) -> Finding:
@@ -27,12 +27,39 @@ def score_finding(finding: Finding, model: DokModel, until_rev: int | str | None
     return replace(finding, familiarity=familiarity)
 
 
+def _ranking_entry(
+    finding: Finding, rank: int, model, until_rev: int | str | None
+) -> dict:
+    """The ranking slice of a provenance record: rank plus the score's
+    term-by-term breakdown when the model can expose one (DOK can)."""
+    entry: dict = {"rank": rank, "familiarity": finding.familiarity}
+    authorship = finding.authorship
+    if (
+        model is not None
+        and hasattr(model, "breakdown")
+        and authorship is not None
+        and authorship.introducing_author
+    ):
+        entry["breakdown"] = model.breakdown(
+            authorship.introducing_author,
+            authorship.blamed_file or finding.candidate.file,
+            until_rev=until_rev,
+        )
+    elif model is not None:
+        entry["breakdown"] = {
+            "model": type(model).__name__.replace("Model", "").lower(),
+            "score": finding.familiarity,
+        }
+    return entry
+
+
 def rank_findings(
     findings: list[Finding],
     model: DokModel | None = None,
     until_rev: int | str | None = None,
     use_familiarity: bool = True,
     metrics: MetricsRegistry | None = None,
+    provenance: ProvenanceLog | None = None,
 ) -> list[Finding]:
     """Rank *reported* findings; unreported findings pass through unranked.
 
@@ -58,4 +85,10 @@ def rank_findings(
         metrics.inc("rank.reported", len(reported))
         metrics.inc("rank.unreported", len(others))
     ranked = [finding.with_rank(position + 1) for position, finding in enumerate(reported)]
+    if provenance is not None:
+        scoring_model = model if use_familiarity else None
+        for finding in ranked:
+            provenance.set_ranking(
+                finding.key, _ranking_entry(finding, finding.rank, scoring_model, until_rev)
+            )
     return ranked + others

@@ -14,11 +14,12 @@ from typing import TYPE_CHECKING
 
 from repro.core.findings import Finding
 from repro.obs import METRICS_SCHEMA_VERSION, summarize_snapshot
+from repro.obs.provenance import render_records
 from repro.obs.sinks import STAGE_ORDER
 
 if TYPE_CHECKING:
     from repro.engine.scheduler import EngineStats
-    from repro.obs import Tracer
+    from repro.obs import ProvenanceLog, Tracer
 
 
 @dataclass
@@ -41,6 +42,10 @@ class Report:
     # least one module: points-to facts (and thus findings) may then be
     # under-approximated.
     converged: bool = True
+    # Per-candidate decision audit: detection site, cross-scope evidence,
+    # one verdict per consulted pruner, DOK breakdown and rank (None for
+    # hand-built or merged reports — ``explain`` then has nothing to say).
+    provenance: "ProvenanceLog | None" = None
 
     # -- views ----------------------------------------------------------
 
@@ -70,6 +75,32 @@ class Report:
             for finding in self.findings
             if finding.authorship is None or not finding.authorship.cross_scope
         ]
+
+    # -- provenance / explain --------------------------------------------
+
+    def explain(self, fragment: str | None = None) -> str:
+        """Readable decision trees: every candidate's provenance, or only
+        the records whose key contains ``fragment`` (a finding id, file
+        name, or ``file:line`` prefix)."""
+        if self.provenance is None:
+            return "no provenance recorded for this report\n"
+        records = (
+            self.provenance.records()
+            if fragment is None
+            else self.provenance.find(fragment)
+        )
+        if not records:
+            if fragment is not None:
+                return f"no provenance record matches {fragment!r}\n"
+            return "no candidates detected\n"
+        return render_records(records) + "\n"
+
+    def explain_jsonl(self) -> str:
+        """Machine-readable provenance: one JSON record per line, sorted
+        by candidate key — byte-identical across executors."""
+        if self.provenance is None:
+            return ""
+        return self.provenance.to_jsonl()
 
     # -- accounting ----------------------------------------------------------
 
@@ -105,6 +136,8 @@ class Report:
             record["engine"] = self.engine_stats.as_dict()
         if self.metrics is not None:
             record["metrics"] = summarize_snapshot(self.metrics)
+        if self.provenance is not None:
+            record["provenance"] = self.provenance.aggregates()
         return record
 
     # -- rendering -------------------------------------------------------------

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.findings import CandidateKind, Finding
+from repro.obs.provenance import ProvenanceLog, ProvenanceRecord, format_evidence
 
 if TYPE_CHECKING:
     from repro.core.report import Report
@@ -66,7 +67,7 @@ def _message(finding: Finding) -> str:
     return "; ".join(parts)
 
 
-def _result(finding: Finding) -> dict:
+def _result(finding: Finding, record: ProvenanceRecord | None = None) -> dict:
     candidate = finding.candidate
     result: dict = {
         "ruleId": candidate.kind.value,
@@ -96,14 +97,23 @@ def _result(finding: Finding) -> dict:
         properties["callee"] = candidate.callee
     if finding.familiarity is not None:
         properties["familiarity"] = round(finding.familiarity, 4)
+    if record is not None:
+        # The full decision audit rides along as a property bag so SARIF
+        # viewers can show *why* a result was reported or suppressed.
+        properties["provenance"] = record.as_dict()
     if properties:
         result["properties"] = properties
     if finding.pruned_by is not None:
+        justification = f"pruned by {finding.pruned_by}"
+        if record is not None:
+            killing = next((v for v in record.verdicts if v.pruned), None)
+            if killing is not None and killing.evidence:
+                justification += format_evidence(killing.evidence)
         result["suppressions"] = [
             {
                 "kind": "inSource",
                 "status": "accepted",
-                "justification": f"pruned by {finding.pruned_by}",
+                "justification": justification,
             }
         ]
     return result
@@ -114,6 +124,7 @@ def findings_to_sarif(
     project: str = "project",
     include_pruned: bool = False,
     invocation: dict | None = None,
+    provenance: ProvenanceLog | None = None,
 ) -> dict:
     """Build one SARIF 2.1.0 log dict from a finding list."""
     rows = [
@@ -137,7 +148,13 @@ def findings_to_sarif(
             }
         },
         "automationDetails": {"id": f"{TOOL_NAME}/{project}"},
-        "results": [_result(finding) for finding in rows],
+        "results": [
+            _result(
+                finding,
+                provenance.get(finding.key) if provenance is not None else None,
+            )
+            for finding in rows
+        ],
         "columnKind": "utf16CodeUnits",
     }
     if invocation:
@@ -167,6 +184,7 @@ def report_to_sarif(report: "Report", include_pruned: bool = False) -> dict:
         project=report.project,
         include_pruned=include_pruned,
         invocation=invocation or None,
+        provenance=report.provenance,
     )
 
 

@@ -126,13 +126,19 @@ class ValueCheck:
             tracer = ambient.tracer if ambient is not None else obs.Tracer()
             telemetry = obs.Telemetry(tracer=tracer, metrics=obs.MetricsRegistry())
         registry = telemetry.metrics
+        provenance = obs.ProvenanceLog()
         with obs.use(telemetry), telemetry.tracer.span("analyze", project=project.name):
-            engine_run: EngineRun = self._engine().run(project, metrics=registry)
+            engine_run: EngineRun = self._engine().run(
+                project, metrics=registry, provenance=provenance
+            )
             candidates = engine_run.candidates
             registry.inc("detect.candidates", len(candidates))
 
             with telemetry.tracer.span("resolve"):
                 findings = self._resolve_authorship(project, candidates, rev)
+            for finding in findings:
+                if finding.authorship is not None:
+                    provenance.set_resolution(finding.key, finding.authorship.provenance())
             cross = [f for f in findings if f.authorship and f.authorship.cross_scope]
             rest = [f for f in findings if not (f.authorship and f.authorship.cross_scope)]
             registry.inc("resolve.cross_scope", len(cross))
@@ -145,7 +151,7 @@ class ValueCheck:
                 peer_unused_fraction=self.config.peer_unused_fraction,
                 include_history=self.config.history_pruning,
             )
-            context = PruneContext(project=project, metrics=registry)
+            context = PruneContext(project=project, metrics=registry, provenance=provenance)
             with telemetry.tracer.span("prune"):
                 cross = pipeline.apply(cross, context)
             prune_stats = pipeline.stats(cross)
@@ -166,7 +172,9 @@ class ValueCheck:
                     until_rev=rev,
                     use_familiarity=self.config.use_familiarity,
                     metrics=registry,
+                    provenance=provenance,
                 )
+            provenance.finalize(findings)
         converged = not engine_run.stats.non_converged
         if not converged:
             registry.inc("andersen.non_converged_modules", len(engine_run.stats.non_converged))
@@ -181,4 +189,5 @@ class ValueCheck:
             metrics=registry.snapshot(),
             trace=telemetry.tracer,
             converged=converged,
+            provenance=provenance,
         )

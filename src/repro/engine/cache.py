@@ -26,7 +26,9 @@ from typing import Iterable
 
 # Bump whenever detection/pointer/index semantics change in a way that
 # alters per-module results: cached entries from older code must miss.
-ANALYSIS_VERSION = "engine-2"
+# engine-3: ModuleResult grew the detection-provenance slice — entries
+# cached by engine-2 would replay without audit records.
+ANALYSIS_VERSION = "engine-3"
 
 DEFAULT_CAPACITY = 4096
 

@@ -103,6 +103,7 @@ class AnalysisEngine:
         project: Project,
         paths: list[str] | None = None,
         metrics: MetricsRegistry | None = None,
+        provenance: "obs.ProvenanceLog | None" = None,
     ) -> EngineRun:
         started = monotonic()
         registry = metrics if metrics is not None else MetricsRegistry()
@@ -147,6 +148,12 @@ class AnalysisEngine:
                 result = run.by_path[path]
                 run.candidates.extend(result.candidates)
                 project._contribs[path] = result.contribution
+                if provenance is not None:
+                    # Cache hits replay the stored slice; fresh results
+                    # ship the one the worker just built.  Either way the
+                    # records are pure content facts, so the merged log is
+                    # identical across executors and cache states.
+                    provenance.merge_detections(result.provenance)
                 if result.metrics is not None:
                     # Hits replay only content facts (iteration counts,
                     # convergence) — their stored timings are stale.

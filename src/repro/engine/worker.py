@@ -42,6 +42,11 @@ class ModuleResult:
     # Worker-local metrics snapshot (repro.obs schema): stage timings,
     # Andersen iteration counts, convergence counters for this module.
     metrics: dict | None = None
+    # Deterministic detection-provenance slice: one plain dict per
+    # candidate (repro.obs.provenance.detection_record).  Stored here —
+    # not rebuilt by the scheduler — so content-cache hits replay the
+    # exact records the original analysis produced.
+    provenance: list[dict] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,7 @@ def analyze_lowered(path: str, module: Module, vfg: ValueFlowGraph | None = None
         contribution=contribution,
         converged=converged,
         metrics=local.snapshot(),
+        provenance=[obs.detection_record(candidate) for candidate in candidates],
     )
 
 

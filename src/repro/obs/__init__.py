@@ -44,6 +44,15 @@ from repro.obs.metrics import (
     summarize,
     summarize_snapshot,
 )
+from repro.obs.provenance import (
+    PROVENANCE_SCHEMA_VERSION,
+    ProvenanceLog,
+    ProvenanceRecord,
+    PrunerVerdict,
+    detection_record,
+    render_record,
+    render_records,
+)
 from repro.obs.sinks import (
     read_jsonl,
     render_stats_table,
@@ -112,16 +121,23 @@ def metrics() -> MetricsRegistry | None:
 __all__ = [
     "METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
+    "PROVENANCE_SCHEMA_VERSION",
+    "ProvenanceLog",
+    "ProvenanceRecord",
+    "PrunerVerdict",
     "Span",
     "Telemetry",
     "Tracer",
     "current",
     "deterministic_view",
+    "detection_record",
     "metric_key",
     "metrics",
     "monotonic",
     "parse_key",
     "read_jsonl",
+    "render_record",
+    "render_records",
     "render_stats_table",
     "span",
     "summarize",

@@ -126,11 +126,21 @@ def render_stats_table(records: list[dict]) -> str:
                     parts.append(f"    {stage:<12}{stages[stage]:9.3f}s")
             for stage in sorted(set(stages) - set(STAGE_ORDER)):
                 parts.append(f"    {stage:<12}{stages[stage]:9.3f}s")
-        kills = record.get("prune_stats", {})
+        # Per-pruner kills come from the provenance aggregates when the
+        # record carries them (the verdicts are the source of truth the
+        # kill counters are derived from); older records fall back to the
+        # counter-based prune_stats.
+        provenance = record.get("provenance") or {}
+        kills = provenance.get("pruned_by") or record.get("prune_stats", {})
         if kills:
             parts.append("  pruner               killed")
             for pruner, killed in sorted(kills.items()):
                 parts.append(f"    {pruner:<20}{killed:>5}")
+        if provenance:
+            parts.append(
+                f"  provenance: {provenance.get('candidates', 0)} candidates, "
+                f"{provenance.get('explained', 0)} explained"
+            )
         service = record.get("service")
         if service:
             requests = service.get("requests", {})

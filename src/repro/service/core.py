@@ -109,6 +109,7 @@ class AnalysisService:
             "open_project": self._handle_open_project,
             "analyze": self._handle_analyze,
             "analyze_diff": self._handle_analyze_diff,
+            "explain": self._handle_explain,
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -454,6 +455,13 @@ class AnalysisService:
                 include_pruned=bool(params.get("include_pruned", False))
             )
         return result
+
+    def _handle_explain(self, params: dict) -> dict:
+        session = self._session(params)
+        finding = params.get("finding")
+        if finding is not None and not isinstance(finding, str):
+            raise ProtocolError("invalid_params", "'finding' must be a string")
+        return session.explain(finding)
 
     # -- control plane ---------------------------------------------------
 

@@ -35,6 +35,7 @@ REQUEST_TYPES = (
     "open_project",
     "analyze",
     "analyze_diff",
+    "explain",
     "stats",
     "health",
     "shutdown",

@@ -130,6 +130,35 @@ class ProjectSession:
             self.last_used = monotonic()
             return result, merged
 
+    def explain(self, finding: str | None = None) -> dict:
+        """Provenance of the last full analysis, from warm state.
+
+        Merged diff reports carry no provenance (their findings splice
+        two runs), so the session falls back to a fresh full analysis —
+        warm modules are content-cache hits, so the refresh is cheap.
+        """
+        report = self._last_report
+        if report is None or report.provenance is None:
+            report = self.analyze_full()
+        with self.lock:
+            self.last_used = monotonic()
+            if report.provenance is None:
+                return {"project_id": self.project_id, "records": [], "rendered": ""}
+            records = (
+                report.provenance.snapshot()
+                if finding is None
+                else [
+                    record.as_dict()
+                    for record in report.provenance.find(finding)
+                ]
+            )
+            rendered = report.explain(finding)
+            return {
+                "project_id": self.project_id,
+                "records": records,
+                "rendered": rendered,
+            }
+
     # -- internals -------------------------------------------------------
 
     def _rev_for_analysis(self) -> int | None:

@@ -7,9 +7,15 @@ import json
 from repro.core.findings import AuthorshipInfo, Candidate, CandidateKind, Finding
 from repro.core.report import Report
 from repro.core.sarif import SARIF_SCHEMA, findings_to_sarif, report_to_sarif
-from repro.core.valuecheck import ValueCheck
+from repro.core.valuecheck import ValueCheck, ValueCheckConfig
 
-from tests.core.helpers import AUTHOR1, AUTHOR2, build_multifile_history, project_from_repo
+from tests.core.helpers import (
+    AUTHOR1,
+    AUTHOR2,
+    build_multifile_history,
+    project_from_repo,
+    project_from_sources,
+)
 
 CROSS = AuthorshipInfo(cross_scope=True, introducing_author="author2")
 
@@ -126,3 +132,90 @@ class TestReportToSarif:
         assert len(results) == len(report.reported())
         keys = {r["partialFingerprints"]["valuecheck/candidateKey"] for r in results}
         assert keys == {f.key for f in report.reported()}
+
+
+class TestProvenanceInSarif:
+    """The decision audit rides into SARIF: reported results carry their
+    provenance as properties, pruned results surface as suppressed
+    results whose justification names the pruner and its evidence, and
+    the reported-vs-pruned counts round-trip exactly."""
+
+    def _hinted_corpus(self):
+        sources = {"log.c": "int log_msg(int level)\n{\n    return 0;\n}\n"}
+        for index in range(12):
+            sources[f"caller{index}.c"] = (
+                "int log_msg(int level);\n"
+                f"void use{index}(void)\n{{\n    log_msg(1);\n}}\n"
+            )
+        sources["hint.c"] = (
+            "void g(void)\n{\n    int x __attribute__((unused)) = 1;\n}\n"
+        )
+        return sources
+
+    def _hinted_report(self):
+        return ValueCheck(ValueCheckConfig(use_authorship=False)).analyze(
+            project_from_sources(self._hinted_corpus())
+        )
+
+    def test_counts_round_trip_through_suppressions(self):
+        report = self._hinted_report()
+        log = report.to_sarif(include_pruned=True)
+        results = log["runs"][0]["results"]
+        suppressed = [r for r in results if "suppressions" in r]
+        active = [r for r in results if "suppressions" not in r]
+        assert len(suppressed) == len(report.pruned())
+        assert len(active) == len(report.reported())
+        assert len(results) == len(report.reported()) + len(report.pruned())
+
+    def test_suppression_justification_carries_evidence(self):
+        report = self._hinted_report()
+        log = report.to_sarif(include_pruned=True)
+        justifications = [
+            r["suppressions"][0]["justification"]
+            for r in log["runs"][0]["results"]
+            if "suppressions" in r
+        ]
+        hinted = [j for j in justifications if j.startswith("pruned by unused_hints")]
+        assert hinted and any("attribute" in j for j in hinted)
+        peer = [j for j in justifications if j.startswith("pruned by peer_definition")]
+        assert peer and all("sites=" in j for j in peer)
+
+    def test_reported_result_carries_provenance_property(self):
+        repo = build_multifile_history(
+            [
+                (
+                    AUTHOR1,
+                    {
+                        "lib.c": "int status(void)\n{\n    return 1;\n}\n",
+                        "app.c": (
+                            "int status(void);\n"
+                            "int run(void)\n{\n    int r;\n    r = status();\n"
+                            "    if (r) { return 1; }\n    return 0;\n}\n"
+                        ),
+                    },
+                ),
+                (
+                    AUTHOR2,
+                    {
+                        "app.c": (
+                            "int status(void);\n"
+                            "int run(void)\n{\n    int r;\n    r = status();\n"
+                            "    r = 0;\n    if (r) { return 1; }\n    return 0;\n}\n"
+                        )
+                    },
+                ),
+            ]
+        )
+        report = ValueCheck().analyze(project_from_repo(repo))
+        assert report.reported()
+        log = report.to_sarif()
+        result = log["runs"][0]["results"][0]
+        provenance = result["properties"]["provenance"]
+        assert provenance["status"] == "reported"
+        assert provenance["detection"]["file"] == result["locations"][0][
+            "physicalLocation"
+        ]["artifactLocation"]["uri"]
+        assert provenance["resolution"]["cross_scope"] is True
+        assert [v["pruner"] for v in provenance["verdicts"]]
+        assert provenance["ranking"]["breakdown"]["model"] == "dok"
+        assert json.loads(json.dumps(log)) == log

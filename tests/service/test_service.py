@@ -301,3 +301,97 @@ class TestServiceMetrics:
             assert "latency" in record["service"]
         finally:
             service.shutdown()
+
+
+class TestExplainRequest:
+    """The `explain` request answers provenance from warm session state."""
+
+    def test_explain_after_analyze_uses_warm_report(self):
+        service = AnalysisService(ServiceConfig()).start()
+        try:
+            open_simple(service)
+            service.submit({"id": 1, "type": "analyze", "params": {"project_id": "p"}})
+            response = service.submit(
+                {"id": 2, "type": "explain", "params": {"project_id": "p"}}
+            )
+            assert response["ok"], response
+            result = response["result"]
+            assert result["project_id"] == "p"
+            assert result["records"]
+            record = result["records"][0]
+            assert record["detection"]["file"] == "m.c"
+            assert [v["pruner"] for v in record["verdicts"]]
+            assert "detection:" in result["rendered"]
+            # Answered from the stored report: no second full analysis ran.
+            session = service.sessions.get("p")
+            assert session.analyze_count == 1
+        finally:
+            service.shutdown()
+
+    def test_explain_without_prior_analyze_falls_back_to_full_run(self):
+        service = AnalysisService(ServiceConfig()).start()
+        try:
+            open_simple(service)
+            response = service.submit(
+                {"id": 1, "type": "explain", "params": {"project_id": "p"}}
+            )
+            assert response["ok"], response
+            assert response["result"]["records"]
+            assert service.sessions.get("p").analyze_count == 1
+        finally:
+            service.shutdown()
+
+    def test_explain_filters_by_finding_fragment(self):
+        service = AnalysisService(ServiceConfig()).start()
+        try:
+            open_simple(service)
+            everything = service.submit(
+                {"id": 1, "type": "explain", "params": {"project_id": "p"}}
+            )["result"]["records"]
+            filtered = service.submit(
+                {
+                    "id": 2,
+                    "type": "explain",
+                    "params": {"project_id": "p", "finding": "m.c:f:dead"},
+                }
+            )["result"]["records"]
+            assert filtered
+            assert len(filtered) <= len(everything)
+            assert all("m.c:f:dead" in r["key"] for r in filtered)
+            nothing = service.submit(
+                {
+                    "id": 3,
+                    "type": "explain",
+                    "params": {"project_id": "p", "finding": "zzz-nope"},
+                }
+            )["result"]
+            assert nothing["records"] == []
+        finally:
+            service.shutdown()
+
+    def test_explain_unknown_project_errors(self):
+        service = AnalysisService(ServiceConfig()).start()
+        try:
+            response = service.submit(
+                {"id": 1, "type": "explain", "params": {"project_id": "ghost"}}
+            )
+            assert not response["ok"]
+            assert response["error"]["code"] == "unknown_project"
+        finally:
+            service.shutdown()
+
+    def test_explain_bad_finding_param_rejected(self):
+        service = AnalysisService(ServiceConfig()).start()
+        try:
+            open_simple(service)
+            response = service.submit(
+                {
+                    "id": 1,
+                    "type": "explain",
+                    "params": {"project_id": "p", "finding": 42},
+                }
+            )
+            assert not response["ok"]
+            assert response["error"]["code"] == "invalid_params"
+        finally:
+            service.shutdown()

@@ -14,6 +14,7 @@ sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from check_bench_schema import (  # noqa: E402
     OBSERVABILITY_FIELDS,
+    PROVENANCE_FIELDS,
     SERVICE_FIELDS,
     validate_all,
     validate_payload,
@@ -57,6 +58,21 @@ def _valid_v3_payload():
         "warm_analyze_seconds": 0.2,
         "speedup_warm_diff": 12.0,
         "requests": {"service.requests{outcome=ok,type=analyze}": 2},
+    }
+    return payload
+
+
+def _valid_v4_payload():
+    payload = _valid_v3_payload()
+    payload["schema"] = 4
+    payload["bench_index"] = 4
+    payload["analysis_version"] = "engine-3"
+    payload["stages"]["provenance"] = {
+        "schema": 1,
+        "candidates": 10,
+        "explained": 10,
+        "pruned_by": {"cursor": 1, "unused_hints": 2},
+        "statuses": {"detected": 0, "not_cross_scope": 2, "pruned": 3, "reported": 5},
     }
     return payload
 
@@ -133,3 +149,33 @@ class TestServiceSection:
     def test_schema2_grandfathered_without_service(self):
         # PR 2 files predate the analysis service; they stay valid.
         assert validate_payload(_valid_v2_payload()) == []
+
+
+class TestProvenanceSection:
+    def test_valid_v4_payload_passes(self):
+        assert validate_payload(_valid_v4_payload()) == []
+
+    def test_schema4_requires_analysis_version(self):
+        payload = _valid_v4_payload()
+        del payload["analysis_version"]
+        assert any("analysis_version" in p for p in validate_payload(payload))
+
+    def test_schema4_requires_provenance_section(self):
+        payload = _valid_v4_payload()
+        del payload["stages"]["provenance"]
+        assert any("stages.provenance" in p for p in validate_payload(payload))
+
+    def test_each_provenance_field_required(self):
+        for name in PROVENANCE_FIELDS:
+            payload = _valid_v4_payload()
+            del payload["stages"]["provenance"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_kills_exceeding_candidates_rejected(self):
+        payload = _valid_v4_payload()
+        payload["stages"]["provenance"]["pruned_by"] = {"cursor": 99}
+        assert any("kills" in p for p in validate_payload(payload))
+
+    def test_schema3_grandfathered_without_provenance(self):
+        # PR 3 files predate the provenance subsystem; they stay valid.
+        assert validate_payload(_valid_v3_payload()) == []

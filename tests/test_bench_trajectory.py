@@ -1,0 +1,150 @@
+"""Tier-1 guard: the BENCH_<n>.json series stays trajectory-honest.
+
+Runs the same pair-over-pair comparison the benchmark harness exposes as
+``benchmarks/check_bench_trajectory.py``: decision counts must not
+drift between BENCH files sharing an ``analysis_version``, and stage
+wall-times must not regress past the threshold.  Schema < 4 files
+(BENCH_1..3, written before the provenance section) are grandfathered.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from check_bench_trajectory import (  # noqa: E402
+    REGRESSION_FACTOR,
+    check_all,
+    check_series,
+    comparable,
+    compare_pair,
+    load_series,
+)
+
+
+def _payload(index, version="engine-3", detection=0.02, serial=0.03, **prov):
+    provenance = {
+        "schema": 1,
+        "candidates": 100,
+        "explained": 100,
+        "pruned_by": {"cursor": 2, "unused_hints": 80},
+        "statuses": {"detected": 0, "not_cross_scope": 10, "pruned": 82, "reported": 8},
+    }
+    provenance.update(prov)
+    return {
+        "schema": 4,
+        "bench_index": index,
+        "analysis_version": version,
+        "scale": 0.1,
+        "seed": 7,
+        "stages": {
+            "detection_seconds": detection,
+            "executors_full_pipeline_seconds": {"serial": serial},
+            "provenance": provenance,
+        },
+    }
+
+
+class TestRepoBenchSeries:
+    def test_checked_in_series_passes(self):
+        series = load_series(ROOT)
+        assert len(series) >= 4  # BENCH_1..4 exist
+        assert check_all(ROOT) == []
+
+    def test_bench4_is_the_first_comparable_payload(self):
+        series = dict(load_series(ROOT))
+        assert series["BENCH_4.json"]["schema"] >= 4
+        # Pairs against the grandfathered schema<4 files are skipped.
+        assert not comparable(series["BENCH_3.json"], series["BENCH_4.json"])
+
+
+class TestDecisionDrift:
+    def test_identical_payloads_pass(self):
+        assert compare_pair(_payload(4), _payload(5)) == []
+
+    def test_findings_count_drift_without_version_bump_fails(self):
+        prev = _payload(4)
+        curr = _payload(
+            5,
+            statuses={
+                "detected": 0,
+                "not_cross_scope": 10,
+                "pruned": 82,
+                "reported": 9,
+            },
+        )
+        problems = compare_pair(prev, curr, "BENCH_4.json", "BENCH_5.json")
+        assert any("statuses" in p and "analysis_version" in p for p in problems)
+
+    def test_per_pruner_drift_without_version_bump_fails(self):
+        curr = _payload(5, pruned_by={"cursor": 3, "unused_hints": 80})
+        problems = compare_pair(_payload(4), curr)
+        assert any("pruned_by" in p for p in problems)
+
+    def test_candidate_count_drift_without_version_bump_fails(self):
+        problems = compare_pair(_payload(4), _payload(5, candidates=101))
+        assert any("candidates" in p for p in problems)
+
+    def test_version_bump_licenses_the_drift(self):
+        curr = _payload(5, version="engine-4", candidates=120, explained=120)
+        assert compare_pair(_payload(4), curr) == []
+
+    def test_different_corpus_not_compared(self):
+        curr = _payload(5, candidates=999)
+        curr["scale"] = 0.2
+        assert compare_pair(_payload(4), curr) == []
+
+    def test_schema3_prev_grandfathered(self):
+        prev = _payload(4, candidates=999)
+        prev["schema"] = 3
+        assert compare_pair(prev, _payload(5)) == []
+
+
+class TestWallTimeRegression:
+    def test_large_regression_fails(self):
+        problems = compare_pair(
+            _payload(4, detection=1.0), _payload(5, detection=2.0)
+        )
+        assert any("detection regressed" in p for p in problems)
+
+    def test_serial_pipeline_regression_fails(self):
+        problems = compare_pair(_payload(4, serial=1.0), _payload(5, serial=1.5))
+        assert any("serial full pipeline regressed" in p for p in problems)
+
+    def test_within_threshold_passes(self):
+        curr = _payload(5, detection=1.0 * (REGRESSION_FACTOR - 0.01))
+        assert compare_pair(_payload(4, detection=1.0), curr) == []
+
+    def test_sub_noise_floor_jitter_ignored(self):
+        # 2x slower but only 20ms absolute: scheduling noise, not a regression.
+        assert compare_pair(
+            _payload(4, detection=0.02), _payload(5, detection=0.04)
+        ) == []
+
+    def test_speedup_never_fails(self):
+        assert compare_pair(
+            _payload(4, detection=2.0), _payload(5, detection=0.5)
+        ) == []
+
+
+class TestSeriesWalk:
+    def test_only_consecutive_pairs_compared(self):
+        # A drift between files 4 and 6 with a licensed bump at 5 passes:
+        # each consecutive pair is individually owned.
+        series = [
+            ("BENCH_4.json", _payload(4)),
+            ("BENCH_5.json", _payload(5, version="engine-4", candidates=120)),
+            ("BENCH_6.json", _payload(6, version="engine-4", candidates=120)),
+        ]
+        assert check_series(series) == []
+
+    def test_problem_names_the_offending_file(self):
+        series = [
+            ("BENCH_4.json", _payload(4)),
+            ("BENCH_5.json", _payload(5, candidates=120)),
+        ]
+        problems = check_series(series)
+        assert problems and all("BENCH_5.json" in p for p in problems)

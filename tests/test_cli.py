@@ -144,6 +144,154 @@ class TestTelemetryFlags:
         rc = main(["stats", str(tmp_path / "nope.jsonl")])
         assert rc == 2
 
+    def test_stats_kill_table_matches_provenance_aggregates(
+        self, corpus_dir, tmp_path, capsys
+    ):
+        stats_path = tmp_path / "runs.jsonl"
+        main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--stats-out",
+                str(stats_path),
+            ]
+        )
+        capsys.readouterr()
+        record = json.loads(stats_path.read_text().splitlines()[0])
+        assert "provenance" in record
+        # The rendered kill table is fed from the provenance aggregates,
+        # which must agree with the counter-derived prune_stats.
+        nonzero = {k: v for k, v in record["prune_stats"].items() if v}
+        assert record["provenance"]["pruned_by"] == nonzero
+        rc = main(["stats", str(stats_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "provenance:" in out
+        for pruner, killed in nonzero.items():
+            assert pruner in out
+
+
+class TestExplain:
+    def test_explain_prints_full_decision_trail(self, corpus_dir, capsys):
+        rc = main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "detection:" in out
+        assert "resolution: cross_scope=" in out
+        assert "pruning:" in out
+        # Every published pruner leaves a verdict line with evidence.
+        for pruner in ("config_dependency", "cursor", "unused_hints", "peer_definition"):
+            assert pruner in out
+        # At least one reported finding shows its DOK breakdown and rank.
+        assert "rank #1" in out
+        assert "DOK = " in out
+
+    def test_explain_filters_by_fragment(self, corpus_dir, capsys):
+        main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        finding_line = next(line for line in out.splitlines() if line.startswith("#1"))
+        fragment = finding_line.split()[1].split(":")[0]  # the file path
+        rc = main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--explain",
+                fragment,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"{fragment}:" in out
+        rc = main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--explain",
+                "no-such-finding",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no provenance record matches" in out
+
+    def test_explain_json_writes_jsonl(self, corpus_dir, tmp_path, capsys):
+        out_path = tmp_path / "provenance.jsonl"
+        rc = main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--explain-json",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        records = [
+            json.loads(line) for line in out_path.read_text().splitlines() if line
+        ]
+        assert records
+        assert [r["key"] for r in records] == sorted(r["key"] for r in records)
+        statuses = {r["status"] for r in records}
+        assert statuses <= {"detected", "not_cross_scope", "pruned", "reported"}
+        assert any(r["status"] == "reported" for r in records)
+
+    def test_sarif_include_pruned_round_trips(self, corpus_dir, tmp_path, capsys):
+        bare = tmp_path / "bare.sarif"
+        full = tmp_path / "full.sarif"
+        main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--sarif",
+                str(bare),
+            ]
+        )
+        main(
+            [
+                "analyze",
+                str(corpus_dir / "src"),
+                "--repo",
+                str(corpus_dir / "repo.json"),
+                "--sarif",
+                str(full),
+                "--sarif-include-pruned",
+            ]
+        )
+        capsys.readouterr()
+        bare_results = json.loads(bare.read_text())["runs"][0]["results"]
+        full_results = json.loads(full.read_text())["runs"][0]["results"]
+        suppressed = [r for r in full_results if "suppressions" in r]
+        assert len(bare_results) == len(full_results) - len(suppressed)
+        assert suppressed  # the corpus does exercise the pruners
+        assert all(
+            r["suppressions"][0]["justification"].startswith("pruned by ")
+            for r in suppressed
+        )
+
 
 class TestGenerateCorpus:
     def test_generate(self, tmp_path, capsys):
