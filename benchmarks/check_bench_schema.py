@@ -17,13 +17,18 @@ structurally comparable.  This validator asserts the invariants:
   ``stages.provenance`` decision counts (candidates, explained,
   per-pruner kills) that ``check_bench_trajectory.py`` compares across
   consecutive BENCH files;
+* schema ≥ 5 files carry the ``stages.store`` section (findings-store
+  snapshot-write and gate latency, with the cold analyze time measured
+  on the same project for the latency-budget check in
+  ``check_bench_trajectory.py``);
 * no benchmark was emitted from an unconverged solver run.
 
 Older schemas are grandfathered at the level they were written: schema 1
 files (PR 1, before the observability subsystem) satisfy the
 common-field checks only; schema 2 files (PR 2, before the analysis
 service) need no ``stages.service``; schema 3 files (PR 3, before
-provenance) need no ``stages.provenance``.
+provenance) need no ``stages.provenance``; schema 4 files (PR 4, before
+the findings store) need no ``stages.store``.
 
 Run directly (``python benchmarks/check_bench_schema.py``) or through
 the tier-1 test ``tests/test_bench_schema.py``.
@@ -75,6 +80,14 @@ SERVICE_FIELDS = (
 )
 
 PROVENANCE_FIELDS = ("candidates", "explained", "pruned_by", "statuses")
+
+STORE_FIELDS = (
+    "cold_analyze_seconds",
+    "snapshot_write_seconds",
+    "gate_seconds",
+    "gate_fraction_of_cold",
+    "findings",
+)
 
 
 def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
@@ -163,6 +176,15 @@ def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
                         f"stages.provenance claims {killed} kills out of "
                         f"{candidates} candidates"
                     )
+
+    if payload.get("schema", 0) >= 5:
+        store = (stages or {}).get("store")
+        if not isinstance(store, dict):
+            problem("schema>=5 requires stages.store")
+        else:
+            for name in STORE_FIELDS:
+                if name not in store:
+                    problem(f"stages.store missing {name!r}")
     return problems
 
 

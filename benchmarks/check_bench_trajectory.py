@@ -16,10 +16,19 @@ and ``seed``) it fails when:
   got more than 25% slower stage-over-stage (beyond an absolute noise
   floor, since these runs are sub-second at the default scale).
 
+It also checks each schema ≥ 5 file on its own:
+
+* **gate latency blows its budget** — the findings-store gate
+  (``stages.store.gate_seconds``) must cost at most 10% of the cold
+  analyze measured on the same project; the gate annotates every CI
+  push, so a gate approaching the analysis itself in cost defeats the
+  warm-baseline design.
+
 Files written before schema 4 (BENCH_1..3) predate the provenance
 section and are grandfathered: pairs involving them are skipped, so the
 checker passes on a series that merely *starts* carrying decision
-counts.
+counts.  Likewise schema 4 files predate ``stages.store`` and skip the
+gate-latency budget.
 
 Run directly (``python benchmarks/check_bench_trajectory.py``) or
 through the tier-1 test ``tests/test_bench_trajectory.py``.
@@ -50,6 +59,10 @@ TIMED_STAGES = (
 #: The decision counts that must not drift without an analysis_version
 #: bump, all under ``stages.provenance``.
 DECISION_FIELDS = ("candidates", "explained", "pruned_by", "statuses")
+
+#: Ceiling on the findings-store gate as a fraction of the cold analyze
+#: time measured on the same project (schema ≥ 5 files only).
+GATE_BUDGET_FRACTION = 0.10
 
 
 def _dig(payload: dict, path: tuple[str, ...]):
@@ -108,6 +121,24 @@ def compare_pair(
     return problems
 
 
+def check_gate_budget(payload: dict, name: str = "<payload>") -> list[str]:
+    """Per-file check: the store gate stays within its latency budget."""
+    if payload.get("schema", 0) < 5:
+        return []
+    store = _dig(payload, ("stages", "store")) or {}
+    gate = store.get("gate_seconds")
+    cold = store.get("cold_analyze_seconds")
+    if not isinstance(gate, (int, float)) or not isinstance(cold, (int, float)):
+        return []
+    if cold > 0 and gate > cold * GATE_BUDGET_FRACTION:
+        return [
+            f"{name}: store gate took {gate:.3f}s, over "
+            f"{GATE_BUDGET_FRACTION:.0%} of the cold analyze ({cold:.3f}s); "
+            f"the gate must stay cheap enough to run on every push"
+        ]
+    return []
+
+
 def load_series(root: Path = ROOT) -> list[tuple[str, dict]]:
     """All BENCH payloads at ``root``, ordered by bench index."""
     series: list[tuple[int, str, dict]] = []
@@ -125,6 +156,8 @@ def check_series(series: list[tuple[str, dict]]) -> list[str]:
     problems: list[str] = []
     for (prev_name, prev), (curr_name, curr) in zip(series, series[1:]):
         problems.extend(compare_pair(prev, curr, prev_name, curr_name))
+    for name, payload in series:
+        problems.extend(check_gate_budget(payload, name))
     return problems
 
 

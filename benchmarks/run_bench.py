@@ -43,8 +43,10 @@ EXECUTORS = ("serial", "thread", "process")
 # section (analysis-service cold vs warm request latency).  v4 adds
 # ``analysis_version`` plus the ``stages.provenance`` decision counts
 # (candidates / pruned-by-pruner / explained) consumed by
-# check_bench_trajectory.py.
-BENCH_SCHEMA_VERSION = 4
+# check_bench_trajectory.py.  v5 adds ``stages.store`` — findings-store
+# snapshot-write and gate latency, which check_bench_trajectory.py caps
+# at a fraction of the cold analyze time.
+BENCH_SCHEMA_VERSION = 5
 
 
 def _next_index() -> int:
@@ -269,6 +271,63 @@ def _service_timings(scale: float, seed: int) -> dict:
     }
 
 
+def _store_timings(scale: float, seed: int) -> dict:
+    """Findings-store latency: snapshot write and gate evaluation.
+
+    The gate is meant to run on every CI push on top of an analysis that
+    already happened, so its own cost (fingerprinting + lifecycle
+    classification + baseline matching) must stay a small fraction of
+    the cold analyze it annotates.  ``cold_analyze_seconds`` is measured
+    here on the same project so the ratio is host-independent.
+    """
+    from repro.corpus import generate_app
+    from repro.store import FindingsStore, evaluate_gate
+    from repro.store.fingerprint import project_sources
+
+    app = generate_app("nfs-ganesha", scale=scale, seed=seed)
+
+    project = app.project()
+    started = monotonic()
+    report = ValueCheck(ValueCheckConfig()).analyze(project)
+    cold_analyze_seconds = monotonic() - started
+    sources = project_sources(project)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = FindingsStore.open(Path(tmp) / "findings.db")
+        started = monotonic()
+        diff = store.record_snapshot(report.findings, sources, rev="bench-A")
+        snapshot_write_seconds = monotonic() - started
+
+        # Gate a second, identical analysis against that snapshot — the
+        # steady-state CI path (all findings persistent, exit 0).
+        gate_project = app.project()
+        gate_report = ValueCheck(ValueCheckConfig()).analyze(gate_project)
+        gate_sources = project_sources(gate_project)
+        started = monotonic()
+        gate_diff = store.diff(
+            gate_report.findings, gate_sources, rev="bench-B"
+        )
+        verdict = evaluate_gate(gate_diff)
+        gate_seconds = monotonic() - started
+        store.backend.close()
+
+    if verdict.exit_code != 0:
+        raise SystemExit(
+            "[run_bench] FATAL: gate over an unchanged project blocked on "
+            f"{[row.var for row in verdict.blocking]}"
+        )
+    return {
+        "cold_analyze_seconds": cold_analyze_seconds,
+        "snapshot_write_seconds": snapshot_write_seconds,
+        "gate_seconds": gate_seconds,
+        "gate_fraction_of_cold": (
+            gate_seconds / cold_analyze_seconds if cold_analyze_seconds else None
+        ),
+        "findings": len(diff.rows),
+        "counts": gate_diff.counts(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--scale", type=float, default=float(os.environ.get("REPRO_SCALE", 0.1)))
@@ -301,6 +360,7 @@ def main(argv: list[str] | None = None) -> int:
         "table7": _table7_timings(args.scale, args.seed, args.replay_commits),
     }
     payload["stages"]["service"] = _service_timings(args.scale, args.seed)
+    payload["stages"]["store"] = _store_timings(args.scale, args.seed)
     if not args.skip_pytest:
         print("[run_bench] running pytest-benchmark suite …")
         payload["pytest_benchmark"] = _run_pytest_benchmarks(args.scale, args.seed)
@@ -324,6 +384,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[run_bench] service: cold analyze {service['cold_analyze_seconds']:.3f}s, "
           f"warm analyze_diff {service['warm_analyze_diff_seconds']:.3f}s "
           f"({service['speedup_warm_diff']:.1f}x)")
+    store = stages["store"]
+    print(f"[run_bench] store: snapshot write {store['snapshot_write_seconds']:.3f}s, "
+          f"gate {store['gate_seconds']:.3f}s "
+          f"({store['gate_fraction_of_cold']:.1%} of cold analyze, "
+          f"{store['findings']} findings)")
     print(f"[run_bench] wrote {out_path}")
     return 0
 

@@ -18,6 +18,19 @@ Subcommands::
         Summarise runs recorded with ``analyze --stats-out``: per-stage
         wall-time and per-pruner kill counts per run.
 
+    valuecheck snapshot <dir> --store findings.db [--rev LABEL]
+        Analyze and record the findings in the persistent store
+        (docs/STORE.md) as the new baseline snapshot.
+
+    valuecheck gate <dir> --store findings.db [--baseline FILE]
+        Analyze and compare against the last snapshot: exits non-zero
+        only on new (or reopened) findings not accepted in the
+        ``.valuecheck-baseline.json`` baseline file.
+
+    valuecheck triage <store> [--accept FP --justification ... --author ...]
+        Inspect the store's lifecycle state and record accept decisions
+        into the baseline file.
+
     valuecheck serve [--port P] [--stdio] [--workers N] ...
         Run the warm-state analysis daemon (docs/SERVICE.md): projects
         stay parsed between requests and ``analyze_diff`` re-analyses
@@ -138,6 +151,177 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if not report.converged:
         print("WARNING: Andersen solver did not converge on every module; "
               "findings may be incomplete", file=sys.stderr)
+    return 0
+
+
+def _project_and_report(args: argparse.Namespace):
+    """Shared analyze step for the store subcommands; returns
+    ``(project, report)`` or ``(None, exit_code)`` on input errors."""
+    source_dir = Path(args.directory)
+    if not source_dir.is_dir():
+        print(f"error: {source_dir} is not a directory", file=sys.stderr)
+        return None, 2
+    repo = Repository.load(args.repo) if args.repo else None
+    sources = {
+        str(path.relative_to(source_dir)): path.read_text()
+        for path in sorted(source_dir.rglob("*.c"))
+    }
+    if not sources:
+        print("error: no .c files found", file=sys.stderr)
+        return None, 2
+    project = Project.from_sources(
+        sources, name=source_dir.name, repo=repo, build_config=set(args.config or ())
+    )
+    config = ValueCheckConfig(use_authorship=repo is not None)
+    return project, ValueCheck(config).analyze(project)
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.store import FindingsStore, project_sources
+
+    project, report = _project_and_report(args)
+    if project is None:
+        return report
+    store = FindingsStore.open(args.store)
+    rev = args.rev or f"snapshot-{len(store.snapshots()) + 1}"
+    diff = store.record_snapshot(report.findings, project_sources(project), rev=rev)
+    counts = diff.counts()
+    stats = store.stats()
+    print(f"recorded snapshot {rev!r} in {args.store}")
+    print(
+        f"  findings: {counts['new']} new, {counts['persistent']} persistent, "
+        f"{counts['fixed']} fixed, {counts['reopened']} reopened"
+    )
+    print(
+        f"  store: {stats['active']} active / {stats['entries']} tracked, "
+        f"{stats['snapshots']} snapshot(s)"
+    )
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    from repro.core.sarif import write_sarif
+    from repro.store import (
+        BASELINE_FILENAME,
+        BaselineFile,
+        FindingsStore,
+        diff_to_sarif,
+        evaluate_gate,
+        project_sources,
+    )
+
+    project, report = _project_and_report(args)
+    if project is None:
+        return report
+    store = FindingsStore.open(args.store)
+    try:
+        diff = store.diff(
+            report.findings,
+            project_sources(project),
+            rev="worktree",
+            baseline_rev=args.baseline_rev,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    baseline_path = Path(args.baseline) if args.baseline else (
+        Path(args.directory) / BASELINE_FILENAME
+    )
+    baseline = BaselineFile.load(baseline_path)
+    result = evaluate_gate(diff, baseline)
+    print(result.summary())
+    if args.sarif:
+        write_sarif(
+            diff_to_sarif(diff, project=project.name, baseline=baseline), args.sarif
+        )
+        print(f"wrote SARIF 2.1.0 log to {args.sarif}")
+    return result.exit_code
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    from repro.store import (
+        BASELINE_FILENAME,
+        BaselineEntry,
+        BaselineFile,
+        FindingsStore,
+    )
+
+    if not Path(args.store).exists():
+        print(f"error: store {args.store} not found", file=sys.stderr)
+        return 2
+    store = FindingsStore.open(args.store)
+    baseline_path = Path(args.baseline) if args.baseline else Path(BASELINE_FILENAME)
+    baseline = BaselineFile.load(baseline_path)
+
+    if args.accept:
+        matches = store.find(args.accept)
+        if not matches:
+            # A finding the gate just reported as new is not stored yet;
+            # a full fingerprint (as printed by `gate`) is accepted as-is
+            # so the fail → review → accept loop needs no snapshot.
+            if len(args.accept) == 32:
+                baseline.add(
+                    BaselineEntry(
+                        fingerprint=args.accept,
+                        justification=args.justification,
+                        author=args.author,
+                    )
+                )
+                baseline.save(baseline_path)
+                print(f"accepted {args.accept[:12]} into {baseline_path}")
+                return 0
+            print(f"error: no stored finding matches {args.accept!r}", file=sys.stderr)
+            return 2
+        if len(matches) > 1:
+            print(
+                f"error: {args.accept!r} is ambiguous "
+                f"({len(matches)} matches); use more fingerprint digits",
+                file=sys.stderr,
+            )
+            return 2
+        row = matches[0]
+        baseline.add(
+            BaselineEntry(
+                fingerprint=row.fingerprint,
+                justification=args.justification,
+                author=args.author,
+                accepted_rev=row.last_seen,
+                kind=row.kind,
+                file=row.file,
+                function=row.function,
+                var=row.var,
+            )
+        )
+        baseline.save(baseline_path)
+        print(
+            f"accepted {row.fingerprint[:12]} ({row.file} {row.function}/{row.var} "
+            f"[{row.kind}]) into {baseline_path}"
+        )
+        return 0
+
+    accepted = {entry.fingerprint for entry in baseline.entries}
+    show = args.show
+    rows = [
+        row
+        for row in sorted(
+            store.entries().values(),
+            key=lambda r: (r.status, r.file, r.function, r.var, r.fingerprint),
+        )
+        if show == "all" or row.status == show
+    ]
+    snapshots = store.snapshots()
+    latest = snapshots[-1].rev if snapshots else "<none>"
+    print(
+        f"store {args.store}: {len(rows)} {show} finding(s), "
+        f"latest snapshot {latest!r}, baseline {baseline_path} "
+        f"({len(baseline)} accepted)"
+    )
+    for row in rows:
+        mark = "accepted" if row.fingerprint in accepted else row.status
+        print(
+            f"  {row.fingerprint[:12]}  {row.file}:{row.line} "
+            f"[{row.kind}] {row.function}/{row.var}  {mark}"
+        )
     return 0
 
 
@@ -371,6 +555,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.set_defaults(func=_cmd_analyze)
 
+    snapshot = subparsers.add_parser(
+        "snapshot", help="analyze and record a baseline snapshot in the findings store"
+    )
+    snapshot.add_argument("directory")
+    snapshot.add_argument("--repo", help="MiniGit repo.json for authorship + ranking")
+    snapshot.add_argument("--config", nargs="*", help="enabled build macros")
+    snapshot.add_argument(
+        "--store", required=True, help="the SQLite findings store (created on first use)"
+    )
+    snapshot.add_argument(
+        "--rev", help="snapshot label (default: snapshot-<n>)"
+    )
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    gate = subparsers.add_parser(
+        "gate",
+        help="analyze and fail (exit 1) only on new findings vs the last snapshot",
+    )
+    gate.add_argument("directory")
+    gate.add_argument("--repo", help="MiniGit repo.json for authorship + ranking")
+    gate.add_argument("--config", nargs="*", help="enabled build macros")
+    gate.add_argument("--store", required=True, help="the SQLite findings store")
+    gate.add_argument(
+        "--baseline-rev",
+        help="gate against this snapshot instead of the latest one",
+    )
+    gate.add_argument(
+        "--baseline",
+        help="accepted-findings file (default: <dir>/.valuecheck-baseline.json)",
+    )
+    gate.add_argument(
+        "--sarif",
+        help="write the lifecycle diff as a SARIF 2.1.0 log with baselineState",
+    )
+    gate.set_defaults(func=_cmd_gate)
+
+    triage = subparsers.add_parser(
+        "triage", help="inspect the findings store and record accept decisions"
+    )
+    triage.add_argument("store", help="the SQLite findings store")
+    triage.add_argument(
+        "--show",
+        choices=("active", "fixed", "all"),
+        default="active",
+        help="which stored findings to list (default: active)",
+    )
+    triage.add_argument(
+        "--accept",
+        metavar="FINGERPRINT",
+        help="accept the finding with this (unique prefix of a) fingerprint",
+    )
+    triage.add_argument(
+        "--justification",
+        default="",
+        help="why the accepted finding is acceptable (recorded in the baseline)",
+    )
+    triage.add_argument(
+        "--author", default="", help="who signed off on the accept decision"
+    )
+    triage.add_argument(
+        "--baseline",
+        help="accepted-findings file (default: ./.valuecheck-baseline.json)",
+    )
+    triage.set_defaults(func=_cmd_triage)
+
     run_stats = subparsers.add_parser(
         "stats", help="summarise runs recorded with `analyze --stats-out`"
     )
@@ -455,6 +704,9 @@ def build_parser() -> argparse.ArgumentParser:
             "analyze",
             "analyze_diff",
             "explain",
+            "baseline",
+            "diff_findings",
+            "gate",
             "stats",
             "health",
             "shutdown",

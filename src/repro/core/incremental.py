@@ -49,6 +49,13 @@ class IncrementalResult:
     def reported(self) -> list[Finding]:
         return [finding for finding in self.findings if finding.is_reported]
 
+    def touched_scope(self) -> tuple[set[str], set[tuple[str, str]]]:
+        """What this step invalidated: (deleted files, re-analysed
+        (file, function) pairs).  The findings store folds an incremental
+        step in by updating exactly this scope — stored fingerprints
+        outside it are carried forward untouched."""
+        return set(self.deleted_files), set(self.analyzed_functions)
+
 
 def changed_line_ranges(old_text: str, new_text: str) -> list[tuple[int, int]]:
     """1-based inclusive line ranges of ``new_text`` touched by the edit."""

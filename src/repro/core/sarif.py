@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.findings import CandidateKind, Finding
 from repro.obs.provenance import ProvenanceLog, ProvenanceRecord, format_evidence
@@ -67,7 +67,14 @@ def _message(finding: Finding) -> str:
     return "; ".join(parts)
 
 
-def _result(finding: Finding, record: ProvenanceRecord | None = None) -> dict:
+def _result(
+    finding: Finding,
+    record: ProvenanceRecord | None = None,
+    rule_index: dict[str, int] | None = None,
+    fingerprint=None,
+    baseline_state: str | None = None,
+    suppression: dict | None = None,
+) -> dict:
     candidate = finding.candidate
     result: dict = {
         "ruleId": candidate.kind.value,
@@ -85,11 +92,23 @@ def _result(finding: Finding, record: ProvenanceRecord | None = None) -> dict:
             }
         ],
         "partialFingerprints": {
-            # Stable across line drift: the same key dedup/ground-truth
-            # joins use (file:function:var:line:kind).
+            # The legacy dedup/ground-truth join key — line-sensitive,
+            # kept for compatibility with earlier logs.
             "valuecheck/candidateKey": candidate.key,
         },
     }
+    if rule_index is not None and candidate.kind.value in rule_index:
+        # Per the SARIF spec, results reference their rule by index into
+        # tool.driver.rules as well as by id.
+        result["ruleIndex"] = rule_index[candidate.kind.value]
+    if fingerprint is not None:
+        # The stable identities the findings store tracks revisions by
+        # (repro.store.fingerprint): primary survives line drift,
+        # location survives statement rewrites.
+        result["partialFingerprints"]["valuecheck/primary"] = fingerprint.primary
+        result["partialFingerprints"]["valuecheck/location"] = fingerprint.location
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
     if finding.rank is not None:
         result["rank"] = float(finding.rank)
     properties: dict = {}
@@ -103,19 +122,25 @@ def _result(finding: Finding, record: ProvenanceRecord | None = None) -> dict:
         properties["provenance"] = record.as_dict()
     if properties:
         result["properties"] = properties
+    suppressions: list[dict] = []
     if finding.pruned_by is not None:
         justification = f"pruned by {finding.pruned_by}"
         if record is not None:
             killing = next((v for v in record.verdicts if v.pruned), None)
             if killing is not None and killing.evidence:
                 justification += format_evidence(killing.evidence)
-        result["suppressions"] = [
+        suppressions.append(
             {
                 "kind": "inSource",
                 "status": "accepted",
                 "justification": justification,
             }
-        ]
+        )
+    if suppression is not None:
+        # A reviewed-and-accepted baseline entry (repro.store.baseline).
+        suppressions.append(suppression)
+    if suppressions:
+        result["suppressions"] = suppressions
     return result
 
 
@@ -125,8 +150,18 @@ def findings_to_sarif(
     include_pruned: bool = False,
     invocation: dict | None = None,
     provenance: ProvenanceLog | None = None,
+    fingerprints: Mapping | None = None,
+    baseline_states: Mapping[str, str] | None = None,
+    suppressions: Mapping[str, dict] | None = None,
 ) -> dict:
-    """Build one SARIF 2.1.0 log dict from a finding list."""
+    """Build one SARIF 2.1.0 log dict from a finding list.
+
+    The optional mappings are keyed by ``finding.key``: ``fingerprints``
+    (store identities → ``partialFingerprints``), ``baseline_states``
+    (lifecycle → ``baselineState``) and ``suppressions`` (accepted
+    baseline entries → ``suppressions[]``), all provided by
+    :mod:`repro.store` when exporting a revision diff.
+    """
     rows = [
         finding
         for finding in findings
@@ -139,6 +174,9 @@ def findings_to_sarif(
         )
     )
     used_kinds = sorted({finding.candidate.kind for finding in rows}, key=lambda k: k.value)
+    # Each rule is emitted exactly once in tool.driver.rules; results
+    # reference it by ruleIndex (and ruleId) per the SARIF spec.
+    rule_index = {kind.value: index for index, kind in enumerate(used_kinds)}
     run: dict = {
         "tool": {
             "driver": {
@@ -152,6 +190,18 @@ def findings_to_sarif(
             _result(
                 finding,
                 provenance.get(finding.key) if provenance is not None else None,
+                rule_index=rule_index,
+                fingerprint=(
+                    fingerprints.get(finding.key) if fingerprints is not None else None
+                ),
+                baseline_state=(
+                    baseline_states.get(finding.key)
+                    if baseline_states is not None
+                    else None
+                ),
+                suppression=(
+                    suppressions.get(finding.key) if suppressions is not None else None
+                ),
             )
             for finding in rows
         ],

@@ -28,7 +28,10 @@ from typing import Iterable
 # alters per-module results: cached entries from older code must miss.
 # engine-3: ModuleResult grew the detection-provenance slice — entries
 # cached by engine-2 would replay without audit records.
-ANALYSIS_VERSION = "engine-3"
+# engine-4: findings carry store fingerprints derived from module source
+# context — entries cached by engine-3 would replay with line-keyed
+# identities the lifecycle store cannot match across revisions.
+ANALYSIS_VERSION = "engine-4"
 
 DEFAULT_CAPACITY = 4096
 

@@ -92,6 +92,7 @@ STAGE_ORDER = (
     "resolve",
     "prune",
     "rank",
+    "store",
 )
 
 

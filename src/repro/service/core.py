@@ -110,6 +110,9 @@ class AnalysisService:
             "analyze": self._handle_analyze,
             "analyze_diff": self._handle_analyze_diff,
             "explain": self._handle_explain,
+            "baseline": self._handle_baseline,
+            "diff_findings": self._handle_diff_findings,
+            "gate": self._handle_gate,
         }
 
     # -- lifecycle -------------------------------------------------------
@@ -202,6 +205,21 @@ class AnalysisService:
         try:
             self._queue.put_nowait(pending)
         except queue_module.Full:
+            # Shutdown may have flipped _accepting after the check above;
+            # a draining queue then looks "full" to late submitters.  A
+            # retry_after hint would send the client back to a dying
+            # server — tell it the truth instead.
+            with self._state_lock:
+                accepting = self._accepting and not self._stopped.is_set()
+            if not accepting:
+                self.metrics.inc(
+                    "service.requests", type=kind, outcome="shutting_down"
+                )
+                return error_response(
+                    request_id,
+                    "shutting_down",
+                    "service is draining; no new work accepted",
+                )
             self.metrics.inc("service.requests", type=kind, outcome="rejected")
             self.metrics.inc("service.queue.rejected")
             return error_response(
@@ -455,6 +473,41 @@ class AnalysisService:
                 include_pruned=bool(params.get("include_pruned", False))
             )
         return result
+
+    def _handle_baseline(self, params: dict) -> dict:
+        session = self._session(params)
+        rev = params.get("rev")
+        if rev is not None and not isinstance(rev, str):
+            raise ProtocolError("invalid_params", "'rev' must be a string")
+        return session.snapshot_baseline(rev)
+
+    def _handle_diff_findings(self, params: dict) -> dict:
+        session = self._session(params)
+        baseline_rev = params.get("baseline_rev")
+        if baseline_rev is not None and not isinstance(baseline_rev, str):
+            raise ProtocolError("invalid_params", "'baseline_rev' must be a string")
+        try:
+            return session.diff_findings(baseline_rev)
+        except ValueError as error:
+            raise ProtocolError("invalid_params", str(error)) from error
+
+    def _handle_gate(self, params: dict) -> dict:
+        session = self._session(params)
+        baseline_rev = params.get("baseline_rev")
+        if baseline_rev is not None and not isinstance(baseline_rev, str):
+            raise ProtocolError("invalid_params", "'baseline_rev' must be a string")
+        entries = params.get("baseline_entries")
+        if entries is not None and (
+            not isinstance(entries, list)
+            or not all(isinstance(row, dict) for row in entries)
+        ):
+            raise ProtocolError(
+                "invalid_params", "'baseline_entries' must be a list of objects"
+            )
+        try:
+            return session.gate(baseline_rev, entries)
+        except ValueError as error:
+            raise ProtocolError("invalid_params", str(error)) from error
 
     def _handle_explain(self, params: dict) -> dict:
         session = self._session(params)

@@ -36,6 +36,9 @@ REQUEST_TYPES = (
     "analyze",
     "analyze_diff",
     "explain",
+    "baseline",
+    "diff_findings",
+    "gate",
     "stats",
     "health",
     "shutdown",

@@ -30,6 +30,8 @@ from repro.core.report import Report
 from repro.core.valuecheck import ValueCheck, ValueCheckConfig
 from repro.obs import MetricsRegistry
 from repro.obs.clock import monotonic
+from repro.store import BaselineEntry, BaselineFile, FindingsStore, evaluate_gate
+from repro.store.fingerprint import project_sources
 from repro.vcs.objects import Commit
 
 FunctionKey = tuple[str, str]  # (file, function)
@@ -58,8 +60,13 @@ class ProjectSession:
     # Per-session lock: two workers must not mutate one warm project
     # concurrently (requests for *different* sessions run in parallel).
     lock: threading.Lock = field(default_factory=threading.Lock)
+    # Per-session findings store (in-memory): lifecycle state survives
+    # analyze_diff, so `baseline`/`diff_findings`/`gate` requests are
+    # answered from warm state without re-analysing.
+    store: FindingsStore = field(default_factory=FindingsStore.in_memory)
     _findings: dict[FunctionKey, list[Finding]] = field(default_factory=dict)
     _last_report: Report | None = None
+    _pending_incrementals: list[IncrementalResult] = field(default_factory=list)
 
     @classmethod
     def open(
@@ -85,6 +92,7 @@ class ProjectSession:
             )
             self._findings = _group_by_function(report.findings)
             self._last_report = report
+            self._pending_incrementals.clear()
             self.analyze_count += 1
             self.last_used = monotonic()
             return report
@@ -126,6 +134,7 @@ class ProjectSession:
             if commit is not None:
                 self.analyzer.current_rev = self.project.repo.rev_index(rev)
             merged = self._merge(result, rev)
+            self._pending_incrementals.append(result)
             self.diff_count += 1
             self.last_used = monotonic()
             return result, merged
@@ -159,7 +168,92 @@ class ProjectSession:
                 "rendered": rendered,
             }
 
+    def snapshot_baseline(self, rev: str | None = None) -> dict:
+        """Record the session's current findings as a store snapshot.
+
+        After exactly one ``analyze_diff`` since the previous snapshot,
+        the store is advanced incrementally — only the fingerprints of
+        the re-analysed scope are touched.  Otherwise (cold session, or
+        several diffs since the last snapshot) the full merged report is
+        re-fingerprinted, which is always correct, just not minimal.
+        """
+        report = self._current_report()
+        with self.lock:
+            label = rev or self._next_rev_label()
+            if (
+                len(self._pending_incrementals) == 1
+                and self.store.snapshots()
+            ):
+                diff = self.store.update_from_incremental(
+                    self._pending_incrementals[0], self.project, rev=label
+                )
+            else:
+                diff = self.store.record_snapshot(
+                    report.findings, project_sources(self.project), rev=label
+                )
+            self._pending_incrementals.clear()
+            self.last_used = monotonic()
+            return {
+                "project_id": self.project_id,
+                "rev": label,
+                "counts": diff.counts(),
+                "store": self.store.stats(),
+            }
+
+    def diff_findings(self, baseline_rev: str | None = None) -> dict:
+        """Classify the current findings against a baseline snapshot,
+        read-only — store state is not advanced."""
+        report = self._current_report()
+        with self.lock:
+            diff = self.store.diff(
+                report.findings,
+                project_sources(self.project),
+                rev="worktree",
+                baseline_rev=baseline_rev,
+            )
+            self.last_used = monotonic()
+            return dict(diff.as_dict(), project_id=self.project_id)
+
+    def gate(
+        self,
+        baseline_rev: str | None = None,
+        baseline_entries: list[dict] | None = None,
+    ) -> dict:
+        """The CI gate verdict from warm state: fail only on new or
+        reopened findings not covered by the accepted baseline."""
+        report = self._current_report()
+        with self.lock:
+            diff = self.store.diff(
+                report.findings,
+                project_sources(self.project),
+                rev="worktree",
+                baseline_rev=baseline_rev,
+            )
+            baseline = None
+            if baseline_entries:
+                baseline = BaselineFile(
+                    entries=[BaselineEntry.from_dict(row) for row in baseline_entries]
+                )
+            result = evaluate_gate(diff, baseline)
+            self.last_used = monotonic()
+            return dict(
+                result.as_dict(),
+                project_id=self.project_id,
+                summary=result.summary(),
+            )
+
     # -- internals -------------------------------------------------------
+
+    def _current_report(self) -> Report:
+        """The last analysis (full or merged diff), analysing if cold."""
+        with self.lock:
+            report = self._last_report
+        if report is None:
+            report = self.analyze_full()
+        return report
+
+    def _next_rev_label(self) -> str:
+        return f"snapshot-{len(self.store.snapshots()) + 1}"
 
     def _rev_for_analysis(self) -> int | None:
         if self.project.repo is None:

@@ -1,0 +1,87 @@
+"""Persistent findings store: stable fingerprints, lifecycle, CI gating.
+
+The store (docs/STORE.md) is what makes the analyzer *revision-aware*:
+
+* :mod:`repro.store.fingerprint` — stable finding fingerprints that
+  survive line drift (primary) plus a coarser location identity for
+  fuzzy re-matching after refactors (secondary);
+* :mod:`repro.store.backend` — SQLite persistence for CI workflows and
+  an in-memory backend for tests and warm service sessions;
+* :mod:`repro.store.store` — :class:`FindingsStore`: snapshots,
+  cross-revision lifecycle (``new`` / ``persistent`` / ``fixed`` /
+  ``reopened``) and incremental fingerprint updates;
+* :mod:`repro.store.baseline` — the ``.valuecheck-baseline.json``
+  reviewed-and-accepted suppression file, with SARIF round-trip;
+* :mod:`repro.store.gate` — the CI contract: fail only on new,
+  unsuppressed findings.
+"""
+
+from repro.store.backend import (
+    MemoryBackend,
+    SnapshotMeta,
+    SqliteBackend,
+    STORE_SCHEMA_VERSION,
+    StoredFinding,
+)
+from repro.store.baseline import (
+    BASELINE_FILENAME,
+    BASELINE_SCHEMA,
+    BaselineEntry,
+    BaselineFile,
+    baseline_from_sarif,
+    suppression_for,
+)
+from repro.store.fingerprint import (
+    CONTEXT_RADIUS,
+    FINGERPRINT_VERSION,
+    Fingerprint,
+    fingerprint_candidate,
+    fingerprint_findings,
+    normalize_line,
+    project_sources,
+    structural_context,
+    variable_path,
+)
+from repro.store.gate import BLOCKING_STATES, GateResult, evaluate_gate
+from repro.store.store import (
+    FindingsStore,
+    Lifecycle,
+    LifecycleDiff,
+    LifecycleRow,
+    SARIF_BASELINE_STATES,
+    diff_to_sarif,
+    sorted_rows,
+)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BASELINE_SCHEMA",
+    "BLOCKING_STATES",
+    "BaselineEntry",
+    "BaselineFile",
+    "CONTEXT_RADIUS",
+    "FINGERPRINT_VERSION",
+    "Fingerprint",
+    "FindingsStore",
+    "GateResult",
+    "Lifecycle",
+    "LifecycleDiff",
+    "LifecycleRow",
+    "MemoryBackend",
+    "SARIF_BASELINE_STATES",
+    "STORE_SCHEMA_VERSION",
+    "SnapshotMeta",
+    "SqliteBackend",
+    "StoredFinding",
+    "baseline_from_sarif",
+    "diff_to_sarif",
+    "evaluate_gate",
+    "fingerprint_candidate",
+    "fingerprint_findings",
+    "normalize_line",
+    "project_sources",
+    "sorted_rows",
+    "structural_context",
+    "suppression_for",
+    "variable_path",
+]

@@ -219,3 +219,71 @@ class TestProvenanceInSarif:
         assert [v["pruner"] for v in provenance["verdicts"]]
         assert provenance["ranking"]["breakdown"]["model"] == "dok"
         assert json.loads(json.dumps(log)) == log
+
+
+class TestRuleIndex:
+    def test_rules_emitted_once_and_referenced_by_index(self):
+        findings = [
+            _finding(var="a", rank=1),
+            _finding(var="b", rank=2),
+            _finding(var="c", kind=CandidateKind.DEAD_STORE, rank=3),
+        ]
+        run = findings_to_sarif(findings)["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        # One rule per kind used, never per result.
+        assert [rule["id"] for rule in rules] == ["dead_store", "overwritten_def"]
+        for result in run["results"]:
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+
+    def test_rule_index_tracks_used_kinds_only(self):
+        run = findings_to_sarif([_finding(kind=CandidateKind.DEAD_STORE, rank=1)])[
+            "runs"
+        ][0]
+        assert len(run["tool"]["driver"]["rules"]) == 1
+        assert run["results"][0]["ruleIndex"] == 0
+
+
+class TestStoreAnnotations:
+    """The store mappings ride into SARIF keyed by finding.key."""
+
+    def _log(self, **kwargs):
+        finding = _finding(rank=1)
+        return finding, findings_to_sarif([finding], **kwargs)
+
+    def test_fingerprints_become_partial_fingerprints(self):
+        from repro.store.fingerprint import Fingerprint
+
+        finding = _finding(rank=1)
+        fp = Fingerprint(primary="p" * 32, location="l" * 32)
+        log = findings_to_sarif([finding], fingerprints={finding.key: fp})
+        fingerprints = log["runs"][0]["results"][0]["partialFingerprints"]
+        assert fingerprints["valuecheck/primary"] == "p" * 32
+        assert fingerprints["valuecheck/location"] == "l" * 32
+        # The legacy line-keyed join key is still present.
+        assert fingerprints["valuecheck/candidateKey"] == finding.candidate.key
+
+    def test_baseline_state_is_emitted(self):
+        finding = _finding(rank=1)
+        log = findings_to_sarif([finding], baseline_states={finding.key: "unchanged"})
+        assert log["runs"][0]["results"][0]["baselineState"] == "unchanged"
+
+    def test_baseline_suppression_joins_pruner_suppression(self):
+        finding = _finding(var="x", pruned_by="cursor")
+        accepted = {
+            "kind": "external",
+            "status": "accepted",
+            "justification": "reviewed",
+        }
+        log = findings_to_sarif(
+            [finding], include_pruned=True, suppressions={finding.key: accepted}
+        )
+        suppressions = log["runs"][0]["results"][0]["suppressions"]
+        assert len(suppressions) == 2
+        assert {s["kind"] for s in suppressions} == {"inSource", "external"}
+
+    def test_without_mappings_nothing_is_emitted(self):
+        _, log = self._log()
+        result = log["runs"][0]["results"][0]
+        assert "baselineState" not in result
+        assert "valuecheck/primary" not in result["partialFingerprints"]

@@ -77,3 +77,22 @@ class TestVersionBumpInvalidation:
         restored = engine.run(project)
         # The original entries are still under their old-version keys.
         assert restored.stats.cache_hits == len(SOURCES)
+
+
+class TestEngine4Bump:
+    """PR regression guard: the store's fingerprints ride on findings, so
+    entries cached under engine-3 must not replay under engine-4."""
+
+    def test_current_version_is_engine_4(self):
+        assert cache_module.ANALYSIS_VERSION == "engine-4"
+
+    def test_engine3_entries_miss_under_engine4(self, project, monkeypatch):
+        cache = ResultCache()
+        engine = AnalysisEngine(cache=cache)
+        monkeypatch.setattr(cache_module, "ANALYSIS_VERSION", "engine-3")
+        engine.run(project)  # a cache warmed by the previous release
+        monkeypatch.undo()
+        current = engine.run(project)
+        assert current.stats.cache_hits == 0
+        assert current.stats.cache_misses == len(SOURCES)
+        assert current.stats.analyzed == len(SOURCES)

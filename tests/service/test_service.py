@@ -395,3 +395,80 @@ class TestExplainRequest:
             assert response["error"]["code"] == "invalid_params"
         finally:
             service.shutdown()
+
+
+class TestShutdownQueueRace:
+    def test_shutdown_during_drain_rejects_with_shutting_down(self):
+        """A submit that loses the race with shutdown — accepting-check
+        passes, then the drained-but-full queue raises Full — must get
+        ``shutting_down``, not ``queue_full`` + retry_after (the client
+        would retry against a dying server).  The race window is
+        simulated deterministically: the queue flips ``_accepting`` off
+        (as a concurrent shutdown does) before raising Full.
+        """
+        import queue as queue_module
+
+        service = AnalysisService(ServiceConfig(workers=1, queue_capacity=1)).start()
+        try:
+            real_queue = service._queue
+
+            class RacingQueue:
+                def put_nowait(self, item):
+                    with service._state_lock:
+                        service._accepting = False
+                    raise queue_module.Full
+
+                def __getattr__(self, name):
+                    return getattr(real_queue, name)
+
+            service._queue = RacingQueue()
+            try:
+                response = service.submit({"id": 1, "type": "analyze", "params": {}})
+            finally:
+                service._queue = real_queue
+            assert response["ok"] is False
+            assert response["error"]["code"] == "shutting_down"
+            assert "retry_after" not in response["error"]
+        finally:
+            service.shutdown()
+
+    def test_plain_full_queue_still_reports_queue_full(self):
+        """The race fix must not reclassify ordinary backpressure."""
+        import queue as queue_module
+
+        service = AnalysisService(
+            ServiceConfig(workers=1, queue_capacity=1, retry_after=0.25)
+        ).start()
+        try:
+            real_queue = service._queue
+
+            class FullQueue:
+                def put_nowait(self, item):
+                    raise queue_module.Full
+
+                def __getattr__(self, name):
+                    return getattr(real_queue, name)
+
+            service._queue = FullQueue()
+            try:
+                response = service.submit({"id": 1, "type": "analyze", "params": {}})
+            finally:
+                service._queue = real_queue
+            assert response["ok"] is False
+            assert response["error"]["code"] == "queue_full"
+            assert response["error"]["retry_after"] == 0.25
+        finally:
+            service.shutdown()
+
+
+class TestProtocolHandlerAgreement:
+    def test_every_queued_handler_is_a_protocol_request_type(self):
+        # The TCP/stdio server validates request types against
+        # protocol.REQUEST_TYPES *before* dispatch; a handler registered
+        # in AnalysisService but missing there is unreachable from a
+        # real client (and vice versa leaves a type nothing answers).
+        from repro.service.protocol import REQUEST_TYPES
+
+        service = AnalysisService(ServiceConfig(workers=1))
+        queue_bypassing = {"stats", "health", "shutdown"}
+        assert set(REQUEST_TYPES) == set(service._handlers) | queue_bypassing

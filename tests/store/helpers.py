@@ -1,0 +1,40 @@
+"""Shared fixtures for store tests: tiny analysable sources."""
+
+from __future__ import annotations
+
+from repro.core.project import Project
+from repro.core.valuecheck import ValueCheck, ValueCheckConfig
+from repro.store.fingerprint import project_sources
+
+#: Authorship off: every candidate is cross-scope, so tiny sources
+#: without a repository still produce reported findings.
+CONFIG = ValueCheckConfig(use_authorship=False)
+
+#: Two reported findings: `r` (ignored return, assigned never read) and
+#: the bare `helper(3)` call.
+SRC = """int helper(int x) {
+    int unused = x + 1;
+    return x;
+}
+
+int main() {
+    int r = helper(2);
+    helper(3);
+    return 0;
+}
+"""
+
+
+def analyze(sources, config: ValueCheckConfig | None = None):
+    """(project, report) for a plain sources dict."""
+    project = Project.from_sources(dict(sources), name="store-test")
+    report = ValueCheck(config or CONFIG).analyze(project)
+    return project, report
+
+
+def reported(report):
+    return [finding for finding in report.findings if finding.is_reported]
+
+
+def sources_of(project):
+    return project_sources(project)

@@ -1,0 +1,164 @@
+"""Baseline file: load/save, gate suppression, SARIF round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store import (
+    BASELINE_SCHEMA,
+    BaselineEntry,
+    BaselineFile,
+    FindingsStore,
+    baseline_from_sarif,
+    diff_to_sarif,
+    evaluate_gate,
+    suppression_for,
+)
+
+from tests.store.helpers import SRC, analyze, sources_of
+
+NEW_BUG = SRC.replace(
+    "    helper(3);\n", "    helper(3);\n    int extra = helper(9);\n"
+)
+
+
+def entry(fingerprint="ab" * 16, justification="known quirk", author="rev1"):
+    return BaselineEntry(
+        fingerprint=fingerprint,
+        justification=justification,
+        author=author,
+        accepted_rev="revA",
+        kind="ignored_return",
+        file="t.c",
+        function="main",
+        var="extra",
+    )
+
+
+class TestBaselineFile:
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = BaselineFile.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / ".valuecheck-baseline.json"
+        baseline = BaselineFile(path=path)
+        baseline.add(entry("ff" * 16))
+        baseline.add(entry("aa" * 16))
+        baseline.save()
+        loaded = BaselineFile.load(path)
+        assert len(loaded) == 2
+        # Stable on-disk ordering: sorted by fingerprint.
+        raw = json.loads(path.read_text())
+        assert [row["fingerprint"] for row in raw["entries"]] == [
+            "aa" * 16, "ff" * 16
+        ]
+        assert raw["schema"] == BASELINE_SCHEMA
+
+    def test_add_replaces_same_fingerprint(self):
+        baseline = BaselineFile()
+        baseline.add(entry(justification="first"))
+        baseline.add(entry(justification="second"))
+        assert len(baseline) == 1
+        assert baseline.entries[0].justification == "second"
+
+    def test_covers_prefers_primary_then_location(self):
+        primary, location = "11" * 16, "22" * 16
+        baseline = BaselineFile(entries=[entry(location)])
+        assert baseline.covers(primary, location) is not None
+        assert baseline.covers(primary) is None
+
+    def test_newer_schema_refuses_to_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": BASELINE_SCHEMA + 1, "entries": []}))
+        with pytest.raises(ValueError, match="newer baseline schema"):
+            BaselineFile.load(path)
+
+
+class TestGateSuppression:
+    def _failing_gate(self):
+        store = FindingsStore.in_memory()
+        project, report = analyze({"t.c": SRC})
+        store.record_snapshot(report.findings, sources_of(project), rev="revA")
+        project_b, report_b = analyze({"t.c": NEW_BUG})
+        diff = store.diff(report_b.findings, sources_of(project_b), rev="worktree")
+        return diff
+
+    def test_new_finding_fails_without_baseline(self):
+        diff = self._failing_gate()
+        result = evaluate_gate(diff)
+        assert result.exit_code == 1
+        assert [row.var for row in result.blocking] == ["extra"]
+
+    def test_accepted_fingerprint_suppresses(self):
+        diff = self._failing_gate()
+        blocking = evaluate_gate(diff).blocking[0]
+        baseline = BaselineFile(
+            entries=[entry(fingerprint=blocking.fingerprint)]
+        )
+        result = evaluate_gate(diff, baseline)
+        assert result.exit_code == 0
+        assert len(result.suppressed) == 1
+        row, accepted = result.suppressed[0]
+        assert row.var == "extra" and accepted.author == "rev1"
+        assert "suppressed new" in result.summary()
+
+    def test_location_fallback_suppresses_after_rewrite(self):
+        diff = self._failing_gate()
+        blocking_key = evaluate_gate(diff).blocking[0].finding.key
+        location = diff.fingerprints[blocking_key].location
+        baseline = BaselineFile(entries=[entry(fingerprint=location)])
+        assert evaluate_gate(diff, baseline).exit_code == 0
+
+
+class TestSuppressionFor:
+    def test_sarif_shape(self):
+        suppression = suppression_for(entry())
+        assert suppression["kind"] == "external"
+        assert suppression["status"] == "accepted"
+        assert "known quirk" in suppression["justification"]
+        assert "accepted by rev1" in suppression["justification"]
+        assert suppression["properties"]["valuecheck/author"] == "rev1"
+        assert suppression["properties"]["valuecheck/acceptedRev"] == "revA"
+
+
+class TestSarifRoundTrip:
+    def test_baseline_survives_sarif_export(self):
+        store = FindingsStore.in_memory()
+        project, report = analyze({"t.c": SRC})
+        store.record_snapshot(report.findings, sources_of(project), rev="revA")
+        project_b, report_b = analyze({"t.c": NEW_BUG})
+        diff = store.diff(report_b.findings, sources_of(project_b), rev="worktree")
+        blocking = evaluate_gate(diff).blocking[0]
+        original = BaselineFile(
+            entries=[
+                BaselineEntry(
+                    fingerprint=blocking.fingerprint,
+                    justification="intentional",
+                    author="reviewer9",
+                    accepted_rev="revA",
+                )
+            ]
+        )
+        log = diff_to_sarif(diff, project="demo", baseline=original)
+        recovered = baseline_from_sarif(log)
+        assert len(recovered) == 1
+        row = recovered.entries[0]
+        assert row.fingerprint == blocking.fingerprint
+        assert row.justification == "intentional"
+        assert row.author == "reviewer9"
+        assert row.accepted_rev == "revA"
+        # Location context is reconstructed from the result for human
+        # review of the file.
+        assert row.file == "t.c" and row.function == "main"
+
+    def test_pruner_suppressions_are_not_baseline_entries(self):
+        store = FindingsStore.in_memory()
+        project, report = analyze({"t.c": SRC})
+        diff = store.record_snapshot(
+            report.findings, sources_of(project), rev="revA"
+        )
+        log = diff_to_sarif(diff)
+        assert len(baseline_from_sarif(log)) == 0

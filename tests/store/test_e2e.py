@@ -1,0 +1,207 @@
+"""The PR acceptance scenario, end to end.
+
+Analyze rev A → snapshot → mutate the repo (one fix, one new bug, one
+pure line-shift) → analyze rev B → ``gate`` reports exactly the one new
+finding; the fixed finding is marked fixed; the line-shifted finding
+stays persistent with an *unchanged* fingerprint — with identical
+verdicts through the CLI (SQLite store) and through a warm service
+session (in-memory store).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.service import AnalysisService, ServiceConfig
+from repro.store import FindingsStore
+
+# rev A: three modules, one reported finding each (fixed.c's and
+# shifted.c's survive pruning; newbug.c is clean).
+REV_A = {
+    "fixed.c": (
+        "int helper(int x) {\n"
+        "    return x;\n"
+        "}\n"
+        "\n"
+        "int run_fixed(void) {\n"
+        "    int r = helper(1);\n"
+        "    return 0;\n"
+        "}\n"
+    ),
+    "newbug.c": (
+        "int helper2(int x) {\n"
+        "    return x;\n"
+        "}\n"
+        "\n"
+        "int run_new(void) {\n"
+        "    return helper2(4);\n"
+        "}\n"
+    ),
+    "shifted.c": (
+        "int helper3(int x) {\n"
+        "    return x;\n"
+        "}\n"
+        "\n"
+        "int run_shift(void) {\n"
+        "    int s = helper3(5);\n"
+        "    return 0;\n"
+        "}\n"
+    ),
+}
+
+# rev B: the fix (r is now read), the new bug (n unused), and a pure
+# line-shift (comment + blank lines above, nothing else).
+REV_B = {
+    "fixed.c": REV_A["fixed.c"].replace("    return 0;\n", "    return r;\n"),
+    "newbug.c": REV_A["newbug.c"].replace(
+        "    return helper2(4);\n",
+        "    int n = helper2(4);\n    return 0;\n",
+    ),
+    "shifted.c": "// reformat-only commit\n\n\n" + REV_A["shifted.c"],
+}
+
+
+def write_tree(directory, sources):
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, text in sources.items():
+        (directory / name).write_text(text)
+
+
+class TestCliAcceptance:
+    def test_snapshot_mutate_gate(self, tmp_path, capsys):
+        src = tmp_path / "src"
+        db = tmp_path / "findings.db"
+        write_tree(src, REV_A)
+        assert main(["snapshot", str(src), "--store", str(db), "--rev", "revA"]) == 0
+        capsys.readouterr()
+
+        baseline_entries = FindingsStore.open(db).entries()
+        shifted_before = next(
+            row for row in baseline_entries.values() if row.file == "shifted.c"
+        )
+
+        write_tree(src, REV_B)
+        sarif_path = tmp_path / "diff.sarif"
+        rc = main(
+            ["gate", str(src), "--store", str(db), "--sarif", str(sarif_path)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+
+        # Exactly the one new finding blocks.
+        blocking = re.findall(r"BLOCKING new: (\S+):\d+", out)
+        assert blocking == ["newbug.c"]
+        assert "new:        1" in out
+        assert "fixed:      1" in out
+        assert "persistent: 1" in out
+
+        log = json.loads(sarif_path.read_text())
+        states = {}
+        for result in log["runs"][0]["results"]:
+            uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            states[uri] = (
+                result["baselineState"],
+                result["partialFingerprints"]["valuecheck/primary"],
+            )
+        assert states["newbug.c"][0] == "new"
+        assert states["fixed.c"][0] == "absent"
+        # The line-shifted finding is persistent ("unchanged", not
+        # "updated") and its fingerprint did not move.
+        assert states["shifted.c"] == ("unchanged", shifted_before.fingerprint)
+
+    def test_triage_accept_then_gate_passes(self, tmp_path, capsys):
+        src = tmp_path / "src"
+        db = tmp_path / "findings.db"
+        write_tree(src, REV_A)
+        assert main(["snapshot", str(src), "--store", str(db), "--rev", "revA"]) == 0
+        write_tree(src, REV_B)
+        assert main(["gate", str(src), "--store", str(db)]) == 1
+        out = capsys.readouterr().out
+        fingerprint = re.search(r"fingerprint=([0-9a-f]{32})", out).group(1)
+
+        assert (
+            main(
+                [
+                    "triage",
+                    str(db),
+                    "--accept",
+                    fingerprint,
+                    "--justification",
+                    "intentional",
+                    "--author",
+                    "reviewer1",
+                    "--baseline",
+                    str(src / ".valuecheck-baseline.json"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["gate", str(src), "--store", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed: 1" in out
+
+
+class TestServiceMatchesCli:
+    @pytest.fixture
+    def service(self):
+        service = AnalysisService(ServiceConfig(workers=1)).start()
+        yield service
+        service.shutdown()
+
+    def _submit(self, service, kind, **params):
+        response = service.submit({"id": 1, "type": kind, "params": params})
+        assert response["ok"], response
+        return response["result"]
+
+    def test_warm_session_gate_matches_cli_verdict(
+        self, tmp_path, capsys, service
+    ):
+        # CLI side: SQLite store over checked-out trees.
+        src = tmp_path / "src"
+        db = tmp_path / "findings.db"
+        write_tree(src, REV_A)
+        main(["snapshot", str(src), "--store", str(db), "--rev", "revA"])
+        write_tree(src, REV_B)
+        cli_rc = main(["gate", str(src), "--store", str(db)])
+        cli_out = capsys.readouterr().out
+        cli_fingerprint = re.search(r"fingerprint=([0-9a-f]{32})", cli_out).group(1)
+
+        # Service side: warm session, analyze A, snapshot, incremental
+        # diff to B, gate — all from warm state.
+        self._submit(service, "open_project", sources=dict(REV_A), project_id="p")
+        self._submit(service, "analyze", project_id="p")
+        self._submit(service, "baseline", project_id="p", rev="revA")
+        self._submit(
+            service,
+            "analyze_diff",
+            project_id="p",
+            changes={name: REV_B[name] for name in REV_B},
+        )
+        gate = self._submit(service, "gate", project_id="p")
+
+        assert gate["exit_code"] == cli_rc == 1
+        assert [row["file"] for row in gate["blocking"]] == ["newbug.c"]
+        # Identical verdict: the same finding blocks, by fingerprint.
+        assert gate["blocking"][0]["fingerprint"] == cli_fingerprint
+        assert gate["counts"]["new"] == 1
+        assert gate["counts"]["fixed"] == 1
+        assert gate["counts"]["persistent"] == 1
+
+        diff = self._submit(service, "diff_findings", project_id="p")
+        by_file = {row["file"]: row for row in diff["rows"]}
+        assert by_file["shifted.c"]["state"] == "persistent"
+        assert by_file["shifted.c"]["rematched"] is False
+        # The line-shifted fingerprint matches the CLI store's entry.
+        cli_shifted = next(
+            row
+            for row in FindingsStore.open(db).entries().values()
+            if row.file == "shifted.c"
+        )
+        assert by_file["shifted.c"]["fingerprint"] == cli_shifted.fingerprint
+        assert by_file["fixed.c"]["state"] == "fixed"
+        assert by_file["newbug.c"]["state"] == "new"

@@ -1,0 +1,108 @@
+"""Property test: fingerprints are invariant under pure line-shift edits.
+
+A *pure line-shift edit* inserts blank lines and comment-only lines at
+arbitrary positions — nothing else changes.  The store's whole contract
+rests on the primary fingerprint being invariant under every such edit
+(else CI baselines churn on reformatting) while *changing* when the
+defining statement itself changes (else distinct findings collide).
+
+Randomised with the stdlib ``random`` module under fixed seeds — each
+trial is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.store.fingerprint import fingerprint_findings
+
+from tests.store.helpers import analyze, reported, sources_of
+
+BASE = """int helper(int x) {
+    int unused = x + 1;
+    return x;
+}
+
+int compute(int y) {
+    int tmp = helper(y);
+    return y * 2;
+}
+
+int main() {
+    int r = helper(2);
+    helper(3);
+    int c = compute(4);
+    return 0;
+}
+"""
+
+FILLERS = (
+    "",
+    "    ",
+    "// a wandering comment",
+    "/* block comment */",
+    "   /* indented */  ",
+)
+
+
+def line_shift_edit(source: str, rng: random.Random) -> str:
+    """Insert 1..6 blank/comment lines at random positions."""
+    lines = source.split("\n")
+    for _ in range(rng.randint(1, 6)):
+        position = rng.randint(0, len(lines))
+        lines.insert(position, rng.choice(FILLERS))
+    return "\n".join(lines)
+
+
+def fingerprint_multiset(source: str) -> list[str]:
+    project, report = analyze({"t.c": source})
+    mapping = fingerprint_findings(reported(report), sources_of(project))
+    return sorted(fp.primary for fp in mapping.values())
+
+
+class TestLineShiftInvariance:
+    def test_fingerprints_invariant_under_random_line_shifts(self):
+        base = fingerprint_multiset(BASE)
+        assert base  # the property is vacuous without findings
+        for seed in range(8):
+            rng = random.Random(seed)
+            shifted = line_shift_edit(BASE, rng)
+            assert fingerprint_multiset(shifted) == base, (
+                f"fingerprints drifted under pure line-shift edit "
+                f"(seed {seed})"
+            )
+
+    def test_fingerprints_invariant_under_stacked_shifts(self):
+        # Shifts compose: many successive reformat commits must still
+        # map onto the original baseline.
+        base = fingerprint_multiset(BASE)
+        rng = random.Random(99)
+        source = BASE
+        for _ in range(5):
+            source = line_shift_edit(source, rng)
+            assert fingerprint_multiset(source) == base
+
+
+class TestStatementEditsChangeFingerprints:
+    # Each edit rewrites the defining statement of a *reported* finding
+    # (edits to unreported statements legitimately leave the reported
+    # fingerprint multiset alone).
+    EDITS = (
+        ("int r = helper(2);", "int r = helper(7);"),
+        ("int tmp = helper(y);", "int tmp = helper(y + 1);"),
+        ("int c = compute(4);", "int c = compute(5);"),
+    )
+
+    def test_editing_a_defining_statement_changes_the_multiset(self):
+        base = fingerprint_multiset(BASE)
+        for old, new in self.EDITS:
+            assert old in BASE
+            edited = fingerprint_multiset(BASE.replace(old, new))
+            assert edited != base, f"edit {old!r} -> {new!r} went unnoticed"
+
+    def test_edit_plus_shift_still_differs_from_base(self):
+        # A rewrite hidden inside a reformat commit must still be seen.
+        base = fingerprint_multiset(BASE)
+        rng = random.Random(7)
+        edited = BASE.replace("int r = helper(2);", "int r = helper(8);")
+        assert fingerprint_multiset(line_shift_edit(edited, rng)) != base

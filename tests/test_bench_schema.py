@@ -16,6 +16,7 @@ from check_bench_schema import (  # noqa: E402
     OBSERVABILITY_FIELDS,
     PROVENANCE_FIELDS,
     SERVICE_FIELDS,
+    STORE_FIELDS,
     validate_all,
     validate_payload,
 )
@@ -73,6 +74,20 @@ def _valid_v4_payload():
         "explained": 10,
         "pruned_by": {"cursor": 1, "unused_hints": 2},
         "statuses": {"detected": 0, "not_cross_scope": 2, "pruned": 3, "reported": 5},
+    }
+    return payload
+
+
+def _valid_v5_payload():
+    payload = _valid_v4_payload()
+    payload["schema"] = 5
+    payload["bench_index"] = 5
+    payload["stages"]["store"] = {
+        "cold_analyze_seconds": 1.2,
+        "snapshot_write_seconds": 0.02,
+        "gate_seconds": 0.03,
+        "gate_fraction_of_cold": 0.025,
+        "findings": 8,
     }
     return payload
 
@@ -179,3 +194,23 @@ class TestProvenanceSection:
     def test_schema3_grandfathered_without_provenance(self):
         # PR 3 files predate the provenance subsystem; they stay valid.
         assert validate_payload(_valid_v3_payload()) == []
+
+
+class TestStoreSection:
+    def test_valid_v5_payload_passes(self):
+        assert validate_payload(_valid_v5_payload()) == []
+
+    def test_schema5_requires_store_section(self):
+        payload = _valid_v5_payload()
+        del payload["stages"]["store"]
+        assert any("stages.store" in p for p in validate_payload(payload))
+
+    def test_each_store_field_required(self):
+        for name in STORE_FIELDS:
+            payload = _valid_v5_payload()
+            del payload["stages"]["store"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_schema4_grandfathered_without_store(self):
+        # PR 4 files predate the findings store; they stay valid.
+        assert validate_payload(_valid_v4_payload()) == []

@@ -16,8 +16,10 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from check_bench_trajectory import (  # noqa: E402
+    GATE_BUDGET_FRACTION,
     REGRESSION_FACTOR,
     check_all,
+    check_gate_budget,
     check_series,
     comparable,
     compare_pair,
@@ -128,6 +130,47 @@ class TestWallTimeRegression:
         assert compare_pair(
             _payload(4, detection=2.0), _payload(5, detection=0.5)
         ) == []
+
+
+def _store_payload(index, cold=1.0, gate=0.05):
+    payload = _payload(index)
+    payload["schema"] = 5
+    payload["stages"]["store"] = {
+        "cold_analyze_seconds": cold,
+        "snapshot_write_seconds": 0.01,
+        "gate_seconds": gate,
+        "gate_fraction_of_cold": gate / cold if cold else None,
+        "findings": 8,
+    }
+    return payload
+
+
+class TestGateBudget:
+    def test_within_budget_passes(self):
+        payload = _store_payload(5, cold=1.0, gate=GATE_BUDGET_FRACTION - 0.01)
+        assert check_gate_budget(payload) == []
+
+    def test_over_budget_fails(self):
+        payload = _store_payload(5, cold=1.0, gate=GATE_BUDGET_FRACTION * 2)
+        problems = check_gate_budget(payload, "BENCH_5.json")
+        assert problems and "BENCH_5.json" in problems[0]
+        assert "gate" in problems[0]
+
+    def test_schema4_files_skip_the_budget(self):
+        payload = _payload(4)  # no stages.store at all
+        assert check_gate_budget(payload) == []
+
+    def test_budget_checked_by_series_walk(self):
+        series = [
+            ("BENCH_4.json", _payload(4)),
+            (
+                "BENCH_5.json",
+                _store_payload(5, cold=1.0, gate=0.9),
+            ),
+        ]
+        series[1][1]["analysis_version"] = "engine-4"
+        problems = check_series(series)
+        assert any("BENCH_5.json" in p and "gate" in p for p in problems)
 
 
 class TestSeriesWalk:
