@@ -21,6 +21,10 @@ structurally comparable.  This validator asserts the invariants:
   snapshot-write and gate latency, with the cold analyze time measured
   on the same project for the latency-budget check in
   ``check_bench_trajectory.py``);
+* schema ≥ 6 files carry the ``stages.solver`` section (the scale-1.0
+  Andersen stress benchmark: bitset-solver and reference-solver
+  wall-times, node/SCC counts, and the speedup ratio
+  ``check_bench_trajectory.py`` holds at ≥ 10×);
 * no benchmark was emitted from an unconverged solver run.
 
 Older schemas are grandfathered at the level they were written: schema 1
@@ -28,7 +32,8 @@ files (PR 1, before the observability subsystem) satisfy the
 common-field checks only; schema 2 files (PR 2, before the analysis
 service) need no ``stages.service``; schema 3 files (PR 3, before
 provenance) need no ``stages.provenance``; schema 4 files (PR 4, before
-the findings store) need no ``stages.store``.
+the findings store) need no ``stages.store``; schema 5 files (PR 5,
+before the interned-bitset solver) need no ``stages.solver``.
 
 Run directly (``python benchmarks/check_bench_schema.py``) or through
 the tier-1 test ``tests/test_bench_schema.py``.
@@ -87,6 +92,17 @@ STORE_FIELDS = (
     "gate_seconds",
     "gate_fraction_of_cold",
     "findings",
+)
+
+SOLVER_FIELDS = (
+    "stress_scale",
+    "modules",
+    "lower_seconds",
+    "solve_seconds",
+    "reference_solve_seconds",
+    "speedup_vs_reference",
+    "nodes",
+    "scc_collapsed",
 )
 
 
@@ -185,6 +201,30 @@ def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
             for name in STORE_FIELDS:
                 if name not in store:
                     problem(f"stages.store missing {name!r}")
+
+    if payload.get("schema", 0) >= 6:
+        solver = (stages or {}).get("solver")
+        if not isinstance(solver, dict):
+            problem("schema>=6 requires stages.solver")
+        else:
+            for name in SOLVER_FIELDS:
+                if name not in solver:
+                    problem(f"stages.solver missing {name!r}")
+            solve = solver.get("solve_seconds")
+            reference = solver.get("reference_solve_seconds")
+            speedup = solver.get("speedup_vs_reference")
+            if (
+                isinstance(solve, (int, float))
+                and isinstance(reference, (int, float))
+                and isinstance(speedup, (int, float))
+                and solve > 0
+            ):
+                expected = reference / solve
+                if abs(speedup - expected) > 0.01 * max(1.0, expected):
+                    problem(
+                        f"stages.solver speedup_vs_reference ({speedup:.2f}) "
+                        f"does not match reference/solve ({expected:.2f})"
+                    )
     return problems
 
 

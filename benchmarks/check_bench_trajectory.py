@@ -24,11 +24,25 @@ It also checks each schema ≥ 5 file on its own:
   push, so a gate approaching the analysis itself in cost defeats the
   warm-baseline design.
 
+And each schema ≥ 6 file on its own:
+
+* **the solver speedup claim disappears** — ``stages.solver`` must show
+  the interned-bitset Andersen solver at least 10× faster than the
+  retained reference solver on the scale-1.0 stress corpus.  Both
+  solvers run in the same process on the same host, so the ratio is
+  host-independent; a PR that erodes it regressed the solver.
+
+The solver stress wall-time (``stages.solver.solve_seconds``) also
+joins the pair-over-pair regression series: the stress corpus has a
+fixed size regardless of ``--scale``, so the >25% rule applies to it
+whenever both files carry the section.
+
 Files written before schema 4 (BENCH_1..3) predate the provenance
 section and are grandfathered: pairs involving them are skipped, so the
 checker passes on a series that merely *starts* carrying decision
 counts.  Likewise schema 4 files predate ``stages.store`` and skip the
-gate-latency budget.
+gate-latency budget, and schema 5 files predate ``stages.solver`` and
+skip the speedup floor.
 
 Run directly (``python benchmarks/check_bench_trajectory.py``) or
 through the tier-1 test ``tests/test_bench_trajectory.py``.
@@ -54,6 +68,7 @@ NOISE_FLOOR_SECONDS = 0.05
 TIMED_STAGES = (
     ("detection", ("stages", "detection_seconds")),
     ("serial full pipeline", ("stages", "executors_full_pipeline_seconds", "serial")),
+    ("solver stress", ("stages", "solver", "solve_seconds")),
 )
 
 #: The decision counts that must not drift without an analysis_version
@@ -63,6 +78,10 @@ DECISION_FIELDS = ("candidates", "explained", "pruned_by", "statuses")
 #: Ceiling on the findings-store gate as a fraction of the cold analyze
 #: time measured on the same project (schema ≥ 5 files only).
 GATE_BUDGET_FRACTION = 0.10
+
+#: Floor on the interned-bitset solver's speedup over the reference
+#: solver on the stress corpus (schema ≥ 6 files only).
+SOLVER_SPEEDUP_FLOOR = 10.0
 
 
 def _dig(payload: dict, path: tuple[str, ...]):
@@ -139,6 +158,24 @@ def check_gate_budget(payload: dict, name: str = "<payload>") -> list[str]:
     return []
 
 
+def check_solver_speedup(payload: dict, name: str = "<payload>") -> list[str]:
+    """Per-file check: the bitset solver keeps its ≥10× speedup claim."""
+    if payload.get("schema", 0) < 6:
+        return []
+    solver = _dig(payload, ("stages", "solver")) or {}
+    speedup = solver.get("speedup_vs_reference")
+    if not isinstance(speedup, (int, float)):
+        return [f"{name}: stages.solver.speedup_vs_reference is missing"]
+    if speedup < SOLVER_SPEEDUP_FLOOR:
+        return [
+            f"{name}: solver speedup over the reference is {speedup:.1f}x, "
+            f"under the {SOLVER_SPEEDUP_FLOOR:.0f}x floor "
+            f"(solve {solver.get('solve_seconds')}s vs reference "
+            f"{solver.get('reference_solve_seconds')}s)"
+        ]
+    return []
+
+
 def load_series(root: Path = ROOT) -> list[tuple[str, dict]]:
     """All BENCH payloads at ``root``, ordered by bench index."""
     series: list[tuple[int, str, dict]] = []
@@ -158,6 +195,7 @@ def check_series(series: list[tuple[str, dict]]) -> list[str]:
         problems.extend(compare_pair(prev, curr, prev_name, curr_name))
     for name, payload in series:
         problems.extend(check_gate_budget(payload, name))
+        problems.extend(check_solver_speedup(payload, name))
     return problems
 
 

@@ -45,8 +45,16 @@ EXECUTORS = ("serial", "thread", "process")
 # (candidates / pruned-by-pruner / explained) consumed by
 # check_bench_trajectory.py.  v5 adds ``stages.store`` — findings-store
 # snapshot-write and gate latency, which check_bench_trajectory.py caps
-# at a fraction of the cold analyze time.
-BENCH_SCHEMA_VERSION = 5
+# at a fraction of the cold analyze time.  v6 adds ``stages.solver`` —
+# the scale-1.0 Andersen stress benchmark (interned-bitset solver vs the
+# retained reference solver), whose ≥10× speedup the trajectory check
+# holds the build to.
+BENCH_SCHEMA_VERSION = 6
+
+# The solver stress corpus always runs at this scale regardless of
+# --scale: the stress shape is what makes propagation dominate, and the
+# trajectory comparison needs a fixed size across BENCH files.
+SOLVER_STRESS_SCALE = 1.0
 
 
 def _next_index() -> int:
@@ -271,6 +279,66 @@ def _service_timings(scale: float, seed: int) -> dict:
     }
 
 
+def _solver_timings(seed: int) -> dict:
+    """Andersen stress benchmark: interned-bitset solver vs the reference.
+
+    Both solvers run over the same scale-1.0 stress corpus (long copy
+    chains, cycles, pointer-to-pointer derefs, function-pointer fans —
+    shapes where propagation, not constraint construction, dominates).
+    GC is disabled inside each timed window, pyperf-style: the reference
+    allocates millions of set entries and collector pauses otherwise
+    dominate whichever solver runs second.  The results must agree
+    exactly — a fixpoint mismatch aborts the bench rather than emitting
+    a number for a wrong analysis.
+    """
+    import gc
+
+    from repro.corpus.solver_stress import stress_modules
+    from repro.pointer.andersen import analyze_module
+    from repro.pointer.andersen_reference import analyze_module_reference
+
+    started = monotonic()
+    modules = stress_modules(scale=SOLVER_STRESS_SCALE, seed=seed)
+    lower_seconds = monotonic() - started
+
+    def timed(analyze):
+        gc.collect()
+        gc.disable()
+        try:
+            started = monotonic()
+            results = [analyze(module) for _, module in modules]
+            return results, monotonic() - started
+        finally:
+            gc.enable()
+
+    new_results, solve_seconds = timed(analyze_module)
+    ref_results, reference_solve_seconds = timed(analyze_module_reference)
+
+    for (path, _), new, ref in zip(modules, new_results, ref_results):
+        if (
+            dict(new.points_to) != dict(ref.points_to)
+            or new.indirect_callees != ref.indirect_callees
+            or new.converged != ref.converged
+        ):
+            raise SystemExit(
+                f"[run_bench] FATAL: bitset and reference solvers diverged on {path}"
+            )
+
+    return {
+        "stress_scale": SOLVER_STRESS_SCALE,
+        "modules": len(modules),
+        "lower_seconds": lower_seconds,
+        "solve_seconds": solve_seconds,
+        "reference_solve_seconds": reference_solve_seconds,
+        "speedup_vs_reference": (
+            reference_solve_seconds / solve_seconds if solve_seconds else None
+        ),
+        "nodes": sum(result.nodes for result in new_results),
+        "scc_collapsed": sum(result.scc_collapsed for result in new_results),
+        "iterations": sum(result.iterations for result in new_results),
+    }
+
+
 def _store_timings(scale: float, seed: int) -> dict:
     """Findings-store latency: snapshot write and gate evaluation.
 
@@ -361,6 +429,7 @@ def main(argv: list[str] | None = None) -> int:
     }
     payload["stages"]["service"] = _service_timings(args.scale, args.seed)
     payload["stages"]["store"] = _store_timings(args.scale, args.seed)
+    payload["stages"]["solver"] = _solver_timings(args.seed)
     if not args.skip_pytest:
         print("[run_bench] running pytest-benchmark suite …")
         payload["pytest_benchmark"] = _run_pytest_benchmarks(args.scale, args.seed)
@@ -389,6 +458,11 @@ def main(argv: list[str] | None = None) -> int:
           f"gate {store['gate_seconds']:.3f}s "
           f"({store['gate_fraction_of_cold']:.1%} of cold analyze, "
           f"{store['findings']} findings)")
+    solver = stages["solver"]
+    print(f"[run_bench] solver: bitset {solver['solve_seconds']:.3f}s vs "
+          f"reference {solver['reference_solve_seconds']:.3f}s "
+          f"({solver['speedup_vs_reference']:.1f}x, {solver['nodes']} nodes, "
+          f"{solver['scc_collapsed']} collapsed)")
     print(f"[run_bench] wrote {out_path}")
     return 0
 

@@ -67,3 +67,24 @@ def test_module_cache_warm_speed(benchmark, engine_app):
 
     run = benchmark(warm_run)
     assert run.stats.cache_hits == run.stats.modules
+
+
+def test_engine_solver_speed(benchmark):
+    """The interned-bitset Andersen solver over the stress corpus.
+
+    This is the pytest-benchmark twin of ``stages.solver`` in
+    ``run_bench.py``: same corpus shape (copy chains, cycles, derefs,
+    function-pointer fans), scaled down so rounds stay fast.  The solver
+    must converge on every module — an unconverged run would make the
+    timing meaningless.
+    """
+    from repro.corpus.solver_stress import stress_modules
+    from repro.pointer.andersen import analyze_module
+
+    modules = stress_modules(scale=0.25, seed=BENCH_SEED)
+
+    def solve_all():
+        return [analyze_module(module) for _, module in modules]
+
+    results = benchmark(solve_all)
+    assert all(result.converged for result in results)

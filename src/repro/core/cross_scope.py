@@ -49,6 +49,10 @@ class CrossScopeResolver:
         # Revision-keyed cache on the project: repeated analyses at the
         # same rev reuse one BlameIndex instead of re-blaming every file.
         self.blame: BlameIndex = project.blame_index(rev)
+        # callee -> blamed return authors; a hot callee (e.g. a logging
+        # helper called everywhere) is probed once per candidate without
+        # this, and each probe re-blames every return line.
+        self._return_author_cache: dict[str, list[_LineAuthor] | None] = {}
 
     # -- blame helpers --------------------------------------------------
 
@@ -63,6 +67,13 @@ class CrossScopeResolver:
         callee is external to the project (treated as cross-scope)."""
         if callee is None:
             return None
+        if callee in self._return_author_cache:
+            return self._return_author_cache[callee]
+        authors = self._return_authors_uncached(callee)
+        self._return_author_cache[callee] = authors
+        return authors
+
+    def _return_authors_uncached(self, callee: str) -> list[_LineAuthor] | None:
         location = self.index.location(callee)
         if location is None:
             return None

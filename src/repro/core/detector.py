@@ -275,12 +275,14 @@ class _Detector:
                 _transfer(instruction, state, function)
 
         # Alias check (§4.1): a variable referenced by pointers may be used
-        # through indirect reads — drop its candidates.
+        # through indirect reads — drop its candidates.  The VFG memoizes
+        # the verdict per (function, var) across repeated candidates.
+        aliased = self.vfg.may_be_used_indirectly
         filtered = [
             candidate
             for candidate in candidates
             if candidate.kind is CandidateKind.IGNORED_RETURN and candidate.store_kind is None
-            or not self.vfg.may_be_used_indirectly(function, candidate.var)
+            or not aliased(function, candidate.var)
         ]
         filtered.sort(key=lambda candidate: (candidate.line, candidate.var, candidate.kind.value))
         return filtered

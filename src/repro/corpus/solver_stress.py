@@ -1,0 +1,124 @@
+"""Deterministic solver-stress corpus for the ``stages.solver`` benchmark.
+
+The application profiles in :mod:`repro.corpus.generator` are shaped
+like real code: many small functions, few pointer chains, so constraint
+*construction* (an IR walk both solvers share) dominates and the
+propagation loop barely runs.  Measuring solver work needs the opposite
+shape — modules whose constraint graphs make propagation dominate:
+
+* **chains** — long ``p[i+1] = p[i]`` copy chains fed by many
+  address-of base constraints.  Difference propagation walks every
+  (edge, pointee) pair one set-insert at a time: O(chain · pointees)
+  string-hashed operations.  The bitset solver moves whole masks, one
+  ``|`` per edge.
+* **cycles** — the same chains closed back on themselves
+  (``p[0] = p[last]``).  Online SCC collapsing folds each loop into one
+  representative; the reference keeps circulating deltas around it.
+* **derefs** — ``**pp``-style complex constraints that add copy edges
+  mid-solve, exercising lazy (online) cycle detection rather than the
+  offline pass.
+* **handler fans** — function-pointer dispatch through a shared
+  handler variable, exercising indirect-call wiring.
+
+Everything is plain C accepted by the in-tree frontend, lowered through
+the normal pipeline — the stress modules measure the real solver on real
+IR, just with an adversarial constraint shape.  ``scale=1.0`` is the
+size recorded in BENCH ``stages.solver``; all sizes grow linearly with
+``scale``.  ``seed`` offsets which pointee each chain link is reseeded
+with, so distinct seeds give structurally equal but not textually
+identical corpora.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import lower_source
+from repro.ir.module import Module
+
+#: Sizes at scale 1.0, per stress module.  Chain/cycle modules get the
+#: full pointee fan (their cost is pure copy propagation, where the two
+#: solvers differ structurally); deref modules use a quarter of it, since
+#: complex constraints iterate pointees one at a time in both solvers.
+CHAIN_LENGTH = 540
+POINTEE_COUNT = 2160
+DEREF_DEPTH = 48
+HANDLER_COUNT = 64
+MODULE_COUNTS = {"chain": 2, "cycle": 2, "deref": 1, "handlers": 1}
+
+
+def _chain_source(index: int, chain: int, pointees: int, seed: int, cyclic: bool) -> str:
+    lines = [f"void stress_{'cycle' if cyclic else 'chain'}_{index}(void) {{"]
+    lines.extend(f"    int x{i};" for i in range(pointees))
+    lines.extend(f"    int *p{i};" for i in range(chain))
+    # Base constraints: every pointee enters at a deterministic,
+    # seed-offset link so deltas start all along the chain.
+    for i in range(pointees):
+        entry = (i * 7 + seed + index) % max(1, chain // 4)
+        lines.append(f"    p{entry} = &x{i};")
+    lines.extend(f"    p{i + 1} = p{i};" for i in range(chain - 1))
+    if cyclic:
+        lines.append(f"    p0 = p{chain - 1};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _deref_source(index: int, depth: int, pointees: int, seed: int) -> str:
+    lines = [f"void stress_deref_{index}(void) {{"]
+    lines.extend(f"    int y{i};" for i in range(pointees))
+    lines.extend(f"    int *q{i};" for i in range(depth))
+    lines.extend(f"    int **qq{i};" for i in range(depth))
+    for i in range(depth):
+        lines.append(f"    qq{i} = &q{i};")
+    # Stores through pointer-to-pointer fan pointees into the q chain;
+    # loads read them back out, adding copy edges during the solve.
+    for i in range(pointees):
+        slot = (i * 5 + seed + index) % depth
+        lines.append(f"    *qq{slot} = &y{i};")
+    for i in range(depth - 1):
+        lines.append(f"    q{i + 1} = *qq{i};")
+    lines.append(f"    q0 = *qq{depth - 1};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _handlers_source(index: int, handlers: int, seed: int) -> str:
+    lines = []
+    for i in range(handlers):
+        lines.append(f"int stress_handler_{index}_{i}(int *arg) {{ return {i}; }}")
+    lines.append(f"void stress_dispatch_{index}(int c) {{")
+    lines.append("    int r;")
+    lines.append("    int payload;")
+    lines.append("    int *handler;")
+    for i in range(handlers):
+        pick = (i + seed) % handlers
+        lines.append(
+            f"    if (c == {i}) {{ handler = stress_handler_{index}_{pick}; }}"
+        )
+    lines.append("    r = handler(&payload);")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def stress_sources(scale: float = 1.0, seed: int = 7) -> dict[str, str]:
+    """Path -> C source for the stress corpus at ``scale``."""
+    chain = max(8, int(CHAIN_LENGTH * scale))
+    pointees = max(8, int(POINTEE_COUNT * scale))
+    depth = max(4, int(DEREF_DEPTH * scale))
+    handlers = max(4, int(HANDLER_COUNT * scale))
+    sources: dict[str, str] = {}
+    for i in range(MODULE_COUNTS["chain"]):
+        sources[f"stress/chain_{i}.c"] = _chain_source(i, chain, pointees, seed, cyclic=False)
+    for i in range(MODULE_COUNTS["cycle"]):
+        sources[f"stress/cycle_{i}.c"] = _chain_source(i, chain, pointees, seed, cyclic=True)
+    for i in range(MODULE_COUNTS["deref"]):
+        sources[f"stress/deref_{i}.c"] = _deref_source(i, depth, max(8, pointees // 4), seed)
+    for i in range(MODULE_COUNTS["handlers"]):
+        sources[f"stress/handlers_{i}.c"] = _handlers_source(i, handlers, seed)
+    return sources
+
+
+def stress_modules(scale: float = 1.0, seed: int = 7) -> list[tuple[str, Module]]:
+    """The stress corpus lowered to IR, sorted by path."""
+    return [
+        (path, lower_source(text, filename=path))
+        for path, text in sorted(stress_sources(scale, seed).items())
+    ]

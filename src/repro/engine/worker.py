@@ -72,6 +72,8 @@ def analyze_lowered(path: str, module: Module, vfg: ValueFlowGraph | None = None
     converged = vfg.andersen.converged
     local.inc("andersen.modules")
     local.observe("andersen.iterations", vfg.andersen.iterations)
+    local.observe("andersen.bitset_nodes", vfg.andersen.nodes)
+    local.inc("andersen.scc_collapsed", vfg.andersen.scc_collapsed)
     if not converged:
         local.inc("andersen.non_converged")
     return ModuleResult(

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.detector import detect_module
 from repro.core.project import Project
 from repro.pointer.andersen import analyze_module
+from repro.pointer.andersen_reference import analyze_module_reference
 from repro.pointer.flow_sensitive import analyze_module_flow_sensitive
 from repro.pointer.steensgaard import analyze_module_steensgaard
 from repro.pointer.value_flow import build_value_flow
@@ -23,6 +24,10 @@ from repro.obs.clock import monotonic
 ANALYSES = {
     "steensgaard": analyze_module_steensgaard,
     "andersen": analyze_module,
+    # The retained pre-interning solver: same fixpoint as "andersen", so
+    # the candidate columns must match — the row exists to surface the
+    # bitset solver's wall-time edge in the same table.
+    "andersen-reference": analyze_module_reference,
     "flow-sensitive": analyze_module_flow_sensitive,
 }
 

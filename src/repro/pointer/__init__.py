@@ -14,7 +14,8 @@ the load/store IR; :mod:`repro.pointer.value_flow` layers the def-use /
 alias queries the detector consumes.
 """
 
-from repro.pointer.andersen import AndersenResult, analyze_module
+from repro.pointer.andersen import AndersenResult, NodeTable, analyze_module
+from repro.pointer.andersen_reference import ReferenceAndersenResult, analyze_module_reference
 from repro.pointer.steensgaard import SteensgaardResult, analyze_module_steensgaard
 from repro.pointer.flow_sensitive import FlowSensitiveResult, analyze_module_flow_sensitive
 from repro.pointer.value_flow import ValueFlowGraph, build_value_flow
@@ -22,7 +23,10 @@ from repro.pointer.sparse_vfg import SparseValueFlow, build_sparse_vfg
 
 __all__ = [
     "AndersenResult",
+    "NodeTable",
     "analyze_module",
+    "ReferenceAndersenResult",
+    "analyze_module_reference",
     "SteensgaardResult",
     "analyze_module_steensgaard",
     "FlowSensitiveResult",

@@ -34,7 +34,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import Function, Module
 from repro.ir.values import FuncRef, Temp, Value
-from repro.pointer.andersen import Node, func_node, loc_node, temp_node
+from repro.pointer.andersen import Node, _EMPTY_PTS, func_node, loc_node, temp_node
 
 _State = dict[Node, frozenset[Node]]
 
@@ -57,10 +57,13 @@ class FlowSensitiveResult:
     _pointed: set[Node] = field(default_factory=set)
     indirect_callees: dict[int, list[str]] = field(default_factory=dict)
 
-    def pts(self, node: Node) -> set[Node]:
-        return self.points_to.get(node, set())
+    def pts(self, node: Node) -> frozenset[Node]:
+        # Immutable view over the working set (which the per-function
+        # solvers keep mutating until the module sweep finishes).
+        pointees = self.points_to.get(node)
+        return frozenset(pointees) if pointees else _EMPTY_PTS
 
-    def pts_of_var(self, function: Function | str, var: str) -> set[Node]:
+    def pts_of_var(self, function: Function | str, var: str) -> frozenset[Node]:
         name = function if isinstance(function, str) else function.name
         return self.pts(loc_node(name, var))
 

@@ -38,6 +38,7 @@ from repro.ir.module import Function, Module
 from repro.ir.values import FuncRef, ParamValue, Temp, Value
 from repro.pointer.andersen import (
     Node,
+    _EMPTY_PTS,
     arg_node,
     func_node,
     global_node,
@@ -77,17 +78,20 @@ class SteensgaardResult:
     indirect_callees: dict[int, list[str]] = field(default_factory=dict)
     _pointed_classes: set[Node] = field(default_factory=set)
 
-    def _pointee_members(self, node: Node) -> set[Node]:
+    def _pointee_members(self, node: Node) -> set[Node] | frozenset[Node]:
         cls = self.classes.find(node)
         target = self.pointee.get(cls)
         if target is None:
-            return set()
-        return self.members.get(self.classes.find(target), set())
+            return _EMPTY_PTS
+        return self.members.get(self.classes.find(target), _EMPTY_PTS)
 
-    def pts(self, node: Node) -> set[Node]:
-        return self._pointee_members(node)
+    def pts(self, node: Node) -> frozenset[Node]:
+        # Immutable view: the member sets back the union-find classes, so
+        # handing them out mutable would let clients corrupt the result.
+        members = self._pointee_members(node)
+        return frozenset(members) if members else _EMPTY_PTS
 
-    def pts_of_var(self, function: Function | str, var: str) -> set[Node]:
+    def pts_of_var(self, function: Function | str, var: str) -> frozenset[Node]:
         name = function if isinstance(function, str) else function.name
         return self.pts(loc_node(name, var))
 

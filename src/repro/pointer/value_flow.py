@@ -36,6 +36,10 @@ class ValueFlowGraph:
     address_taken: dict[str, set[str]] = field(default_factory=dict)
     # fn name -> uids of Call instructions whose result temp is never read
     unused_call_results: dict[str, set[int]] = field(default_factory=dict)
+    # (fn name, var) -> alias-check verdict; the detector probes the same
+    # variable once per candidate, and each miss costs two points-to
+    # translations.
+    _indirect_cache: dict[tuple[str, str], bool] = field(default_factory=dict)
 
     def reaching_for(self, function: Function) -> ReachingDefinitions:
         if function.name not in self.reaching:
@@ -53,7 +57,14 @@ class ValueFlowGraph:
         base = var.split("#", 1)[0]
         if base not in self.address_taken.get(function.name, ()):
             return False
-        return self.andersen.is_pointed_to(function, var) or self.andersen.is_pointed_to(function, base)
+        key = (function.name, var)
+        cached = self._indirect_cache.get(key)
+        if cached is None:
+            cached = self.andersen.is_pointed_to(function, var) or self.andersen.is_pointed_to(
+                function, base
+            )
+            self._indirect_cache[key] = cached
+        return cached
 
     def call_result_unused(self, function: Function, call: Call) -> bool:
         return call.uid in self.unused_call_results.get(function.name, set())

@@ -134,8 +134,16 @@ class TestPointerComparison:
         assert {row.analysis for row in result.rows} == {
             "steensgaard",
             "andersen",
+            "andersen-reference",
             "flow-sensitive",
         }
+
+    def test_reference_agrees_with_andersen(self, result):
+        # Same fixpoint, so the ablation's detector output must match.
+        assert (
+            result.by_name("andersen-reference").candidates
+            == result.by_name("andersen").candidates
+        )
 
     def test_candidate_counts_close(self, result):
         andersen = result.by_name("andersen").candidates

@@ -16,6 +16,7 @@ from check_bench_schema import (  # noqa: E402
     OBSERVABILITY_FIELDS,
     PROVENANCE_FIELDS,
     SERVICE_FIELDS,
+    SOLVER_FIELDS,
     STORE_FIELDS,
     validate_all,
     validate_payload,
@@ -88,6 +89,24 @@ def _valid_v5_payload():
         "gate_seconds": 0.03,
         "gate_fraction_of_cold": 0.025,
         "findings": 8,
+    }
+    return payload
+
+
+def _valid_v6_payload():
+    payload = _valid_v5_payload()
+    payload["schema"] = 6
+    payload["bench_index"] = 6
+    payload["stages"]["solver"] = {
+        "stress_scale": 1.0,
+        "modules": 6,
+        "lower_seconds": 1.4,
+        "solve_seconds": 0.1,
+        "reference_solve_seconds": 1.5,
+        "speedup_vs_reference": 15.0,
+        "nodes": 9000,
+        "scc_collapsed": 2200,
+        "iterations": 12000,
     }
     return payload
 
@@ -214,3 +233,29 @@ class TestStoreSection:
     def test_schema4_grandfathered_without_store(self):
         # PR 4 files predate the findings store; they stay valid.
         assert validate_payload(_valid_v4_payload()) == []
+
+
+class TestSolverSection:
+    def test_valid_v6_payload_passes(self):
+        assert validate_payload(_valid_v6_payload()) == []
+
+    def test_schema6_requires_solver_section(self):
+        payload = _valid_v6_payload()
+        del payload["stages"]["solver"]
+        assert any("stages.solver" in p for p in validate_payload(payload))
+
+    def test_each_solver_field_required(self):
+        for name in SOLVER_FIELDS:
+            payload = _valid_v6_payload()
+            del payload["stages"]["solver"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_inconsistent_speedup_rejected(self):
+        # The recorded ratio must match the recorded wall-times.
+        payload = _valid_v6_payload()
+        payload["stages"]["solver"]["speedup_vs_reference"] = 40.0
+        assert any("speedup_vs_reference" in p for p in validate_payload(payload))
+
+    def test_schema5_grandfathered_without_solver(self):
+        # PR 5 files predate the interned-bitset solver; they stay valid.
+        assert validate_payload(_valid_v5_payload()) == []

@@ -18,9 +18,11 @@ sys.path.insert(0, str(ROOT / "benchmarks"))
 from check_bench_trajectory import (  # noqa: E402
     GATE_BUDGET_FRACTION,
     REGRESSION_FACTOR,
+    SOLVER_SPEEDUP_FLOOR,
     check_all,
     check_gate_budget,
     check_series,
+    check_solver_speedup,
     comparable,
     compare_pair,
     load_series,
@@ -171,6 +173,61 @@ class TestGateBudget:
         series[1][1]["analysis_version"] = "engine-4"
         problems = check_series(series)
         assert any("BENCH_5.json" in p and "gate" in p for p in problems)
+
+
+def _solver_payload(index, solve=0.1, reference=1.5):
+    payload = _store_payload(index)
+    payload["schema"] = 6
+    payload["stages"]["solver"] = {
+        "stress_scale": 1.0,
+        "modules": 6,
+        "lower_seconds": 1.4,
+        "solve_seconds": solve,
+        "reference_solve_seconds": reference,
+        "speedup_vs_reference": reference / solve if solve else None,
+        "nodes": 9000,
+        "scc_collapsed": 2200,
+    }
+    return payload
+
+
+class TestSolverSpeedup:
+    def test_at_floor_passes(self):
+        payload = _solver_payload(6, solve=0.1, reference=0.1 * SOLVER_SPEEDUP_FLOOR)
+        assert check_solver_speedup(payload) == []
+
+    def test_under_floor_fails(self):
+        payload = _solver_payload(6, solve=0.5, reference=1.5)
+        problems = check_solver_speedup(payload, "BENCH_6.json")
+        assert problems and "BENCH_6.json" in problems[0]
+        assert f"{SOLVER_SPEEDUP_FLOOR:.0f}x" in problems[0]
+
+    def test_missing_ratio_fails(self):
+        payload = _solver_payload(6)
+        payload["stages"]["solver"]["speedup_vs_reference"] = None
+        assert check_solver_speedup(payload) != []
+
+    def test_schema5_files_skip_the_floor(self):
+        assert check_solver_speedup(_store_payload(5)) == []
+
+    def test_floor_checked_by_series_walk(self):
+        series = [
+            ("BENCH_5.json", _store_payload(5)),
+            ("BENCH_6.json", _solver_payload(6, solve=1.0, reference=2.0)),
+        ]
+        series[1][1]["analysis_version"] = "engine-4"
+        problems = check_series(series)
+        assert any("BENCH_6.json" in p and "speedup" in p for p in problems)
+
+    def test_solver_wall_time_joins_the_regression_series(self):
+        prev = _solver_payload(6, solve=1.0, reference=20.0)
+        curr = _solver_payload(7, solve=1.6, reference=20.0)
+        problems = compare_pair(prev, curr, "BENCH_6.json", "BENCH_7.json")
+        assert any("solver stress regressed" in p for p in problems)
+
+    def test_schema5_pairs_skip_the_solver_series(self):
+        # Neither file carries stages.solver: nothing to compare.
+        assert compare_pair(_store_payload(5), _store_payload(6)) == []
 
 
 class TestSeriesWalk:
