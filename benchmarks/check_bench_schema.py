@@ -25,6 +25,11 @@ structurally comparable.  This validator asserts the invariants:
   Andersen stress benchmark: bitset-solver and reference-solver
   wall-times, node/SCC counts, and the speedup ratio
   ``check_bench_trajectory.py`` holds at ≥ 10×);
+* schema ≥ 7 files carry the ``stages.obs_overhead`` section
+  (telemetry-on vs telemetry-off cold-analyze windows with profiler
+  sample counts, whose ``overhead_fraction`` must be consistent with
+  the two window times — ``check_bench_trajectory.py`` holds the
+  fraction under its budget);
 * no benchmark was emitted from an unconverged solver run.
 
 Older schemas are grandfathered at the level they were written: schema 1
@@ -33,7 +38,9 @@ common-field checks only; schema 2 files (PR 2, before the analysis
 service) need no ``stages.service``; schema 3 files (PR 3, before
 provenance) need no ``stages.provenance``; schema 4 files (PR 4, before
 the findings store) need no ``stages.store``; schema 5 files (PR 5,
-before the interned-bitset solver) need no ``stages.solver``.
+before the interned-bitset solver) need no ``stages.solver``; schema 6
+files (PR 6, before the operations layer) need no
+``stages.obs_overhead``.
 
 Run directly (``python benchmarks/check_bench_schema.py``) or through
 the tier-1 test ``tests/test_bench_schema.py``.
@@ -103,6 +110,14 @@ SOLVER_FIELDS = (
     "speedup_vs_reference",
     "nodes",
     "scc_collapsed",
+)
+
+OBS_OVERHEAD_FIELDS = (
+    "runs_per_window",
+    "telemetry_on_seconds",
+    "telemetry_off_seconds",
+    "overhead_fraction",
+    "profiler",
 )
 
 
@@ -225,6 +240,33 @@ def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
                         f"stages.solver speedup_vs_reference ({speedup:.2f}) "
                         f"does not match reference/solve ({expected:.2f})"
                     )
+
+    if payload.get("schema", 0) >= 7:
+        overhead = (stages or {}).get("obs_overhead")
+        if not isinstance(overhead, dict):
+            problem("schema>=7 requires stages.obs_overhead")
+        else:
+            for name in OBS_OVERHEAD_FIELDS:
+                if name not in overhead:
+                    problem(f"stages.obs_overhead missing {name!r}")
+            on = overhead.get("telemetry_on_seconds")
+            off = overhead.get("telemetry_off_seconds")
+            fraction = overhead.get("overhead_fraction")
+            if (
+                isinstance(on, (int, float))
+                and isinstance(off, (int, float))
+                and isinstance(fraction, (int, float))
+                and off > 0
+            ):
+                expected = (on - off) / off
+                if abs(fraction - expected) > 0.01 * max(1.0, abs(expected)):
+                    problem(
+                        f"stages.obs_overhead overhead_fraction ({fraction:.4f}) "
+                        f"does not match (on-off)/off ({expected:.4f})"
+                    )
+            profiler = overhead.get("profiler")
+            if isinstance(profiler, dict) and "samples" not in profiler:
+                problem("stages.obs_overhead.profiler missing 'samples'")
     return problems
 
 

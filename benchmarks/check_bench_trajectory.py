@@ -32,6 +32,15 @@ And each schema ≥ 6 file on its own:
   solvers run in the same process on the same host, so the ratio is
   host-independent; a PR that erodes it regressed the solver.
 
+And each schema ≥ 7 file on its own:
+
+* **the observability layer stops being free** —
+  ``stages.obs_overhead`` must show span tracing plus the sampling
+  profiler costing at most 5% over the bare cold-analyze window
+  (beyond a small absolute floor, since the windows are sub-second at
+  the default scale).  The profiler is designed to stay on in
+  production; a PR that makes instrumentation expensive defeats that.
+
 The solver stress wall-time (``stages.solver.solve_seconds``) also
 joins the pair-over-pair regression series: the stress corpus has a
 fixed size regardless of ``--scale``, so the >25% rule applies to it
@@ -41,8 +50,9 @@ Files written before schema 4 (BENCH_1..3) predate the provenance
 section and are grandfathered: pairs involving them are skipped, so the
 checker passes on a series that merely *starts* carrying decision
 counts.  Likewise schema 4 files predate ``stages.store`` and skip the
-gate-latency budget, and schema 5 files predate ``stages.solver`` and
-skip the speedup floor.
+gate-latency budget, schema 5 files predate ``stages.solver`` and skip
+the speedup floor, and schema 6 files predate ``stages.obs_overhead``
+and skip the overhead budget.
 
 Run directly (``python benchmarks/check_bench_trajectory.py``) or
 through the tier-1 test ``tests/test_bench_trajectory.py``.
@@ -82,6 +92,14 @@ GATE_BUDGET_FRACTION = 0.10
 #: Floor on the interned-bitset solver's speedup over the reference
 #: solver on the stress corpus (schema ≥ 6 files only).
 SOLVER_SPEEDUP_FLOOR = 10.0
+
+#: Ceiling on the observability layer's cost (tracing + sampling
+#: profiler) relative to the bare cold-analyze window (schema ≥ 7
+#: files only) ...
+OBS_OVERHEAD_BUDGET_FRACTION = 0.05
+#: ... applied only beyond this absolute delta, since the measured
+#: windows are sub-second and jitter by scheduling noise alone.
+OBS_OVERHEAD_NOISE_FLOOR_SECONDS = 0.01
 
 
 def _dig(payload: dict, path: tuple[str, ...]):
@@ -176,6 +194,31 @@ def check_solver_speedup(payload: dict, name: str = "<payload>") -> list[str]:
     return []
 
 
+def check_obs_overhead(payload: dict, name: str = "<payload>") -> list[str]:
+    """Per-file check: tracing + profiler stay within the overhead budget."""
+    if payload.get("schema", 0) < 7:
+        return []
+    overhead = _dig(payload, ("stages", "obs_overhead")) or {}
+    on = overhead.get("telemetry_on_seconds")
+    off = overhead.get("telemetry_off_seconds")
+    if not isinstance(on, (int, float)) or not isinstance(off, (int, float)):
+        return [f"{name}: stages.obs_overhead window times are missing"]
+    if off <= 0:
+        return []
+    fraction = (on - off) / off
+    if (
+        fraction > OBS_OVERHEAD_BUDGET_FRACTION
+        and on - off > OBS_OVERHEAD_NOISE_FLOOR_SECONDS
+    ):
+        return [
+            f"{name}: observability overhead is {fraction:.1%} "
+            f"(telemetry on {on:.3f}s vs off {off:.3f}s), over the "
+            f"{OBS_OVERHEAD_BUDGET_FRACTION:.0%} budget; tracing and the "
+            f"sampling profiler must stay cheap enough to run always-on"
+        ]
+    return []
+
+
 def load_series(root: Path = ROOT) -> list[tuple[str, dict]]:
     """All BENCH payloads at ``root``, ordered by bench index."""
     series: list[tuple[int, str, dict]] = []
@@ -196,6 +239,7 @@ def check_series(series: list[tuple[str, dict]]) -> list[str]:
     for name, payload in series:
         problems.extend(check_gate_budget(payload, name))
         problems.extend(check_solver_speedup(payload, name))
+        problems.extend(check_obs_overhead(payload, name))
     return problems
 
 

@@ -48,8 +48,11 @@ EXECUTORS = ("serial", "thread", "process")
 # at a fraction of the cold analyze time.  v6 adds ``stages.solver`` —
 # the scale-1.0 Andersen stress benchmark (interned-bitset solver vs the
 # retained reference solver), whose ≥10× speedup the trajectory check
-# holds the build to.
-BENCH_SCHEMA_VERSION = 6
+# holds the build to.  v7 adds ``stages.obs_overhead`` — the cost of the
+# always-on observability layer (span tracing + the sampling profiler)
+# measured as telemetry-on vs telemetry-off cold-analyze windows, which
+# check_bench_trajectory.py caps at a small fraction.
+BENCH_SCHEMA_VERSION = 7
 
 # The solver stress corpus always runs at this scale regardless of
 # --scale: the stress shape is what makes propagation dominate, and the
@@ -396,6 +399,88 @@ def _store_timings(scale: float, seed: int) -> dict:
     }
 
 
+def _obs_overhead_timings(
+    scale: float, seed: int, runs: int = 5, repeats: int = 5
+) -> dict:
+    """Cost of the always-on observability layer on a cold analyze.
+
+    Times windows of ``runs`` cold analyzes (module cache off, project
+    re-parsed each run) twice per repeat: once with tracing enabled and
+    the sampling profiler attached, once with the tracer disabled and no
+    profiler.  The modes are interleaved and the minimum window per mode
+    is kept, pyperf-style: a single cold analyze is tens of milliseconds
+    at the default scale, so one-shot deltas are scheduling noise.  The
+    trajectory check holds ``overhead_fraction`` under its budget — the
+    profiler is meant to run in production, so it must be nearly free.
+    """
+    import gc
+
+    from repro.corpus import generate_app
+
+    app = generate_app("nfs-ganesha", scale=scale, seed=seed)
+    config = ValueCheckConfig(module_cache=False)
+    profile_interval = 0.01
+
+    def window(instrumented: bool) -> tuple[float, dict | None]:
+        telemetry = obs.Telemetry.fresh(trace=instrumented)
+        gc.collect()
+        if instrumented:
+            profiler = obs.SamplingProfiler(
+                interval=profile_interval,
+                phase_resolver=telemetry.tracer.active_name,
+            )
+            with obs.use(telemetry), profiler:
+                started = monotonic()
+                for _ in range(runs):
+                    ValueCheck(config).analyze(app.project(), telemetry=telemetry)
+                seconds = monotonic() - started
+            return seconds, profiler.stats()
+        with obs.use(telemetry):
+            started = monotonic()
+            for _ in range(runs):
+                ValueCheck(config).analyze(app.project(), telemetry=telemetry)
+            return monotonic() - started, None
+
+    # One untimed pass first: the very first analyze pays parser warmup
+    # and lazy imports, which would otherwise land entirely on whichever
+    # mode runs first and swamp the few-percent signal being measured.
+    ValueCheck(config).analyze(app.project())
+
+    on_windows: list[float] = []
+    off_windows: list[float] = []
+    profiler_stats: dict | None = None
+    for repeat in range(repeats):
+        # Alternate which mode goes first so slow drift (thermal, page
+        # cache) cancels instead of biasing one mode.
+        order = (False, True) if repeat % 2 == 0 else (True, False)
+        for instrumented in order:
+            seconds, stats = window(instrumented=instrumented)
+            if instrumented:
+                on_windows.append(seconds)
+                profiler_stats = stats
+            else:
+                off_windows.append(seconds)
+
+    on_best = min(on_windows)
+    off_best = min(off_windows)
+    return {
+        "runs_per_window": runs,
+        "repeats": repeats,
+        "telemetry_on_seconds": on_best,
+        "telemetry_off_seconds": off_best,
+        "overhead_fraction": (
+            (on_best - off_best) / off_best if off_best else None
+        ),
+        "telemetry_on_windows": on_windows,
+        "telemetry_off_windows": off_windows,
+        "profiler": {
+            "interval_seconds": profile_interval,
+            "samples": (profiler_stats or {}).get("samples", 0),
+            "ticks": (profiler_stats or {}).get("ticks", 0),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--scale", type=float, default=float(os.environ.get("REPRO_SCALE", 0.1)))
@@ -430,6 +515,7 @@ def main(argv: list[str] | None = None) -> int:
     payload["stages"]["service"] = _service_timings(args.scale, args.seed)
     payload["stages"]["store"] = _store_timings(args.scale, args.seed)
     payload["stages"]["solver"] = _solver_timings(args.seed)
+    payload["stages"]["obs_overhead"] = _obs_overhead_timings(args.scale, args.seed)
     if not args.skip_pytest:
         print("[run_bench] running pytest-benchmark suite …")
         payload["pytest_benchmark"] = _run_pytest_benchmarks(args.scale, args.seed)
@@ -463,6 +549,13 @@ def main(argv: list[str] | None = None) -> int:
           f"reference {solver['reference_solve_seconds']:.3f}s "
           f"({solver['speedup_vs_reference']:.1f}x, {solver['nodes']} nodes, "
           f"{solver['scc_collapsed']} collapsed)")
+    overhead = stages["obs_overhead"]
+    print(f"[run_bench] obs overhead: telemetry+profiler "
+          f"{overhead['telemetry_on_seconds']:.3f}s vs bare "
+          f"{overhead['telemetry_off_seconds']:.3f}s per "
+          f"{overhead['runs_per_window']}-run window "
+          f"({overhead['overhead_fraction']:+.1%}, "
+          f"{overhead['profiler']['samples']} profiler samples)")
     print(f"[run_bench] wrote {out_path}")
     return 0
 

@@ -36,8 +36,18 @@ Subcommands::
         stay parsed between requests and ``analyze_diff`` re-analyses
         only changed modules.
 
-    valuecheck client <request-type> [--port P] [--params JSON]
+    valuecheck client <request-type> [--port P] [--params JSON] [--trace-id T]
         Send one request to a running daemon and print the response.
+
+    valuecheck profile <dir> [--runs N] [--interval S] [--out FILE]
+        Run the analysis under the sampling profiler and print per-phase
+        CPU attribution; --out writes flamegraph folded stacks.
+
+    valuecheck events [--follow] [--since N] [--kind K]
+        Stream a running daemon's lifecycle event journal.
+
+    valuecheck top [--interval S] [--iterations N]
+        Live dashboard over a running daemon's health/stats.
 """
 
 from __future__ import annotations
@@ -94,17 +104,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     # One ambient telemetry covers parsing AND analysis, so the exported
     # trace is a single parse→rank span tree.
     telemetry = obs.Telemetry.fresh()
-    with obs.use(telemetry):
-        project = Project.from_sources(
-            sources, name=source_dir.name, repo=repo, build_config=set(args.config or ())
-        )
-        config = ValueCheckConfig(
-            use_authorship=repo is not None,
-            executor=args.executor,
-            workers=args.workers,
-            module_cache=not args.no_module_cache,
-        )
-        report = ValueCheck(config).analyze(project)
+    profiler = None
+    if args.profile_out:
+        profiler = obs.SamplingProfiler(
+            interval=args.profile_interval,
+            phase_resolver=telemetry.tracer.active_name,
+        ).start()
+    try:
+        with obs.use(telemetry):
+            project = Project.from_sources(
+                sources, name=source_dir.name, repo=repo, build_config=set(args.config or ())
+            )
+            config = ValueCheckConfig(
+                use_authorship=repo is not None,
+                executor=args.executor,
+                workers=args.workers,
+                module_cache=not args.no_module_cache,
+            )
+            report = ValueCheck(config).analyze(project)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     print(report.summary())
     print()
     reported = report.reported()
@@ -142,6 +162,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.trace_tree:
         print()
         print(telemetry.tracer.render_tree())
+    if profiler is not None:
+        Path(args.profile_out).write_text(profiler.render_folded())
+        print(
+            f"wrote folded stacks to {args.profile_out} "
+            f"({profiler.stats()['samples']} samples; feed to flamegraph.pl/speedscope)"
+        )
+        print(profiler.render_phases(), end="")
     if args.stats_out:
         obs.write_jsonl(args.stats_out, report.stats_record())
         print(f"appended run record to {args.stats_out}")
@@ -413,9 +440,194 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run the pipeline under the sampling profiler and report where the
+    CPU goes, per pipeline phase (innermost open span)."""
+    if args.runs < 1:
+        print("error: --runs must be at least 1", file=sys.stderr)
+        return 2
+    source_dir = Path(args.directory)
+    if not source_dir.is_dir():
+        print(f"error: {source_dir} is not a directory", file=sys.stderr)
+        return 2
+    repo = Repository.load(args.repo) if args.repo else None
+    sources = {
+        str(path.relative_to(source_dir)): path.read_text()
+        for path in sorted(source_dir.rglob("*.c"))
+    }
+    if not sources:
+        print("error: no .c files found", file=sys.stderr)
+        return 2
+    telemetry = obs.Telemetry.fresh()
+    profiler = obs.SamplingProfiler(
+        interval=args.interval, phase_resolver=telemetry.tracer.active_name
+    )
+    config = ValueCheckConfig(
+        use_authorship=repo is not None,
+        executor=args.executor,
+        module_cache=False,  # cached runs sample nothing; profile real work
+    )
+    with obs.use(telemetry), profiler:
+        for _ in range(args.runs):
+            project = Project.from_sources(
+                sources,
+                name=source_dir.name,
+                repo=repo,
+                build_config=set(args.config or ()),
+            )
+            ValueCheck(config).analyze(project)
+    stats = profiler.stats()
+    print(
+        f"profiled {args.runs} run(s): {stats['samples']} samples over "
+        f"{stats['active_seconds']:.2f}s at {args.interval * 1e3:.1f}ms intervals"
+    )
+    print()
+    print(profiler.render_phases(), end="")
+    if args.out:
+        Path(args.out).write_text(profiler.render_folded())
+        print(f"\nwrote folded stacks to {args.out} (feed to flamegraph.pl/speedscope)")
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    """Stream a running daemon's lifecycle event journal."""
+    import time
+
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        client = ServiceClient(host=args.host, port=args.port)
+    except OSError as error:
+        print(f"error: cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+    cursor = args.since
+    polls = 0
+    with client:
+        while True:
+            try:
+                result = client.events(since=cursor, limit=args.limit, kind=args.kind)
+            except ServiceError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            for event in result["events"]:
+                cursor = max(cursor, event["seq"])
+                print(json.dumps(event, sort_keys=True))
+            polls += 1
+            if not args.follow:
+                break
+            if args.iterations is not None and polls >= args.iterations:
+                break
+            try:
+                time.sleep(args.poll_interval)
+            except KeyboardInterrupt:
+                break
+    return 0
+
+
+def _render_top(stats: dict) -> str:
+    """One refresh of the `valuecheck top` dashboard from a stats response."""
+    health = stats.get("health", {})
+    lines = [
+        f"valuecheck service  status={health.get('status', '?')}  "
+        f"uptime={health.get('uptime_seconds', 0.0):.1f}s  "
+        f"protocol={health.get('protocol', '?')}",
+        f"queue {health.get('queue_depth', 0)}/{health.get('queue_capacity', 0)}  "
+        f"inflight={health.get('inflight', 0)}  workers={health.get('workers', 0)}  "
+        f"sessions={health.get('sessions', 0)}",
+        "",
+        "slo              status     p99        burn   window",
+    ]
+    for slo in health.get("slos", ()):
+        p99 = slo.get("p99_seconds")
+        lines.append(
+            f"  {slo.get('name', '?'):<15}{slo.get('status', '?'):<9}"
+            f"{(f'{p99 * 1e3:8.1f}ms' if p99 is not None else '       --'):>10}"
+            f"{slo.get('burn_rate', 0.0):>8.2f}  {slo.get('window_count', 0)}"
+        )
+    journal = health.get("journal", {})
+    traces = health.get("traces", {})
+    profiler = health.get("profiler", {})
+    lines.append("")
+    lines.append(
+        f"journal {journal.get('retained', 0)}/{journal.get('capacity', 0)} "
+        f"(dropped {journal.get('dropped', 0)})   "
+        f"traces {traces.get('retained', 0)}/{traces.get('capacity', 0)}   "
+        f"profiler {'on' if profiler.get('running') else 'off'} "
+        f"({profiler.get('samples', 0)} samples)"
+    )
+    phases = stats.get("profile_phases") or {}
+    if phases:
+        lines.append("")
+        lines.append("phase seconds (sampled):")
+        for phase, seconds in sorted(phases.items(), key=lambda kv: -kv[1])[:8]:
+            lines.append(f"  {phase:<24}{seconds:>9.3f}")
+    sessions = stats.get("sessions") or []
+    if sessions:
+        lines.append("")
+        lines.append("session          modules    loc  analyses  diffs  idle")
+        for row in sessions:
+            lines.append(
+                f"  {row.get('project_id', '?'):<15}{row.get('modules', 0):>7}"
+                f"{row.get('loc', 0):>7}{row.get('analyze_count', 0):>10}"
+                f"{row.get('diff_count', 0):>7}  {row.get('idle_seconds', 0.0):.1f}s"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Refreshing terminal dashboard over a running daemon."""
+    import time
+
+    from repro.service import ServiceClient, ServiceError
+
+    shown = 0
+    while True:
+        try:
+            with ServiceClient(host=args.host, port=args.port) as client:
+                stats = client.stats()
+        except OSError as error:
+            print(
+                f"error: cannot reach {args.host}:{args.port}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if shown and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")  # clear + home between refreshes
+        print(_render_top(stats), end="")
+        shown += 1
+        if args.iterations is not None and shown >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServiceConfig, serve_stdio, serve_tcp
 
+    from repro.obs import DEFAULT_SLOS, SloConfig
+
+    slos = DEFAULT_SLOS
+    if args.slo_target is not None or args.slo_error_budget is not None:
+        base = DEFAULT_SLOS[0]
+        slos = (
+            SloConfig(
+                name=base.name,
+                target_seconds=(
+                    args.slo_target if args.slo_target is not None else base.target_seconds
+                ),
+                error_budget=(
+                    args.slo_error_budget
+                    if args.slo_error_budget is not None
+                    else base.error_budget
+                ),
+                window_seconds=base.window_seconds,
+            ),
+        ) + DEFAULT_SLOS[1:]
     config = ServiceConfig(
         workers=args.workers,
         queue_capacity=args.queue_capacity,
@@ -423,6 +635,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         max_session_loc=args.max_session_loc,
         executor=args.executor,
+        journal_path=args.journal,
+        slos=slos,
+        profiler=not args.no_profiler,
+        profile_interval=args.profile_interval,
     )
     if args.stdio:
         service = serve_stdio(config)
@@ -469,10 +685,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
         return 2
     with client:
         try:
-            result = client.request(args.type, params, retries=args.retries)
+            result = client.request(
+                args.type, params, retries=args.retries, trace_id=args.trace_id
+            )
         except ServiceError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+        if args.trace_id and client.last_trace_id == args.trace_id:
+            print(f"trace_id: {args.trace_id}", file=sys.stderr)
     print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
@@ -553,7 +773,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus",
         help="write the run's metrics in Prometheus text exposition format",
     )
+    analyze.add_argument(
+        "--profile-out",
+        help="run under the sampling profiler and write flamegraph folded stacks here",
+    )
+    analyze.add_argument(
+        "--profile-interval",
+        type=float,
+        default=0.005,
+        help="profiler sampling interval in seconds (default: 0.005)",
+    )
     analyze.set_defaults(func=_cmd_analyze)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run the analysis under the sampling profiler (per-phase CPU attribution)",
+    )
+    profile.add_argument("directory")
+    profile.add_argument("--repo", help="MiniGit repo.json for authorship + ranking")
+    profile.add_argument("--config", nargs="*", help="enabled build macros")
+    profile.add_argument(
+        "--runs", type=int, default=3, help="analysis passes to sample (default: 3)"
+    )
+    profile.add_argument(
+        "--interval",
+        type=float,
+        default=0.005,
+        help="sampling interval in seconds (default: 0.005)",
+    )
+    profile.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="how per-module analysis is scheduled (default: serial)",
+    )
+    profile.add_argument("--out", help="write flamegraph folded stacks to this file")
+    profile.set_defaults(func=_cmd_profile)
 
     snapshot = subparsers.add_parser(
         "snapshot", help="analyze and record a baseline snapshot in the findings store"
@@ -692,6 +947,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus",
         help="write the service's metrics in Prometheus text format on exit",
     )
+    serve.add_argument(
+        "--journal",
+        help="mirror the lifecycle event journal to this JSONL file",
+    )
+    serve.add_argument(
+        "--no-profiler",
+        action="store_true",
+        help="disable the always-on sampling profiler",
+    )
+    serve.add_argument(
+        "--profile-interval",
+        type=float,
+        default=0.01,
+        help="profiler sampling interval in seconds (default: 0.01)",
+    )
+    serve.add_argument(
+        "--slo-target",
+        type=float,
+        default=None,
+        help="override the 'requests' SLO latency target in seconds",
+    )
+    serve.add_argument(
+        "--slo-error-budget",
+        type=float,
+        default=None,
+        help="override the 'requests' SLO error budget fraction",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     client = subparsers.add_parser(
@@ -709,6 +991,8 @@ def build_parser() -> argparse.ArgumentParser:
             "gate",
             "stats",
             "health",
+            "trace",
+            "events",
             "shutdown",
         ),
     )
@@ -724,7 +1008,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="how many queue_full rejections to retry (honouring retry_after)",
     )
+    client.add_argument(
+        "--trace-id",
+        default=None,
+        help="propagate this trace id; fetch the trace later with "
+        "`client trace --params '{\"trace_id\": ...}'`",
+    )
     client.set_defaults(func=_cmd_client)
+
+    events = subparsers.add_parser(
+        "events", help="stream a running daemon's lifecycle event journal"
+    )
+    events.add_argument("--host", default="127.0.0.1")
+    events.add_argument("--port", type=int, default=7432)
+    events.add_argument(
+        "--since", type=int, default=0, help="only events with seq > N (default: 0)"
+    )
+    events.add_argument("--limit", type=int, default=None, help="events per poll")
+    events.add_argument(
+        "--kind", default=None, help="filter by kind prefix (e.g. 'session')"
+    )
+    events.add_argument(
+        "--follow", action="store_true", help="keep polling for new events (Ctrl-C stops)"
+    )
+    events.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        help="seconds between polls with --follow (default: 1)",
+    )
+    events.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop --follow after N polls (default: until interrupted)",
+    )
+    events.set_defaults(func=_cmd_events)
+
+    top = subparsers.add_parser(
+        "top", help="live dashboard over a running daemon's health and stats"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7432)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N refreshes (default: until interrupted)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     evaluate = subparsers.add_parser("evaluate", help="run the full evaluation")
     evaluate.add_argument("--scale", type=float, default=None)

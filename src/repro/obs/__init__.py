@@ -11,6 +11,13 @@ The subsystem has three parts (all stdlib-only):
 * :mod:`repro.obs.sinks` — JSONL run records, Prometheus text
   exposition, and the ``valuecheck stats`` summary table.
 
+On top sit the *operational* modules the analysis service uses:
+:mod:`repro.obs.journal` (bounded lifecycle event log),
+:mod:`repro.obs.profiler` (always-on sampling profiler with per-phase
+attribution), :mod:`repro.obs.slo` (sliding-window latency/error-budget
+tracking behind ``health``) and :mod:`repro.obs.tracestore` (the ring of
+completed per-request traces behind the ``trace`` request).
+
 Instrumentation sites use the **ambient telemetry** established with
 :func:`use`::
 
@@ -35,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.obs.clock import monotonic, wall_clock
+from repro.obs.journal import Event, EventJournal
 from repro.obs.metrics import (
     METRICS_SCHEMA_VERSION,
     MetricsRegistry,
@@ -53,13 +61,16 @@ from repro.obs.provenance import (
     render_record,
     render_records,
 )
+from repro.obs.profiler import IDLE_PHASE, SamplingProfiler, fold_frame
 from repro.obs.sinks import (
     read_jsonl,
     render_stats_table,
     to_prometheus,
     write_jsonl,
 )
+from repro.obs.slo import DEFAULT_SLOS, SloConfig, SloTracker, build_trackers
 from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs.tracestore import TraceRecord, TraceStore
 
 
 @dataclass
@@ -77,11 +88,28 @@ class Telemetry:
 # The ambient telemetry stack.  Pushed/popped on the orchestrating
 # thread; the Tracer/MetricsRegistry themselves are thread-safe, so
 # worker threads may record into whatever was ambient when they started.
+#
+# Two layers: a per-thread stack (the pushing thread's own instrumentation
+# always resolves to *its* telemetry, even while sibling service workers
+# run other requests under their own) and a global stack that threads
+# which never pushed — engine executor workers — fall back to.
 _lock = threading.Lock()
 _stack: list[Telemetry] = []
+_local = threading.local()
+
+
+def _local_stack() -> list[Telemetry]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
 
 
 def current() -> Telemetry | None:
+    local = getattr(_local, "stack", None)
+    if local:
+        return local[-1]
     with _lock:
         return _stack[-1] if _stack else None
 
@@ -89,6 +117,8 @@ def current() -> Telemetry | None:
 @contextmanager
 def use(telemetry: Telemetry) -> Iterator[Telemetry]:
     """Make ``telemetry`` ambient for the duration of the block."""
+    local = _local_stack()
+    local.append(telemetry)
     with _lock:
         _stack.append(telemetry)
     try:
@@ -97,6 +127,10 @@ def use(telemetry: Telemetry) -> Iterator[Telemetry]:
         # Remove *this* telemetry, not whatever is on top: concurrent
         # service workers interleave their push/pop pairs, and a blind
         # pop() would drop a sibling's telemetry instead of ours.
+        for index in range(len(local) - 1, -1, -1):
+            if local[index] is telemetry:
+                del local[index]
+                break
         with _lock:
             for index in range(len(_stack) - 1, -1, -1):
                 if _stack[index] is telemetry:
@@ -119,16 +153,27 @@ def metrics() -> MetricsRegistry | None:
 
 
 __all__ = [
+    "DEFAULT_SLOS",
+    "Event",
+    "EventJournal",
+    "IDLE_PHASE",
     "METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
     "PROVENANCE_SCHEMA_VERSION",
     "ProvenanceLog",
     "ProvenanceRecord",
     "PrunerVerdict",
+    "SamplingProfiler",
+    "SloConfig",
+    "SloTracker",
     "Span",
     "Telemetry",
+    "TraceRecord",
+    "TraceStore",
     "Tracer",
+    "build_trackers",
     "current",
+    "fold_frame",
     "deterministic_view",
     "detection_record",
     "metric_key",

@@ -37,12 +37,27 @@ def read_jsonl(path: str | Path) -> list[dict]:
     return records
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and newline must be escaped inside the
+    double-quoted value (in that order — escaping the backslash first
+    keeps the other two escapes from being re-escaped)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prometheus_name(key: str) -> tuple[str, str]:
     """Split a canonical metric key into (prometheus name, label block)."""
     name, labels = parse_key(key)
     flat = name.replace(".", "_").replace("-", "_")
     if labels:
-        inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        inner = ",".join(
+            f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+        )
         return flat, "{" + inner + "}"
     return flat, ""
 

@@ -42,6 +42,18 @@ class Span:
     def seconds(self) -> float:
         return (self.end if self.end is not None else self.start) - self.start
 
+    def as_dict(self) -> dict:
+        """A plain JSON-ready form (what the service's trace store keeps)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": round(self.start, 9),
+            "seconds": round(self.seconds, 9),
+            "attrs": {str(k): str(v) for k, v in self.attrs.items()},
+        }
+
 
 class Tracer:
     """Thread-safe span recorder with Chrome trace-event export."""
@@ -55,6 +67,12 @@ class Tracer:
         self._stacks = threading.local()
         # Stable small ints per OS thread id, in order of first appearance.
         self._thread_ids: dict[int, int] = {}
+        # Open-span stacks keyed by OS thread ident, readable from *other*
+        # threads (the sampling profiler attributes samples to whatever
+        # span the sampled thread currently has open).  The thread-local
+        # `_stacks` stays the fast path for parent lookup; this mirror is
+        # maintained under the lock on every push/pop.
+        self._active: dict[int, list[Span]] = {}
 
     # -- recording -------------------------------------------------------
 
@@ -91,6 +109,9 @@ class Tracer:
             attrs=dict(attrs),
         )
         stack.append(record)
+        ident = threading.get_ident()
+        with self._lock:
+            self._active.setdefault(ident, []).append(record)
         try:
             yield record
         finally:
@@ -98,6 +119,61 @@ class Tracer:
             record.end = monotonic() - self._epoch
             with self._lock:
                 self._spans.append(record)
+                open_stack = self._active.get(ident)
+                if open_stack:
+                    open_stack.pop()
+                    if not open_stack:
+                        del self._active[ident]
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: int | None = None,
+        **attrs,
+    ) -> Span | None:
+        """Record an already-measured region as a completed span.
+
+        For costs measured outside any ``with span(...)`` block — e.g. a
+        request's queue wait, which elapses before a worker thread ever
+        touches it.  ``start``/``end`` are seconds relative to the tracer
+        epoch (what :meth:`elapsed` returns).
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            thread_id=self._thread_id(),
+            start=start,
+            end=end,
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._spans.append(record)
+        return record
+
+    def elapsed(self) -> float:
+        """Seconds since the tracer epoch (the `start` of a span opened now)."""
+        return monotonic() - self._epoch
+
+    def active_name(self, ident: int | None = None) -> str | None:
+        """The innermost open span name on a thread (default: this one).
+
+        Safe to call from any thread — this is how the sampling profiler
+        attributes a stack sample to the pipeline phase the sampled
+        thread is currently inside.
+        """
+        if ident is None:
+            ident = threading.get_ident()
+        with self._lock:
+            stack = self._active.get(ident)
+            return stack[-1].name if stack else None
 
     # -- views -----------------------------------------------------------
 

@@ -1,0 +1,157 @@
+"""Bounded store of completed request traces, keyed by request and trace id.
+
+The service runs each data-plane request under its own per-request
+:class:`~repro.obs.trace.Tracer` (epoch = submit time, so queue wait is
+on the timeline).  When the request finishes, the completed spans are
+frozen into a :class:`TraceRecord` and parked here; clients fetch them
+back with the ``trace`` service request using either the server-assigned
+request id or the client-propagated ``trace_id``.
+
+The store is a ring: the newest ``capacity`` traces are retained,
+evictions are counted, and lookup of an evicted trace is a clean
+``unknown_trace`` error at the protocol layer — never unbounded memory.
+
+``to_chrome()`` renders any subset of stored traces into one Chrome
+trace-event JSON where **every (request, thread) pair gets its own
+track** (distinct ``tid``), so two requests that ran concurrently on
+the same worker thread still land on separate rows instead of
+overprinting each other.  Thread-name metadata events label each track
+with the request id and span-thread it came from.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.obs.clock import wall_clock
+from repro.obs.trace import Span
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One finished request's spans plus identity and outcome."""
+
+    request_id: int
+    trace_id: str
+    kind: str
+    ok: bool
+    seconds: float
+    finished_ts: float = field(default_factory=wall_clock)
+    spans: tuple[Span, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "type": self.kind,
+            "ok": self.ok,
+            "seconds": round(self.seconds, 6),
+            "finished_ts": round(self.finished_ts, 6),
+            "span_count": len(self.spans),
+            "spans": [span.as_dict() for span in self.spans],
+        }
+
+
+class TraceStore:
+    """Thread-safe ring of the newest ``capacity`` completed traces."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._by_request: "OrderedDict[int, TraceRecord]" = OrderedDict()
+        self._evicted = 0
+
+    def put(self, record: TraceRecord) -> None:
+        with self._lock:
+            self._by_request[record.request_id] = record
+            self._by_request.move_to_end(record.request_id)
+            while len(self._by_request) > self.capacity:
+                self._by_request.popitem(last=False)
+                self._evicted += 1
+
+    def get(self, request_id: int) -> TraceRecord | None:
+        with self._lock:
+            return self._by_request.get(request_id)
+
+    def get_by_trace_id(self, trace_id: str) -> TraceRecord | None:
+        """Newest record carrying this trace id (a client may reuse one
+        trace id across several requests; the latest wins)."""
+        with self._lock:
+            for record in reversed(self._by_request.values()):
+                if record.trace_id == trace_id:
+                    return record
+        return None
+
+    def records(self) -> list[TraceRecord]:
+        """All retained records, oldest first."""
+        with self._lock:
+            return list(self._by_request.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "retained": len(self._by_request),
+                "capacity": self.capacity,
+                "evicted": self._evicted,
+            }
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome(self, records: list[TraceRecord] | None = None) -> dict:
+        """Chrome trace-event JSON over ``records`` (default: everything).
+
+        Requests are separate logical timelines even when their spans ran
+        on the same OS worker thread, so the ``tid`` is assigned per
+        (request, span-thread) pair — concurrent requests render on
+        distinct tracks.  A thread-name metadata event ("M") labels each
+        track ``request <id> <type> / t<thread>``.
+        """
+        if records is None:
+            records = self.records()
+        events: list[dict] = []
+        meta: list[dict] = []
+        next_tid = 0
+        for record in records:
+            track_ids: dict[int, int] = {}
+            for span in record.spans:
+                tid = track_ids.get(span.thread_id)
+                if tid is None:
+                    tid = next_tid
+                    next_tid += 1
+                    track_ids[span.thread_id] = tid
+                    meta.append(
+                        {
+                            "name": "thread_name",
+                            "ph": "M",
+                            "pid": 0,
+                            "tid": tid,
+                            "args": {
+                                "name": (
+                                    f"request {record.request_id} {record.kind}"
+                                    f" / t{span.thread_id}"
+                                )
+                            },
+                        }
+                    )
+                events.append(
+                    {
+                        "name": span.name,
+                        "ph": "X",
+                        "ts": round(span.start * 1e6, 3),
+                        "dur": round(span.seconds * 1e6, 3),
+                        "pid": 0,
+                        "tid": tid,
+                        "cat": "repro",
+                        "args": {
+                            "trace_id": record.trace_id,
+                            "request_id": str(record.request_id),
+                            **{str(k): str(v) for k, v in span.attrs.items()},
+                        },
+                    }
+                )
+        events.sort(key=lambda event: (event["ts"], event["tid"], event["name"]))
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}

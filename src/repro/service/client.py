@@ -33,32 +33,48 @@ class ServiceClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("r", encoding="utf-8")
         self._next_id = 0
+        #: The ``trace_id`` of the last data-plane response — the key to
+        #: hand to :meth:`trace` to fetch that request's full trace.
+        self.last_trace_id: str | None = None
 
     # -- low level -------------------------------------------------------
 
-    def request_raw(self, kind: str, params: dict | None = None) -> dict:
+    def request_raw(
+        self, kind: str, params: dict | None = None, trace_id: str | None = None
+    ) -> dict:
         """Send one request, return the raw response envelope."""
         self._next_id += 1
         payload = {"id": self._next_id, "type": kind, "params": params or {}}
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
         self._sock.sendall(encode(payload).encode())
         line = self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         import json
 
-        return json.loads(line)
+        response = json.loads(line)
+        if response.get("trace_id"):
+            self.last_trace_id = response["trace_id"]
+        return response
 
     def request(
-        self, kind: str, params: dict | None = None, retries: int = 0
+        self,
+        kind: str,
+        params: dict | None = None,
+        retries: int = 0,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         """Send one request, unwrap the result, raise on error.
 
         ``retries`` bounds how many ``queue_full`` rejections are retried
         (sleeping the server-provided ``retry_after`` hint each time).
+        ``trace_id`` propagates the caller's trace context; the server
+        records every span of the request under it.
         """
         attempt = 0
         while True:
-            response = self.request_raw(kind, params)
+            response = self.request_raw(kind, params, trace_id=trace_id)
             if response.get("ok"):
                 return response["result"]
             error = response.get("error", {})
@@ -71,20 +87,55 @@ class ServiceClient:
 
     # -- typed helpers ---------------------------------------------------
 
-    def open_project(self, **params) -> dict:
-        return self.request("open_project", params)
+    def open_project(self, trace_id: str | None = None, **params) -> dict:
+        return self.request("open_project", params, trace_id=trace_id)
 
-    def analyze(self, project_id: str, **params) -> dict:
-        return self.request("analyze", {"project_id": project_id, **params})
+    def analyze(self, project_id: str, trace_id: str | None = None, **params) -> dict:
+        return self.request(
+            "analyze", {"project_id": project_id, **params}, trace_id=trace_id
+        )
 
-    def analyze_diff(self, project_id: str, **params) -> dict:
-        return self.request("analyze_diff", {"project_id": project_id, **params})
+    def analyze_diff(
+        self, project_id: str, trace_id: str | None = None, **params
+    ) -> dict:
+        return self.request(
+            "analyze_diff", {"project_id": project_id, **params}, trace_id=trace_id
+        )
 
     def stats(self) -> dict:
         return self.request("stats")
 
     def health(self) -> dict:
         return self.request("health")
+
+    def trace(
+        self,
+        request_id: int | None = None,
+        trace_id: str | None = None,
+        chrome: bool = False,
+    ) -> dict:
+        """Fetch a completed request's trace (defaults to the last traced
+        response this client saw)."""
+        if request_id is None and trace_id is None:
+            trace_id = self.last_trace_id
+        params: dict = {}
+        if request_id is not None:
+            params["request_id"] = request_id
+        if trace_id is not None:
+            params["trace_id"] = trace_id
+        if chrome:
+            params["chrome"] = True
+        return self.request("trace", params)
+
+    def events(
+        self, since: int = 0, limit: int | None = None, kind: str | None = None
+    ) -> dict:
+        params: dict = {"since": since}
+        if limit is not None:
+            params["limit"] = limit
+        if kind is not None:
+            params["kind"] = kind
+        return self.request("events", params)
 
     def shutdown(self, drain: bool = True) -> dict:
         return self.request("shutdown", {"drain": drain})

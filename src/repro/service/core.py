@@ -37,6 +37,16 @@ from repro import obs
 from repro.core.project import Project
 from repro.core.valuecheck import ValueCheckConfig
 from repro.engine import DEFAULT_CACHE
+from repro.obs import (
+    DEFAULT_SLOS,
+    EventJournal,
+    SamplingProfiler,
+    SloConfig,
+    TraceRecord,
+    TraceStore,
+    Tracer,
+    build_trackers,
+)
 from repro.obs.clock import monotonic
 from repro.service.protocol import (
     MAX_REQUEST_BYTES,
@@ -64,6 +74,13 @@ class ServiceConfig:
     retry_after: float = 0.5  # hint sent with queue_full rejections
     executor: str = "serial"  # engine executor inside each request
     engine_workers: int | None = None
+    # Operational layer (see docs/OBSERVABILITY.md):
+    trace_capacity: int = 256  # completed request traces retained
+    journal_capacity: int = 2048  # lifecycle events retained in the ring
+    journal_path: str | None = None  # optional JSONL mirror of the journal
+    slos: tuple[SloConfig, ...] = DEFAULT_SLOS
+    profiler: bool = True  # always-on sampling profiler
+    profile_interval: float = 0.01  # sampler tick, seconds
 
 
 @dataclass
@@ -73,6 +90,15 @@ class _Pending:
     request: dict
     enqueued_at: float
     deadline: float
+    # Server-assigned monotonically increasing request number and the
+    # trace id (client-propagated or server-assigned) all spans of this
+    # request are recorded under.
+    seq: int = 0
+    trace_id: str = ""
+    # The per-request tracer: constructed at accept time, so its epoch
+    # is the moment the request entered the queue and queue wait shows
+    # up on the request's own timeline.
+    tracer: Tracer | None = None
     done: threading.Event = field(default_factory=threading.Event)
     response: dict | None = None
     # Set by the submitter when it gives up waiting: the worker then
@@ -88,10 +114,26 @@ class AnalysisService:
         self.config = config or ServiceConfig()
         self.telemetry = obs.Telemetry.fresh()
         self.metrics = self.telemetry.metrics
+        self.journal = EventJournal(
+            capacity=self.config.journal_capacity,
+            sink_path=self.config.journal_path,
+        )
+        self.traces = TraceStore(capacity=self.config.trace_capacity)
+        self.slos = build_trackers(tuple(self.config.slos))
+        # OS thread ident -> the per-request tracer currently running on
+        # that worker thread; the profiler resolves samples to pipeline
+        # phases through this registry.
+        self._tracer_lock = threading.Lock()
+        self._request_tracers: dict[int, Tracer] = {}
+        self.profiler = SamplingProfiler(
+            interval=self.config.profile_interval,
+            phase_resolver=self._profiler_phase,
+        )
         self.sessions = SessionManager(
             max_sessions=self.config.max_sessions,
             max_total_loc=self.config.max_session_loc,
             metrics=self.metrics,
+            journal=self.journal,
         )
         self.started_at = monotonic()
         self._queue: queue_module.Queue[_Pending | None] = queue_module.Queue(
@@ -105,6 +147,7 @@ class AnalysisService:
         self._threads: list[threading.Thread] = []
         self._shutdown_listeners: list[Callable[[], None]] = []
         self._project_counter = 0
+        self._request_seq = 0
         self._handlers: dict[str, Callable[[dict], dict]] = {
             "open_project": self._handle_open_project,
             "analyze": self._handle_analyze,
@@ -117,6 +160,17 @@ class AnalysisService:
 
     # -- lifecycle -------------------------------------------------------
 
+    def _profiler_phase(self, ident: int) -> str | None:
+        """Resolve a sampled thread to its current pipeline phase: the
+        innermost open span of the request that thread is serving."""
+        with self._tracer_lock:
+            tracer = self._request_tracers.get(ident)
+        if tracer is not None:
+            name = tracer.active_name(ident)
+            if name is not None:
+                return name
+        return self.telemetry.tracer.active_name(ident)
+
     def start(self) -> "AnalysisService":
         with self._state_lock:
             if self._threads:
@@ -128,6 +182,14 @@ class AnalysisService:
                 )
                 thread.start()
                 self._threads.append(thread)
+        if self.config.profiler:
+            self.profiler.start()
+        self.journal.emit(
+            "service.start",
+            workers=self.config.workers,
+            queue_capacity=self.config.queue_capacity,
+            profiler=self.config.profiler,
+        )
         return self
 
     @property
@@ -154,6 +216,13 @@ class AnalysisService:
             for thread in self._threads:
                 thread.join(timeout=5.0)
             self._stopped.set()
+            self.profiler.stop()
+            self.journal.emit(
+                "service.shutdown",
+                drained=bool(drain),
+                uptime_seconds=round(monotonic() - self.started_at, 6),
+            )
+            self.journal.close()
             for callback in self._shutdown_listeners:
                 callback()
         return {
@@ -186,6 +255,16 @@ class AnalysisService:
             return ok_response(request_id, self._health())
         if kind == "stats":
             return ok_response(request_id, self._stats())
+        if kind == "trace":
+            try:
+                return ok_response(request_id, self._trace_result(params))
+            except ProtocolError as error:
+                return error_response(request_id, error.code, error.message)
+        if kind == "events":
+            try:
+                return ok_response(request_id, self._events_result(params))
+            except ProtocolError as error:
+                return error_response(request_id, error.code, error.message)
         if kind == "shutdown":
             summary = self.shutdown(drain=params.get("drain", True))
             self.metrics.inc("service.requests", type=kind, outcome="ok")
@@ -201,7 +280,18 @@ class AnalysisService:
 
         budget = timeout if timeout is not None else self.config.request_timeout
         now = monotonic()
-        pending = _Pending(request=request, enqueued_at=now, deadline=now + budget)
+        with self._state_lock:
+            self._request_seq += 1
+            seq = self._request_seq
+        trace_id = request.get("trace_id") or f"srv-{seq}"
+        pending = _Pending(
+            request=request,
+            enqueued_at=now,
+            deadline=now + budget,
+            seq=seq,
+            trace_id=trace_id,
+            tracer=Tracer(),
+        )
         try:
             self._queue.put_nowait(pending)
         except queue_module.Full:
@@ -222,6 +312,13 @@ class AnalysisService:
                 )
             self.metrics.inc("service.requests", type=kind, outcome="rejected")
             self.metrics.inc("service.queue.rejected")
+            self.journal.emit(
+                "queue.full",
+                request=seq,
+                type=kind,
+                trace_id=trace_id,
+                queue_capacity=self.config.queue_capacity,
+            )
             return error_response(
                 request_id,
                 "queue_full",
@@ -230,6 +327,7 @@ class AnalysisService:
             )
         self.metrics.inc("service.requests", type=kind, outcome="accepted")
         self.metrics.set_gauge("service.queue.depth", self._queue.qsize())
+        self.journal.emit("request.start", request=seq, type=kind, trace_id=trace_id)
 
         if pending.done.wait(timeout=budget):
             return pending.response  # type: ignore[return-value]
@@ -238,10 +336,18 @@ class AnalysisService:
                 return pending.response  # type: ignore[return-value]
             pending.abandoned = True
         self.metrics.inc("service.requests", type=kind, outcome="timed_out")
+        self.journal.emit(
+            "deadline.timeout",
+            request=seq,
+            type=kind,
+            trace_id=trace_id,
+            budget_seconds=round(budget, 3),
+        )
         return error_response(
             request_id,
             "timeout",
             f"request exceeded its {budget:.1f}s deadline",
+            trace_id=trace_id,
         )
 
     # -- worker pool -----------------------------------------------------
@@ -271,42 +377,109 @@ class AnalysisService:
         with pending.lock:
             if pending.abandoned:
                 self.metrics.inc("service.requests", type=kind, outcome="expired")
+                self.journal.emit(
+                    "request.expired",
+                    request=pending.seq,
+                    type=kind,
+                    trace_id=pending.trace_id,
+                )
                 return
             if started > pending.deadline:
                 # Deadline burned entirely in the queue: answer without
                 # doing the work (the submitter may still be waiting).
                 pending.response = error_response(
-                    request_id, "timeout", "deadline expired while queued"
+                    request_id,
+                    "timeout",
+                    "deadline expired while queued",
+                    trace_id=pending.trace_id,
                 )
                 pending.done.set()
                 self.metrics.inc("service.requests", type=kind, outcome="timed_out")
+                self.journal.emit(
+                    "deadline.timeout",
+                    request=pending.seq,
+                    type=kind,
+                    trace_id=pending.trace_id,
+                    queued=True,
+                )
                 return
             with self._state_lock:
                 self._inflight += 1
+
+        # The request runs under its own telemetry: a fresh tracer whose
+        # epoch is the accept time (queue wait is a span on the same
+        # timeline) sharing the service-wide metrics registry.  Pushed as
+        # ambient so engine/store spans deep in the pipeline join this
+        # request's trace instead of vanishing.
+        tracer = pending.tracer or Tracer()
+        tracer.add_span(
+            "queue.wait", 0.0, tracer.elapsed(), type=kind, trace_id=pending.trace_id
+        )
+        request_telemetry = obs.Telemetry(tracer=tracer, metrics=self.metrics)
+        ident = threading.get_ident()
+        with self._tracer_lock:
+            self._request_tracers[ident] = tracer
         try:
-            with self.telemetry.tracer.span(
-                "service.request", type=kind, id=str(request_id)
-            ):
-                handler = self._handlers[kind]
-                try:
-                    response = ok_response(request_id, handler(request.get("params", {})))
-                    outcome = "ok"
-                except ProtocolError as error:
-                    response = error_response(
-                        request_id, error.code, error.message, error.retry_after
-                    )
-                    outcome = error.code
-                except Exception as error:  # noqa: BLE001 — daemon must not die
-                    response = error_response(
-                        request_id, "internal", f"{type(error).__name__}: {error}"
-                    )
-                    outcome = "internal"
+            with obs.use(request_telemetry):
+                with tracer.span(
+                    "service.request",
+                    type=kind,
+                    id=str(request_id),
+                    trace_id=pending.trace_id,
+                ):
+                    handler = self._handlers[kind]
+                    try:
+                        response = ok_response(
+                            request_id,
+                            handler(request.get("params", {})),
+                            trace_id=pending.trace_id,
+                        )
+                        outcome = "ok"
+                    except ProtocolError as error:
+                        response = error_response(
+                            request_id,
+                            error.code,
+                            error.message,
+                            error.retry_after,
+                            trace_id=pending.trace_id,
+                        )
+                        outcome = error.code
+                    except Exception as error:  # noqa: BLE001 — daemon must not die
+                        response = error_response(
+                            request_id,
+                            "internal",
+                            f"{type(error).__name__}: {error}",
+                            trace_id=pending.trace_id,
+                        )
+                        outcome = "internal"
         finally:
+            with self._tracer_lock:
+                self._request_tracers.pop(ident, None)
             with self._state_lock:
                 self._inflight -= 1
         seconds = monotonic() - started
         self.metrics.observe("service.request_seconds", seconds, type=kind)
         self.metrics.inc("service.requests", type=kind, outcome=outcome)
+        self.traces.put(
+            TraceRecord(
+                request_id=pending.seq,
+                trace_id=pending.trace_id,
+                kind=kind,
+                ok=outcome == "ok",
+                seconds=seconds,
+                spans=tuple(tracer.spans()),
+            )
+        )
+        for tracker in self.slos:
+            tracker.record(kind, seconds, ok=outcome == "ok")
+        self.journal.emit(
+            "request.end",
+            request=pending.seq,
+            type=kind,
+            trace_id=pending.trace_id,
+            outcome=outcome,
+            seconds=round(seconds, 6),
+        )
         with pending.lock:
             if pending.abandoned:
                 self.metrics.inc("service.requests", type=kind, outcome="dropped")
@@ -401,7 +574,8 @@ class AnalysisService:
         project_id = params.get("project_id")
         if not isinstance(project_id, str):
             raise ProtocolError("invalid_params", "'project_id' must be a string")
-        session = self.sessions.get(project_id)
+        with obs.span("session.lookup", project_id=project_id):
+            session = self.sessions.get(project_id)
         if session is None:
             raise ProtocolError(
                 "unknown_project",
@@ -479,7 +653,14 @@ class AnalysisService:
         rev = params.get("rev")
         if rev is not None and not isinstance(rev, str):
             raise ProtocolError("invalid_params", "'rev' must be a string")
-        return session.snapshot_baseline(rev)
+        result = session.snapshot_baseline(rev)
+        self.journal.emit(
+            "snapshot.recorded",
+            project_id=session.project_id,
+            rev=result["rev"],
+            counts=result["counts"],
+        )
+        return result
 
     def _handle_diff_findings(self, params: dict) -> dict:
         session = self._session(params)
@@ -505,9 +686,16 @@ class AnalysisService:
                 "invalid_params", "'baseline_entries' must be a list of objects"
             )
         try:
-            return session.gate(baseline_rev, entries)
+            result = session.gate(baseline_rev, entries)
         except ValueError as error:
             raise ProtocolError("invalid_params", str(error)) from error
+        self.journal.emit(
+            "gate.verdict",
+            project_id=session.project_id,
+            ok=result.get("ok"),
+            counts=result.get("counts"),
+        )
+        return result
 
     def _handle_explain(self, params: dict) -> dict:
         session = self._session(params)
@@ -521,12 +709,68 @@ class AnalysisService:
     def request_counts(self) -> dict[str, float]:
         return self.metrics.counters_by_name("service.requests")
 
+    def _trace_result(self, params: dict) -> dict:
+        """The ``trace`` request: a completed request's spans by server
+        request number or (client-propagated) trace id."""
+        request_seq = params.get("request_id")
+        trace_id = params.get("trace_id")
+        if (request_seq is None) == (trace_id is None):
+            raise ProtocolError(
+                "invalid_params", "trace takes exactly one of 'request_id'/'trace_id'"
+            )
+        if request_seq is not None:
+            if not isinstance(request_seq, int) or isinstance(request_seq, bool):
+                raise ProtocolError("invalid_params", "'request_id' must be an integer")
+            record = self.traces.get(request_seq)
+            wanted = f"request {request_seq}"
+        else:
+            if not isinstance(trace_id, str):
+                raise ProtocolError("invalid_params", "'trace_id' must be a string")
+            record = self.traces.get_by_trace_id(trace_id)
+            wanted = f"trace {trace_id!r}"
+        if record is None:
+            raise ProtocolError(
+                "unknown_trace",
+                f"{wanted} is not in the trace store "
+                f"(still running, never traced, or evicted from the "
+                f"{self.traces.capacity}-entry ring)",
+            )
+        result = record.as_dict()
+        if params.get("chrome"):
+            result["chrome"] = self.traces.to_chrome([record])
+        return result
+
+    def _events_result(self, params: dict) -> dict:
+        """The ``events`` request: journal entries after a cursor."""
+        since = params.get("since", 0)
+        if not isinstance(since, int) or isinstance(since, bool):
+            raise ProtocolError("invalid_params", "'since' must be an integer")
+        limit = params.get("limit")
+        if limit is not None and (not isinstance(limit, int) or isinstance(limit, bool)):
+            raise ProtocolError("invalid_params", "'limit' must be an integer")
+        kind = params.get("kind")
+        if kind is not None and not isinstance(kind, str):
+            raise ProtocolError("invalid_params", "'kind' must be a string")
+        rows = self.journal.events(since=since, limit=limit, kind=kind)
+        return {
+            "events": [event.as_dict() for event in rows],
+            "journal": self.journal.stats(),
+        }
+
     def _health(self) -> dict:
         with self._state_lock:
             accepting = self._accepting and not self._stopped.is_set()
             inflight = self._inflight
+        slos = [tracker.status() for tracker in self.slos]
+        breached = [status["name"] for status in slos if status["status"] == "breached"]
+        if not accepting:
+            status = "draining"
+        elif breached:
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "ok" if accepting else "draining",
+            "status": status,
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": round(monotonic() - self.started_at, 6),
             "queue_depth": self._queue.qsize(),
@@ -534,6 +778,11 @@ class AnalysisService:
             "inflight": inflight,
             "workers": self.config.workers,
             "sessions": len(self.sessions),
+            "slos": slos,
+            "breached_slos": breached,
+            "journal": self.journal.stats(),
+            "traces": self.traces.stats(),
+            "profiler": self.profiler.stats(),
         }
 
     def _stats(self) -> dict:
@@ -548,6 +797,7 @@ class AnalysisService:
                 "hit_rate": round(cache.hit_rate, 4),
             },
             "metrics": obs.summarize_snapshot(self.metrics.snapshot()),
+            "profile_phases": self.profiler.phase_seconds(),
         }
 
     # -- sinks -----------------------------------------------------------

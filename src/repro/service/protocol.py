@@ -7,12 +7,20 @@ A request is an envelope::
 
 ``id`` is echoed verbatim in the response (any JSON scalar; optional —
 fire-and-forget clients may omit it).  ``params`` is optional and
-type-specific.  Responses are either::
+type-specific.  An optional ``trace_id`` string propagates the caller's
+trace context: every span the request causes (queue wait, session
+lookup, engine stages) is recorded under it, and the completed trace is
+retrievable afterwards with a ``trace`` request.  Responses are
+either::
 
-    {"id": 7, "ok": true,  "result": {...}}
+    {"id": 7, "ok": true,  "result": {...}, "trace_id": "ci-run-42/3"}
     {"id": 7, "ok": false, "error": {"code": "queue_full",
                                      "message": "...",
                                      "retry_after": 0.5}}
+
+``trace_id`` appears on data-plane responses whether the client set one
+or the server assigned one — it is the key the client hands back to
+``trace``.
 
 Error codes are part of the protocol contract (clients dispatch on
 them); see :data:`ERROR_CODES`.  Backpressure is explicit: a full queue
@@ -41,6 +49,8 @@ REQUEST_TYPES = (
     "gate",
     "stats",
     "health",
+    "trace",
+    "events",
     "shutdown",
 )
 
@@ -54,6 +64,7 @@ ERROR_CODES = (
     "timeout",  # deadline elapsed before a worker finished it
     "shutting_down",  # server is draining; no new work accepted
     "unknown_project",  # project_id not open (possibly evicted — re-open)
+    "unknown_trace",  # trace/request id not in the (bounded) trace store
     "invalid_params",  # params failed type-specific validation
     "internal",  # handler raised; message carries the summary
 )
@@ -97,21 +108,37 @@ def decode_request(line: str | bytes, max_bytes: int = MAX_REQUEST_BYTES) -> dic
     request_id = payload.get("id")
     if isinstance(request_id, (dict, list)):
         raise ProtocolError("bad_request", "'id' must be a JSON scalar")
-    return {"id": request_id, "type": kind, "params": params}
+    trace_id = payload.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ProtocolError("bad_request", "'trace_id' must be a string")
+    envelope = {"id": request_id, "type": kind, "params": params}
+    if trace_id is not None:
+        envelope["trace_id"] = trace_id
+    return envelope
 
 
-def ok_response(request_id: Any, result: dict) -> dict:
-    return {"id": request_id, "ok": True, "result": result}
+def ok_response(request_id: Any, result: dict, trace_id: str | None = None) -> dict:
+    response = {"id": request_id, "ok": True, "result": result}
+    if trace_id is not None:
+        response["trace_id"] = trace_id
+    return response
 
 
 def error_response(
-    request_id: Any, code: str, message: str, retry_after: float | None = None
+    request_id: Any,
+    code: str,
+    message: str,
+    retry_after: float | None = None,
+    trace_id: str | None = None,
 ) -> dict:
     assert code in ERROR_CODES, code
     error: dict = {"code": code, "message": message}
     if retry_after is not None:
         error["retry_after"] = round(retry_after, 3)
-    return {"id": request_id, "ok": False, "error": error}
+    response = {"id": request_id, "ok": False, "error": error}
+    if trace_id is not None:
+        response["trace_id"] = trace_id
+    return response
 
 
 def encode(payload: dict) -> str:

@@ -28,7 +28,7 @@ from repro.core.project import Project
 from repro.core.ranking import rank_findings
 from repro.core.report import Report
 from repro.core.valuecheck import ValueCheck, ValueCheckConfig
-from repro.obs import MetricsRegistry
+from repro.obs import EventJournal, MetricsRegistry
 from repro.obs.clock import monotonic
 from repro.store import BaselineEntry, BaselineFile, FindingsStore, evaluate_gate
 from repro.store.fingerprint import project_sources
@@ -345,12 +345,14 @@ class SessionManager:
         max_sessions: int = 8,
         max_total_loc: int | None = None,
         metrics: MetricsRegistry | None = None,
+        journal: EventJournal | None = None,
     ):
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self.max_sessions = max_sessions
         self.max_total_loc = max_total_loc
         self.metrics = metrics
+        self.journal = journal
         self._lock = threading.Lock()
         self._sessions: OrderedDict[str, ProjectSession] = OrderedDict()
 
@@ -369,6 +371,13 @@ class SessionManager:
             self._sessions[project_id] = session
             evicted = self._evict_locked()
             self._record_gauges_locked()
+        if self.journal is not None:
+            self.journal.emit(
+                "session.opened",
+                project_id=project_id,
+                modules=len(project.modules),
+                loc=session.loc(),
+            )
         return session, evicted
 
     def get(self, project_id: str) -> ProjectSession | None:
@@ -385,9 +394,9 @@ class SessionManager:
             return found
 
     def _evict_locked(self) -> list[str]:
-        evicted: list[str] = []
+        evicted: list[tuple[str, str]] = []  # (project_id, reason)
         while len(self._sessions) > self.max_sessions:
-            evicted.append(self._sessions.popitem(last=False)[0])
+            evicted.append((self._sessions.popitem(last=False)[0], "max_sessions"))
         if self.max_total_loc is not None:
             # Keep at least the most recent session even if it alone
             # exceeds the cap (the daemon must be able to serve it).
@@ -395,10 +404,15 @@ class SessionManager:
                 len(self._sessions) > 1
                 and sum(s.loc() for s in self._sessions.values()) > self.max_total_loc
             ):
-                evicted.append(self._sessions.popitem(last=False)[0])
+                evicted.append((self._sessions.popitem(last=False)[0], "max_total_loc"))
         if evicted and self.metrics is not None:
             self.metrics.inc("service.sessions.evicted", len(evicted))
-        return evicted
+        if self.journal is not None:
+            for project_id, reason in evicted:
+                self.journal.emit(
+                    "session.evicted", project_id=project_id, reason=reason
+                )
+        return [project_id for project_id, _ in evicted]
 
     def _record_gauges_locked(self) -> None:
         if self.metrics is not None:

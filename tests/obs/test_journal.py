@@ -1,0 +1,136 @@
+"""Event journal: ordering, cursors, ring truncation, sinks, concurrency."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import EventJournal
+
+
+class TestEmit:
+    def test_seqs_start_at_one_and_increase(self):
+        journal = EventJournal()
+        first = journal.emit("request.start", request=1)
+        second = journal.emit("request.end", request=1)
+        assert (first.seq, second.seq) == (1, 2)
+
+    def test_as_dict_flattens_attrs(self):
+        journal = EventJournal()
+        event = journal.emit("session.evicted", project_id="p1", reason="max_sessions")
+        row = event.as_dict()
+        assert row["kind"] == "session.evicted"
+        assert row["project_id"] == "p1"
+        assert row["reason"] == "max_sessions"
+        assert row["seq"] == 1 and isinstance(row["ts"], float)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventJournal(capacity=0)
+
+
+class TestRing:
+    def test_truncation_is_observable(self):
+        journal = EventJournal(capacity=3)
+        for index in range(5):
+            journal.emit("tick", index=index)
+        assert journal.dropped == 2
+        assert journal.first_seq == 3
+        assert journal.last_seq == 5
+        assert [event.seq for event in journal.events()] == [3, 4, 5]
+
+    def test_stats(self):
+        journal = EventJournal(capacity=2)
+        journal.emit("a")
+        journal.emit("b")
+        journal.emit("c")
+        stats = journal.stats()
+        assert stats == {
+            "events": 3,
+            "retained": 2,
+            "capacity": 2,
+            "dropped": 1,
+            "first_seq": 2,
+            "last_seq": 3,
+        }
+
+
+class TestCursor:
+    def test_since_is_exclusive(self):
+        journal = EventJournal()
+        for _ in range(4):
+            journal.emit("tick")
+        assert [event.seq for event in journal.events(since=2)] == [3, 4]
+
+    def test_limit_returns_oldest_rows(self):
+        # The limit must cap the *oldest* pending rows, not the newest:
+        # a follower advancing `since` to the last returned seq would
+        # otherwise silently skip whatever the cap cut off.
+        journal = EventJournal()
+        for _ in range(6):
+            journal.emit("tick")
+        page = journal.events(since=0, limit=2)
+        assert [event.seq for event in page] == [1, 2]
+        page = journal.events(since=page[-1].seq, limit=2)
+        assert [event.seq for event in page] == [3, 4]
+
+    def test_kind_prefix_filter(self):
+        journal = EventJournal()
+        journal.emit("session.opened")
+        journal.emit("session.evicted")
+        journal.emit("request.start")
+        kinds = [event.kind for event in journal.events(kind="session")]
+        assert kinds == ["session.opened", "session.evicted"]
+        # exact match works too, and "sess" is not treated as a prefix
+        assert [e.kind for e in journal.events(kind="session.opened")] == [
+            "session.opened"
+        ]
+        assert journal.events(kind="sess") == []
+
+    def test_tail(self):
+        journal = EventJournal()
+        for _ in range(5):
+            journal.emit("tick")
+        assert [event.seq for event in journal.tail(2)] == [4, 5]
+
+
+class TestSink:
+    def test_jsonl_mirror(self, tmp_path):
+        path = tmp_path / "journal" / "events.jsonl"
+        journal = EventJournal(capacity=2, sink_path=path)
+        for index in range(4):
+            journal.emit("tick", index=index)
+        journal.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        # The file keeps everything even after the ring truncated.
+        assert [row["seq"] for row in rows] == [1, 2, 3, 4]
+        assert rows[0]["kind"] == "tick" and rows[0]["index"] == 0
+
+    def test_emit_survives_closed_sink(self, tmp_path):
+        journal = EventJournal(sink_path=tmp_path / "e.jsonl")
+        journal.close()
+        event = journal.emit("tick")
+        assert event.seq == 1
+
+
+class TestConcurrency:
+    def test_concurrent_emitters_get_unique_contiguous_seqs(self):
+        journal = EventJournal(capacity=4096)
+        per_thread = 200
+        threads = [
+            threading.Thread(
+                target=lambda worker=worker: [
+                    journal.emit("tick", worker=worker) for _ in range(per_thread)
+                ]
+            )
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = [event.seq for event in journal.events()]
+        assert seqs == list(range(1, 4 * per_thread + 1))
+        assert journal.dropped == 0

@@ -58,6 +58,74 @@ class TestPrometheus:
         assert "module_analyze_seconds_count 2" in text
 
 
+class TestPrometheusEscaping:
+    """Label values must be escaped per the text exposition format:
+    backslash, double-quote, newline."""
+
+    def _text(self, **labels):
+        registry = MetricsRegistry()
+        registry.inc("files.analyzed", 1, **labels)
+        return to_prometheus(registry.snapshot())
+
+    def test_backslash(self):
+        text = self._text(path="C:\\src\\a.c")
+        assert 'path="C:\\\\src\\\\a.c"' in text
+
+    def test_double_quote(self):
+        text = self._text(label='say "hi"')
+        assert 'label="say \\"hi\\""' in text
+
+    def test_newline(self):
+        text = self._text(detail="line1\nline2")
+        assert 'detail="line1\\nline2"' in text
+        # The exposition format is line-oriented: a raw newline inside a
+        # label would corrupt every sample after it.
+        for line in text.splitlines():
+            assert line.startswith(("#", "files_analyzed"))
+
+    def test_backslash_before_quote_not_double_escaped(self):
+        text = self._text(mix='\\"')
+        assert 'mix="\\\\\\""' in text
+
+    def test_plain_values_untouched(self):
+        assert 'pruner="cursor"' in self._text(pruner="cursor")
+
+
+class TestPrometheusExecutorStability:
+    """The exported counter lines must not depend on which executor
+    produced the metrics: thread/process merging is deterministic."""
+
+    SOURCES = {
+        "a.c": "int f(void) { int x = 1; x = 2; return x; }\n",
+        "b.c": "int g(int *p) { int y = 3; *p = y; return 0; }\n",
+    }
+
+    @staticmethod
+    def _counter_lines(executor: str) -> list[str]:
+        from repro.core.project import Project
+        from repro.core.valuecheck import ValueCheck, ValueCheckConfig
+
+        project = Project.from_sources(
+            TestPrometheusExecutorStability.SOURCES, name="stable"
+        )
+        config = ValueCheckConfig(
+            use_authorship=False, executor=executor, workers=2, module_cache=False
+        )
+        report = ValueCheck(config).analyze(project)
+        text = to_prometheus(report.metrics)
+        # Timing histograms legitimately differ run to run; counters and
+        # their label sets must not.
+        return sorted(
+            line for line in text.splitlines() if "_total" in line and "seconds" not in line
+        )
+
+    def test_thread_matches_serial(self):
+        assert self._counter_lines("thread") == self._counter_lines("serial")
+
+    def test_process_matches_serial(self):
+        assert self._counter_lines("process") == self._counter_lines("serial")
+
+
 class TestSummaryTable:
     RECORD = {
         "project": "openssl",

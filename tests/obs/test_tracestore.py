@@ -1,0 +1,121 @@
+"""Trace store: retention, lookup, Chrome export track separation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TraceRecord, TraceStore
+from repro.obs.trace import Span
+
+
+def _record(request_id: int, trace_id: str, *, thread_id: int = 0, kind: str = "analyze"):
+    spans = (
+        Span(
+            name="service.request",
+            span_id=0,
+            parent_id=None,
+            thread_id=thread_id,
+            start=0.0,
+            end=0.25,
+        ),
+        Span(
+            name="engine",
+            span_id=1,
+            parent_id=0,
+            thread_id=thread_id,
+            start=0.05,
+            end=0.2,
+            attrs={"modules": 3},
+        ),
+    )
+    return TraceRecord(
+        request_id=request_id,
+        trace_id=trace_id,
+        kind=kind,
+        ok=True,
+        seconds=0.25,
+        spans=spans,
+    )
+
+
+class TestRetention:
+    def test_capacity_evicts_oldest(self):
+        store = TraceStore(capacity=2)
+        for request_id in (1, 2, 3):
+            store.put(_record(request_id, f"t{request_id}"))
+        assert store.get(1) is None
+        assert store.get(2) is not None and store.get(3) is not None
+        assert store.stats() == {"retained": 2, "capacity": 2, "evicted": 1}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+    def test_lookup_by_trace_id_prefers_newest(self):
+        store = TraceStore()
+        store.put(_record(1, "shared"))
+        store.put(_record(2, "shared"))
+        found = store.get_by_trace_id("shared")
+        assert found is not None and found.request_id == 2
+        assert store.get_by_trace_id("missing") is None
+
+
+class TestAsDict:
+    def test_round_trippable_shape(self):
+        row = _record(7, "ci-42").as_dict()
+        assert row["request_id"] == 7
+        assert row["trace_id"] == "ci-42"
+        assert row["span_count"] == 2
+        assert row["spans"][0]["name"] == "service.request"
+        assert row["spans"][1]["attrs"] == {"modules": "3"}
+
+
+class TestChromeExport:
+    def test_concurrent_requests_get_distinct_tids(self):
+        # Two requests served back-to-back by the SAME worker thread
+        # must still render on separate tracks.
+        store = TraceStore()
+        store.put(_record(1, "a", thread_id=0))
+        store.put(_record(2, "b", thread_id=0))
+        chrome = store.to_chrome()
+        spans = [event for event in chrome["traceEvents"] if event["ph"] == "X"]
+        tids_by_request = {}
+        for event in spans:
+            tids_by_request.setdefault(event["args"]["request_id"], set()).add(
+                event["tid"]
+            )
+        assert tids_by_request["1"].isdisjoint(tids_by_request["2"])
+
+    def test_thread_name_metadata_labels_tracks(self):
+        store = TraceStore()
+        store.put(_record(5, "x", kind="analyze_diff"))
+        chrome = store.to_chrome()
+        meta = [event for event in chrome["traceEvents"] if event["ph"] == "M"]
+        assert meta and meta[0]["name"] == "thread_name"
+        assert "request 5 analyze_diff" in meta[0]["args"]["name"]
+
+    def test_multi_thread_request_keeps_thread_split(self):
+        store = TraceStore()
+        spans = (
+            Span("service.request", 0, None, 0, 0.0, 0.5),
+            Span("module", 1, 0, 1, 0.1, 0.3),
+            Span("module", 2, 0, 2, 0.1, 0.3),
+        )
+        store.put(
+            TraceRecord(
+                request_id=1, trace_id="mt", kind="analyze", ok=True, seconds=0.5,
+                spans=spans,
+            )
+        )
+        chrome = store.to_chrome()
+        events = [event for event in chrome["traceEvents"] if event["ph"] == "X"]
+        assert len({event["tid"] for event in events}) == 3
+
+    def test_subset_export(self):
+        store = TraceStore()
+        store.put(_record(1, "a"))
+        store.put(_record(2, "b"))
+        chrome = store.to_chrome([store.get(2)])
+        events = [event for event in chrome["traceEvents"] if event["ph"] == "X"]
+        assert {event["args"]["request_id"] for event in events} == {"2"}
+        assert chrome["displayTimeUnit"] == "ms"

@@ -141,3 +141,123 @@ class TestStatsRendering:
         assert "service requests" in out
         assert "service.requests{outcome=ok,type=analyze}" in out
         assert "service latency" in out
+
+
+class TestObservabilityCommands:
+    def _serve(self):
+        service, server = serve_tcp(ServiceConfig(workers=1), port=0, block=False)
+        host, port = server.address
+        assert wait_for_port(host, port)
+        return service, server, host, port
+
+    def test_client_trace_id_flag_round_trip(self, capsys):
+        service, server, host, port = self._serve()
+        try:
+            rc = main(
+                [
+                    "client", "open_project",
+                    "--host", host, "--port", str(port),
+                    "--trace-id", "cli-trace-1",
+                    "--params", json.dumps({"sources": SOURCES, "project_id": "p"}),
+                ]
+            )
+            assert rc == 0
+            capsys.readouterr()
+            rc = main(
+                [
+                    "client", "trace",
+                    "--host", host, "--port", str(port),
+                    "--params", json.dumps({"trace_id": "cli-trace-1"}),
+                ]
+            )
+            assert rc == 0
+            trace = json.loads(capsys.readouterr().out)
+            assert trace["trace_id"] == "cli-trace-1"
+            names = [span["name"] for span in trace["spans"]]
+            assert "service.request" in names and "queue.wait" in names
+        finally:
+            service.shutdown()
+            server.server_close()
+
+    def test_events_command_streams_journal(self, capsys):
+        service, server, host, port = self._serve()
+        try:
+            rc = main(
+                [
+                    "client", "open_project",
+                    "--host", host, "--port", str(port),
+                    "--params", json.dumps({"sources": SOURCES, "project_id": "p"}),
+                ]
+            )
+            assert rc == 0
+            capsys.readouterr()
+            rc = main(["events", "--host", host, "--port", str(port)])
+            assert rc == 0
+            rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+            kinds = [row["kind"] for row in rows]
+            assert kinds[0] == "service.start"
+            assert "request.start" in kinds and "request.end" in kinds
+            assert "session.opened" in kinds
+            seqs = [row["seq"] for row in rows]
+            assert seqs == sorted(seqs)
+        finally:
+            service.shutdown()
+            server.server_close()
+
+    def test_events_kind_filter_and_follow_iterations(self, capsys):
+        service, server, host, port = self._serve()
+        try:
+            main(
+                [
+                    "client", "open_project",
+                    "--host", host, "--port", str(port),
+                    "--params", json.dumps({"sources": SOURCES, "project_id": "p"}),
+                ]
+            )
+            capsys.readouterr()
+            rc = main(
+                [
+                    "events", "--host", host, "--port", str(port),
+                    "--kind", "session", "--follow", "--iterations", "2",
+                    "--poll-interval", "0.01",
+                ]
+            )
+            assert rc == 0
+            rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+            # The cursor advances between polls: no event repeats.
+            assert [row["kind"] for row in rows] == ["session.opened"]
+        finally:
+            service.shutdown()
+            server.server_close()
+
+    def test_top_dashboard_renders(self, capsys):
+        service, server, host, port = self._serve()
+        try:
+            main(
+                [
+                    "client", "open_project",
+                    "--host", host, "--port", str(port),
+                    "--params", json.dumps({"sources": SOURCES, "project_id": "p"}),
+                ]
+            )
+            capsys.readouterr()
+            rc = main(["top", "--host", host, "--port", str(port), "--iterations", "1"])
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "valuecheck service" in out
+            assert "status=ok" in out
+            assert "requests" in out  # the SLO table
+            assert "profiler on" in out
+        finally:
+            service.shutdown()
+            server.server_close()
+
+    def test_top_unreachable_server(self, capsys):
+        rc = main(["top", "--port", "1", "--iterations", "1"])
+        assert rc == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_events_unreachable_server(self, capsys):
+        rc = main(["events", "--port", "1"])
+        assert rc == 2
+        assert "cannot reach" in capsys.readouterr().err

@@ -470,5 +470,5 @@ class TestProtocolHandlerAgreement:
         from repro.service.protocol import REQUEST_TYPES
 
         service = AnalysisService(ServiceConfig(workers=1))
-        queue_bypassing = {"stats", "health", "shutdown"}
+        queue_bypassing = {"stats", "health", "trace", "events", "shutdown"}
         assert set(REQUEST_TYPES) == set(service._handlers) | queue_bypassing

@@ -13,6 +13,7 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from check_bench_schema import (  # noqa: E402
+    OBS_OVERHEAD_FIELDS,
     OBSERVABILITY_FIELDS,
     PROVENANCE_FIELDS,
     SERVICE_FIELDS,
@@ -107,6 +108,23 @@ def _valid_v6_payload():
         "nodes": 9000,
         "scc_collapsed": 2200,
         "iterations": 12000,
+    }
+    return payload
+
+
+def _valid_v7_payload():
+    payload = _valid_v6_payload()
+    payload["schema"] = 7
+    payload["bench_index"] = 7
+    payload["stages"]["obs_overhead"] = {
+        "runs_per_window": 5,
+        "repeats": 3,
+        "telemetry_on_seconds": 0.204,
+        "telemetry_off_seconds": 0.2,
+        "overhead_fraction": 0.02,
+        "telemetry_on_windows": [0.21, 0.204],
+        "telemetry_off_windows": [0.2, 0.201],
+        "profiler": {"interval_seconds": 0.01, "samples": 20, "ticks": 20},
     }
     return payload
 
@@ -259,3 +277,34 @@ class TestSolverSection:
     def test_schema5_grandfathered_without_solver(self):
         # PR 5 files predate the interned-bitset solver; they stay valid.
         assert validate_payload(_valid_v5_payload()) == []
+
+
+class TestObsOverheadSection:
+    def test_valid_v7_payload_passes(self):
+        assert validate_payload(_valid_v7_payload()) == []
+
+    def test_schema7_requires_obs_overhead_section(self):
+        payload = _valid_v7_payload()
+        del payload["stages"]["obs_overhead"]
+        assert any("stages.obs_overhead" in p for p in validate_payload(payload))
+
+    def test_each_obs_overhead_field_required(self):
+        for name in OBS_OVERHEAD_FIELDS:
+            payload = _valid_v7_payload()
+            del payload["stages"]["obs_overhead"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_inconsistent_fraction_rejected(self):
+        # The recorded fraction must match the recorded window times.
+        payload = _valid_v7_payload()
+        payload["stages"]["obs_overhead"]["overhead_fraction"] = 0.5
+        assert any("overhead_fraction" in p for p in validate_payload(payload))
+
+    def test_profiler_samples_required(self):
+        payload = _valid_v7_payload()
+        del payload["stages"]["obs_overhead"]["profiler"]["samples"]
+        assert any("samples" in p for p in validate_payload(payload))
+
+    def test_schema6_grandfathered_without_obs_overhead(self):
+        # PR 6 files predate the operations layer; they stay valid.
+        assert validate_payload(_valid_v6_payload()) == []

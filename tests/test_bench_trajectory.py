@@ -17,10 +17,13 @@ sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from check_bench_trajectory import (  # noqa: E402
     GATE_BUDGET_FRACTION,
+    OBS_OVERHEAD_BUDGET_FRACTION,
+    OBS_OVERHEAD_NOISE_FLOOR_SECONDS,
     REGRESSION_FACTOR,
     SOLVER_SPEEDUP_FLOOR,
     check_all,
     check_gate_budget,
+    check_obs_overhead,
     check_series,
     check_solver_speedup,
     comparable,
@@ -228,6 +231,60 @@ class TestSolverSpeedup:
     def test_schema5_pairs_skip_the_solver_series(self):
         # Neither file carries stages.solver: nothing to compare.
         assert compare_pair(_store_payload(5), _store_payload(6)) == []
+
+
+def _obs_payload(index, on=1.02, off=1.0):
+    payload = _solver_payload(index)
+    payload["schema"] = 7
+    payload["stages"]["obs_overhead"] = {
+        "runs_per_window": 5,
+        "repeats": 3,
+        "telemetry_on_seconds": on,
+        "telemetry_off_seconds": off,
+        "overhead_fraction": (on - off) / off if off else None,
+        "profiler": {"interval_seconds": 0.01, "samples": 40, "ticks": 40},
+    }
+    return payload
+
+
+class TestObsOverheadBudget:
+    def test_within_budget_passes(self):
+        payload = _obs_payload(7, on=1.0 + OBS_OVERHEAD_BUDGET_FRACTION - 0.01, off=1.0)
+        assert check_obs_overhead(payload) == []
+
+    def test_over_budget_fails(self):
+        payload = _obs_payload(7, on=1.0 + OBS_OVERHEAD_BUDGET_FRACTION * 2, off=1.0)
+        problems = check_obs_overhead(payload, "BENCH_7.json")
+        assert problems and "BENCH_7.json" in problems[0]
+        assert "overhead" in problems[0]
+
+    def test_sub_noise_floor_delta_ignored(self):
+        # 100% overhead on a 5ms window is scheduling noise, not a cost.
+        delta = OBS_OVERHEAD_NOISE_FLOOR_SECONDS / 2
+        payload = _obs_payload(7, on=0.005 + delta, off=0.005)
+        assert check_obs_overhead(payload) == []
+
+    def test_profiler_speedup_never_fails(self):
+        # Telemetry measuring *faster* than bare is jitter; not a problem.
+        payload = _obs_payload(7, on=0.9, off=1.0)
+        assert check_obs_overhead(payload) == []
+
+    def test_missing_window_times_fail(self):
+        payload = _obs_payload(7)
+        payload["stages"]["obs_overhead"]["telemetry_on_seconds"] = None
+        assert check_obs_overhead(payload) != []
+
+    def test_schema6_files_skip_the_budget(self):
+        assert check_obs_overhead(_solver_payload(6)) == []
+
+    def test_budget_checked_by_series_walk(self):
+        series = [
+            ("BENCH_6.json", _solver_payload(6)),
+            ("BENCH_7.json", _obs_payload(7, on=2.0, off=1.0)),
+        ]
+        series[1][1]["analysis_version"] = "engine-5"
+        problems = check_series(series)
+        assert any("BENCH_7.json" in p and "overhead" in p for p in problems)
 
 
 class TestSeriesWalk:

@@ -173,6 +173,48 @@ class TestTelemetryFlags:
             assert pruner in out
 
 
+class TestProfiling:
+    def test_analyze_profile_out_writes_folded_stacks(self, corpus_dir, tmp_path, capsys):
+        profile_path = tmp_path / "profile.folded"
+        rc = main(
+            [
+                "analyze", str(corpus_dir / "src"),
+                "--profile-out", str(profile_path),
+                "--profile-interval", "0.001",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "wrote folded stacks to" in out
+        assert "phase" in out and "samples" in out  # the phase table
+        text = profile_path.read_text()
+        for line in text.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+
+    def test_profile_command_reports_phases(self, corpus_dir, tmp_path, capsys):
+        folded_path = tmp_path / "out.folded"
+        rc = main(
+            [
+                "profile", str(corpus_dir / "src"),
+                "--repo", str(corpus_dir / "repo.json"),
+                "--runs", "2",
+                "--interval", "0.001",
+                "--out", str(folded_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "profiled 2 run(s)" in out
+        assert "samples" in out
+        assert folded_path.exists()
+
+    def test_profile_runs_validated(self, corpus_dir, capsys):
+        rc = main(["profile", str(corpus_dir / "src"), "--runs", "0"])
+        assert rc == 2
+        assert "--runs" in capsys.readouterr().err
+
+
 class TestExplain:
     def test_explain_prints_full_decision_trail(self, corpus_dir, capsys):
         rc = main(
