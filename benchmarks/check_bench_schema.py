@@ -30,6 +30,11 @@ structurally comparable.  This validator asserts the invariants:
   sample counts, whose ``overhead_fraction`` must be consistent with
   the two window times — ``check_bench_trajectory.py`` holds the
   fraction under its budget);
+* schema ≥ 8 files carry the ``stages.router`` section (the sharded
+  multi-worker load-generation comparison: single-process vs routed
+  throughput/latency, the routed speedup ratio
+  ``check_bench_trajectory.py`` holds at ≥ 2×, and the
+  fingerprint-identity verdict);
 * no benchmark was emitted from an unconverged solver run.
 
 Older schemas are grandfathered at the level they were written: schema 1
@@ -40,7 +45,8 @@ provenance) need no ``stages.provenance``; schema 4 files (PR 4, before
 the findings store) need no ``stages.store``; schema 5 files (PR 5,
 before the interned-bitset solver) need no ``stages.solver``; schema 6
 files (PR 6, before the operations layer) need no
-``stages.obs_overhead``.
+``stages.obs_overhead``; schema 7 files (PR 7, before the sharded
+router) need no ``stages.router``.
 
 Run directly (``python benchmarks/check_bench_schema.py``) or through
 the tier-1 test ``tests/test_bench_schema.py``.
@@ -118,6 +124,30 @@ OBS_OVERHEAD_FIELDS = (
     "telemetry_off_seconds",
     "overhead_fraction",
     "profiler",
+)
+
+ROUTER_FIELDS = (
+    "workers",
+    "clients",
+    "projects",
+    "max_sessions",
+    "single",
+    "routed",
+    "speedup_routed",
+    "fingerprints_identical",
+    "fingerprint_count",
+)
+
+ROUTER_TOPOLOGY_FIELDS = (
+    "requests",
+    "completed",
+    "errors",
+    "reopens",
+    "seconds",
+    "throughput_rps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
 )
 
 
@@ -267,6 +297,39 @@ def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
             profiler = overhead.get("profiler")
             if isinstance(profiler, dict) and "samples" not in profiler:
                 problem("stages.obs_overhead.profiler missing 'samples'")
+
+    if payload.get("schema", 0) >= 8:
+        router = (stages or {}).get("router")
+        if not isinstance(router, dict):
+            problem("schema>=8 requires stages.router")
+        else:
+            for name in ROUTER_FIELDS:
+                if name not in router:
+                    problem(f"stages.router missing {name!r}")
+            for topology in ("single", "routed"):
+                section = router.get(topology)
+                if not isinstance(section, dict):
+                    continue
+                for name in ROUTER_TOPOLOGY_FIELDS:
+                    if name not in section:
+                        problem(f"stages.router.{topology} missing {name!r}")
+            single = router.get("single", {})
+            routed = router.get("routed", {})
+            speedup = router.get("speedup_routed")
+            if (
+                isinstance(single, dict)
+                and isinstance(routed, dict)
+                and isinstance(speedup, (int, float))
+                and isinstance(single.get("throughput_rps"), (int, float))
+                and isinstance(routed.get("throughput_rps"), (int, float))
+                and single["throughput_rps"] > 0
+            ):
+                expected = routed["throughput_rps"] / single["throughput_rps"]
+                if abs(speedup - expected) > 0.01 * max(1.0, expected):
+                    problem(
+                        f"stages.router speedup_routed ({speedup:.2f}) does "
+                        f"not match routed/single throughput ({expected:.2f})"
+                    )
     return problems
 
 

@@ -41,6 +41,17 @@ And each schema ≥ 7 file on its own:
   the default scale).  The profiler is designed to stay on in
   production; a PR that makes instrumentation expensive defeats that.
 
+And each schema ≥ 8 file on its own:
+
+* **the routed scale-out claim disappears** — ``stages.router`` must
+  show the sharded 4-worker topology sustaining at least 2× the
+  single-process throughput on the capacity-bound load-generation mix,
+  with the check project's finding fingerprints identical across the
+  two topologies.  The routed win is the aggregate warm-session
+  capacity argument of docs/OPERATIONS.md; a PR that erodes it (or
+  makes sharded results diverge from single-process results) regressed
+  the router.
+
 The solver stress wall-time (``stages.solver.solve_seconds``) also
 joins the pair-over-pair regression series: the stress corpus has a
 fixed size regardless of ``--scale``, so the >25% rule applies to it
@@ -51,8 +62,9 @@ section and are grandfathered: pairs involving them are skipped, so the
 checker passes on a series that merely *starts* carrying decision
 counts.  Likewise schema 4 files predate ``stages.store`` and skip the
 gate-latency budget, schema 5 files predate ``stages.solver`` and skip
-the speedup floor, and schema 6 files predate ``stages.obs_overhead``
-and skip the overhead budget.
+the speedup floor, schema 6 files predate ``stages.obs_overhead`` and
+skip the overhead budget, and schema 7 files predate ``stages.router``
+and skip the routed-speedup floor.
 
 Run directly (``python benchmarks/check_bench_trajectory.py``) or
 through the tier-1 test ``tests/test_bench_trajectory.py``.
@@ -100,6 +112,11 @@ OBS_OVERHEAD_BUDGET_FRACTION = 0.05
 #: ... applied only beyond this absolute delta, since the measured
 #: windows are sub-second and jitter by scheduling noise alone.
 OBS_OVERHEAD_NOISE_FLOOR_SECONDS = 0.01
+
+#: Floor on the sharded router topology's throughput relative to the
+#: single-process daemon on the load-generation mix (schema ≥ 8 files
+#: only).
+ROUTER_SPEEDUP_FLOOR = 2.0
 
 
 def _dig(payload: dict, path: tuple[str, ...]):
@@ -219,6 +236,31 @@ def check_obs_overhead(payload: dict, name: str = "<payload>") -> list[str]:
     return []
 
 
+def check_router_speedup(payload: dict, name: str = "<payload>") -> list[str]:
+    """Per-file check: the sharded topology keeps its ≥2× throughput win
+    and stays result-identical with the single process."""
+    if payload.get("schema", 0) < 8:
+        return []
+    problems: list[str] = []
+    router = _dig(payload, ("stages", "router")) or {}
+    speedup = router.get("speedup_routed")
+    if not isinstance(speedup, (int, float)):
+        problems.append(f"{name}: stages.router.speedup_routed is missing")
+    elif speedup < ROUTER_SPEEDUP_FLOOR:
+        problems.append(
+            f"{name}: routed throughput is {speedup:.2f}x the single process, "
+            f"under the {ROUTER_SPEEDUP_FLOOR:.0f}x floor "
+            f"(routed {_dig(router, ('routed', 'throughput_rps'))} rps vs "
+            f"single {_dig(router, ('single', 'throughput_rps'))} rps)"
+        )
+    if router.get("fingerprints_identical") is not True:
+        problems.append(
+            f"{name}: stages.router.fingerprints_identical is not true — "
+            f"sharded analysis results diverged from the single process"
+        )
+    return problems
+
+
 def load_series(root: Path = ROOT) -> list[tuple[str, dict]]:
     """All BENCH payloads at ``root``, ordered by bench index."""
     series: list[tuple[int, str, dict]] = []
@@ -240,6 +282,7 @@ def check_series(series: list[tuple[str, dict]]) -> list[str]:
         problems.extend(check_gate_budget(payload, name))
         problems.extend(check_solver_speedup(payload, name))
         problems.extend(check_obs_overhead(payload, name))
+        problems.extend(check_router_speedup(payload, name))
     return problems
 
 

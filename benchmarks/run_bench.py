@@ -51,8 +51,12 @@ EXECUTORS = ("serial", "thread", "process")
 # holds the build to.  v7 adds ``stages.obs_overhead`` — the cost of the
 # always-on observability layer (span tracing + the sampling profiler)
 # measured as telemetry-on vs telemetry-off cold-analyze windows, which
-# check_bench_trajectory.py caps at a small fraction.
-BENCH_SCHEMA_VERSION = 7
+# check_bench_trajectory.py caps at a small fraction.  v8 adds
+# ``stages.router`` — the sharded multi-worker comparison from
+# benchmarks/loadgen.py (single daemon vs consistent-hash router over a
+# worker pool under concurrent mixed load), whose ≥2× routed throughput
+# and fingerprint-identity verdict check_bench_trajectory.py enforces.
+BENCH_SCHEMA_VERSION = 8
 
 # The solver stress corpus always runs at this scale regardless of
 # --scale: the stress shape is what makes propagation dominate, and the
@@ -280,6 +284,20 @@ def _service_timings(scale: float, seed: int) -> dict:
         "warm_cache_hits": (warm["engine"] or {}).get("cache_hits"),
         "requests": counts,
     }
+
+
+def _router_timings(seed: int) -> dict:
+    """The sharded-service comparison: single daemon vs routed pool.
+
+    Runs benchmarks/loadgen.py's default mixed workload (concurrent
+    clients, project pool larger than one process's session cap) against
+    both topologies over real TCP and worker processes.  The routed
+    topology's throughput must hold the ≥2× floor enforced by
+    check_bench_trajectory.py, with fingerprint-identical findings.
+    """
+    from loadgen import LoadgenConfig, run_comparison
+
+    return run_comparison(LoadgenConfig(seed=seed))
 
 
 def _solver_timings(seed: int) -> dict:
@@ -516,6 +534,8 @@ def main(argv: list[str] | None = None) -> int:
     payload["stages"]["store"] = _store_timings(args.scale, args.seed)
     payload["stages"]["solver"] = _solver_timings(args.seed)
     payload["stages"]["obs_overhead"] = _obs_overhead_timings(args.scale, args.seed)
+    print("[run_bench] running the router load-generation comparison …")
+    payload["stages"]["router"] = _router_timings(args.seed)
     if not args.skip_pytest:
         print("[run_bench] running pytest-benchmark suite …")
         payload["pytest_benchmark"] = _run_pytest_benchmarks(args.scale, args.seed)
@@ -549,6 +569,11 @@ def main(argv: list[str] | None = None) -> int:
           f"reference {solver['reference_solve_seconds']:.3f}s "
           f"({solver['speedup_vs_reference']:.1f}x, {solver['nodes']} nodes, "
           f"{solver['scc_collapsed']} collapsed)")
+    router = stages["router"]
+    print(f"[run_bench] router: single {router['single']['throughput_rps']} rps vs "
+          f"routed({router['workers']}) {router['routed']['throughput_rps']} rps "
+          f"({router['speedup_routed']}x, fingerprints identical: "
+          f"{router['fingerprints_identical']})")
     overhead = stages["obs_overhead"]
     print(f"[run_bench] obs overhead: telemetry+profiler "
           f"{overhead['telemetry_on_seconds']:.3f}s vs bare "

@@ -36,6 +36,11 @@ Subcommands::
         stay parsed between requests and ``analyze_diff`` re-analyses
         only changed modules.
 
+    valuecheck route [--port P] [--workers N] [--probe-interval S] ...
+        Run the sharded front end (docs/OPERATIONS.md): consistent-hash
+        project shards across N worker processes, health-check and
+        respawn them, migrate sessions off dead workers.
+
     valuecheck client <request-type> [--port P] [--params JSON] [--trace-id T]
         Send one request to a running daemon and print the response.
 
@@ -607,7 +612,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ServiceConfig, serve_stdio, serve_tcp
+    from repro.service import ServiceConfig, serve_stdio
 
     from repro.obs import DEFAULT_SLOS, SloConfig
 
@@ -643,20 +648,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.stdio:
         service = serve_stdio(config)
     else:
+        from repro.service import AnalysisService, ServiceServer
+        from repro.service.server import install_signal_handlers
+
+        service = AnalysisService(config).start()
+        server = ServiceServer(service, host=args.host, port=args.port)
+        install_signal_handlers(service)  # SIGTERM drains like Ctrl-C
+        host, port = server.address  # the actual port, even when --port 0
         print(
-            f"valuecheck service listening on {args.host}:{args.port} "
+            f"valuecheck service listening on {host}:{port} "
             f"({config.workers} workers, queue depth {config.queue_capacity}; "
-            "Ctrl-C or a shutdown request stops it)",
+            "Ctrl-C, SIGTERM, or a shutdown request stops it)",
             file=sys.stderr,
         )
-        service, server = serve_tcp(config, host=args.host, port=args.port, block=True)
-        server.server_close()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            service.shutdown()
+        finally:
+            server.server_close()
     if args.stats_out:
         obs.write_jsonl(args.stats_out, service.stats_record())
         print(f"appended service record to {args.stats_out}", file=sys.stderr)
     if args.prometheus:
         Path(args.prometheus).write_text(obs.to_prometheus(service.metrics.snapshot()))
         print(f"wrote Prometheus exposition to {args.prometheus}", file=sys.stderr)
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.service import Router, RouterConfig, ServiceServer, WorkerSpec
+    from repro.service.server import install_signal_handlers
+
+    spec = WorkerSpec(
+        threads=args.worker_threads,
+        queue_capacity=args.queue_capacity,
+        request_timeout=args.request_timeout,
+        max_sessions=args.max_sessions,
+        max_session_loc=args.max_session_loc,
+        executor=args.executor,
+    )
+    config = RouterConfig(
+        workers=args.workers,
+        spec=spec,
+        vnodes=args.vnodes,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        journal_path=args.journal,
+    )
+    router = Router(config).start()
+    install_signal_handlers(router)  # SIGTERM drains workers, then exits
+    server = ServiceServer(router, host=args.host, port=args.port)
+    host, port = server.address
+    print(
+        f"valuecheck router listening on {host}:{port} "
+        f"({config.workers} worker processes, probe every {config.probe_interval}s; "
+        "Ctrl-C, SIGTERM, or a shutdown request stops it)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        router.shutdown()
+    finally:
+        server.server_close()
+        if not router.stopped:
+            router.shutdown()
     return 0
 
 
@@ -975,6 +1032,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the 'requests' SLO error budget fraction",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    route = subparsers.add_parser(
+        "route",
+        help="run the sharded front-end router over a pool of worker processes",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=7432, help="TCP port (0 = pick free)")
+    route.add_argument(
+        "--workers", type=int, default=4, help="worker processes in the pool"
+    )
+    route.add_argument(
+        "--worker-threads", type=int, default=2, help="request threads per worker"
+    )
+    route.add_argument(
+        "--queue-capacity", type=int, default=16, help="request queue depth per worker"
+    )
+    route.add_argument("--request-timeout", type=float, default=120.0)
+    route.add_argument(
+        "--max-sessions", type=int, default=8, help="LRU warm-project cap per worker"
+    )
+    route.add_argument("--max-session-loc", type=int, default=None)
+    route.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="engine executor inside each worker",
+    )
+    route.add_argument(
+        "--vnodes", type=int, default=64, help="virtual nodes per ring slot"
+    )
+    route.add_argument(
+        "--probe-interval",
+        type=float,
+        default=2.0,
+        help="seconds between worker health probes (0 disables probing)",
+    )
+    route.add_argument(
+        "--probe-timeout", type=float, default=5.0, help="health probe deadline"
+    )
+    route.add_argument(
+        "--journal", help="mirror the router's event journal to this JSONL file"
+    )
+    route.set_defaults(func=_cmd_route)
 
     client = subparsers.add_parser(
         "client", help="send one request to a running analysis service"

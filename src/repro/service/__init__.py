@@ -17,10 +17,14 @@ Layers:
 * :mod:`repro.service.core` — :class:`AnalysisService`: bounded queue,
   worker pool, per-request timeouts, handlers, graceful shutdown;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — TCP and
-  stdio transports, and the blocking client.
+  stdio transports, and the blocking client;
+* :mod:`repro.service.pool` / :mod:`repro.service.router` /
+  :mod:`repro.service.worker` — the sharded multi-process topology: a
+  consistent-hashing front-end router over a health-checked pool of
+  worker processes (see docs/OPERATIONS.md).
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import Backoff, ServiceClient, ServiceError
 from repro.service.core import AnalysisService, ServiceConfig
 from repro.service.protocol import (
     ERROR_CODES,
@@ -33,11 +37,26 @@ from repro.service.protocol import (
     error_response,
     ok_response,
 )
-from repro.service.server import ServiceServer, serve_stdio, serve_tcp, wait_for_port
+from repro.service.pool import HashRing, WorkerPool, WorkerSpec
+from repro.service.router import Router, RouterConfig
+from repro.service.server import (
+    ServiceServer,
+    install_signal_handlers,
+    serve_stdio,
+    serve_tcp,
+    wait_for_port,
+)
 from repro.service.sessions import ProjectSession, SessionManager
 
 __all__ = [
     "AnalysisService",
+    "Backoff",
+    "HashRing",
+    "Router",
+    "RouterConfig",
+    "WorkerPool",
+    "WorkerSpec",
+    "install_signal_handlers",
     "ERROR_CODES",
     "MAX_REQUEST_BYTES",
     "PROTOCOL_VERSION",

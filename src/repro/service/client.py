@@ -1,17 +1,22 @@
 """A minimal blocking client for the analysis service.
 
-Used by ``valuecheck client``, the service benchmark, and the end-to-end
-tests.  One socket, synchronous request/response; honours the
-protocol's backpressure contract by retrying ``queue_full`` responses
-after the server's ``retry_after`` hint.
+Used by ``valuecheck client``, the load generator, the service
+benchmark, and the end-to-end tests.  One socket, synchronous
+request/response; honours the protocol's backpressure contract by
+retrying ``queue_full`` responses with decorrelated-jitter pacing
+(seeded by the server's ``retry_after`` hint) under a total-retry-time
+budget — so hundreds of clients backing off a saturated server spread
+out instead of thundering back in lockstep.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
-from typing import Any
+from typing import Any, Callable
 
+from repro.obs.clock import monotonic
 from repro.service.protocol import encode
 
 
@@ -24,12 +29,85 @@ class ServiceError(RuntimeError):
         self.retry_after = retry_after
 
 
+class Backoff:
+    """Decorrelated-jitter retry pacing with a total-time budget.
+
+    One instance paces the retries of one logical request.  Each call to
+    :meth:`next_delay` returns how long to sleep before the next
+    attempt, or ``None`` once the cumulative budget is spent (give up).
+
+    The delay is the classic decorrelated jitter: uniformly random
+    between ``base`` and three times the *previous* delay, clamped to
+    ``cap``.  The first delay is seeded from the server's ``retry_after``
+    hint, so the server still steers the floor of the first retry — but
+    no two clients sleep the same amount, and repeated rejections spread
+    the herd exponentially wider instead of re-synchronizing it.  The
+    budget is wall-clock from the first rejection: a recovering server
+    is never hammered forever, and a caller blocked on retries has a
+    hard bound on how long the call can take.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        cap: float = 5.0,
+        budget_seconds: float = 30.0,
+        rng: random.Random | None = None,
+        clock: Callable[[], float] = monotonic,
+    ):
+        if base <= 0 or cap < base:
+            raise ValueError("need 0 < base <= cap")
+        self.base = base
+        self.cap = cap
+        self.budget_seconds = budget_seconds
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._started: float | None = None
+        self._previous: float | None = None
+
+    def next_delay(self, hint: float | None = None) -> float | None:
+        """The next sleep in seconds, or ``None`` when the budget is spent."""
+        now = self._clock()
+        if self._started is None:
+            self._started = now
+        remaining = self.budget_seconds - (now - self._started)
+        if remaining <= 0:
+            return None
+        if self._previous is None:
+            # First rejection: seed from the server hint (floored at our
+            # own base so a zero/absent hint still spaces retries out).
+            seed = max(hint or 0.0, self.base)
+        else:
+            seed = self._previous
+        delay = min(self.cap, self._rng.uniform(self.base, max(self.base, 3.0 * seed)))
+        delay = min(delay, remaining)
+        self._previous = delay
+        return delay
+
+
 class ServiceClient:
     """Blocking line-protocol client over one TCP connection."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 300.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 300.0,
+        retry_base: float = 0.05,
+        retry_cap: float = 5.0,
+        retry_budget_seconds: float = 30.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = monotonic,
+    ):
         self.host = host
         self.port = port
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.retry_budget_seconds = retry_budget_seconds
+        self._rng = rng
+        self._sleep = sleep
+        self._clock = clock
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("r", encoding="utf-8")
         self._next_id = 0
@@ -67,12 +145,16 @@ class ServiceClient:
     ) -> dict[str, Any]:
         """Send one request, unwrap the result, raise on error.
 
-        ``retries`` bounds how many ``queue_full`` rejections are retried
-        (sleeping the server-provided ``retry_after`` hint each time).
+        ``retries`` bounds how many ``queue_full`` rejections are retried.
+        Retry pacing is decorrelated jitter seeded by the server's
+        ``retry_after`` hint, under the client's total retry-time budget
+        (``retry_budget_seconds``) — once the budget is spent the
+        ``queue_full`` error is raised even if attempts remain.
         ``trace_id`` propagates the caller's trace context; the server
         records every span of the request under it.
         """
         attempt = 0
+        backoff: Backoff | None = None
         while True:
             response = self.request_raw(kind, params, trace_id=trace_id)
             if response.get("ok"):
@@ -80,9 +162,19 @@ class ServiceClient:
             error = response.get("error", {})
             code = error.get("code", "internal")
             if code == "queue_full" and attempt < retries:
-                attempt += 1
-                time.sleep(error.get("retry_after", 0.1))
-                continue
+                if backoff is None:
+                    backoff = Backoff(
+                        base=self.retry_base,
+                        cap=self.retry_cap,
+                        budget_seconds=self.retry_budget_seconds,
+                        rng=self._rng,
+                        clock=self._clock,
+                    )
+                delay = backoff.next_delay(error.get("retry_after"))
+                if delay is not None:
+                    attempt += 1
+                    self._sleep(delay)
+                    continue
             raise ServiceError(code, error.get("message", ""), error.get("retry_after"))
 
     # -- typed helpers ---------------------------------------------------

@@ -254,7 +254,7 @@ class AnalysisService:
         if kind == "health":
             return ok_response(request_id, self._health())
         if kind == "stats":
-            return ok_response(request_id, self._stats())
+            return ok_response(request_id, self._stats(params))
         if kind == "trace":
             try:
                 return ok_response(request_id, self._trace_result(params))
@@ -548,6 +548,18 @@ class AnalysisService:
                 module_cache=config.module_cache,
             )
 
+        # The serializable re-open recipe: the wire params that produced
+        # this session (already JSON — they arrived on the wire), with
+        # the resolved project_id pinned so a replay lands on the same
+        # session identity.  A router migrating the session to another
+        # worker replays exactly this dict as a fresh open_project.
+        open_params = {
+            key: params[key]
+            for key in ("sources", "root", "repo", "rev", "build_config", "options")
+            if key in params
+        }
+        open_params["project_id"] = project_id
+
         warm_started = monotonic()
         if from_repo:
             project = Project.from_repository(
@@ -558,7 +570,11 @@ class AnalysisService:
                 sources, name=project_id, repo=repo, build_config=build_config
             )
         session, evicted = self.sessions.open(
-            project_id, project, config, rev=params.get("rev") if from_repo else None
+            project_id,
+            project,
+            config,
+            rev=params.get("rev") if from_repo else None,
+            open_params=open_params,
         )
         return {
             "project_id": project_id,
@@ -785,9 +801,9 @@ class AnalysisService:
             "profiler": self.profiler.stats(),
         }
 
-    def _stats(self) -> dict:
+    def _stats(self, params: dict | None = None) -> dict:
         cache = DEFAULT_CACHE.stats()
-        return {
+        result = {
             "health": self._health(),
             "sessions": self.sessions.stats(),
             "engine_cache": {
@@ -799,6 +815,12 @@ class AnalysisService:
             "metrics": obs.summarize_snapshot(self.metrics.snapshot()),
             "profile_phases": self.profiler.phase_seconds(),
         }
+        if params and params.get("raw_metrics"):
+            # The un-summarized registry snapshot: what a router needs to
+            # fold per-worker metrics into one deterministic view with
+            # MetricsRegistry.merged (histogram values, not percentiles).
+            result["metrics_snapshot"] = self.metrics.snapshot()
+        return result
 
     # -- sinks -----------------------------------------------------------
 

@@ -67,6 +67,7 @@ ERROR_CODES = (
     "unknown_trace",  # trace/request id not in the (bounded) trace store
     "invalid_params",  # params failed type-specific validation
     "internal",  # handler raised; message carries the summary
+    "worker_unavailable",  # router: no live worker can serve the shard; retry
 )
 
 

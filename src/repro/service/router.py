@@ -1,0 +1,577 @@
+"""The front-end router: one address, N worker processes, shared nothing.
+
+The router speaks the exact same line-delimited JSON protocol as a
+single ``valuecheck serve`` daemon — :class:`~repro.service.client.ServiceClient`
+works against it unchanged — but instead of analysing anything itself
+it consistent-hashes ``project_id`` across a :class:`~repro.service.pool.WorkerPool`
+and forwards each request to the worker owning that shard.  Every
+worker is a full analysis service with its own sessions and engine
+cache, so the fleet's warm capacity is the *sum* of the workers', and a
+crashed worker takes down only its shard's warm state, not the service.
+
+Routing rules:
+
+* **Data plane** (``open_project``, ``analyze``, ``analyze_diff``,
+  ``explain``, ``baseline``, ``diff_findings``, ``gate``) — hash the
+  ``project_id``, forward the envelope verbatim (the worker echoes the
+  client's ``id``), relay the response line back.  ``trace_id``
+  propagates end-to-end: the router assigns ``rtr-<n>`` when the client
+  sent none, so a trace taken on the worker is addressable from the
+  client side.
+* **Control plane** (``health``, ``stats``, ``events``, ``shutdown``)
+  — answered by the router itself.  ``health``/``stats`` fan out to the
+  live workers and aggregate: per-worker metric registries are folded
+  with :meth:`MetricsRegistry.merged` into one deterministic view, and
+  both carry a ``shard_map`` block showing which slot owns which share
+  of the ring.  ``events`` serves the router's own journal (spawns,
+  deaths, respawns, migrations).  ``trace`` is forwarded to whichever
+  worker holds the trace.
+
+**Migration.**  The router remembers every successful ``open_project``'s
+serialized recipe (``ProjectSession.open_params``).  When a shard's
+owner changes — its worker died and the ring routed around it, or a
+respawn brought a fresh (empty) generation up — the router transparently
+replays the recipe on the new owner before forwarding, emits a
+``session.migrated`` journal event, and carries on.  Analysis state is
+deterministic, so findings from a re-opened session are
+fingerprint-identical to the originals; in-session diff overlays
+(``analyze_diff``) reset to the recipe's base state, same as an LRU
+eviction.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs import EventJournal, MetricsRegistry
+from repro.obs.clock import monotonic
+from repro.service.pool import WorkerHandle, WorkerPool, WorkerSpec
+from repro.service.protocol import (
+    MAX_REQUEST_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+#: Request types the router forwards to a shard owner (all carry — or,
+#: for open_project, establish — a ``project_id``).
+DATA_PLANE = (
+    "open_project",
+    "analyze",
+    "analyze_diff",
+    "explain",
+    "baseline",
+    "diff_findings",
+    "gate",
+)
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router knobs: pool size, worker shape, probing, forwarding."""
+
+    workers: int = 4
+    spec: WorkerSpec = field(default_factory=WorkerSpec)
+    vnodes: int = 64
+    probe_interval: float = 2.0
+    probe_timeout: float = 5.0
+    probe_failures: int = 2
+    forward_timeout: float = 300.0  # socket deadline per forwarded request
+    max_request_bytes: int = MAX_REQUEST_BYTES
+    journal_capacity: int = 2048
+    journal_path: str | None = None
+
+
+@dataclass
+class _Placement:
+    """Where one project's session lives and how to recreate it."""
+
+    open_params: dict
+    slot: int
+    generation: int
+    migrations: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class _WorkerConn:
+    """One blocking line-protocol connection to one worker process."""
+
+    def __init__(self, handle: WorkerHandle, timeout: float):
+        self.slot = handle.slot
+        self.generation = handle.generation
+        self._sock = socket.create_connection(
+            (handle.host, handle.port), timeout=timeout
+        )
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+
+    def roundtrip(self, envelope: dict) -> dict:
+        """Forward one envelope, return the worker's response dict."""
+        self._sock.sendall(encode(envelope).encode())
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("worker closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+
+class Router:
+    """Protocol-compatible front end multiplexing a worker pool.
+
+    Presents the same surface :class:`~repro.service.server.ServiceServer`
+    expects of a service core (``config.max_request_bytes``,
+    ``submit_line``, ``stopped``, ``add_shutdown_listener``), so the
+    existing TCP frontend hosts a router exactly as it hosts a single
+    service.
+    """
+
+    def __init__(self, config: RouterConfig | None = None):
+        self.config = config or RouterConfig()
+        self.journal = EventJournal(
+            capacity=self.config.journal_capacity,
+            sink_path=self.config.journal_path,
+        )
+        self.metrics = MetricsRegistry()
+        self.pool = WorkerPool(
+            count=self.config.workers,
+            spec=self.config.spec,
+            vnodes=self.config.vnodes,
+            probe_interval=self.config.probe_interval,
+            probe_timeout=self.config.probe_timeout,
+            probe_failures=self.config.probe_failures,
+            journal=self.journal,
+            metrics=self.metrics,
+        )
+        self.started_at = monotonic()
+        self._placements: dict[str, _Placement] = {}
+        self._placements_lock = threading.Lock()
+        self._local = threading.local()
+        self._state_lock = threading.Lock()
+        self._accepting = False
+        self._stopped = threading.Event()
+        self._shutdown_listeners: list = []
+        self._trace_seq = 0
+        self.migrations = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Router":
+        self.pool.start()
+        with self._state_lock:
+            self._accepting = True
+        self.journal.emit(
+            "router.start",
+            workers=self.config.workers,
+            vnodes=self.config.vnodes,
+            probe_interval=self.config.probe_interval,
+        )
+        return self
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    def add_shutdown_listener(self, callback) -> None:
+        self._shutdown_listeners.append(callback)
+
+    def shutdown(self, drain: bool = True) -> dict:
+        """Stop accepting, SIGTERM the workers (they drain), stop."""
+        with self._state_lock:
+            already = self._stopped.is_set()
+            self._accepting = False
+        if not already:
+            self.pool.stop()
+            self._stopped.set()
+            self.journal.emit(
+                "router.shutdown",
+                drained=bool(drain),
+                uptime_seconds=round(monotonic() - self.started_at, 6),
+            )
+            self.journal.close()
+            for callback in self._shutdown_listeners:
+                callback()
+        return {
+            "stopped": True,
+            "drained": bool(drain),
+            "uptime_seconds": round(monotonic() - self.started_at, 6),
+            "workers": self.config.workers,
+            "migrations": self.migrations,
+            "respawns": self.pool.respawns,
+        }
+
+    # -- submission ------------------------------------------------------
+
+    def submit_line(self, line: str | bytes) -> str:
+        try:
+            request = decode_request(line, max_bytes=self.config.max_request_bytes)
+        except ProtocolError as error:
+            self.metrics.inc("router.requests", type="invalid", outcome=error.code)
+            return encode(error_response(None, error.code, error.message))
+        return encode(self.submit(request))
+
+    def submit(self, request: dict) -> dict:
+        kind = request["type"]
+        request_id = request.get("id")
+        if kind == "health":
+            return ok_response(request_id, self._health())
+        if kind == "stats":
+            return ok_response(request_id, self._stats(request.get("params", {})))
+        if kind == "events":
+            return self._events(request)
+        if kind == "shutdown":
+            params = request.get("params", {})
+            summary = self.shutdown(drain=params.get("drain", True))
+            self.metrics.inc("router.requests", type=kind, outcome="ok")
+            return ok_response(request_id, summary)
+        if kind == "trace":
+            return self._forward_trace(request)
+
+        with self._state_lock:
+            accepting = self._accepting and not self._stopped.is_set()
+        if not accepting:
+            self.metrics.inc("router.requests", type=kind, outcome="shutting_down")
+            return error_response(
+                request_id, "shutting_down", "router is draining; no new work accepted"
+            )
+        return self._route(request)
+
+    # -- data plane ------------------------------------------------------
+
+    def _route(self, request: dict) -> dict:
+        kind = request["type"]
+        request_id = request.get("id")
+        params = request.get("params", {})
+        project_id = params.get("project_id")
+        if kind != "open_project" and not isinstance(project_id, str):
+            self.metrics.inc("router.requests", type=kind, outcome="invalid_params")
+            return error_response(
+                request_id, "invalid_params", "'project_id' must be a string"
+            )
+        if "trace_id" not in request:
+            with self._state_lock:
+                self._trace_seq += 1
+                request = dict(request, trace_id=f"rtr-{self._trace_seq}")
+
+        last_error: dict | None = None
+        for _attempt in range(3):
+            try:
+                handle = self._owner(kind, project_id)
+            except LookupError:
+                break  # no live workers at all right now
+            placement = self._placement_for(project_id)
+            if placement is not None and (
+                (placement.slot, placement.generation)
+                != (handle.slot, handle.generation)
+            ):
+                if not self._migrate(project_id, placement, handle):
+                    last_error = None
+                    continue  # owner changed under us; re-resolve
+            try:
+                response = self._forward(handle, request)
+            except (OSError, ValueError):
+                self.pool.report_failure(handle.slot, handle.generation)
+                self.metrics.inc("router.forward.errors", slot=handle.slot)
+                continue
+            handle.requests_forwarded += 1
+            if kind == "open_project" and response.get("ok"):
+                self._record_open(params, response["result"], handle)
+            if (
+                not response.get("ok")
+                and response.get("error", {}).get("code") == "unknown_project"
+                and placement is not None
+            ):
+                # The worker lost the session (LRU eviction or a respawn
+                # the ring didn't move) — replay the recipe and retry.
+                if self._migrate(project_id, placement, handle, reason="evicted"):
+                    try:
+                        response = self._forward(handle, request)
+                    except (OSError, ValueError):
+                        self.pool.report_failure(handle.slot, handle.generation)
+                        continue
+            outcome = "ok" if response.get("ok") else response.get("error", {}).get(
+                "code", "error"
+            )
+            self.metrics.inc("router.requests", type=kind, outcome=outcome)
+            self.metrics.inc("router.forwarded", slot=handle.slot)
+            return response
+        self.metrics.inc("router.requests", type=kind, outcome="worker_unavailable")
+        if last_error is not None:  # pragma: no cover - defensive
+            return last_error
+        return error_response(
+            request_id,
+            "worker_unavailable",
+            "no live worker can serve this shard right now; retry",
+            retry_after=max(self.config.probe_interval, 0.5),
+            trace_id=request.get("trace_id"),
+        )
+
+    def _owner(self, kind: str, project_id: str | None) -> WorkerHandle:
+        if project_id is None:
+            # open_project without an explicit id: any worker may mint
+            # one; spread these round-robin-ish by hashing the trace seq.
+            with self._state_lock:
+                key = f"anon-{self._trace_seq}"
+            return self.pool.owner(key)
+        return self.pool.owner(project_id)
+
+    def _forward(self, handle: WorkerHandle, request: dict) -> dict:
+        conn = self._connection(handle)
+        try:
+            return conn.roundtrip(request)
+        except (OSError, ValueError):
+            self._drop_connection(handle)
+            raise
+
+    def _connection(self, handle: WorkerHandle) -> _WorkerConn:
+        cache = getattr(self._local, "conns", None)
+        if cache is None:
+            cache = self._local.conns = {}
+        key = (handle.slot, handle.generation)
+        conn = cache.get(key)
+        if conn is None:
+            # A new generation in this slot obsoletes the old connection.
+            stale = [k for k in cache if k[0] == handle.slot and k != key]
+            for old in stale:
+                try:
+                    cache.pop(old).close()
+                except OSError:  # pragma: no cover
+                    pass
+            conn = cache[key] = _WorkerConn(handle, self.config.forward_timeout)
+        return conn
+
+    def _drop_connection(self, handle: WorkerHandle) -> None:
+        cache = getattr(self._local, "conns", None)
+        if cache is None:
+            return
+        conn = cache.pop((handle.slot, handle.generation), None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- migration -------------------------------------------------------
+
+    def _placement_for(self, project_id: str | None) -> _Placement | None:
+        if project_id is None:
+            return None
+        with self._placements_lock:
+            return self._placements.get(project_id)
+
+    def _record_open(self, params: dict, result: dict, handle: WorkerHandle) -> None:
+        project_id = result.get("project_id")
+        if not isinstance(project_id, str):  # pragma: no cover - protocol guard
+            return
+        open_params = {
+            key: params[key]
+            for key in ("sources", "root", "repo", "rev", "build_config", "options")
+            if key in params
+        }
+        open_params["project_id"] = project_id
+        with self._placements_lock:
+            existing = self._placements.get(project_id)
+            if existing is not None:
+                existing.open_params = open_params
+                existing.slot = handle.slot
+                existing.generation = handle.generation
+            else:
+                self._placements[project_id] = _Placement(
+                    open_params=open_params,
+                    slot=handle.slot,
+                    generation=handle.generation,
+                )
+
+    def _migrate(
+        self,
+        project_id: str | None,
+        placement: _Placement,
+        handle: WorkerHandle,
+        reason: str = "reassigned",
+    ) -> bool:
+        """Replay the open recipe on ``handle``; True when the session is
+        (now) live there."""
+        with placement.lock:
+            if (placement.slot, placement.generation) == (
+                handle.slot,
+                handle.generation,
+            ) and reason != "evicted":
+                return True  # another thread already migrated it
+            replay = {
+                "id": None,
+                "type": "open_project",
+                "params": placement.open_params,
+            }
+            try:
+                response = self._forward(handle, replay)
+            except (OSError, ValueError):
+                self.pool.report_failure(handle.slot, handle.generation)
+                return False
+            if not response.get("ok"):
+                return False
+            from_slot, from_generation = placement.slot, placement.generation
+            placement.slot = handle.slot
+            placement.generation = handle.generation
+            placement.migrations += 1
+            self.migrations += 1
+            self.metrics.inc("router.migrations", reason=reason)
+            self.journal.emit(
+                "session.migrated",
+                project_id=project_id,
+                from_slot=from_slot,
+                from_generation=from_generation,
+                to_slot=handle.slot,
+                to_generation=handle.generation,
+                reason=reason,
+            )
+            return True
+
+    # -- control plane ---------------------------------------------------
+
+    def _worker_request(
+        self, handle: WorkerHandle, kind: str, params: dict | None = None
+    ) -> dict | None:
+        """One control-plane round trip; None when the worker is unreachable."""
+        envelope = {"id": None, "type": kind, "params": params or {}}
+        try:
+            response = self._forward(handle, envelope)
+        except (OSError, ValueError):
+            self.pool.report_failure(handle.slot, handle.generation)
+            return None
+        return response
+
+    def _health(self) -> dict:
+        with self._state_lock:
+            accepting = self._accepting and not self._stopped.is_set()
+        workers = []
+        alive = 0
+        for handle in self.pool.handles():
+            entry = dict(handle.as_dict())
+            if handle.alive:
+                response = self._worker_request(handle, "health")
+                if response is not None and response.get("ok"):
+                    alive += 1
+                    result = response["result"]
+                    entry["status"] = result["status"]
+                    entry["sessions"] = result["sessions"]
+                    entry["queue_depth"] = result["queue_depth"]
+                else:
+                    entry["status"] = "unreachable"
+            else:
+                entry["status"] = "dead"
+            workers.append(entry)
+        if not accepting:
+            status = "draining"
+        elif alive == self.pool.count:
+            status = "ok"
+        elif alive:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "role": "router",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(monotonic() - self.started_at, 6),
+            "workers": workers,
+            "alive_workers": alive,
+            "shard_map": self.pool.shard_map(),
+            "pool": self.pool.stats(),
+            "migrations": self.migrations,
+            "journal": self.journal.stats(),
+        }
+
+    def _stats(self, params: dict | None = None) -> dict:
+        from repro import obs
+
+        worker_stats = []
+        snapshots = []
+        sessions_total = 0
+        for handle in self.pool.handles():
+            if not handle.alive:
+                worker_stats.append({"slot": handle.slot, "status": "dead"})
+                continue
+            response = self._worker_request(
+                handle, "stats", {"raw_metrics": True}
+            )
+            if response is None or not response.get("ok"):
+                worker_stats.append({"slot": handle.slot, "status": "unreachable"})
+                continue
+            result = response["result"]
+            snapshot = result.pop("metrics_snapshot", None)
+            if snapshot is not None:
+                snapshots.append(snapshot)
+            sessions_total += len(result.get("sessions") or [])
+            worker_stats.append(
+                {
+                    "slot": handle.slot,
+                    "generation": handle.generation,
+                    "status": "ok",
+                    "sessions": result.get("sessions"),
+                    "engine_cache": result.get("engine_cache"),
+                }
+            )
+        snapshots.append(self.metrics.snapshot())
+        merged = MetricsRegistry.merged(snapshots)
+        return {
+            "role": "router",
+            "health": self._health() if params is None or not params.get("shallow") else None,
+            "workers": worker_stats,
+            "sessions_total": sessions_total,
+            "shard_map": self.pool.shard_map(),
+            "migrations": self.migrations,
+            # One fleet-wide deterministic metrics view: counters summed,
+            # gauges maxed, histogram populations pooled across workers.
+            "metrics": obs.summarize_snapshot(merged.snapshot()),
+        }
+
+    def _events(self, request: dict) -> dict:
+        params = request.get("params", {})
+        request_id = request.get("id")
+        since = params.get("since", 0)
+        limit = params.get("limit")
+        kind = params.get("kind")
+        if not isinstance(since, int) or since < 0:
+            return error_response(
+                request_id, "invalid_params", "'since' must be a non-negative integer"
+            )
+        rows = self.journal.events(since=since, limit=limit, kind=kind)
+        return ok_response(
+            request_id,
+            {
+                "events": [event.as_dict() for event in rows],
+                "journal": self.journal.stats(),
+            },
+        )
+
+    def _forward_trace(self, request: dict) -> dict:
+        """Traces live on whichever worker served the request — ask each
+        live worker in turn and relay the first hit."""
+        request_id = request.get("id")
+        last: dict | None = None
+        for handle in self.pool.handles():
+            if not handle.alive:
+                continue
+            envelope = dict(request, id=request_id)
+            try:
+                response = self._forward(handle, envelope)
+            except (OSError, ValueError):
+                self.pool.report_failure(handle.slot, handle.generation)
+                continue
+            if response.get("ok"):
+                return response
+            last = response
+        if last is not None:
+            return last
+        return error_response(
+            request_id, "unknown_trace", "no worker holds this trace"
+        )

@@ -10,6 +10,7 @@ spawn.
 
 from __future__ import annotations
 
+import signal
 import socket
 import socketserver
 import sys
@@ -68,6 +69,34 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         )
         thread.start()
         return thread
+
+
+def install_signal_handlers(service, signals=(signal.SIGTERM, signal.SIGINT)) -> bool:
+    """Make SIGTERM (and SIGINT) trigger the draining shutdown path.
+
+    Without this, only ``KeyboardInterrupt`` drains: an orchestrator
+    (worker pool, systemd, Docker) sending SIGTERM would kill the
+    process mid-request, dropping accepted work the protocol promised to
+    answer.  The handler runs ``shutdown(drain=True)`` — stop accepting,
+    answer everything already accepted, then stop — which also fires the
+    shutdown listeners that stop a TCP accept loop.
+
+    ``service`` is anything with an idempotent ``shutdown()`` (the
+    :class:`AnalysisService` core or a router).  Returns ``False`` when
+    handlers cannot be registered (not on the main thread, e.g. under a
+    test runner); callers may ignore the result — the Ctrl-C path still
+    works regardless.
+    """
+
+    def _drain(signum: int, frame) -> None:  # pragma: no cover - signal path
+        service.shutdown()
+
+    try:
+        for signum in signals:
+            signal.signal(signum, _drain)
+    except ValueError:  # not the main thread of the main interpreter
+        return False
+    return True
 
 
 def serve_tcp(

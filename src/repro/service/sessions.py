@@ -53,6 +53,13 @@ class ProjectSession:
     project: Project
     config: ValueCheckConfig
     analyzer: IncrementalAnalyzer
+    #: The serializable recipe this session was opened from: the original
+    #: ``open_project`` wire params (source map / root / repo path, rev,
+    #: build_config, options) — never live objects.  A router that loses
+    #: the worker holding this session replays the recipe on another
+    #: worker to re-warm it there (docs/OPERATIONS.md); fingerprints are
+    #: deterministic, so the migrated session reports identical findings.
+    open_params: dict | None = None
     opened_at: float = field(default_factory=monotonic)
     last_used: float = field(default_factory=monotonic)
     analyze_count: int = 0
@@ -75,11 +82,25 @@ class ProjectSession:
         project: Project,
         config: ValueCheckConfig,
         rev: int | str | None = None,
+        open_params: dict | None = None,
     ) -> "ProjectSession":
         analyzer = IncrementalAnalyzer.from_project(project, config=config, rev=rev)
         return cls(
-            project_id=project_id, project=project, config=config, analyzer=analyzer
+            project_id=project_id,
+            project=project,
+            config=config,
+            analyzer=analyzer,
+            open_params=open_params,
         )
+
+    def describe(self) -> dict:
+        """The shard-handoff view: everything another worker needs to
+        re-open this session, plus where its warm state currently is."""
+        return {
+            "project_id": self.project_id,
+            "open_params": self.open_params,
+            "rev": self.analyzer.current_rev if self.project.repo else None,
+        }
 
     # -- requests --------------------------------------------------------
 
@@ -334,6 +355,7 @@ class ProjectSession:
             "analyze_count": self.analyze_count,
             "diff_count": self.diff_count,
             "idle_seconds": round(monotonic() - self.last_used, 3),
+            "reopenable": self.open_params is not None,
         }
 
 
@@ -362,10 +384,13 @@ class SessionManager:
         project: Project,
         config: ValueCheckConfig,
         rev: int | str | None = None,
+        open_params: dict | None = None,
     ) -> tuple[ProjectSession, list[str]]:
         """Create (or replace) a warm session; returns it plus the ids of
         any sessions evicted to make room."""
-        session = ProjectSession.open(project_id, project, config, rev=rev)
+        session = ProjectSession.open(
+            project_id, project, config, rev=rev, open_params=open_params
+        )
         with self._lock:
             self._sessions.pop(project_id, None)
             self._sessions[project_id] = session

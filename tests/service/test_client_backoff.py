@@ -1,0 +1,216 @@
+"""Client retry pacing: decorrelated jitter under a wall-clock budget.
+
+The old client slept exactly the server's ``retry_after`` hint on every
+``queue_full`` — every rejected client woke at the same instant and
+thundered back in lockstep, and a client with enough ``retries`` could
+hammer a saturated server forever.  :class:`Backoff` fixes both: delays
+are uniformly random between the base and 3× the previous delay
+(clamped to the cap), and a total retry-time budget bounds how long one
+logical request may keep retrying.  All tests run on a fake clock — no
+real sleeping.
+"""
+
+import json
+import random
+import socketserver
+import threading
+
+import pytest
+
+from repro.service.client import Backoff, ServiceClient, ServiceError
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock with a matching sleep()."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestBackoff:
+    def test_first_delay_seeded_from_server_hint(self):
+        clock = FakeClock()
+        backoff = Backoff(base=0.05, cap=10.0, rng=random.Random(7), clock=clock)
+        delays = {backoff_delay for backoff_delay in (
+            Backoff(base=0.05, cap=10.0, rng=random.Random(seed), clock=FakeClock())
+            .next_delay(hint=1.0)
+            for seed in range(50)
+        )}
+        # Uniform over [base, 3*hint]: spread out, never past three
+        # times the hint, never under the base.
+        assert all(0.05 <= delay <= 3.0 for delay in delays)
+        assert len(delays) > 10  # genuinely jittered, not one fixed value
+
+    def test_absent_hint_floored_at_base(self):
+        backoff = Backoff(base=0.1, cap=5.0, rng=random.Random(3), clock=FakeClock())
+        delay = backoff.next_delay(hint=None)
+        assert 0.1 <= delay <= 0.3  # uniform over [base, 3*base]
+
+    def test_decorrelation_grows_from_previous_delay(self):
+        clock = FakeClock()
+        backoff = Backoff(
+            base=0.05, cap=100.0, budget_seconds=1000.0,
+            rng=random.Random(11), clock=clock,
+        )
+        previous = backoff.next_delay(hint=0.5)
+        for _ in range(10):
+            clock.now += previous
+            delay = backoff.next_delay()
+            assert delay <= 3.0 * previous + 1e-9  # seeded from the last delay
+            previous = delay
+
+    def test_cap_clamps_the_delay(self):
+        clock = FakeClock()
+        backoff = Backoff(
+            base=0.05, cap=2.0, budget_seconds=1000.0,
+            rng=random.Random(5), clock=clock,
+        )
+        delay = 1.0
+        for _ in range(20):
+            clock.now += delay
+            delay = backoff.next_delay(hint=50.0)
+            assert delay <= 2.0
+
+    def test_budget_spent_returns_none(self):
+        clock = FakeClock()
+        backoff = Backoff(budget_seconds=10.0, rng=random.Random(1), clock=clock)
+        assert backoff.next_delay() is not None
+        clock.now += 10.1  # wall clock passes the budget
+        assert backoff.next_delay() is None
+        assert backoff.next_delay() is None  # stays spent
+
+    def test_final_delay_truncated_to_remaining_budget(self):
+        clock = FakeClock()
+        backoff = Backoff(
+            base=0.05, cap=60.0, budget_seconds=5.0,
+            rng=random.Random(2), clock=clock,
+        )
+        backoff.next_delay(hint=40.0)
+        clock.now += 4.9  # 0.1s of budget left
+        delay = backoff.next_delay()
+        assert delay is not None and delay <= 0.1 + 1e-9
+
+    def test_budget_measured_from_first_rejection(self):
+        clock = FakeClock(start=500.0)
+        backoff = Backoff(budget_seconds=30.0, rng=random.Random(4), clock=clock)
+        clock.now = 800.0  # construction-to-first-use gap is irrelevant
+        assert backoff.next_delay() is not None
+        clock.now += 29.0
+        assert backoff.next_delay() is not None
+        clock.now += 1.5
+        assert backoff.next_delay() is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(base=0.0)
+        with pytest.raises(ValueError):
+            Backoff(base=1.0, cap=0.5)
+
+
+class _RejectingServer(socketserver.ThreadingTCPServer):
+    """Replies ``queue_full`` to the first N requests, then ``ok``."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def _rejecting_server(rejections: int, retry_after: float = 0.5):
+    state = {"seen": 0}
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self):
+            while True:
+                line = self.rfile.readline()
+                if not line:
+                    return
+                request = json.loads(line)
+                state["seen"] += 1
+                if state["seen"] <= rejections:
+                    response = {
+                        "id": request.get("id"),
+                        "ok": False,
+                        "error": {
+                            "code": "queue_full",
+                            "message": "full",
+                            "retry_after": retry_after,
+                        },
+                    }
+                else:
+                    response = {"id": request.get("id"), "ok": True, "result": {}}
+                self.wfile.write((json.dumps(response) + "\n").encode())
+                self.wfile.flush()
+
+    server = _RejectingServer(("127.0.0.1", 0), Handler)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, state
+
+
+class TestClientRetry:
+    def test_retries_until_accepted_with_jittered_sleeps(self):
+        server, state = _rejecting_server(rejections=3)
+        clock = FakeClock()
+        try:
+            client = ServiceClient(
+                port=server.server_address[1],
+                rng=random.Random(9),
+                sleep=clock.sleep,
+                clock=clock,
+            )
+            assert client.request("health", retries=10) == {}
+            client.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert state["seen"] == 4  # 3 rejections + the accepted attempt
+        assert len(clock.sleeps) == 3
+        # Jittered: the sleeps are not all the raw 0.5s hint.
+        assert len(set(clock.sleeps)) > 1 or clock.sleeps[0] != 0.5
+
+    def test_budget_exhaustion_raises_with_attempts_remaining(self):
+        server, state = _rejecting_server(rejections=10_000)
+        clock = FakeClock()
+
+        def sleep(seconds: float) -> None:
+            clock.sleep(seconds)
+            clock.now += 3.0  # the server stays saturated; time passes
+
+        try:
+            client = ServiceClient(
+                port=server.server_address[1],
+                retry_budget_seconds=10.0,
+                rng=random.Random(9),
+                sleep=sleep,
+                clock=clock,
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("health", retries=10_000)
+            client.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert excinfo.value.code == "queue_full"
+        # Far fewer attempts than allowed: the wall-clock budget, not the
+        # attempt count, ended the retry loop.
+        assert state["seen"] < 20
+
+    def test_zero_retries_raises_immediately(self):
+        server, state = _rejecting_server(rejections=10)
+        try:
+            client = ServiceClient(port=server.server_address[1])
+            with pytest.raises(ServiceError) as excinfo:
+                client.request("health")
+            client.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+        assert excinfo.value.code == "queue_full"
+        assert excinfo.value.retry_after == 0.5
+        assert state["seen"] == 1

@@ -1,0 +1,165 @@
+"""SIGTERM graceful drain for ``valuecheck serve`` and ``route``.
+
+Regression for the orchestration gap: the daemon only drained on
+``KeyboardInterrupt`` (Ctrl-C) or an explicit ``shutdown`` request, so a
+supervisor sending SIGTERM — systemd, Docker, the router's worker pool —
+killed the process mid-request, dropping accepted work the protocol
+promised to answer.  ``install_signal_handlers`` routes SIGTERM (and
+SIGINT) to the same idempotent draining shutdown.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    AnalysisService,
+    ServiceConfig,
+    ServiceClient,
+    install_signal_handlers,
+    wait_for_port,
+)
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _spawn_cli(*args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{ROOT / 'src'}:{env.get('PYTHONPATH', '')}".rstrip(":")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+def _port_from_banner(proc: subprocess.Popen) -> int:
+    banner = proc.stderr.readline()
+    match = re.search(r"listening on [\d.]+:(\d+)", banner)
+    assert match, f"no port in banner: {banner!r}"
+    return int(match.group(1))
+
+
+class TestInstallSignalHandlers:
+    def test_handler_runs_the_draining_shutdown(self):
+        calls = []
+
+        class FakeService:
+            def shutdown(self):
+                calls.append("shutdown")
+
+        previous_term = signal.getsignal(signal.SIGTERM)
+        previous_int = signal.getsignal(signal.SIGINT)
+        try:
+            assert install_signal_handlers(FakeService()) is True
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert calls == ["shutdown"]
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+
+    def test_off_main_thread_returns_false_instead_of_raising(self):
+        class FakeService:
+            def shutdown(self):  # pragma: no cover - must not run
+                raise AssertionError("should not be called")
+
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(install_signal_handlers(FakeService()))
+        )
+        thread.start()
+        thread.join()
+        assert results == [False]
+
+    def test_shutdown_is_idempotent_under_repeated_signals(self):
+        # A supervisor may SIGTERM more than once; the second delivery
+        # must find the (already stopped) service and do nothing.
+        service = AnalysisService(ServiceConfig(workers=1)).start()
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            assert install_signal_handlers(service, signals=(signal.SIGTERM,))
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert service.stopped
+            os.kill(os.getpid(), signal.SIGTERM)  # second delivery: no-op
+            assert service.stopped
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+
+class TestServeDrainsOnSigterm:
+    def test_serve_exits_cleanly_and_answers_accepted_work(self):
+        proc = _spawn_cli("serve", "--port", "0", "--workers", "1")
+        try:
+            port = _port_from_banner(proc)
+            assert wait_for_port("127.0.0.1", port)
+            with ServiceClient(port=port) as client:
+                client.request(
+                    "open_project",
+                    {
+                        "project_id": "sig",
+                        "sources": {
+                            "a.c": "int f(void)\n{\n    int x;\n    x = 1;\n    return 0;\n}\n"
+                        },
+                    },
+                )
+                result = client.request("analyze", {"project_id": "sig"})
+                assert result["counts"]["reported"] >= 1
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_route_exits_cleanly_on_sigterm(self):
+        proc = _spawn_cli(
+            "route", "--port", "0", "--workers", "2", "--probe-interval", "1"
+        )
+        try:
+            port = _port_from_banner(proc)
+            assert wait_for_port("127.0.0.1", port)
+            with ServiceClient(port=port) as client:
+                health = client.health()
+                assert health["status"] == "ok"
+                assert health["alive_workers"] == 2
+                worker_pids = [slot["pid"] for slot in health["shard_map"]["slots"]]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=45) == 0
+            # The pool's SIGTERM cascade reaped every worker process.
+            for pid in worker_pids:
+                with pytest.raises(OSError):
+                    os.kill(pid, 0)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+class TestWorkerEntry:
+    def test_worker_ready_line_is_parseable_json(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{ROOT / 'src'}:{env.get('PYTHONPATH', '')}".rstrip(":")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.worker", "--port", "0"],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            ready = json.loads(proc.stdout.readline())
+            assert ready["ready"] is True
+            assert ready["pid"] == proc.pid
+            assert wait_for_port("127.0.0.1", ready["port"])
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait(timeout=10)

@@ -16,6 +16,8 @@ from check_bench_schema import (  # noqa: E402
     OBS_OVERHEAD_FIELDS,
     OBSERVABILITY_FIELDS,
     PROVENANCE_FIELDS,
+    ROUTER_FIELDS,
+    ROUTER_TOPOLOGY_FIELDS,
     SERVICE_FIELDS,
     SOLVER_FIELDS,
     STORE_FIELDS,
@@ -125,6 +127,40 @@ def _valid_v7_payload():
         "telemetry_on_windows": [0.21, 0.204],
         "telemetry_off_windows": [0.2, 0.201],
         "profiler": {"interval_seconds": 0.01, "samples": 20, "ticks": 20},
+    }
+    return payload
+
+
+def _topology_section(rps):
+    return {
+        "requests": 600,
+        "completed": 600,
+        "errors": 0,
+        "reopens": 0,
+        "seconds": 600 / rps,
+        "throughput_rps": rps,
+        "p50_ms": 10.0,
+        "p95_ms": 40.0,
+        "p99_ms": 80.0,
+    }
+
+
+def _valid_v8_payload():
+    payload = _valid_v7_payload()
+    payload["schema"] = 8
+    payload["bench_index"] = 8
+    payload["stages"]["router"] = {
+        "workers": 4,
+        "clients": 24,
+        "projects": 12,
+        "requests_per_client": 25,
+        "max_sessions": 5,
+        "scale": 0.05,
+        "single": _topology_section(50.0),
+        "routed": _topology_section(150.0),
+        "speedup_routed": 3.0,
+        "fingerprints_identical": True,
+        "fingerprint_count": 9,
     }
     return payload
 
@@ -308,3 +344,39 @@ class TestObsOverheadSection:
     def test_schema6_grandfathered_without_obs_overhead(self):
         # PR 6 files predate the operations layer; they stay valid.
         assert validate_payload(_valid_v6_payload()) == []
+
+
+class TestRouterSection:
+    def test_valid_v8_payload_passes(self):
+        assert validate_payload(_valid_v8_payload()) == []
+
+    def test_schema8_requires_router_section(self):
+        payload = _valid_v8_payload()
+        del payload["stages"]["router"]
+        assert any("stages.router" in p for p in validate_payload(payload))
+
+    def test_each_router_field_required(self):
+        for name in ROUTER_FIELDS:
+            payload = _valid_v8_payload()
+            del payload["stages"]["router"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_each_topology_field_required(self):
+        for topology in ("single", "routed"):
+            for name in ROUTER_TOPOLOGY_FIELDS:
+                payload = _valid_v8_payload()
+                del payload["stages"]["router"][topology][name]
+                assert any(
+                    f"stages.router.{topology}" in p and name in p
+                    for p in validate_payload(payload)
+                )
+
+    def test_inconsistent_speedup_rejected(self):
+        # The recorded ratio must match the recorded throughputs.
+        payload = _valid_v8_payload()
+        payload["stages"]["router"]["speedup_routed"] = 9.0
+        assert any("speedup_routed" in p for p in validate_payload(payload))
+
+    def test_schema7_grandfathered_without_router(self):
+        # PR 7 files predate the sharded router; they stay valid.
+        assert validate_payload(_valid_v7_payload()) == []

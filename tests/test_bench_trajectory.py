@@ -20,10 +20,12 @@ from check_bench_trajectory import (  # noqa: E402
     OBS_OVERHEAD_BUDGET_FRACTION,
     OBS_OVERHEAD_NOISE_FLOOR_SECONDS,
     REGRESSION_FACTOR,
+    ROUTER_SPEEDUP_FLOOR,
     SOLVER_SPEEDUP_FLOOR,
     check_all,
     check_gate_budget,
     check_obs_overhead,
+    check_router_speedup,
     check_series,
     check_solver_speedup,
     comparable,
@@ -285,6 +287,59 @@ class TestObsOverheadBudget:
         series[1][1]["analysis_version"] = "engine-5"
         problems = check_series(series)
         assert any("BENCH_7.json" in p and "overhead" in p for p in problems)
+
+
+def _router_payload(index, single_rps=50.0, routed_rps=150.0, identical=True):
+    payload = _obs_payload(index)
+    payload["schema"] = 8
+    payload["stages"]["router"] = {
+        "workers": 4,
+        "clients": 24,
+        "projects": 12,
+        "max_sessions": 5,
+        "single": {"throughput_rps": single_rps},
+        "routed": {"throughput_rps": routed_rps},
+        "speedup_routed": routed_rps / single_rps if single_rps else None,
+        "fingerprints_identical": identical,
+        "fingerprint_count": 9,
+    }
+    return payload
+
+
+class TestRouterSpeedup:
+    def test_at_floor_passes(self):
+        payload = _router_payload(
+            8, single_rps=50.0, routed_rps=50.0 * ROUTER_SPEEDUP_FLOOR
+        )
+        assert check_router_speedup(payload) == []
+
+    def test_under_floor_fails(self):
+        payload = _router_payload(8, single_rps=100.0, routed_rps=150.0)
+        problems = check_router_speedup(payload, "BENCH_8.json")
+        assert problems and "BENCH_8.json" in problems[0]
+        assert f"{ROUTER_SPEEDUP_FLOOR:.0f}x" in problems[0]
+
+    def test_missing_ratio_fails(self):
+        payload = _router_payload(8)
+        payload["stages"]["router"]["speedup_routed"] = None
+        assert check_router_speedup(payload) != []
+
+    def test_diverged_fingerprints_fail(self):
+        payload = _router_payload(8, identical=False)
+        problems = check_router_speedup(payload, "BENCH_8.json")
+        assert any("fingerprints_identical" in p for p in problems)
+
+    def test_schema7_files_skip_the_floor(self):
+        assert check_router_speedup(_obs_payload(7)) == []
+
+    def test_floor_checked_by_series_walk(self):
+        series = [
+            ("BENCH_7.json", _obs_payload(7)),
+            ("BENCH_8.json", _router_payload(8, single_rps=100.0, routed_rps=120.0)),
+        ]
+        series[1][1]["analysis_version"] = "engine-6"
+        problems = check_series(series)
+        assert any("BENCH_8.json" in p and "floor" in p for p in problems)
 
 
 class TestSeriesWalk:
