@@ -35,6 +35,12 @@ structurally comparable.  This validator asserts the invariants:
   throughput/latency, the routed speedup ratio
   ``check_bench_trajectory.py`` holds at ≥ 2×, and the
   fingerprint-identity verdict);
+* schema ≥ 9 files carry the ``stages.cluster_obs`` section (the
+  cluster observability plane measured on the routed topology:
+  telemetry-on vs telemetry-off warm-request windows whose
+  ``overhead_fraction`` must be consistent with the two window times,
+  plus the trace-stitch completeness counts — processes and spans in
+  one stitched cross-process trace);
 * no benchmark was emitted from an unconverged solver run.
 
 Older schemas are grandfathered at the level they were written: schema 1
@@ -46,7 +52,8 @@ the findings store) need no ``stages.store``; schema 5 files (PR 5,
 before the interned-bitset solver) need no ``stages.solver``; schema 6
 files (PR 6, before the operations layer) need no
 ``stages.obs_overhead``; schema 7 files (PR 7, before the sharded
-router) need no ``stages.router``.
+router) need no ``stages.router``; schema 8 files (PR 8, before the
+cluster observability plane) need no ``stages.cluster_obs``.
 
 Run directly (``python benchmarks/check_bench_schema.py``) or through
 the tier-1 test ``tests/test_bench_schema.py``.
@@ -149,6 +156,17 @@ ROUTER_TOPOLOGY_FIELDS = (
     "p95_ms",
     "p99_ms",
 )
+
+CLUSTER_OBS_FIELDS = (
+    "workers",
+    "requests_per_window",
+    "telemetry_on_seconds",
+    "telemetry_off_seconds",
+    "overhead_fraction",
+    "stitch",
+)
+
+CLUSTER_OBS_STITCH_FIELDS = ("stitched", "processes", "spans")
 
 
 def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
@@ -330,6 +348,35 @@ def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
                         f"stages.router speedup_routed ({speedup:.2f}) does "
                         f"not match routed/single throughput ({expected:.2f})"
                     )
+
+    if payload.get("schema", 0) >= 9:
+        cluster = (stages or {}).get("cluster_obs")
+        if not isinstance(cluster, dict):
+            problem("schema>=9 requires stages.cluster_obs")
+        else:
+            for name in CLUSTER_OBS_FIELDS:
+                if name not in cluster:
+                    problem(f"stages.cluster_obs missing {name!r}")
+            on = cluster.get("telemetry_on_seconds")
+            off = cluster.get("telemetry_off_seconds")
+            fraction = cluster.get("overhead_fraction")
+            if (
+                isinstance(on, (int, float))
+                and isinstance(off, (int, float))
+                and isinstance(fraction, (int, float))
+                and off > 0
+            ):
+                expected = (on - off) / off
+                if abs(fraction - expected) > 0.01 * max(1.0, abs(expected)):
+                    problem(
+                        f"stages.cluster_obs overhead_fraction ({fraction:.4f}) "
+                        f"does not match (on-off)/off ({expected:.4f})"
+                    )
+            stitch = cluster.get("stitch")
+            if isinstance(stitch, dict):
+                for name in CLUSTER_OBS_STITCH_FIELDS:
+                    if name not in stitch:
+                        problem(f"stages.cluster_obs.stitch missing {name!r}")
     return problems
 
 

@@ -52,6 +52,20 @@ And each schema ≥ 8 file on its own:
   makes sharded results diverge from single-process results) regressed
   the router.
 
+And each schema ≥ 9 file on its own:
+
+* **the cluster observability plane stops being free** —
+  ``stages.cluster_obs`` must show the router's per-request tracing,
+  span-context propagation, and metrics scrape loop costing at most 5%
+  over the telemetry-off routed window (beyond a 10 ms absolute floor:
+  warm forwarded requests are milliseconds each, so sub-floor deltas
+  are scheduling noise);
+* **trace stitching stops being complete** — the stitched trace of a
+  forwarded request must span at least two processes (the router's
+  forward hop and the owning worker's pipeline).  A stitch that covers
+  one process means span-context propagation or fragment collection
+  broke, and ``valuecheck trace`` is back to single-process timelines.
+
 The solver stress wall-time (``stages.solver.solve_seconds``) also
 joins the pair-over-pair regression series: the stress corpus has a
 fixed size regardless of ``--scale``, so the >25% rule applies to it
@@ -63,8 +77,9 @@ checker passes on a series that merely *starts* carrying decision
 counts.  Likewise schema 4 files predate ``stages.store`` and skip the
 gate-latency budget, schema 5 files predate ``stages.solver`` and skip
 the speedup floor, schema 6 files predate ``stages.obs_overhead`` and
-skip the overhead budget, and schema 7 files predate ``stages.router``
-and skip the routed-speedup floor.
+skip the overhead budget, schema 7 files predate ``stages.router`` and
+skip the routed-speedup floor, and schema 8 files predate
+``stages.cluster_obs`` and skip the cluster-plane budget.
 
 Run directly (``python benchmarks/check_bench_trajectory.py``) or
 through the tier-1 test ``tests/test_bench_trajectory.py``.
@@ -117,6 +132,18 @@ OBS_OVERHEAD_NOISE_FLOOR_SECONDS = 0.01
 #: single-process daemon on the load-generation mix (schema ≥ 8 files
 #: only).
 ROUTER_SPEEDUP_FLOOR = 2.0
+
+#: Ceiling on the cluster observability plane's cost (router spans +
+#: span_ctx propagation + the scrape loop) relative to the
+#: telemetry-off routed window (schema ≥ 9 files only) ...
+CLUSTER_OBS_BUDGET_FRACTION = 0.05
+#: ... applied only beyond this absolute delta — warm forwarded
+#: requests are single-digit milliseconds, so a 10 ms window delta is
+#: scheduling noise, not plane cost.
+CLUSTER_OBS_NOISE_FLOOR_SECONDS = 0.01
+
+#: A stitched trace must cover at least the router and one worker.
+STITCH_MIN_PROCESSES = 2
 
 
 def _dig(payload: dict, path: tuple[str, ...]):
@@ -261,6 +288,40 @@ def check_router_speedup(payload: dict, name: str = "<payload>") -> list[str]:
     return problems
 
 
+def check_cluster_obs(payload: dict, name: str = "<payload>") -> list[str]:
+    """Per-file check: the cluster plane stays within budget and the
+    stitched trace still spans the topology."""
+    if payload.get("schema", 0) < 9:
+        return []
+    problems: list[str] = []
+    cluster = _dig(payload, ("stages", "cluster_obs")) or {}
+    on = cluster.get("telemetry_on_seconds")
+    off = cluster.get("telemetry_off_seconds")
+    if not isinstance(on, (int, float)) or not isinstance(off, (int, float)):
+        problems.append(f"{name}: stages.cluster_obs window times are missing")
+    elif off > 0:
+        fraction = (on - off) / off
+        if (
+            fraction > CLUSTER_OBS_BUDGET_FRACTION
+            and on - off > CLUSTER_OBS_NOISE_FLOOR_SECONDS
+        ):
+            problems.append(
+                f"{name}: cluster observability overhead is {fraction:.1%} "
+                f"(routed telemetry on {on:.3f}s vs off {off:.3f}s), over "
+                f"the {CLUSTER_OBS_BUDGET_FRACTION:.0%} budget; the plane "
+                f"must stay cheap enough to run always-on across the fleet"
+            )
+    stitch = cluster.get("stitch") or {}
+    processes = stitch.get("processes")
+    if not isinstance(processes, int) or processes < STITCH_MIN_PROCESSES:
+        problems.append(
+            f"{name}: stitched trace covers {processes!r} process(es), "
+            f"under the {STITCH_MIN_PROCESSES}-process floor — the "
+            f"forwarded request's cross-process timeline is incomplete"
+        )
+    return problems
+
+
 def load_series(root: Path = ROOT) -> list[tuple[str, dict]]:
     """All BENCH payloads at ``root``, ordered by bench index."""
     series: list[tuple[int, str, dict]] = []
@@ -283,6 +344,7 @@ def check_series(series: list[tuple[str, dict]]) -> list[str]:
         problems.extend(check_solver_speedup(payload, name))
         problems.extend(check_obs_overhead(payload, name))
         problems.extend(check_router_speedup(payload, name))
+        problems.extend(check_cluster_obs(payload, name))
     return problems
 
 

@@ -56,7 +56,13 @@ EXECUTORS = ("serial", "thread", "process")
 # benchmarks/loadgen.py (single daemon vs consistent-hash router over a
 # worker pool under concurrent mixed load), whose ≥2× routed throughput
 # and fingerprint-identity verdict check_bench_trajectory.py enforces.
-BENCH_SCHEMA_VERSION = 8
+# v9 adds ``stages.cluster_obs`` — the cluster observability plane's
+# cost on the routed topology (router spans + span_ctx propagation +
+# the metrics scrape loop, on vs off, over warm forwarded requests)
+# plus the trace-stitch completeness counts (processes/spans in one
+# stitched cross-process trace); check_bench_trajectory.py caps the
+# overhead and requires the stitch to span at least two processes.
+BENCH_SCHEMA_VERSION = 9
 
 # The solver stress corpus always runs at this scale regardless of
 # --scale: the stress shape is what makes propagation dominate, and the
@@ -499,6 +505,126 @@ def _obs_overhead_timings(
     }
 
 
+def _cluster_obs_timings(
+    scale: float, seed: int, runs: int = 20, repeats: int = 3
+) -> dict:
+    """Cost of the cluster observability plane on the routed topology.
+
+    Brings up two 2-worker routers over real TCP — one with the full
+    plane on (per-request router spans, span_ctx propagation, the
+    metrics scrape loop), one with telemetry off and the scrape loop
+    disabled — and times windows of ``runs`` warm forwarded analyzes
+    against each, alternating which topology goes first per repeat and
+    keeping the minimum window per mode (same discipline as
+    ``_obs_overhead_timings``).  The workers trace in both modes; the
+    delta isolates what the *router's* plane adds per forwarded request.
+
+    Also records trace-stitch completeness: one traced request's
+    stitched timeline must span the router and the owning worker —
+    ``check_bench_trajectory.py`` holds ``stitch.processes`` at ≥ 2 and
+    the overhead fraction under its budget (beyond a 10 ms floor).
+    """
+    from repro.corpus import generate_app
+    from repro.service import (
+        Router,
+        RouterConfig,
+        ServiceClient,
+        ServiceServer,
+        WorkerSpec,
+    )
+
+    app = generate_app("nfs-ganesha", scale=scale, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        repo_path = Path(tmp) / "repo.json"
+        app.repo.save(repo_path)
+        open_rev = len(app.repo.commits) - 1
+
+        def topology(telemetry: bool) -> tuple[Router, ServiceServer, ServiceClient]:
+            router = Router(
+                RouterConfig(
+                    workers=2,
+                    spec=WorkerSpec(threads=1, max_sessions=4),
+                    probe_interval=1.0,
+                    telemetry=telemetry,
+                    scrape_interval=0.5 if telemetry else 0.0,
+                )
+            ).start()
+            server = ServiceServer(router, port=0)
+            server.serve_background()
+            client = ServiceClient(port=server.address[1])
+            client.open_project(
+                repo=str(repo_path), rev=open_rev, project_id="bench-obs"
+            )
+            client.analyze("bench-obs")  # warm the owning worker's cache
+            return router, server, client
+
+        on_router, on_server, on_client = topology(telemetry=True)
+        off_router, off_server, off_client = topology(telemetry=False)
+        try:
+            def window(client: ServiceClient) -> float:
+                started = monotonic()
+                for _ in range(runs):
+                    client.analyze("bench-obs")
+                return monotonic() - started
+
+            on_windows: list[float] = []
+            off_windows: list[float] = []
+            for repeat in range(repeats):
+                # Alternate which topology goes first so slow drift
+                # cancels instead of biasing one mode.
+                order = (False, True) if repeat % 2 == 0 else (True, False)
+                for instrumented in order:
+                    if instrumented:
+                        on_windows.append(window(on_client))
+                    else:
+                        off_windows.append(window(off_client))
+
+            # Completeness: one traced request, one stitched timeline.
+            on_client.analyze("bench-obs", trace_id="bench-stitch")
+            stitched = on_client.trace(trace_id="bench-stitch")
+            scrape_sources = on_router.scrape_once()
+            history = on_router.history.stats()
+        finally:
+            for client in (on_client, off_client):
+                client.close()
+            for router in (on_router, off_router):
+                if not router.stopped:
+                    router.shutdown()
+            for server in (on_server, off_server):
+                server.server_close()
+
+    on_best = min(on_windows)
+    off_best = min(off_windows)
+    if len(stitched["processes"]) < 2:
+        raise SystemExit(
+            "[run_bench] FATAL: stitched trace covers only "
+            f"{[row['process'] for row in stitched['processes']]} — the "
+            "router and worker fragments were not merged"
+        )
+    return {
+        "workers": 2,
+        "requests_per_window": runs,
+        "repeats": repeats,
+        "telemetry_on_seconds": on_best,
+        "telemetry_off_seconds": off_best,
+        "overhead_fraction": (
+            (on_best - off_best) / off_best if off_best else None
+        ),
+        "telemetry_on_windows": on_windows,
+        "telemetry_off_windows": off_windows,
+        "stitch": {
+            "stitched": bool(stitched.get("stitched")),
+            "processes": len(stitched["processes"]),
+            "spans": stitched["span_count"],
+        },
+        "scrape": {
+            "sources_sampled": scrape_sources,
+            "history_sources": history["sources"],
+            "history_recorded": history["recorded"],
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--scale", type=float, default=float(os.environ.get("REPRO_SCALE", 0.1)))
@@ -534,6 +660,8 @@ def main(argv: list[str] | None = None) -> int:
     payload["stages"]["store"] = _store_timings(args.scale, args.seed)
     payload["stages"]["solver"] = _solver_timings(args.seed)
     payload["stages"]["obs_overhead"] = _obs_overhead_timings(args.scale, args.seed)
+    print("[run_bench] measuring the cluster observability plane …")
+    payload["stages"]["cluster_obs"] = _cluster_obs_timings(args.scale, args.seed)
     print("[run_bench] running the router load-generation comparison …")
     payload["stages"]["router"] = _router_timings(args.seed)
     if not args.skip_pytest:
@@ -574,6 +702,14 @@ def main(argv: list[str] | None = None) -> int:
           f"routed({router['workers']}) {router['routed']['throughput_rps']} rps "
           f"({router['speedup_routed']}x, fingerprints identical: "
           f"{router['fingerprints_identical']})")
+    cluster = stages["cluster_obs"]
+    print(f"[run_bench] cluster obs: routed telemetry on "
+          f"{cluster['telemetry_on_seconds']:.3f}s vs off "
+          f"{cluster['telemetry_off_seconds']:.3f}s per "
+          f"{cluster['requests_per_window']}-request window "
+          f"({cluster['overhead_fraction']:+.1%}); stitched trace spans "
+          f"{cluster['stitch']['processes']} processes / "
+          f"{cluster['stitch']['spans']} spans")
     overhead = stages["obs_overhead"]
     print(f"[run_bench] obs overhead: telemetry+profiler "
           f"{overhead['telemetry_on_seconds']:.3f}s vs bare "

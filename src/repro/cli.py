@@ -506,16 +506,24 @@ def _cmd_events(args: argparse.Namespace) -> int:
         print(f"error: cannot reach {args.host}:{args.port}: {error}", file=sys.stderr)
         return 2
     cursor = args.since
+    # A router's merged cluster stream pages with per-source cursors
+    # (seqs are per-journal); it returns them on every response and we
+    # hand them straight back — `events --follow` is topology-transparent.
+    cursors: dict | None = None
     polls = 0
     with client:
         while True:
             try:
-                result = client.events(since=cursor, limit=args.limit, kind=args.kind)
+                result = client.events(
+                    since=cursor, limit=args.limit, kind=args.kind, cursors=cursors
+                )
             except ServiceError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 1
+            if isinstance(result.get("cursors"), dict):
+                cursors = result["cursors"]
             for event in result["events"]:
-                cursor = max(cursor, event["seq"])
+                cursor = max(cursor, event["seq"]) if cursors is None else cursor
                 print(json.dumps(event, sort_keys=True))
             polls += 1
             if not args.follow:
@@ -529,8 +537,101 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sparkline(series: list, width: int = 24) -> str:
+    """Unicode block sparkline of the last ``width`` samples, peak-scaled."""
+    blocks = "▁▂▃▄▅▆▇█"
+    tail = [max(float(value), 0.0) for value in series[-width:]]
+    if not tail:
+        return ""
+    peak = max(tail)
+    if peak <= 0:
+        return blocks[0] * len(tail)
+    return "".join(
+        blocks[min(int(value / peak * (len(blocks) - 1) + 0.5), len(blocks) - 1)]
+        for value in tail
+    )
+
+
+def _render_cluster_top(stats: dict) -> str:
+    """The cluster mode of `valuecheck top`: per-shard rows + heatmaps
+    from the router's scrape-loop time series."""
+    health = stats.get("health") or {}
+    timeseries = (stats.get("timeseries") or {}).get("sources", {})
+    lines = [
+        f"valuecheck cluster  status={health.get('status', '?')}  "
+        f"workers={health.get('alive_workers', 0)}/{len(health.get('workers', ()))}  "
+        f"sessions={stats.get('sessions_total', 0)}  "
+        f"migrations={stats.get('migrations', 0)}  "
+        f"uptime={health.get('uptime_seconds', 0.0):.1f}s",
+        "",
+        "router slo       status     p99        burn   window",
+    ]
+    for slo in health.get("slos", ()):
+        p99 = slo.get("p99_seconds")
+        lines.append(
+            f"  {slo.get('name', '?'):<15}{slo.get('status', '?'):<9}"
+            f"{(f'{p99 * 1e3:8.1f}ms' if p99 is not None else '       --'):>10}"
+            f"{slo.get('burn_rate', 0.0):>8.2f}  {slo.get('window_count', 0)}"
+        )
+    lines.append("")
+    lines.append("slot  gen  status        sess  queue  forwarded   req/s    burn")
+    for worker in health.get("workers", ()):
+        slot = worker.get("slot", "?")
+        source = timeseries.get(f"worker-{slot}", {})
+        rates = source.get("rates", {})
+        lines.append(
+            f"  {slot!s:<4}{worker.get('generation', 0):>3}  "
+            f"{worker.get('status', '?'):<12}"
+            f"{worker.get('sessions', 0) or 0:>6}"
+            f"{worker.get('queue_depth', 0) or 0:>7}"
+            f"{worker.get('requests_forwarded', 0):>11}"
+            f"{rates.get('service.requests', 0.0):>8.2f}"
+            f"{worker.get('burn_rate', 0.0):>8.2f}"
+        )
+    # Per-shard request-rate heatmap over the scrape window, plus the
+    # session heatmap: how warm state is spread across the shards.
+    heat = [
+        (worker.get("slot", 0), timeseries.get(f"worker-{worker.get('slot')}", {}))
+        for worker in health.get("workers", ())
+    ]
+    if any(source.get("series") for _slot, source in heat):
+        lines.append("")
+        lines.append("shard req/s heatmap (oldest → newest scrape):")
+        for slot, source in heat:
+            series = source.get("series") or []
+            rate = series[-1] if series else 0.0
+            lines.append(f"  {slot!s:<4}{_sparkline(series):<26}{rate:>8.2f}/s")
+    sessions = [
+        (worker.get("slot", 0), int(worker.get("sessions") or 0))
+        for worker in health.get("workers", ())
+    ]
+    if sessions:
+        peak = max((count for _slot, count in sessions), default=0)
+        lines.append("")
+        lines.append("session heatmap (warm sessions per shard):")
+        for slot, count in sessions:
+            bar = "█" * count if peak <= 24 else "█" * max(int(count / peak * 24), 1)
+            lines.append(f"  {slot!s:<4}{bar:<26}{count}")
+    journal = health.get("journal", {})
+    traces = health.get("traces", {})
+    lines.append("")
+    lines.append(
+        f"journal {journal.get('retained', 0)}/{journal.get('capacity', 0)} "
+        f"(dropped {journal.get('dropped', 0)})   "
+        f"router traces {traces.get('retained', 0)}/{traces.get('capacity', 0)}"
+        + (
+            f" ({traces.get('pinned', 0)} pinned)"
+            if "pinned" in traces
+            else ""
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
 def _render_top(stats: dict) -> str:
     """One refresh of the `valuecheck top` dashboard from a stats response."""
+    if stats.get("role") == "router":
+        return _render_cluster_top(stats)
     health = stats.get("health", {})
     lines = [
         f"valuecheck service  status={health.get('status', '?')}  "
@@ -695,6 +796,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
         probe_interval=args.probe_interval,
         probe_timeout=args.probe_timeout,
         journal_path=args.journal,
+        telemetry=not args.no_telemetry,
+        scrape_interval=args.scrape_interval,
+        trace_capacity=args.trace_capacity,
     )
     router = Router(config).start()
     install_signal_handlers(router)  # SIGTERM drains workers, then exits
@@ -1073,6 +1177,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument(
         "--journal", help="mirror the router's event journal to this JSONL file"
+    )
+    route.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=2.0,
+        help="seconds between per-worker metrics scrapes into the "
+        "time-series ring (0 disables the scrape loop)",
+    )
+    route.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=256,
+        help="router-side trace ring size (forward-hop spans)",
+    )
+    route.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable per-request router spans and span-context propagation",
     )
     route.set_defaults(func=_cmd_route)
 

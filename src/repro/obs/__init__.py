@@ -46,6 +46,7 @@ from repro.obs.journal import Event, EventJournal
 from repro.obs.metrics import (
     METRICS_SCHEMA_VERSION,
     MetricsRegistry,
+    base_name,
     deterministic_view,
     metric_key,
     parse_key,
@@ -69,6 +70,8 @@ from repro.obs.sinks import (
     write_jsonl,
 )
 from repro.obs.slo import DEFAULT_SLOS, SloConfig, SloTracker, build_trackers
+from repro.obs.stitch import TracePart, make_part, stitch, stitch_chrome
+from repro.obs.timeseries import MetricsHistory, Sample
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 from repro.obs.tracestore import TraceRecord, TraceStore
 
@@ -158,28 +161,35 @@ __all__ = [
     "EventJournal",
     "IDLE_PHASE",
     "METRICS_SCHEMA_VERSION",
+    "MetricsHistory",
     "MetricsRegistry",
     "PROVENANCE_SCHEMA_VERSION",
     "ProvenanceLog",
     "ProvenanceRecord",
     "PrunerVerdict",
+    "Sample",
     "SamplingProfiler",
     "SloConfig",
     "SloTracker",
     "Span",
     "Telemetry",
+    "TracePart",
     "TraceRecord",
     "TraceStore",
     "Tracer",
+    "base_name",
     "build_trackers",
     "current",
     "fold_frame",
     "deterministic_view",
     "detection_record",
+    "make_part",
     "metric_key",
     "metrics",
     "monotonic",
     "parse_key",
+    "stitch",
+    "stitch_chrome",
     "read_jsonl",
     "render_record",
     "render_records",

@@ -1,0 +1,173 @@
+"""Bounded time-series history of metrics snapshots, with rates and deltas.
+
+Point-in-time metric snapshots answer "how many requests so far"; an
+operator watching a cluster wants "how many per second, per shard, and
+is it climbing".  :class:`MetricsHistory` is the bridge: a scrape loop
+(the router's, against each worker's ``stats {raw_metrics}``) records a
+timestamped counter sample per **source** into a bounded ring, and the
+history computes windowed deltas, per-second rates, and a short rate
+*series* per source — enough to draw a per-shard heatmap in
+``valuecheck top`` without any external time-series database.
+
+Counter keys are full metric keys (``service.requests{type=...,...}``);
+rates are aggregated by base metric name so label cardinality never
+leaks into the summary.  Everything is stdlib, thread-safe, and O(ring).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.obs.clock import wall_clock
+from repro.obs.metrics import base_name
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One scrape of one source: wall-clock time + cumulative counters."""
+
+    ts: float
+    counters: dict[str, float]
+    gauges: dict[str, float]
+
+
+def _by_base(counters: Mapping[str, float]) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for key, value in counters.items():
+        name = base_name(key)
+        totals[name] = totals.get(name, 0.0) + float(value)
+    return totals
+
+
+class MetricsHistory:
+    """Per-source bounded ring of counter samples with derived rates."""
+
+    def __init__(self, capacity: int = 120):
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2 (rates need two samples)")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._rings: dict[str, deque[Sample]] = {}
+        self._recorded = 0
+
+    def record(
+        self,
+        source: str,
+        counters: Mapping[str, float],
+        gauges: Mapping[str, float] | None = None,
+        ts: float | None = None,
+    ) -> None:
+        sample = Sample(
+            ts=wall_clock() if ts is None else ts,
+            counters={str(k): float(v) for k, v in counters.items()},
+            gauges={str(k): float(v) for k, v in (gauges or {}).items()},
+        )
+        with self._lock:
+            ring = self._rings.get(source)
+            if ring is None:
+                ring = self._rings[source] = deque(maxlen=self.capacity)
+            ring.append(sample)
+            self._recorded += 1
+
+    def forget(self, source: str) -> None:
+        """Drop a source's history (e.g. a worker slot's dead generation)."""
+        with self._lock:
+            self._rings.pop(source, None)
+
+    def sources(self) -> list[str]:
+        with self._lock:
+            return sorted(self._rings)
+
+    def samples(self, source: str) -> list[Sample]:
+        with self._lock:
+            return list(self._rings.get(source, ()))
+
+    def latest(self, source: str) -> Sample | None:
+        with self._lock:
+            ring = self._rings.get(source)
+            return ring[-1] if ring else None
+
+    # -- derived views -----------------------------------------------------
+
+    def deltas(self, source: str) -> dict[str, float]:
+        """Newest-minus-oldest per base metric name over the retained window.
+
+        Counters are cumulative, so a missing key in the oldest sample
+        (a metric born mid-window) deltas from zero.
+        """
+        samples = self.samples(source)
+        if len(samples) < 2:
+            return {}
+        first = _by_base(samples[0].counters)
+        last = _by_base(samples[-1].counters)
+        return {
+            name: round(total - first.get(name, 0.0), 9)
+            for name, total in sorted(last.items())
+        }
+
+    def rates(self, source: str) -> dict[str, float]:
+        """Per-second rate per base metric name over the retained window."""
+        samples = self.samples(source)
+        if len(samples) < 2:
+            return {}
+        window = samples[-1].ts - samples[0].ts
+        if window <= 0:
+            return {}
+        return {
+            name: round(delta / window, 6)
+            for name, delta in self.deltas(source).items()
+        }
+
+    def rate_series(self, source: str, base: str) -> list[float]:
+        """Per-second rate of one base metric between adjacent samples —
+        the sparkline/heatmap feed (len = samples - 1)."""
+        samples = self.samples(source)
+        series: list[float] = []
+        for older, newer in zip(samples, samples[1:]):
+            dt = newer.ts - older.ts
+            if dt <= 0:
+                series.append(0.0)
+                continue
+            delta = _by_base(newer.counters).get(base, 0.0) - _by_base(
+                older.counters
+            ).get(base, 0.0)
+            series.append(round(max(delta, 0.0) / dt, 6))
+        return series
+
+    # -- summaries -----------------------------------------------------------
+
+    def summary(self, series_base: str | None = None) -> dict:
+        """JSON-ready per-source view for a ``stats`` response."""
+        sources: dict[str, dict] = {}
+        for source in self.sources():
+            samples = self.samples(source)
+            entry: dict = {
+                "samples": len(samples),
+                "window_seconds": (
+                    round(samples[-1].ts - samples[0].ts, 6)
+                    if len(samples) >= 2
+                    else 0.0
+                ),
+                "rates": self.rates(source),
+                "gauges": dict(samples[-1].gauges) if samples else {},
+            }
+            if series_base is not None:
+                entry["series"] = self.rate_series(source, series_base)
+                entry["series_base"] = series_base
+            sources[source] = entry
+        return {
+            "capacity": self.capacity,
+            "recorded": self._recorded,
+            "sources": sources,
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "sources": len(self._rings),
+                "recorded": self._recorded,
+            }

@@ -23,7 +23,7 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.obs.clock import monotonic
+from repro.obs.clock import monotonic, wall_clock
 
 
 @dataclass
@@ -61,6 +61,10 @@ class Tracer:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._epoch = monotonic()
+        # Wall-clock time of the epoch.  Span starts are monotonic-relative
+        # (per-process arbitrary zero); this is the cross-process anchor a
+        # trace stitcher uses to place two processes' spans on one timeline.
+        self.wall_epoch = wall_clock()
         self._lock = threading.Lock()
         self._spans: list[Span] = []
         self._next_id = 0

@@ -205,9 +205,13 @@ class ServiceClient:
         request_id: int | None = None,
         trace_id: str | None = None,
         chrome: bool = False,
+        all_records: bool = False,
     ) -> dict:
         """Fetch a completed request's trace (defaults to the last traced
-        response this client saw)."""
+        response this client saw).  Against a router the result is a
+        stitched cross-process timeline; ``all_records`` asks a single
+        service for every retained record under the trace id instead of
+        just the newest."""
         if request_id is None and trace_id is None:
             trace_id = self.last_trace_id
         params: dict = {}
@@ -217,16 +221,28 @@ class ServiceClient:
             params["trace_id"] = trace_id
         if chrome:
             params["chrome"] = True
+        if all_records:
+            params["all"] = True
         return self.request("trace", params)
 
     def events(
-        self, since: int = 0, limit: int | None = None, kind: str | None = None
+        self,
+        since: int = 0,
+        limit: int | None = None,
+        kind: str | None = None,
+        cursors: dict | None = None,
     ) -> dict:
+        """Journal events after a cursor.  Against a router the stream is
+        the merged cluster stream; pass back the response's ``cursors``
+        dict to page gap-free across every source (the plain ``since``
+        covers the router's own journal only)."""
         params: dict = {"since": since}
         if limit is not None:
             params["limit"] = limit
         if kind is not None:
             params["kind"] = kind
+        if cursors is not None:
+            params["cursors"] = cursors
         return self.request("events", params)
 
     def shutdown(self, drain: bool = True) -> dict:

@@ -76,6 +76,11 @@ class ServiceConfig:
     engine_workers: int | None = None
     # Operational layer (see docs/OBSERVABILITY.md):
     trace_capacity: int = 256  # completed request traces retained
+    # Tail-based trace retention: pin slow/errored traces in the ring so
+    # load never evicts the traces worth looking at.  None disables the
+    # slow pin; errors are pinned by default.
+    trace_pin_slow_seconds: float | None = 5.0
+    trace_pin_errors: bool = True
     journal_capacity: int = 2048  # lifecycle events retained in the ring
     journal_path: str | None = None  # optional JSONL mirror of the journal
     slos: tuple[SloConfig, ...] = DEFAULT_SLOS
@@ -95,6 +100,11 @@ class _Pending:
     # request are recorded under.
     seq: int = 0
     trace_id: str = ""
+    # Cross-process span context attached by a forwarding router
+    # (parent span id + the router's wall-clock accept epoch); stored
+    # with the trace record so a stitcher can hang this request's spans
+    # under the router's forward span.
+    span_ctx: dict | None = None
     # The per-request tracer: constructed at accept time, so its epoch
     # is the moment the request entered the queue and queue wait shows
     # up on the request's own timeline.
@@ -118,7 +128,11 @@ class AnalysisService:
             capacity=self.config.journal_capacity,
             sink_path=self.config.journal_path,
         )
-        self.traces = TraceStore(capacity=self.config.trace_capacity)
+        self.traces = TraceStore(
+            capacity=self.config.trace_capacity,
+            pin_slow_seconds=self.config.trace_pin_slow_seconds,
+            pin_errors=self.config.trace_pin_errors,
+        )
         self.slos = build_trackers(tuple(self.config.slos))
         # OS thread ident -> the per-request tracer currently running on
         # that worker thread; the profiler resolves samples to pipeline
@@ -290,6 +304,7 @@ class AnalysisService:
             deadline=now + budget,
             seq=seq,
             trace_id=trace_id,
+            span_ctx=request.get("span_ctx"),
             tracer=Tracer(),
         )
         try:
@@ -468,6 +483,8 @@ class AnalysisService:
                 ok=outcome == "ok",
                 seconds=seconds,
                 spans=tuple(tracer.spans()),
+                epoch_ts=tracer.wall_epoch,
+                span_ctx=pending.span_ctx,
             )
         )
         for tracker in self.slos:
@@ -734,15 +751,18 @@ class AnalysisService:
             raise ProtocolError(
                 "invalid_params", "trace takes exactly one of 'request_id'/'trace_id'"
             )
+        records: list[TraceRecord]
         if request_seq is not None:
             if not isinstance(request_seq, int) or isinstance(request_seq, bool):
                 raise ProtocolError("invalid_params", "'request_id' must be an integer")
             record = self.traces.get(request_seq)
+            records = [record] if record is not None else []
             wanted = f"request {request_seq}"
         else:
             if not isinstance(trace_id, str):
                 raise ProtocolError("invalid_params", "'trace_id' must be a string")
-            record = self.traces.get_by_trace_id(trace_id)
+            records = self.traces.records_by_trace_id(trace_id)
+            record = records[-1] if records else None
             wanted = f"trace {trace_id!r}"
         if record is None:
             raise ProtocolError(
@@ -752,8 +772,15 @@ class AnalysisService:
                 f"{self.traces.capacity}-entry ring)",
             )
         result = record.as_dict()
+        if params.get("all"):
+            # Every retained record under the trace id, oldest first — a
+            # stitching router wants the full set (a migration replay and
+            # the forwarded request share one trace id).
+            result["records"] = [row.as_dict() for row in records]
         if params.get("chrome"):
-            result["chrome"] = self.traces.to_chrome([record])
+            result["chrome"] = self.traces.to_chrome(
+                records if params.get("all") else [record]
+            )
         return result
 
     def _events_result(self, params: dict) -> dict:

@@ -22,6 +22,15 @@ either::
 or the server assigned one — it is the key the client hands back to
 ``trace``.
 
+A router forwarding a request additionally attaches ``span_ctx`` — an
+object carrying the cross-process span context (``parent_span``: the
+router span id the worker's trace hangs under, ``root_ts``: the
+router's wall-clock accept epoch, ``origin``: the forwarding process's
+label).  Workers store it with the request's trace record so the
+router's trace stitcher (:mod:`repro.obs.stitch`) can parent and
+clock-align worker spans on the cross-process timeline.  Ordinary
+clients never send it.
+
 Error codes are part of the protocol contract (clients dispatch on
 them); see :data:`ERROR_CODES`.  Backpressure is explicit: a full queue
 yields ``queue_full`` with a ``retry_after`` hint in seconds — the
@@ -112,9 +121,14 @@ def decode_request(line: str | bytes, max_bytes: int = MAX_REQUEST_BYTES) -> dic
     trace_id = payload.get("trace_id")
     if trace_id is not None and not isinstance(trace_id, str):
         raise ProtocolError("bad_request", "'trace_id' must be a string")
+    span_ctx = payload.get("span_ctx")
+    if span_ctx is not None and not isinstance(span_ctx, dict):
+        raise ProtocolError("bad_request", "'span_ctx' must be a JSON object")
     envelope = {"id": request_id, "type": kind, "params": params}
     if trace_id is not None:
         envelope["trace_id"] = trace_id
+    if span_ctx is not None:
+        envelope["span_ctx"] = span_ctx
     return envelope
 
 

@@ -13,40 +13,63 @@ Routing rules:
 
 * **Data plane** (``open_project``, ``analyze``, ``analyze_diff``,
   ``explain``, ``baseline``, ``diff_findings``, ``gate``) — hash the
-  ``project_id``, forward the envelope verbatim (the worker echoes the
-  client's ``id``), relay the response line back.  ``trace_id``
-  propagates end-to-end: the router assigns ``rtr-<n>`` when the client
-  sent none, so a trace taken on the worker is addressable from the
-  client side.
+  ``project_id``, forward the envelope (the worker echoes the client's
+  ``id``), relay the response line back.  ``trace_id`` propagates
+  end-to-end: the router assigns ``rtr-<n>`` when the client sent none.
+  Each forwarded request runs under the router's own per-request tracer
+  — a ``router.request`` root span with ``router.forward`` /
+  ``router.migrate`` children — and the router attaches ``span_ctx``
+  (parent span id + its wall-clock accept epoch) to the envelope, so
+  the worker's trace record can be stitched under the forward hop.
 * **Control plane** (``health``, ``stats``, ``events``, ``shutdown``)
   — answered by the router itself.  ``health``/``stats`` fan out to the
   live workers and aggregate: per-worker metric registries are folded
-  with :meth:`MetricsRegistry.merged` into one deterministic view, and
-  both carry a ``shard_map`` block showing which slot owns which share
-  of the ring.  ``events`` serves the router's own journal (spawns,
-  deaths, respawns, migrations).  ``trace`` is forwarded to whichever
-  worker holds the trace.
+  with :meth:`MetricsRegistry.merged` into one deterministic view, both
+  carry a ``shard_map`` block, ``health`` adds router-level SLOs over
+  forwarded requests with per-worker burn rates, and ``stats`` adds the
+  scrape loop's time-series view (per-shard request rates and deltas).
+  ``events`` is a **stable merge** of the router's journal with every
+  live worker's journal — ordered on ``(timestamp, slot, seq)``, with
+  per-source cursors (``worker-<slot>.g<generation>``) so paging stays
+  gap-free across worker respawns.  ``trace`` collects every fragment
+  of the trace — the router's own record plus hits from *all* live
+  workers — and returns one stitched cross-process timeline
+  (:mod:`repro.obs.stitch`).
 
 **Migration.**  The router remembers every successful ``open_project``'s
 serialized recipe (``ProjectSession.open_params``).  When a shard's
 owner changes — its worker died and the ring routed around it, or a
 respawn brought a fresh (empty) generation up — the router transparently
 replays the recipe on the new owner before forwarding, emits a
-``session.migrated`` journal event, and carries on.  Analysis state is
-deterministic, so findings from a re-opened session are
-fingerprint-identical to the originals; in-session diff overlays
-(``analyze_diff``) reset to the recipe's base state, same as an LRU
-eviction.
+``session.migrated`` journal event, and carries on.  The replay carries
+the triggering request's trace id, so a migrated request's stitched
+trace shows the replay hop too.  Analysis state is deterministic, so
+findings from a re-opened session are fingerprint-identical to the
+originals; in-session diff overlays (``analyze_diff``) reset to the
+recipe's base state, same as an LRU eviction.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 from dataclasses import dataclass, field
 
-from repro.obs import EventJournal, MetricsRegistry
+from repro.obs import (
+    DEFAULT_SLOS,
+    EventJournal,
+    MetricsHistory,
+    MetricsRegistry,
+    SloConfig,
+    TraceRecord,
+    TraceStore,
+    Tracer,
+    build_trackers,
+    make_part,
+    stitch,
+)
 from repro.obs.clock import monotonic
 from repro.service.pool import WorkerHandle, WorkerPool, WorkerSpec
 from repro.service.protocol import (
@@ -74,7 +97,8 @@ DATA_PLANE = (
 
 @dataclass(frozen=True)
 class RouterConfig:
-    """Router knobs: pool size, worker shape, probing, forwarding."""
+    """Router knobs: pool size, worker shape, probing, forwarding,
+    and the cluster observability plane (tracing, scraping, SLOs)."""
 
     workers: int = 4
     spec: WorkerSpec = field(default_factory=WorkerSpec)
@@ -86,6 +110,13 @@ class RouterConfig:
     max_request_bytes: int = MAX_REQUEST_BYTES
     journal_capacity: int = 2048
     journal_path: str | None = None
+    # Cluster observability plane (see docs/OBSERVABILITY.md):
+    telemetry: bool = True  # per-request router spans + span_ctx propagation
+    trace_capacity: int = 256  # router-side trace ring
+    trace_pin_slow_seconds: float | None = 5.0  # tail-based retention
+    scrape_interval: float = 2.0  # metrics scrape loop; <= 0 disables
+    history_capacity: int = 240  # time-series samples retained per source
+    slos: tuple[SloConfig, ...] = DEFAULT_SLOS  # over forwarded requests
 
 
 @dataclass
@@ -153,6 +184,19 @@ class Router:
             metrics=self.metrics,
         )
         self.started_at = monotonic()
+        # Router-side observability: the forward hop's own trace ring
+        # (tail-retained like the workers'), router-level SLO trackers
+        # over forwarded requests plus per-slot trackers for burn-rate
+        # attribution, and the scrape loop's metrics time series.
+        self.traces = TraceStore(
+            capacity=self.config.trace_capacity,
+            pin_slow_seconds=self.config.trace_pin_slow_seconds,
+            pin_errors=True,
+        )
+        self.slos = build_trackers(tuple(self.config.slos))
+        self._slot_slos: dict[int, tuple] = {}
+        self._slo_lock = threading.Lock()
+        self.history = MetricsHistory(capacity=self.config.history_capacity)
         self._placements: dict[str, _Placement] = {}
         self._placements_lock = threading.Lock()
         self._local = threading.local()
@@ -161,6 +205,8 @@ class Router:
         self._stopped = threading.Event()
         self._shutdown_listeners: list = []
         self._trace_seq = 0
+        self._request_seq = 0
+        self._scrape_thread: threading.Thread | None = None
         self.migrations = 0
 
     # -- lifecycle -------------------------------------------------------
@@ -169,11 +215,18 @@ class Router:
         self.pool.start()
         with self._state_lock:
             self._accepting = True
+        if self.config.scrape_interval > 0:
+            self._scrape_thread = threading.Thread(
+                target=self._scrape_loop, name="router-scrape", daemon=True
+            )
+            self._scrape_thread.start()
         self.journal.emit(
             "router.start",
             workers=self.config.workers,
             vnodes=self.config.vnodes,
             probe_interval=self.config.probe_interval,
+            scrape_interval=self.config.scrape_interval,
+            telemetry=self.config.telemetry,
         )
         return self
 
@@ -192,6 +245,8 @@ class Router:
         if not already:
             self.pool.stop()
             self._stopped.set()
+            if self._scrape_thread is not None:
+                self._scrape_thread.join(timeout=5.0)
             self.journal.emit(
                 "router.shutdown",
                 drained=bool(drain),
@@ -234,7 +289,7 @@ class Router:
             self.metrics.inc("router.requests", type=kind, outcome="ok")
             return ok_response(request_id, summary)
         if kind == "trace":
-            return self._forward_trace(request)
+            return self._stitched_trace(request)
 
         with self._state_lock:
             accepting = self._accepting and not self._stopped.is_set()
@@ -257,13 +312,60 @@ class Router:
             return error_response(
                 request_id, "invalid_params", "'project_id' must be a string"
             )
-        if "trace_id" not in request:
-            with self._state_lock:
+        with self._state_lock:
+            self._request_seq += 1
+            seq = self._request_seq
+            if "trace_id" not in request:
                 self._trace_seq += 1
                 request = dict(request, trace_id=f"rtr-{self._trace_seq}")
+        trace_id = request["trace_id"]
 
+        # The forward hop runs under the router's own per-request tracer;
+        # its record lands in the router's trace ring under the same
+        # trace id the worker records under, so a later ``trace`` request
+        # stitches both processes onto one timeline.
+        tracer = Tracer(enabled=self.config.telemetry)
+        started = monotonic()
+        served: list[WorkerHandle] = []
+        with tracer.span(
+            "router.request", type=kind, trace_id=trace_id, id=str(request_id)
+        ):
+            response = self._route_attempts(request, tracer, trace_id, served)
+        seconds = monotonic() - started
+        ok = bool(response.get("ok"))
+        self.metrics.observe("router.request_seconds", seconds, type=kind)
+        if tracer.enabled:
+            self.traces.put(
+                TraceRecord(
+                    request_id=seq,
+                    trace_id=trace_id,
+                    kind=kind,
+                    ok=ok,
+                    seconds=seconds,
+                    spans=tuple(tracer.spans()),
+                    epoch_ts=tracer.wall_epoch,
+                )
+            )
+        for tracker in self.slos:
+            tracker.record(kind, seconds, ok=ok)
+        if served:
+            for tracker in self._slot_trackers(served[-1].slot):
+                tracker.record(kind, seconds, ok=ok)
+        return response
+
+    def _route_attempts(
+        self,
+        request: dict,
+        tracer: Tracer,
+        trace_id: str,
+        served: list[WorkerHandle],
+    ) -> dict:
+        kind = request["type"]
+        request_id = request.get("id")
+        params = request.get("params", {})
+        project_id = params.get("project_id")
         last_error: dict | None = None
-        for _attempt in range(3):
+        for attempt in range(3):
             try:
                 handle = self._owner(kind, project_id)
             except LookupError:
@@ -273,11 +375,15 @@ class Router:
                 (placement.slot, placement.generation)
                 != (handle.slot, handle.generation)
             ):
-                if not self._migrate(project_id, placement, handle):
+                if not self._migrate(
+                    project_id, placement, handle, tracer=tracer, trace_id=trace_id
+                ):
                     last_error = None
                     continue  # owner changed under us; re-resolve
             try:
-                response = self._forward(handle, request)
+                response = self._forward_traced(
+                    handle, request, tracer, attempt=attempt
+                )
             except (OSError, ValueError):
                 self.pool.report_failure(handle.slot, handle.generation)
                 self.metrics.inc("router.forward.errors", slot=handle.slot)
@@ -292,9 +398,18 @@ class Router:
             ):
                 # The worker lost the session (LRU eviction or a respawn
                 # the ring didn't move) — replay the recipe and retry.
-                if self._migrate(project_id, placement, handle, reason="evicted"):
+                if self._migrate(
+                    project_id,
+                    placement,
+                    handle,
+                    reason="evicted",
+                    tracer=tracer,
+                    trace_id=trace_id,
+                ):
                     try:
-                        response = self._forward(handle, request)
+                        response = self._forward_traced(
+                            handle, request, tracer, attempt=attempt
+                        )
                     except (OSError, ValueError):
                         self.pool.report_failure(handle.slot, handle.generation)
                         continue
@@ -303,6 +418,7 @@ class Router:
             )
             self.metrics.inc("router.requests", type=kind, outcome=outcome)
             self.metrics.inc("router.forwarded", slot=handle.slot)
+            served.append(handle)
             return response
         self.metrics.inc("router.requests", type=kind, outcome="worker_unavailable")
         if last_error is not None:  # pragma: no cover - defensive
@@ -312,8 +428,40 @@ class Router:
             "worker_unavailable",
             "no live worker can serve this shard right now; retry",
             retry_after=max(self.config.probe_interval, 0.5),
-            trace_id=request.get("trace_id"),
+            trace_id=trace_id,
         )
+
+    def _forward_traced(
+        self, handle: WorkerHandle, request: dict, tracer: Tracer, attempt: int
+    ) -> dict:
+        """One forward hop under a ``router.forward`` span, with the
+        span context propagated in the worker envelope."""
+        with tracer.span(
+            "router.forward",
+            slot=handle.slot,
+            generation=handle.generation,
+            attempt=attempt,
+        ) as span:
+            envelope = request
+            if span is not None:
+                envelope = dict(request, span_ctx=self._span_ctx(tracer, span))
+            return self._forward(handle, envelope)
+
+    def _span_ctx(self, tracer: Tracer, span) -> dict:
+        return {
+            "parent_span": span.span_id,
+            "root_ts": round(tracer.wall_epoch, 6),
+            "origin": "router",
+        }
+
+    def _slot_trackers(self, slot: int) -> tuple:
+        with self._slo_lock:
+            trackers = self._slot_slos.get(slot)
+            if trackers is None:
+                trackers = self._slot_slos[slot] = tuple(
+                    build_trackers(tuple(self.config.slos))
+                )
+            return trackers
 
     def _owner(self, kind: str, project_id: str | None) -> WorkerHandle:
         if project_id is None:
@@ -397,9 +545,13 @@ class Router:
         placement: _Placement,
         handle: WorkerHandle,
         reason: str = "reassigned",
+        tracer: Tracer | None = None,
+        trace_id: str | None = None,
     ) -> bool:
         """Replay the open recipe on ``handle``; True when the session is
-        (now) live there."""
+        (now) live there.  The replay carries the triggering request's
+        trace id (and span context), so the migrated request's stitched
+        trace includes the replay hop on the new owner."""
         with placement.lock:
             if (placement.slot, placement.generation) == (
                 handle.slot,
@@ -411,11 +563,27 @@ class Router:
                 "type": "open_project",
                 "params": placement.open_params,
             }
-            try:
-                response = self._forward(handle, replay)
-            except (OSError, ValueError):
-                self.pool.report_failure(handle.slot, handle.generation)
-                return False
+            if trace_id is not None:
+                replay["trace_id"] = trace_id
+            span_cm = (
+                tracer.span(
+                    "router.migrate",
+                    slot=handle.slot,
+                    generation=handle.generation,
+                    reason=reason,
+                    project_id=str(project_id),
+                )
+                if tracer is not None
+                else _NULL_SPAN_CM
+            )
+            with span_cm as span:
+                if span is not None and tracer is not None:
+                    replay["span_ctx"] = self._span_ctx(tracer, span)
+                try:
+                    response = self._forward(handle, replay)
+                except (OSError, ValueError):
+                    self.pool.report_failure(handle.slot, handle.generation)
+                    return False
             if not response.get("ok"):
                 return False
             from_slot, from_generation = placement.slot, placement.generation
@@ -434,6 +602,41 @@ class Router:
                 reason=reason,
             )
             return True
+
+    # -- scrape loop ------------------------------------------------------
+
+    def _scrape_loop(self) -> None:
+        while not self._stopped.wait(self.config.scrape_interval):
+            try:
+                self.scrape_once()
+            except Exception:  # noqa: BLE001 — the scraper must not die
+                self.metrics.inc("router.scrape.errors")
+
+    def scrape_once(self) -> int:
+        """Sample every live worker's metrics into the time-series ring;
+        returns the number of sources sampled.  Runs on the scrape
+        thread, but callable inline (tests, `stats {scrape: true}`)."""
+        sampled = 0
+        for handle in self.pool.handles():
+            if not handle.alive:
+                continue
+            response = self._worker_request(handle, "stats", {"raw_metrics": True})
+            if response is None or not response.get("ok"):
+                continue
+            result = response["result"]
+            snapshot = result.get("metrics_snapshot") or {}
+            health = result.get("health") or {}
+            gauges = dict(snapshot.get("gauges", {}))
+            gauges["worker.sessions"] = float(health.get("sessions", 0) or 0)
+            gauges["worker.queue_depth"] = float(health.get("queue_depth", 0) or 0)
+            self.history.record(
+                f"worker-{handle.slot}", snapshot.get("counters", {}), gauges
+            )
+            sampled += 1
+        own = self.metrics.snapshot()
+        self.history.record("router", own.get("counters", {}), own.get("gauges", {}))
+        self.metrics.inc("router.scrapes")
+        return sampled
 
     # -- control plane ---------------------------------------------------
 
@@ -468,7 +671,17 @@ class Router:
                     entry["status"] = "unreachable"
             else:
                 entry["status"] = "dead"
+            # Burn rate of this shard's forwarded requests against the
+            # router-level SLOs (the worst tracker names the pressure).
+            trackers = self._slot_trackers(handle.slot)
+            statuses = [tracker.status() for tracker in trackers]
+            entry["slos"] = statuses
+            entry["burn_rate"] = max(
+                (status["burn_rate"] for status in statuses), default=0.0
+            )
             workers.append(entry)
+        slos = [tracker.status() for tracker in self.slos]
+        breached = [status["name"] for status in slos if status["status"] == "breached"]
         if not accepting:
             status = "draining"
         elif alive == self.pool.count:
@@ -487,7 +700,10 @@ class Router:
             "shard_map": self.pool.shard_map(),
             "pool": self.pool.stats(),
             "migrations": self.migrations,
+            "slos": slos,
+            "breached_slos": breached,
             "journal": self.journal.stats(),
+            "traces": self.traces.stats(),
         }
 
     def _stats(self, params: dict | None = None) -> dict:
@@ -532,46 +748,163 @@ class Router:
             # One fleet-wide deterministic metrics view: counters summed,
             # gauges maxed, histogram populations pooled across workers.
             "metrics": obs.summarize_snapshot(merged.snapshot()),
+            # The scrape loop's bounded history: per-shard request rates
+            # (the `valuecheck top` heatmap feed) and windowed deltas.
+            "timeseries": self.history.summary(series_base="service.requests"),
+            "traces": self.traces.stats(),
         }
 
     def _events(self, request: dict) -> dict:
+        """Merged cluster event stream: the router's journal stably
+        merged with every live worker's, ordered on ``(timestamp, slot,
+        seq)``.  Paging uses per-source cursors — ``router`` plus
+        ``worker-<slot>.g<generation>`` — so a follower stays gap-free
+        even when a slot respawns into a fresh journal (the new
+        generation is a new source starting at 0)."""
         params = request.get("params", {})
         request_id = request.get("id")
         since = params.get("since", 0)
         limit = params.get("limit")
         kind = params.get("kind")
-        if not isinstance(since, int) or since < 0:
+        cursors = params.get("cursors")
+        if not isinstance(since, int) or isinstance(since, bool) or since < 0:
             return error_response(
                 request_id, "invalid_params", "'since' must be a non-negative integer"
             )
-        rows = self.journal.events(since=since, limit=limit, kind=kind)
+        if limit is not None and (not isinstance(limit, int) or isinstance(limit, bool)):
+            return error_response(request_id, "invalid_params", "'limit' must be an integer")
+        if cursors is not None and (
+            not isinstance(cursors, dict)
+            or not all(
+                isinstance(key, str) and isinstance(value, int) and value >= 0
+                for key, value in cursors.items()
+            )
+        ):
+            return error_response(
+                request_id,
+                "invalid_params",
+                "'cursors' must map source -> non-negative integer",
+            )
+        cursors = dict(cursors or {})
+        next_cursors = dict(cursors)
+
+        # (ts, slot-order, seq) sorts the merge: the router sorts ahead
+        # of workers at equal timestamps (slot order -1), workers by slot.
+        merged: list[tuple[float, int, int, dict]] = []
+        router_since = cursors.get("router", since)
+        next_cursors.setdefault("router", router_since)
+        for event in self.journal.events(since=router_since, kind=kind):
+            row = dict(event.as_dict(), source="router")
+            merged.append((event.ts, -1, event.seq, row))
+        worker_params: dict = {}
+        if kind is not None:
+            worker_params["kind"] = kind
+        for handle in self.pool.handles():
+            if not handle.alive:
+                continue
+            source = f"worker-{handle.slot}.g{handle.generation}"
+            worker_since = cursors.get(source, 0)
+            next_cursors.setdefault(source, worker_since)
+            response = self._worker_request(
+                handle, "events", dict(worker_params, since=worker_since)
+            )
+            if response is None or not response.get("ok"):
+                continue
+            for event in response["result"].get("events", []):
+                row = dict(event)
+                row["source"] = source
+                row.setdefault("slot", handle.slot)
+                merged.append(
+                    (float(event.get("ts", 0.0)), handle.slot, int(event["seq"]), row)
+                )
+        merged.sort(key=lambda item: (item[0], item[1], item[2]))
+        if limit is not None and limit >= 0:
+            merged = merged[:limit]
+        # Cursors advance only over *returned* rows: anything cut by the
+        # limit is re-fetched on the next page — no gaps.
+        for _ts, _order, seq, row in merged:
+            source = row["source"]
+            next_cursors[source] = max(next_cursors.get(source, 0), seq)
         return ok_response(
             request_id,
             {
-                "events": [event.as_dict() for event in rows],
+                "events": [row for _ts, _order, _seq, row in merged],
+                "cursors": next_cursors,
                 "journal": self.journal.stats(),
             },
         )
 
-    def _forward_trace(self, request: dict) -> dict:
-        """Traces live on whichever worker served the request — ask each
-        live worker in turn and relay the first hit."""
+    def _stitched_trace(self, request: dict) -> dict:
+        """The ``trace`` request against the cluster: collect every
+        fragment of the trace — the router's own forward-hop record plus
+        hits from **all** live workers (a migrated session leaves halves
+        on two workers) — and stitch them into one cross-process
+        timeline with clock-offset-corrected timestamps."""
         request_id = request.get("id")
-        last: dict | None = None
-        for handle in self.pool.handles():
+        params = request.get("params", {})
+        request_seq = params.get("request_id")
+        trace_id = params.get("trace_id")
+        chrome = bool(params.get("chrome"))
+        if (request_seq is None) == (trace_id is None):
+            return error_response(
+                request_id,
+                "invalid_params",
+                "trace takes exactly one of 'request_id'/'trace_id'",
+            )
+        if request_seq is not None and (
+            not isinstance(request_seq, int) or isinstance(request_seq, bool)
+        ):
+            return error_response(
+                request_id, "invalid_params", "'request_id' must be an integer"
+            )
+        if trace_id is not None and not isinstance(trace_id, str):
+            return error_response(
+                request_id, "invalid_params", "'trace_id' must be a string"
+            )
+
+        router_records = []
+        if request_seq is not None:
+            # `request_id` is the *router's* request number; resolve it to
+            # the trace id so the worker fragments can be collected too.
+            record = self.traces.get(request_seq)
+            if record is not None:
+                router_records = [record]
+                trace_id = record.trace_id
+        else:
+            router_records = self.traces.records_by_trace_id(trace_id)
+
+        parts = []
+        if router_records:
+            parts.append(make_part("router", os.getpid(), router_records))
+        worker_params: dict = {"all": True}
+        if trace_id is not None:
+            worker_params["trace_id"] = trace_id
+        else:
+            # Unresolvable router seq (pre-telemetry record or evicted):
+            # fall back to broadcasting the worker-local request number.
+            worker_params["request_id"] = request_seq
+        for handle in sorted(self.pool.handles(), key=lambda h: h.slot):
             if not handle.alive:
                 continue
-            envelope = dict(request, id=request_id)
-            try:
-                response = self._forward(handle, envelope)
-            except (OSError, ValueError):
-                self.pool.report_failure(handle.slot, handle.generation)
+            response = self._worker_request(handle, "trace", worker_params)
+            if response is None or not response.get("ok"):
                 continue
-            if response.get("ok"):
-                return response
-            last = response
-        if last is not None:
-            return last
-        return error_response(
-            request_id, "unknown_trace", "no worker holds this trace"
-        )
+            result = response["result"]
+            records = result.get("records") or [result]
+            parts.append(make_part(f"worker-{handle.slot}", handle.pid, records))
+        if not any(part.records for part in parts):
+            return error_response(
+                request_id, "unknown_trace", "no process holds this trace"
+            )
+        return ok_response(request_id, stitch(parts, trace_id=trace_id, chrome=chrome))
+
+
+class _NullSpanCM:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN_CM = _NullSpanCM()

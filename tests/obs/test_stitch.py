@@ -1,0 +1,181 @@
+"""Cross-process trace stitching: clock offsets, pids, deterministic merge."""
+
+import pytest
+
+from repro.obs import TraceRecord, make_part, stitch, stitch_chrome
+from repro.obs.trace import Span
+
+
+def _span(name, span_id, start, end, parent_id=None, thread_id=0, **attrs):
+    return Span(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        thread_id=thread_id,
+        start=start,
+        end=end,
+        attrs=attrs,
+    )
+
+
+def two_process_fixture():
+    """A router + worker fragment pair for one forwarded request.
+
+    The worker's tracer epoch is 0.12s *after* the router's (its request
+    was accepted after the forward hop started), so every worker span
+    must shift by +0.12s on the stitched timeline.
+    """
+    router = TraceRecord(
+        request_id=7,
+        trace_id="t-1",
+        kind="analyze",
+        ok=True,
+        seconds=0.5,
+        finished_ts=1000.5,
+        epoch_ts=1000.0,
+        spans=(
+            _span("router.request", 0, 0.0, 0.5),
+            _span("router.forward", 1, 0.1, 0.45, parent_id=0, slot=0),
+        ),
+    )
+    worker = TraceRecord(
+        request_id=3,
+        trace_id="t-1",
+        kind="analyze",
+        ok=True,
+        seconds=0.28,
+        finished_ts=1000.42,
+        epoch_ts=1000.12,
+        span_ctx={"parent_span": 1, "root_ts": 1000.0, "origin": "router"},
+        spans=(
+            _span("queue.wait", 0, 0.0, 0.02),
+            _span("service.request", 1, 0.02, 0.3, thread_id=1),
+            _span("engine", 2, 0.05, 0.25, parent_id=1, thread_id=1),
+        ),
+    )
+    return (
+        make_part("router", 111, [router]),
+        make_part("worker-0", 222, [worker]),
+    )
+
+
+class TestStitch:
+    def test_clock_offset_correction(self):
+        router_part, worker_part = two_process_fixture()
+        result = stitch([router_part, worker_part])
+        by_name = {span["name"]: span for span in result["spans"]}
+        # Router spans sit at their own epoch-relative starts (it holds
+        # the earliest epoch, so its offset is zero)...
+        assert by_name["router.request"]["ts"] == pytest.approx(0.0)
+        assert by_name["router.forward"]["ts"] == pytest.approx(0.1)
+        # ...and every worker span is shifted by the 0.12s clock offset.
+        assert by_name["queue.wait"]["ts"] == pytest.approx(0.12)
+        assert by_name["service.request"]["ts"] == pytest.approx(0.14)
+        offsets = {row["process"]: row["clock_offset"] for row in result["processes"]}
+        assert offsets == {"router": pytest.approx(0.0), "worker-0": pytest.approx(0.12)}
+
+    def test_merged_span_list_is_one_ordered_timeline(self):
+        result = stitch(list(two_process_fixture()))
+        assert result["stitched"] is True
+        assert result["trace_id"] == "t-1"
+        assert result["type"] == "analyze"
+        assert result["ok"] is True
+        assert result["span_count"] == 5
+        starts = [span["ts"] for span in result["spans"]]
+        assert starts == sorted(starts)
+        processes = {span["process"] for span in result["spans"]}
+        assert processes == {"router", "worker-0"}
+
+    def test_worker_roots_carry_the_remote_parent_link(self):
+        result = stitch(list(two_process_fixture()))
+        roots = [
+            span
+            for span in result["spans"]
+            if span["process"] == "worker-0" and span["parent_id"] is None
+        ]
+        assert roots  # queue.wait and service.request are worker roots
+        for span in roots:
+            assert span["remote_parent"] == {"process": "router", "span_id": 1}
+        # Child spans keep their in-process parent, no remote link.
+        engine = next(s for s in result["spans"] if s["name"] == "engine")
+        assert engine["parent_id"] == 1
+        assert "remote_parent" not in engine
+
+    def test_part_order_does_not_change_the_result(self):
+        router_part, worker_part = two_process_fixture()
+        forward = stitch([router_part, worker_part])
+        reversed_ = stitch([worker_part, router_part])
+        assert forward == reversed_
+
+    def test_wire_dicts_stitch_like_records(self):
+        # A worker's fragments arrive as JSON dicts over the wire; they
+        # must stitch identically to in-process TraceRecord objects.
+        router_part, worker_part = two_process_fixture()
+        assert all(isinstance(record, dict) for record in worker_part.records)
+        result = stitch([router_part, worker_part])
+        assert result["span_count"] == 5
+
+    def test_legacy_record_without_epoch_falls_back_to_finish_minus_seconds(self):
+        legacy = {
+            "request_id": 1,
+            "trace_id": "old",
+            "type": "analyze",
+            "ok": True,
+            "seconds": 0.2,
+            "finished_ts": 500.2,
+            "epoch_ts": 0.0,
+            "spans": [
+                {"name": "service.request", "span_id": 0, "parent_id": None,
+                 "thread_id": 0, "start": 0.0, "seconds": 0.2, "attrs": {}},
+            ],
+        }
+        result = stitch([make_part("worker-0", 9, [legacy])])
+        assert result["root_ts"] == pytest.approx(500.0)
+        assert result["spans"][0]["ts"] == pytest.approx(0.0)
+
+    def test_nothing_to_stitch_raises(self):
+        with pytest.raises(ValueError):
+            stitch([make_part("router", 1, [])])
+
+
+class TestStitchChrome:
+    def test_distinct_pid_per_process_and_preserved_tids(self):
+        chrome = stitch_chrome(list(two_process_fixture()))
+        spans = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        pids = {event["pid"] for event in spans}
+        assert pids == {111, 222}
+        # tids are the original per-process thread ids, not reassigned.
+        worker_tids = {e["tid"] for e in spans if e["pid"] == 222}
+        assert worker_tids == {0, 1}
+
+    def test_timestamps_are_clock_offset_corrected_microseconds(self):
+        chrome = stitch_chrome(list(two_process_fixture()))
+        queue_wait = next(
+            e for e in chrome["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "queue.wait"
+        )
+        assert queue_wait["ts"] == pytest.approx(0.12e6)
+        assert queue_wait["dur"] == pytest.approx(0.02e6)
+
+    def test_stable_event_sort(self):
+        chrome = stitch_chrome(list(two_process_fixture()))
+        spans = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        keys = [(e["ts"], e["pid"], e["tid"], e["name"]) for e in spans]
+        assert keys == sorted(keys)
+        # Deterministic across calls and across part orderings.
+        router_part, worker_part = two_process_fixture()
+        assert chrome == stitch_chrome([worker_part, router_part])
+
+    def test_process_and_thread_metadata_name_every_track(self):
+        chrome = stitch_chrome(list(two_process_fixture()))
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["pid"]: e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert process_names == {111: "router", 222: "worker-0"}
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert thread_names[(222, 1)] == "worker-0 t1"

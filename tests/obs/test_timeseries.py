@@ -1,0 +1,105 @@
+"""MetricsHistory: bounded sample rings, windowed rates, sparkline series."""
+
+import pytest
+
+from repro.obs import MetricsHistory
+
+
+class TestRecording:
+    def test_samples_are_kept_per_source_in_order(self):
+        history = MetricsHistory(capacity=8)
+        history.record("worker-0", {"service.requests": 1}, ts=10.0)
+        history.record("worker-1", {"service.requests": 5}, ts=10.1)
+        history.record("worker-0", {"service.requests": 3}, ts=12.0)
+        assert history.sources() == ["worker-0", "worker-1"]
+        assert [s.ts for s in history.samples("worker-0")] == [10.0, 12.0]
+        assert history.latest("worker-0").counters == {"service.requests": 3.0}
+
+    def test_ring_is_bounded_per_source(self):
+        history = MetricsHistory(capacity=3)
+        for i in range(10):
+            history.record("w", {"c": i}, ts=float(i))
+        samples = history.samples("w")
+        assert len(samples) == 3
+        assert [s.ts for s in samples] == [7.0, 8.0, 9.0]
+        assert history.stats() == {"capacity": 3, "sources": 1, "recorded": 10}
+
+    def test_forget_drops_one_source(self):
+        history = MetricsHistory()
+        history.record("w.g1", {"c": 1}, ts=1.0)
+        history.record("router", {"c": 1}, ts=1.0)
+        history.forget("w.g1")
+        assert history.sources() == ["router"]
+
+    def test_capacity_must_fit_two_samples(self):
+        with pytest.raises(ValueError):
+            MetricsHistory(capacity=1)
+
+
+class TestDerivedViews:
+    def test_deltas_and_rates_aggregate_by_base_name(self):
+        history = MetricsHistory()
+        history.record(
+            "w",
+            {"service.requests{type=analyze}": 10, "service.requests{type=open}": 2},
+            ts=100.0,
+        )
+        history.record(
+            "w",
+            {"service.requests{type=analyze}": 20, "service.requests{type=open}": 4},
+            ts=104.0,
+        )
+        # Labelled keys collapse into one base-name total.
+        assert history.deltas("w") == {"service.requests": 12.0}
+        assert history.rates("w") == {"service.requests": 3.0}
+
+    def test_metric_born_mid_window_deltas_from_zero(self):
+        history = MetricsHistory()
+        history.record("w", {"a": 5}, ts=0.0)
+        history.record("w", {"a": 6, "b": 4}, ts=2.0)
+        assert history.deltas("w") == {"a": 1.0, "b": 4.0}
+
+    def test_fewer_than_two_samples_means_no_rates(self):
+        history = MetricsHistory()
+        assert history.rates("missing") == {}
+        history.record("w", {"a": 1}, ts=1.0)
+        assert history.deltas("w") == {}
+        assert history.rates("w") == {}
+
+    def test_rate_series_tracks_adjacent_sample_pairs(self):
+        history = MetricsHistory()
+        for ts, total in [(0.0, 0), (1.0, 4), (2.0, 4), (3.0, 10)]:
+            history.record("w", {"service.requests{type=analyze}": total}, ts=ts)
+        series = history.rate_series("w", "service.requests")
+        assert series == [4.0, 0.0, 6.0]
+
+    def test_rate_series_clamps_counter_resets_to_zero(self):
+        # A worker respawn resets its cumulative counters; the series
+        # shows a flat spot, not a negative rate.
+        history = MetricsHistory()
+        history.record("w", {"c": 100}, ts=0.0)
+        history.record("w", {"c": 3}, ts=1.0)
+        assert history.rate_series("w", "c") == [0.0]
+
+
+class TestSummary:
+    def test_summary_is_json_ready_per_source(self):
+        history = MetricsHistory(capacity=4)
+        history.record("w", {"service.requests": 0}, gauges={"worker.sessions": 2}, ts=0.0)
+        history.record("w", {"service.requests": 8}, gauges={"worker.sessions": 3}, ts=2.0)
+        summary = history.summary(series_base="service.requests")
+        assert summary["capacity"] == 4
+        assert summary["recorded"] == 2
+        entry = summary["sources"]["w"]
+        assert entry["samples"] == 2
+        assert entry["window_seconds"] == 2.0
+        assert entry["rates"] == {"service.requests": 4.0}
+        assert entry["gauges"] == {"worker.sessions": 3.0}
+        assert entry["series"] == [4.0]
+        assert entry["series_base"] == "service.requests"
+
+    def test_summary_without_series_base_omits_series(self):
+        history = MetricsHistory()
+        history.record("w", {"c": 1}, ts=0.0)
+        entry = history.summary()["sources"]["w"]
+        assert "series" not in entry

@@ -8,7 +8,15 @@ from repro.obs import TraceRecord, TraceStore
 from repro.obs.trace import Span
 
 
-def _record(request_id: int, trace_id: str, *, thread_id: int = 0, kind: str = "analyze"):
+def _record(
+    request_id: int,
+    trace_id: str,
+    *,
+    thread_id: int = 0,
+    kind: str = "analyze",
+    ok: bool = True,
+    seconds: float = 0.25,
+):
     spans = (
         Span(
             name="service.request",
@@ -32,8 +40,8 @@ def _record(request_id: int, trace_id: str, *, thread_id: int = 0, kind: str = "
         request_id=request_id,
         trace_id=trace_id,
         kind=kind,
-        ok=True,
-        seconds=0.25,
+        ok=ok,
+        seconds=seconds,
         spans=spans,
     )
 
@@ -58,6 +66,72 @@ class TestRetention:
         found = store.get_by_trace_id("shared")
         assert found is not None and found.request_id == 2
         assert store.get_by_trace_id("missing") is None
+
+    def test_records_by_trace_id_returns_every_fragment_oldest_first(self):
+        # A migration replay and the forwarded request itself both land
+        # under one trace id; the stitcher wants all of them.
+        store = TraceStore()
+        store.put(_record(1, "shared", kind="open_project"))
+        store.put(_record(2, "other"))
+        store.put(_record(3, "shared"))
+        fragments = store.records_by_trace_id("shared")
+        assert [record.request_id for record in fragments] == [1, 3]
+        assert store.records_by_trace_id("missing") == []
+
+
+class TestTailPinning:
+    def test_errored_traces_survive_eviction(self):
+        store = TraceStore(capacity=3, pin_errors=True)
+        store.put(_record(1, "err", ok=False))
+        for request_id in (2, 3, 4, 5):
+            store.put(_record(request_id, f"t{request_id}"))
+        # The error is the oldest record, yet it outlives the ok traffic.
+        assert store.get(1) is not None
+        assert store.get(2) is None and store.get(3) is None
+
+    def test_slow_traces_survive_eviction(self):
+        store = TraceStore(capacity=3, pin_slow_seconds=1.0)
+        store.put(_record(1, "slow", seconds=2.5))
+        for request_id in (2, 3, 4, 5):
+            store.put(_record(request_id, f"t{request_id}", seconds=0.1))
+        assert store.get(1) is not None
+        assert store.get(1).seconds == 2.5
+
+    def test_fast_ok_traces_are_not_pinned(self):
+        store = TraceStore(capacity=2, pin_slow_seconds=1.0, pin_errors=True)
+        store.put(_record(1, "fast", seconds=0.1))
+        store.put(_record(2, "t2"))
+        store.put(_record(3, "t3"))
+        assert store.get(1) is None
+
+    def test_pin_budget_releases_oldest_pin(self):
+        store = TraceStore(capacity=4, pin_errors=True, pin_capacity=2)
+        for request_id in (1, 2, 3):
+            store.put(_record(request_id, f"e{request_id}", ok=False))
+        # Pin budget is 2: the oldest error (1) fell back into normal
+        # eviction order and churns out first under pressure.
+        store.put(_record(4, "t4"))
+        store.put(_record(5, "t5"))
+        assert store.get(1) is None
+        assert store.get(2) is not None and store.get(3) is not None
+
+    def test_all_pinned_ring_still_bounded(self):
+        store = TraceStore(capacity=2, pin_errors=True, pin_capacity=2)
+        for request_id in (1, 2, 3):
+            store.put(_record(request_id, f"e{request_id}", ok=False))
+        stats = store.stats()
+        assert stats["retained"] == 2
+        assert store.get(1) is None
+
+    def test_stats_expose_pin_counters_only_when_enabled(self):
+        plain = TraceStore(capacity=2)
+        assert "pinned" not in plain.stats()
+        pinning = TraceStore(capacity=8, pin_errors=True)
+        pinning.put(_record(1, "e1", ok=False))
+        stats = pinning.stats()
+        assert stats["pinned"] == 1
+        assert stats["pinned_total"] == 1
+        assert stats["pin_capacity"] == 2
 
 
 class TestAsDict:

@@ -13,6 +13,8 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from check_bench_schema import (  # noqa: E402
+    CLUSTER_OBS_FIELDS,
+    CLUSTER_OBS_STITCH_FIELDS,
     OBS_OVERHEAD_FIELDS,
     OBSERVABILITY_FIELDS,
     PROVENANCE_FIELDS,
@@ -161,6 +163,25 @@ def _valid_v8_payload():
         "speedup_routed": 3.0,
         "fingerprints_identical": True,
         "fingerprint_count": 9,
+    }
+    return payload
+
+
+def _valid_v9_payload():
+    payload = _valid_v8_payload()
+    payload["schema"] = 9
+    payload["bench_index"] = 9
+    payload["stages"]["cluster_obs"] = {
+        "workers": 2,
+        "requests_per_window": 20,
+        "repeats": 3,
+        "telemetry_on_seconds": 0.255,
+        "telemetry_off_seconds": 0.25,
+        "overhead_fraction": 0.02,
+        "telemetry_on_windows": [0.26, 0.255],
+        "telemetry_off_windows": [0.25, 0.252],
+        "stitch": {"stitched": True, "processes": 2, "spans": 5},
+        "scrape": {"sources_sampled": 2, "history_sources": 3, "history_recorded": 9},
     }
     return payload
 
@@ -380,3 +401,39 @@ class TestRouterSection:
     def test_schema7_grandfathered_without_router(self):
         # PR 7 files predate the sharded router; they stay valid.
         assert validate_payload(_valid_v7_payload()) == []
+
+
+class TestClusterObsSection:
+    def test_valid_v9_payload_passes(self):
+        assert validate_payload(_valid_v9_payload()) == []
+
+    def test_schema9_requires_cluster_obs_section(self):
+        payload = _valid_v9_payload()
+        del payload["stages"]["cluster_obs"]
+        assert any("stages.cluster_obs" in p for p in validate_payload(payload))
+
+    def test_each_cluster_obs_field_required(self):
+        for name in CLUSTER_OBS_FIELDS:
+            payload = _valid_v9_payload()
+            del payload["stages"]["cluster_obs"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_each_stitch_field_required(self):
+        for name in CLUSTER_OBS_STITCH_FIELDS:
+            payload = _valid_v9_payload()
+            del payload["stages"]["cluster_obs"]["stitch"][name]
+            assert any(
+                "stitch" in p and name in p for p in validate_payload(payload)
+            )
+
+    def test_inconsistent_fraction_rejected(self):
+        # The recorded fraction must match the recorded window times.
+        payload = _valid_v9_payload()
+        payload["stages"]["cluster_obs"]["overhead_fraction"] = 0.5
+        assert any(
+            "cluster_obs overhead_fraction" in p for p in validate_payload(payload)
+        )
+
+    def test_schema8_grandfathered_without_cluster_obs(self):
+        # PR 8 files predate the cluster observability plane.
+        assert validate_payload(_valid_v8_payload()) == []

@@ -16,13 +16,17 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from check_bench_trajectory import (  # noqa: E402
+    CLUSTER_OBS_BUDGET_FRACTION,
+    CLUSTER_OBS_NOISE_FLOOR_SECONDS,
     GATE_BUDGET_FRACTION,
     OBS_OVERHEAD_BUDGET_FRACTION,
     OBS_OVERHEAD_NOISE_FLOOR_SECONDS,
     REGRESSION_FACTOR,
     ROUTER_SPEEDUP_FLOOR,
     SOLVER_SPEEDUP_FLOOR,
+    STITCH_MIN_PROCESSES,
     check_all,
+    check_cluster_obs,
     check_gate_budget,
     check_obs_overhead,
     check_router_speedup,
@@ -340,6 +344,76 @@ class TestRouterSpeedup:
         series[1][1]["analysis_version"] = "engine-6"
         problems = check_series(series)
         assert any("BENCH_8.json" in p and "floor" in p for p in problems)
+
+
+def _cluster_obs_payload(index, on=0.51, off=0.5, processes=2):
+    payload = _router_payload(index)
+    payload["schema"] = 9
+    payload["stages"]["cluster_obs"] = {
+        "workers": 2,
+        "requests_per_window": 20,
+        "telemetry_on_seconds": on,
+        "telemetry_off_seconds": off,
+        "overhead_fraction": (on - off) / off if off else None,
+        "stitch": {"stitched": True, "processes": processes, "spans": 5},
+    }
+    return payload
+
+
+class TestClusterObsBudget:
+    def test_within_budget_passes(self):
+        payload = _cluster_obs_payload(
+            9, on=1.0 + CLUSTER_OBS_BUDGET_FRACTION - 0.01, off=1.0
+        )
+        assert check_cluster_obs(payload) == []
+
+    def test_over_budget_fails(self):
+        payload = _cluster_obs_payload(
+            9, on=1.0 + CLUSTER_OBS_BUDGET_FRACTION * 2, off=1.0
+        )
+        problems = check_cluster_obs(payload, "BENCH_9.json")
+        assert problems and "BENCH_9.json" in problems[0]
+        assert "overhead" in problems[0]
+
+    def test_sub_noise_floor_delta_ignored(self):
+        # A big fraction on a tiny window is scheduling noise: warm
+        # forwarded requests are milliseconds, the floor is 10ms.
+        delta = CLUSTER_OBS_NOISE_FLOOR_SECONDS / 2
+        payload = _cluster_obs_payload(9, on=0.005 + delta, off=0.005)
+        assert check_cluster_obs(payload) == []
+
+    def test_telemetry_faster_than_bare_never_fails(self):
+        payload = _cluster_obs_payload(9, on=0.9, off=1.0)
+        assert check_cluster_obs(payload) == []
+
+    def test_missing_window_times_fail(self):
+        payload = _cluster_obs_payload(9)
+        payload["stages"]["cluster_obs"]["telemetry_on_seconds"] = None
+        assert any("window times" in p for p in check_cluster_obs(payload))
+
+    def test_single_process_stitch_fails(self):
+        # A one-process stitch means span_ctx propagation or fragment
+        # collection broke: the cross-process timeline is gone.
+        payload = _cluster_obs_payload(9, processes=STITCH_MIN_PROCESSES - 1)
+        problems = check_cluster_obs(payload, "BENCH_9.json")
+        assert any("process" in p and "incomplete" in p for p in problems)
+
+    def test_missing_stitch_counts_fail(self):
+        payload = _cluster_obs_payload(9)
+        del payload["stages"]["cluster_obs"]["stitch"]["processes"]
+        assert check_cluster_obs(payload) != []
+
+    def test_schema8_files_skip_the_budget(self):
+        assert check_cluster_obs(_router_payload(8)) == []
+
+    def test_budget_checked_by_series_walk(self):
+        series = [
+            ("BENCH_8.json", _router_payload(8)),
+            ("BENCH_9.json", _cluster_obs_payload(9, on=2.0, off=1.0)),
+        ]
+        series[1][1]["analysis_version"] = "engine-7"
+        problems = check_series(series)
+        assert any("BENCH_9.json" in p and "overhead" in p for p in problems)
 
 
 class TestSeriesWalk:
