@@ -41,6 +41,11 @@ structurally comparable.  This validator asserts the invariants:
   ``overhead_fraction`` must be consistent with the two window times,
   plus the trace-stitch completeness counts — processes and spans in
   one stitched cross-process trace);
+* schema ≥ 10 files carry the ``stages.rules`` section (the RulePack
+  subsystem on the rules-eval corpus: per-pack detect wall-time plus
+  the per-rule candidate / kill / reported decision counts that
+  ``check_bench_trajectory.py`` compares across consecutive files),
+  with at least one registered pack and every pack entry complete;
 * no benchmark was emitted from an unconverged solver run.
 
 Older schemas are grandfathered at the level they were written: schema 1
@@ -53,7 +58,8 @@ before the interned-bitset solver) need no ``stages.solver``; schema 6
 files (PR 6, before the operations layer) need no
 ``stages.obs_overhead``; schema 7 files (PR 7, before the sharded
 router) need no ``stages.router``; schema 8 files (PR 8, before the
-cluster observability plane) need no ``stages.cluster_obs``.
+cluster observability plane) need no ``stages.cluster_obs``; schema 9
+files (PR 9, before the RulePack subsystem) need no ``stages.rules``.
 
 Run directly (``python benchmarks/check_bench_schema.py``) or through
 the tier-1 test ``tests/test_bench_schema.py``.
@@ -167,6 +173,10 @@ CLUSTER_OBS_FIELDS = (
 )
 
 CLUSTER_OBS_STITCH_FIELDS = ("stitched", "processes", "spans")
+
+RULES_FIELDS = ("corpus", "analyze_seconds", "packs")
+
+RULES_PACK_FIELDS = ("detect_seconds", "candidates", "killed", "reported")
 
 
 def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
@@ -377,6 +387,37 @@ def validate_payload(payload: dict, path: str = "<payload>") -> list[str]:
                 for name in CLUSTER_OBS_STITCH_FIELDS:
                     if name not in stitch:
                         problem(f"stages.cluster_obs.stitch missing {name!r}")
+
+    if payload.get("schema", 0) >= 10:
+        rules = (stages or {}).get("rules")
+        if not isinstance(rules, dict):
+            problem("schema>=10 requires stages.rules")
+        else:
+            for name in RULES_FIELDS:
+                if name not in rules:
+                    problem(f"stages.rules missing {name!r}")
+            packs = rules.get("packs")
+            if isinstance(packs, dict):
+                if not packs:
+                    problem("stages.rules.packs is empty — no registered pack ran")
+                for rule, entry in packs.items():
+                    if not isinstance(entry, dict):
+                        problem(f"stages.rules.packs[{rule!r}] must be a dict")
+                        continue
+                    for name in RULES_PACK_FIELDS:
+                        if name not in entry:
+                            problem(f"stages.rules.packs[{rule!r}] missing {name!r}")
+                    reported = entry.get("reported")
+                    candidates = entry.get("candidates")
+                    if (
+                        isinstance(reported, int)
+                        and isinstance(candidates, int)
+                        and reported > candidates
+                    ):
+                        problem(
+                            f"stages.rules.packs[{rule!r}] reports {reported} "
+                            f"findings out of {candidates} candidates"
+                        )
     return problems
 
 

@@ -12,6 +12,14 @@ and ``seed``) it fails when:
   two files that declare the same ``analysis_version``.  Changing what
   the pipeline decides is fine, but it must be owned by bumping
   ``repro.engine.cache.ANALYSIS_VERSION``;
+* **per-rule decision counts drift silently** — when both files are
+  schema ≥ 10, the ``stages.rules.packs`` per-rule counts (candidates
+  detected, candidates killed, findings reported on the rules-eval
+  corpus) changed for any pack between two files declaring the same
+  ``analysis_version``.  Same ownership rule, applied per rule pack,
+  so a pack cannot change what it reports without the bump; files
+  written before schema 10 predate the RulePack subsystem and are
+  grandfathered;
 * **wall-time regresses** — detection or the serial full-pipeline run
   got more than 25% slower stage-over-stage (beyond an absolute noise
   floor, since these runs are sub-second at the default scale).
@@ -78,8 +86,9 @@ counts.  Likewise schema 4 files predate ``stages.store`` and skip the
 gate-latency budget, schema 5 files predate ``stages.solver`` and skip
 the speedup floor, schema 6 files predate ``stages.obs_overhead`` and
 skip the overhead budget, schema 7 files predate ``stages.router`` and
-skip the routed-speedup floor, and schema 8 files predate
-``stages.cluster_obs`` and skip the cluster-plane budget.
+skip the routed-speedup floor, schema 8 files predate
+``stages.cluster_obs`` and skip the cluster-plane budget, and schema 9
+files predate ``stages.rules`` and skip the per-rule drift series.
 
 Run directly (``python benchmarks/check_bench_trajectory.py``) or
 through the tier-1 test ``tests/test_bench_trajectory.py``.
@@ -111,6 +120,11 @@ TIMED_STAGES = (
 #: The decision counts that must not drift without an analysis_version
 #: bump, all under ``stages.provenance``.
 DECISION_FIELDS = ("candidates", "explained", "pruned_by", "statuses")
+
+#: The per-rule decision counts under ``stages.rules.packs.<rule>``
+#: held to the same no-silent-drift rule (schema ≥ 10 pairs only).
+#: ``detect_seconds`` is wall-time, not a decision, so it is excluded.
+RULE_DECISION_FIELDS = ("candidates", "killed", "reported")
 
 #: Ceiling on the findings-store gate as a fraction of the cold analyze
 #: time measured on the same project (schema ≥ 5 files only).
@@ -187,6 +201,33 @@ def compare_pair(
                     f"{before!r} ({prev_name}) to {after!r} without an "
                     f"analysis_version bump (both are {curr_version!r})"
                 )
+
+        # Per-rule drift (schema ≥ 10 both sides; earlier files predate
+        # the RulePack subsystem and are grandfathered).
+        if prev.get("schema", 0) >= 10 and curr.get("schema", 0) >= 10:
+            prev_packs = _dig(prev, ("stages", "rules", "packs")) or {}
+            curr_packs = _dig(curr, ("stages", "rules", "packs")) or {}
+            for rule in sorted(set(prev_packs) | set(curr_packs)):
+                before_entry = prev_packs.get(rule)
+                after_entry = curr_packs.get(rule)
+                if before_entry is None or after_entry is None:
+                    problems.append(
+                        f"{curr_name}: rule pack {rule!r} "
+                        f"{'appeared' if before_entry is None else 'disappeared'} "
+                        f"without an analysis_version bump "
+                        f"(both files are {curr_version!r})"
+                    )
+                    continue
+                for field in RULE_DECISION_FIELDS:
+                    before = before_entry.get(field)
+                    after = after_entry.get(field)
+                    if before != after:
+                        problems.append(
+                            f"{curr_name}: stages.rules.packs[{rule!r}].{field} "
+                            f"drifted from {before!r} ({prev_name}) to {after!r} "
+                            f"without an analysis_version bump (both are "
+                            f"{curr_version!r})"
+                        )
 
     # -- wall-time regression -------------------------------------------
     for label, path in TIMED_STAGES:

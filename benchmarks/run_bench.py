@@ -62,7 +62,12 @@ EXECUTORS = ("serial", "thread", "process")
 # plus the trace-stitch completeness counts (processes/spans in one
 # stitched cross-process trace); check_bench_trajectory.py caps the
 # overhead and requires the stitch to span at least two processes.
-BENCH_SCHEMA_VERSION = 9
+# v10 adds ``stages.rules`` — the RulePack subsystem measured on the
+# rules-eval corpus (the one with planted use-after-free and
+# resource-leak bugs): per-pack detect wall-time plus per-rule
+# candidate / kill / reported decision counts, whose drift without an
+# ANALYSIS_VERSION bump check_bench_trajectory.py flags.
+BENCH_SCHEMA_VERSION = 10
 
 # The solver stress corpus always runs at this scale regardless of
 # --scale: the stress shape is what makes propagation dominate, and the
@@ -505,6 +510,68 @@ def _obs_overhead_timings(
     }
 
 
+def _rules_timings(seed: int) -> dict:
+    """The RulePack subsystem on the rules-eval corpus.
+
+    Analyses the corpus that plants use-after-free and resource-leak
+    bugs (plus benign look-alikes) with every registered pack enabled,
+    then splits the run per pack: detect wall-time from the
+    ``rules.detect_seconds{rule=...}`` histograms, and the decision
+    counts — candidates detected, candidates the pruners killed,
+    findings reported — that must not drift between BENCH files sharing
+    an ``analysis_version`` (check_bench_trajectory.py enforces this
+    per rule, so a pack cannot silently change what it reports).
+    """
+    from repro.corpus.generator import generate_rules_corpus
+    from repro.obs.metrics import base_name, parse_key
+    from repro.obs.sinks import rule_candidates, rule_kills
+    from repro.rules.registry import pack_for_kind, registered_packs
+
+    app = generate_rules_corpus(seed=seed)
+    telemetry = obs.Telemetry.fresh()
+    with obs.use(telemetry):
+        project = app.project()
+        started = monotonic()
+        report = ValueCheck(ValueCheckConfig()).analyze(project, telemetry=telemetry)
+        analyze_seconds = monotonic() - started
+
+    snapshot = report.metrics
+    detect_seconds: dict[str, float] = {}
+    for key, values in snapshot.get("histograms", {}).items():
+        if base_name(key) == "rules.detect_seconds":
+            _, labels = parse_key(key)
+            detect_seconds[labels.get("rule", "?")] = sum(values)
+    candidates = rule_candidates(snapshot)
+    killed = rule_kills(snapshot)
+    reported: dict[str, int] = {}
+    for finding in report.reported():
+        rule = pack_for_kind(finding.candidate.kind).name
+        reported[rule] = reported.get(rule, 0) + 1
+
+    packs = {
+        pack.name: {
+            "detect_seconds": detect_seconds.get(pack.name, 0.0),
+            "candidates": int(candidates.get(pack.name, 0)),
+            "killed": int(killed.get(pack.name, 0)),
+            "reported": reported.get(pack.name, 0),
+        }
+        for pack in registered_packs()
+    }
+    if not any(entry["candidates"] for entry in packs.values()):
+        # The corpus plants bugs for every pack: an empty run means the
+        # detectors (or the corpus) broke, not that the code got clean.
+        raise SystemExit(
+            "[run_bench] FATAL: the rules-eval corpus produced no candidates "
+            "for any registered pack"
+        )
+    return {
+        "corpus": "rules-eval",
+        "seed": seed,
+        "analyze_seconds": analyze_seconds,
+        "packs": packs,
+    }
+
+
 def _cluster_obs_timings(
     scale: float, seed: int, runs: int = 20, repeats: int = 3
 ) -> dict:
@@ -660,6 +727,7 @@ def main(argv: list[str] | None = None) -> int:
     payload["stages"]["store"] = _store_timings(args.scale, args.seed)
     payload["stages"]["solver"] = _solver_timings(args.seed)
     payload["stages"]["obs_overhead"] = _obs_overhead_timings(args.scale, args.seed)
+    payload["stages"]["rules"] = _rules_timings(args.seed)
     print("[run_bench] measuring the cluster observability plane …")
     payload["stages"]["cluster_obs"] = _cluster_obs_timings(args.scale, args.seed)
     print("[run_bench] running the router load-generation comparison …")
@@ -710,6 +778,13 @@ def main(argv: list[str] | None = None) -> int:
           f"({cluster['overhead_fraction']:+.1%}); stitched trace spans "
           f"{cluster['stitch']['processes']} processes / "
           f"{cluster['stitch']['spans']} spans")
+    rules_stage = stages["rules"]
+    rules_summary = ", ".join(
+        f"{name} {entry['detect_seconds']*1000:.1f}ms/"
+        f"{entry['candidates']}c/{entry['reported']}r"
+        for name, entry in sorted(rules_stage["packs"].items())
+    )
+    print(f"[run_bench] rules ({rules_stage['corpus']}): {rules_summary}")
     overhead = stages["obs_overhead"]
     print(f"[run_bench] obs overhead: telemetry+profiler "
           f"{overhead['telemetry_on_seconds']:.3f}s vs bare "

@@ -68,7 +68,17 @@ from repro.core.project import Project
 from repro.core.valuecheck import ValueCheck, ValueCheckConfig
 from repro.corpus.generator import generate_app
 from repro.corpus.profiles import PROFILES
+from repro.rules import UnknownRuleError, normalize_rules
 from repro.vcs.repository import Repository
+
+
+def _parse_rules(raw: str | None) -> tuple[str, ...] | None:
+    """``--rules a,b`` → validated name tuple (None passes through).
+    Raises :class:`UnknownRuleError` naming the registered packs."""
+    if raw is None:
+        return None
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    return normalize_rules(names)
 
 
 def _baseline_keys(path: str) -> set[tuple[str, str, str, str]]:
@@ -106,6 +116,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if not sources:
         print("error: no .c files found", file=sys.stderr)
         return 2
+    try:
+        rules = _parse_rules(getattr(args, "rules", None))
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     # One ambient telemetry covers parsing AND analysis, so the exported
     # trace is a single parse→rank span tree.
     telemetry = obs.Telemetry.fresh()
@@ -125,6 +140,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 workers=args.workers,
                 module_cache=not args.no_module_cache,
+                rules=rules,
             )
             report = ValueCheck(config).analyze(project)
     finally:
@@ -204,7 +220,12 @@ def _project_and_report(args: argparse.Namespace):
     project = Project.from_sources(
         sources, name=source_dir.name, repo=repo, build_config=set(args.config or ())
     )
-    config = ValueCheckConfig(use_authorship=repo is not None)
+    try:
+        rules = _parse_rules(getattr(args, "rules", None))
+    except UnknownRuleError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, 2
+    config = ValueCheckConfig(use_authorship=repo is not None, rules=rules)
     return project, ValueCheck(config).analyze(project)
 
 
@@ -918,6 +939,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the content-addressed per-module result cache",
     )
     analyze.add_argument(
+        "--rules",
+        metavar="PACK[,PACK...]",
+        help="comma-separated rule packs to run (default: all registered; "
+        "see docs/RULES.md)",
+    )
+    analyze.add_argument(
         "--trace",
         help="write the run's span tree as Chrome trace-event JSON",
     )
@@ -983,6 +1010,11 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument(
         "--rev", help="snapshot label (default: snapshot-<n>)"
     )
+    snapshot.add_argument(
+        "--rules",
+        metavar="PACK[,PACK...]",
+        help="comma-separated rule packs to run (default: all registered)",
+    )
     snapshot.set_defaults(func=_cmd_snapshot)
 
     gate = subparsers.add_parser(
@@ -1004,6 +1036,11 @@ def build_parser() -> argparse.ArgumentParser:
     gate.add_argument(
         "--sarif",
         help="write the lifecycle diff as a SARIF 2.1.0 log with baselineState",
+    )
+    gate.add_argument(
+        "--rules",
+        metavar="PACK[,PACK...]",
+        help="comma-separated rule packs to run (default: all registered)",
     )
     gate.set_defaults(func=_cmd_gate)
 

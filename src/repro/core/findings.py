@@ -15,17 +15,29 @@ from repro.ir.instructions import StoreKind
 
 
 class CandidateKind(enum.Enum):
-    """Which of the paper's unused-definition shapes a candidate is."""
+    """Which detector shape a candidate is.
+
+    The first five are the paper's unused-definition scenarios; the
+    semantic kinds below them come from additional rule packs
+    (:mod:`repro.rules`) that reuse the same pipeline spine.
+    """
 
     IGNORED_RETURN = "ignored_return"  # f(); — result discarded at a call
     UNUSED_PARAM = "unused_param"  # parameter value never read
     OVERWRITTEN_ARG = "overwritten_arg"  # parameter overwritten before read
     OVERWRITTEN_DEF = "overwritten_def"  # local def overwritten on all paths
     DEAD_STORE = "dead_store"  # def dead at exit, no overwriter
+    USE_AFTER_FREE = "use_after_free"  # pointer used after a free-like call
+    RESOURCE_LEAK = "resource_leak"  # acquire with a release-free exit path
 
     @property
     def is_param_shape(self) -> bool:
         return self in (CandidateKind.UNUSED_PARAM, CandidateKind.OVERWRITTEN_ARG)
+
+    @property
+    def is_semantic(self) -> bool:
+        """Kinds whose evidence is a site pair, not an unused definition."""
+        return self in (CandidateKind.USE_AFTER_FREE, CandidateKind.RESOURCE_LEAK)
 
 
 @dataclass(frozen=True)
@@ -52,6 +64,10 @@ class Candidate:
     decl_line: int = 0
     # For indirect calls: every pointee the pointer analysis resolved.
     resolved_callees: tuple[str, ...] = ()
+    # Rule-specific evidence sites: for USE_AFTER_FREE the free-site
+    # line(s); for RESOURCE_LEAK the release-site line(s) that exist on
+    # *other* paths.  Empty for the unused-definition kinds.
+    evidence_lines: tuple[int, ...] = ()
 
     @property
     def key(self) -> str:

@@ -135,6 +135,7 @@ class IncrementalAnalyzer:
             executor=self.config.executor,
             workers=self.config.workers,
             cache=DEFAULT_CACHE if self.config.module_cache else None,
+            rules=self.config.rules,
         )
         # Warm the caches so replay timing measures incremental work only.
         self.engine.run(self.project)
@@ -252,8 +253,21 @@ class IncrementalAnalyzer:
                 if candidate.function == name
             )
 
+        # Semantic-rule candidates (evidence-carrying kinds) resolve the
+        # same way cold runs do; only the classic unused-definition kinds
+        # go through the cross-scope scenario dispatch.  Imported lazily:
+        # repro.rules pulls in repro.core, whose package import reaches
+        # back into this module.
+        from repro.core.valuecheck import resolve_semantic
+        from repro.rules.registry import resolve_rules, semantic_kinds
+
+        packs = resolve_rules(self.config.rules)
+        evidence_kinds = semantic_kinds(packs)
+        classic = [c for c in candidates if c.kind not in evidence_kinds]
+        semantic = [c for c in candidates if c.kind in evidence_kinds]
+
         if self.config.use_authorship and self.repo is not None:
-            findings = self.project.resolver(rev).resolve_all(candidates)
+            findings = self.project.resolver(rev).resolve_all(classic)
         else:
             # Mirror ValueCheck's ablation semantics: without authorship
             # every candidate is treated as reportable (synthetic
@@ -261,7 +275,7 @@ class IncrementalAnalyzer:
             # report the same findings a cold run would.
             blame = self.project.blame_index(rev) if self.repo is not None else None
             findings = []
-            for candidate in candidates:
+            for candidate in classic:
                 author_name = ""
                 introduced_day = -1
                 if blame is not None:
@@ -283,6 +297,8 @@ class IncrementalAnalyzer:
                     )
                 )
 
+        findings += resolve_semantic(self.project, semantic, rev)
+
         pipeline = default_pipeline(
             enable=set(self.config.pruners) if self.config.pruners is not None else None,
             min_increments=self.config.cursor_min_increments,
@@ -290,6 +306,10 @@ class IncrementalAnalyzer:
             peer_unused_fraction=self.config.peer_unused_fraction,
             include_history=self.config.history_pruning,
         )
-        result.findings = pipeline.apply(findings, PruneContext(project=self.project))
+        result.findings = pipeline.apply(
+            findings,
+            PruneContext(project=self.project),
+            rules=tuple(pack.name for pack in packs),
+        )
         result.seconds = monotonic() - started
         return result

@@ -19,14 +19,26 @@ class PruningPipeline:
 
     pruners: list[Pruner] = field(default_factory=list)
 
-    def apply(self, findings: list[Finding], context: PruneContext) -> list[Finding]:
+    def apply(
+        self,
+        findings: list[Finding],
+        context: PruneContext,
+        rules: tuple[str, ...] | None = None,
+    ) -> list[Finding]:
         """Return findings with ``pruned_by`` stamped (survivors keep None).
+
+        Each finding is only shown to the pruners its rule pack's
+        ``pruner_policy`` allows (the unused-definitions pack allows all,
+        preserving the paper's behaviour; semantic packs restrict the
+        list).  ``rules`` names the enabled packs, for per-rule kill
+        accounting.
 
         Accounting (when ``context.metrics`` is set): every pruner gets a
         ``prune.killed{pruner=...}`` counter — zero-initialised so stage
         sums stay comparable across runs — plus ``prune.examined`` and
         ``prune.survived`` totals that reconcile with the report's
-        candidate counts.
+        candidate counts.  Kills are additionally attributed to the
+        finding's rule pack under ``prune.killed{rule=...}``.
 
         Kill counters and provenance verdicts are both derived from the
         *same* :class:`~repro.obs.PrunerVerdict` objects each pruner's
@@ -35,12 +47,21 @@ class PruningPipeline:
         kill are never consulted (pipeline order claims the candidate),
         so the trail ends at the claiming verdict.
         """
+        # Imported lazily: repro.rules pulls in repro.core, whose package
+        # import reaches back into this module.
+        from repro.rules.registry import pack_for_kind
+
         for pruner in self.pruners:
             context.count("prune.killed", 0, pruner=pruner.name)
+        for rule in rules or ():
+            context.count("prune.killed", 0, rule=rule)
         out: list[Finding] = []
         for finding in findings:
+            pack = pack_for_kind(finding.candidate.kind)
             pruned_by: str | None = None
             for pruner in self.pruners:
+                if not pack.allows_pruner(pruner.name):
+                    continue
                 verdict = pruner.decide(finding.candidate, context)
                 if context.provenance is not None:
                     context.provenance.add_verdict(finding.key, verdict)
@@ -50,6 +71,7 @@ class PruningPipeline:
             context.count("prune.examined")
             if pruned_by is not None:
                 context.count("prune.killed", 1, pruner=pruned_by)
+                context.count("prune.killed", 1, rule=pack.name)
             else:
                 context.count("prune.survived")
             out.append(replace(finding, pruned_by=pruned_by))

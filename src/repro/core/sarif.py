@@ -31,30 +31,30 @@ SARIF_SCHEMA = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schem
 TOOL_NAME = "valuecheck"
 TOOL_URI = "https://github.com/valuecheck/valuecheck-repro"
 
-# One SARIF rule per unused-definition shape (paper §4.1).
-_RULE_DESCRIPTIONS = {
-    CandidateKind.IGNORED_RETURN: "Return value ignored at a call site",
-    CandidateKind.UNUSED_PARAM: "Parameter value never read",
-    CandidateKind.OVERWRITTEN_ARG: "Parameter overwritten before being read",
-    CandidateKind.OVERWRITTEN_DEF: "Definition overwritten on every path",
-    CandidateKind.DEAD_STORE: "Definition dead at function exit",
-}
-
-
 def _rule(kind: CandidateKind) -> dict:
+    # Rule metadata comes from the owning rule pack (repro.rules), not a
+    # table here: registering a pack is all a new rule needs to appear in
+    # SARIF.  Imported lazily — repro.rules pulls in repro.core, whose
+    # package import reaches back into this module.
+    from repro.rules.registry import pack_for_kind, rule_description
+
+    pack = pack_for_kind(kind)
     return {
         "id": kind.value,
         "name": kind.value.replace("_", " ").title().replace(" ", ""),
-        "shortDescription": {"text": _RULE_DESCRIPTIONS[kind]},
+        "shortDescription": {"text": rule_description(kind)},
         "helpUri": TOOL_URI,
         "defaultConfiguration": {"level": "warning"},
+        "properties": {"pack": pack.name, "gatePolicy": pack.gate_policy},
     }
 
 
 def _message(finding: Finding) -> str:
+    from repro.rules.registry import rule_description
+
     candidate = finding.candidate
     parts = [
-        f"{_RULE_DESCRIPTIONS[candidate.kind]}: "
+        f"{rule_description(candidate.kind)}: "
         f"`{candidate.var}` in `{candidate.function}`"
     ]
     authorship = finding.authorship

@@ -52,9 +52,58 @@ class ValueCheckConfig:
     executor: str = "serial"  # 'serial' | 'thread' | 'process'
     workers: int | None = None  # None → os.cpu_count()
     module_cache: bool = True
+    # Enabled rule packs (see repro.rules); None = every registered pack.
+    rules: tuple[str, ...] | None = None
 
     def without_factor(self, factor: str) -> "ValueCheckConfig":
         return replace(self, dok_weights=self.dok_weights.without(factor))
+
+
+def resolve_semantic(
+    project: Project, candidates: list[Candidate], rev: int | str | None
+) -> list[Finding]:
+    """Resolve semantic-rule candidates (use-after-free, resource leaks).
+
+    These carry their evidence in ``Candidate.evidence_lines``; authorship
+    reuses the blame machinery directly — the definition author against
+    the authors of the evidence sites — instead of the unused-definition
+    scenario dispatch in :class:`CrossScopeResolver`.  Shared by the full
+    pipeline and the incremental analyzer so warm ``analyze_diff`` steps
+    resolve identically to cold runs."""
+    if not candidates:
+        return []
+    blame = project.blame_index(rev) if project.repo is not None else None
+    findings: list[Finding] = []
+    for candidate in candidates:
+        def_author = ""
+        introduced_day = -1
+        counterparts: list[str] = []
+        if blame is not None:
+            info = blame.line_info(candidate.file, candidate.line)
+            if info is not None:
+                def_author = info.author.name
+                introduced_day = info.day
+            for line in candidate.evidence_lines:
+                evidence = blame.line_info(candidate.file, line)
+                if evidence is not None and evidence.author.name not in counterparts:
+                    counterparts.append(evidence.author.name)
+        evidence_at = ", ".join(str(line) for line in candidate.evidence_lines)
+        findings.append(
+            Finding(
+                candidate=candidate,
+                authorship=AuthorshipInfo(
+                    cross_scope=True,
+                    def_author=def_author,
+                    counterpart_authors=tuple(counterparts),
+                    introducing_author=def_author,
+                    blamed_file=candidate.file,
+                    introduced_day=introduced_day,
+                    reason=f"{candidate.kind.value} evidence at line(s) {evidence_at}",
+                    peer_sites=len(candidate.evidence_lines),
+                ),
+            )
+        )
+    return findings
 
 
 class ValueCheck:
@@ -68,11 +117,17 @@ class ValueCheck:
             executor=self.config.executor,
             workers=self.config.workers,
             cache=DEFAULT_CACHE if self.config.module_cache else None,
+            rules=self.config.rules,
         )
 
     def detect_candidates(self, project: Project) -> list[Candidate]:
         """Stage 1: raw unused definitions from every module."""
         return self._engine().run(project).candidates
+
+    def _resolve_semantic(
+        self, project: Project, candidates: list[Candidate], rev: int | str | None
+    ) -> list[Finding]:
+        return resolve_semantic(project, candidates, rev)
 
     def _resolve_authorship(
         self, project: Project, candidates: list[Candidate], rev: int | str | None
@@ -134,8 +189,17 @@ class ValueCheck:
             candidates = engine_run.candidates
             registry.inc("detect.candidates", len(candidates))
 
+            # Imported lazily: repro.rules pulls in repro.core, whose
+            # package import reaches back into this module.
+            from repro.rules.registry import resolve_rules, semantic_kinds
+
+            packs = resolve_rules(self.config.rules)
+            evidence_kinds = semantic_kinds(packs)
             with telemetry.tracer.span("resolve"):
-                findings = self._resolve_authorship(project, candidates, rev)
+                classic = [c for c in candidates if c.kind not in evidence_kinds]
+                semantic = [c for c in candidates if c.kind in evidence_kinds]
+                findings = self._resolve_authorship(project, classic, rev)
+                findings += self._resolve_semantic(project, semantic, rev)
             for finding in findings:
                 if finding.authorship is not None:
                     provenance.set_resolution(finding.key, finding.authorship.provenance())
@@ -153,7 +217,9 @@ class ValueCheck:
             )
             context = PruneContext(project=project, metrics=registry, provenance=provenance)
             with telemetry.tracer.span("prune"):
-                cross = pipeline.apply(cross, context)
+                cross = pipeline.apply(
+                    cross, context, rules=tuple(pack.name for pack in packs)
+                )
             prune_stats = pipeline.stats(cross)
             findings = cross + rest
 

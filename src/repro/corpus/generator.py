@@ -181,6 +181,48 @@ class _AppGenerator:
             domain = component if component in self.base_profile.domains else None
             self._plan(construct, age=age, domain=domain)
 
+    def _plan_semantic(self) -> None:
+        """Semantic-rule plants (use-after-free / resource-leak) with
+        ground-truth labels, plus benign look-alikes the packs must not
+        report.  Zero counts make zero RNG draws, so the published
+        profiles (which plant none) generate byte-identical corpora."""
+        counts = self.profile.counts
+        for _ in range(counts.uaf_bugs):
+            construct = snippets.make_bug_use_after_free(
+                self.pool, self.rng, self._bug_role()
+            )
+            self._finish_semantic_bug(construct, "use_after_free")
+        for _ in range(counts.uaf_benign):
+            self._plan(snippets.make_benign_use_after_free(self.pool, self.rng))
+        for _ in range(counts.leak_bugs):
+            construct = snippets.make_bug_resource_leak(
+                self.pool, self.rng, self._bug_role()
+            )
+            self._finish_semantic_bug(construct, "resource_leak")
+        for _ in range(counts.leak_benign):
+            self._plan(snippets.make_benign_resource_leak(self.pool, self.rng))
+
+    def _finish_semantic_bug(self, construct: Construct, bug_type: str) -> None:
+        component = _weighted_choice(self.rng, COMPONENT_WEIGHTS)
+        severity = _weighted_choice(self.rng, SEVERITY_WEIGHTS)
+        age = _sample_age(self.rng)
+        assert construct.truth is not None
+        construct.truth = GroundTruthEntry(
+            category=construct.truth.category,
+            file="",
+            function=construct.truth.function,
+            var=construct.truth.var,
+            is_bug=True,
+            expected_cross_scope=True,
+            expected_pruner=None,
+            bug_type=bug_type,
+            component=component,
+            severity=severity,
+            introduced_day=self.profile.detection_day - age,
+        )
+        domain = component if component in self.base_profile.domains else None
+        self._plan(construct, age=age, domain=domain)
+
     def _plan_benign(self) -> None:
         counts = self.profile.counts
         for _ in range(counts.config_dep):
@@ -348,6 +390,7 @@ class _AppGenerator:
 
     def generate(self) -> SyntheticApp:
         self._plan_bugs()
+        self._plan_semantic()
         self._plan_benign()
         plans = self._build_file_plans()
         extra: dict[str, tuple[Author, int, str]] = {}
@@ -390,3 +433,13 @@ def generate_app(name: str, scale: float = 1.0, seed: int = 7) -> SyntheticApp:
 def generate_all(scale: float = 1.0, seed: int = 7) -> dict[str, SyntheticApp]:
     """Generate every evaluated application at the given scale."""
     return {name: generate_app(name, scale=scale, seed=seed) for name in PROFILES}
+
+
+def generate_rules_corpus(scale: float = 1.0, seed: int = 7) -> SyntheticApp:
+    """The semantic-rules evaluation corpus: planted use-after-free and
+    resource-leak bugs (plus benign look-alikes) with ground-truth
+    labels.  Lives outside ``PROFILES`` so the paper-table corpora stay
+    untouched; ``repro.eval`` scores per-rule precision/recall on it."""
+    from repro.corpus.profiles import RULES_EVAL_PROFILE
+
+    return _AppGenerator(RULES_EVAL_PROFILE, scale, seed).generate()

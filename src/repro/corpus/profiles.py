@@ -37,6 +37,15 @@ class CategoryCounts:
     pruned_bug_peer: int = 0
     # Plain filler functions (no candidates) for realistic bulk.
     filler: int = 40
+    # Semantic-rule plants (repro.rules): use-after-free and resource-leak
+    # bugs with ground-truth labels, plus benign look-alikes the packs
+    # must stay silent on.  Zero in the published profiles — the paper's
+    # corpora predate the semantic packs, which keeps their RNG draws
+    # (and every downstream expectation) unchanged.
+    uaf_bugs: int = 0
+    uaf_benign: int = 0
+    leak_bugs: int = 0
+    leak_benign: int = 0
 
     @property
     def original(self) -> int:
@@ -206,6 +215,36 @@ PROFILES: dict[str, AppProfile] = {
 }
 
 
+# The semantic-rules evaluation corpus (docs/RULES.md).  Deliberately
+# NOT in PROFILES: the published profiles reproduce the paper's tables
+# and must keep generating byte-identical corpora; this profile exists
+# so ``repro.eval`` can report per-rule precision/recall for the
+# use-after-free and resource-leak packs against known labels.
+RULES_EVAL_PROFILE = AppProfile(
+    name="rules-eval",
+    display="RulesEval",
+    version="1.0",
+    domains=("filesystem", "memory", "network"),
+    counts=CategoryCounts(
+        config_dep=2,
+        cursor=2,
+        hints=4,
+        peer_sites=12,
+        bugs=4,
+        fp_minor=2,
+        same_author=6,
+        filler=12,
+        uaf_bugs=6,
+        uaf_benign=4,
+        leak_bugs=6,
+        leak_benign=4,
+    ),
+    n_owner_authors=6,
+    n_drifter_authors=5,
+    detection_date="2022-07-31",
+)
+
+
 def _scale_count(count: int, scale: float) -> int:
     if count == 0:
         return 0
@@ -230,5 +269,9 @@ def scaled(profile: AppProfile, scale: float) -> AppProfile:
         pruned_bug_config=_scale_count(counts.pruned_bug_config, scale),
         pruned_bug_peer=_scale_count(counts.pruned_bug_peer, scale),
         filler=_scale_count(counts.filler, scale),
+        uaf_bugs=_scale_count(counts.uaf_bugs, scale),
+        uaf_benign=_scale_count(counts.uaf_benign, scale),
+        leak_bugs=_scale_count(counts.leak_bugs, scale),
+        leak_benign=_scale_count(counts.leak_benign, scale),
     )
     return replace(profile, counts=new_counts)

@@ -686,3 +686,118 @@ def make_pruned_bug_peer(pool: NamePool, rng: random.Random, peer_callee: str) -
     )
     _truth(construct, is_bug=True, cross=True, pruner="peer_definition")
     return construct
+
+
+# ---------------------------------------------------------------------------
+# Semantic-rule plants (repro.rules): use-after-free and resource-leak
+# ---------------------------------------------------------------------------
+
+
+def make_bug_use_after_free(
+    pool: NamePool, rng: random.Random, intro_role: str
+) -> Construct:
+    """A pointer freed by a later contributor while the original code
+    still reads through it — the use-after-free pack must report the use
+    site with the free line as evidence."""
+    fn = pool.function(verb="drain")
+    ptr = pool.variable()
+    slot = pool.variable()
+    construct = Construct(
+        category="bug_uaf",
+        function=fn,
+        var=ptr,
+        intro_role=intro_role,
+        prelude=["void free(int *p);"],
+        lines=[
+            L(f"int {fn}(int mode)"),
+            L("{"),
+            L(f"    int {slot} = mode + {rng.randrange(1, 9)};"),
+            L(f"    int *{ptr} = &{slot};"),
+            L(f"    free({ptr});", round=2),
+            L(f"    return *{ptr};"),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=True, cross=True, bug_type="use_after_free")
+    return construct
+
+
+def make_benign_use_after_free(pool: NamePool, rng: random.Random) -> Construct:
+    """A freed pointer re-pointed before any further use — every path
+    from the free to a use crosses the reassignment, so the pack must
+    stay silent."""
+    fn = pool.function(verb="reset")
+    ptr = pool.variable()
+    slot = pool.variable()
+    spare = pool.variable()
+    construct = Construct(
+        category="benign_uaf",
+        function=fn,
+        var=ptr,
+        prelude=["void free(int *p);"],
+        lines=[
+            L(f"int {fn}(int mode)"),
+            L("{"),
+            L(f"    int {slot} = mode;"),
+            L(f"    int {spare} = mode + {rng.randrange(1, 9)};"),
+            L(f"    int *{ptr} = &{slot};"),
+            L(f"    free({ptr});"),
+            L(f"    {ptr} = &{spare};"),
+            L(f"    return *{ptr};"),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=False, cross=False)
+    return construct
+
+
+def make_bug_resource_leak(
+    pool: NamePool, rng: random.Random, intro_role: str
+) -> Construct:
+    """A handle released on the main path but not on an early return a
+    later contributor added — the resource-leak pack must report the
+    acquire site with the release line as evidence."""
+    fn = pool.function(verb="load")
+    handle = pool.variable()
+    construct = Construct(
+        category="bug_leak",
+        function=fn,
+        var=handle,
+        intro_role=intro_role,
+        prelude=["struct file *fopen(int mode);", "void fclose(struct file *h);"],
+        lines=[
+            L(f"int {fn}(int mode)"),
+            L("{"),
+            L(f"    struct file *{handle} = fopen(mode);"),
+            L(f"    if (mode < 0) {{ return -1; }}", round=2),
+            L(f"    fclose({handle});"),
+            L("    return 0;"),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=True, cross=True, bug_type="resource_leak")
+    return construct
+
+
+def make_benign_resource_leak(pool: NamePool, rng: random.Random) -> Construct:
+    """A handle released on every path (including the early return) —
+    the resource-leak pack must stay silent."""
+    fn = pool.function(verb="sync")
+    handle = pool.variable()
+    construct = Construct(
+        category="benign_leak",
+        function=fn,
+        var=handle,
+        prelude=["struct file *fopen(int mode);", "void fclose(struct file *h);"],
+        lines=[
+            L(f"int {fn}(int mode)"),
+            L("{"),
+            L(f"    struct file *{handle} = fopen(mode);"),
+            L(f"    if (mode < 0) {{ fclose({handle}); return -1; }}"),
+            L(f"    fclose({handle});"),
+            L("    return 0;"),
+            L("}"),
+        ],
+    )
+    _truth(construct, is_bug=False, cross=False)
+    return construct

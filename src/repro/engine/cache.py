@@ -31,13 +31,24 @@ from typing import Iterable
 # engine-4: findings carry store fingerprints derived from module source
 # context — entries cached by engine-3 would replay with line-keyed
 # identities the lifecycle store cannot match across revisions.
-ANALYSIS_VERSION = "engine-4"
+# engine-5: detection is rule-pack driven and ModuleResult may carry
+# use-after-free / resource-leak candidate kinds — entries cached by
+# engine-4 would replay without the semantic rules' output.
+ANALYSIS_VERSION = "engine-5"
 
 DEFAULT_CAPACITY = 4096
 
 
-def module_key(path: str, text: str, build_config: Iterable[str]) -> str:
-    """Content address of one module's analysis inputs."""
+def module_key(
+    path: str,
+    text: str,
+    build_config: Iterable[str],
+    rules: Iterable[str] | None = None,
+) -> str:
+    """Content address of one module's analysis inputs.  ``rules`` is the
+    *normalized* enabled-pack tuple (callers resolve ``None`` through the
+    registry first, so a default run and an explicit-default run share
+    entries)."""
     digest = hashlib.sha256()
     digest.update(ANALYSIS_VERSION.encode())
     digest.update(b"\x00")
@@ -46,6 +57,10 @@ def module_key(path: str, text: str, build_config: Iterable[str]) -> str:
     for macro in sorted(build_config):
         digest.update(macro.encode())
         digest.update(b"\x01")
+    digest.update(b"\x00")
+    for rule in rules if rules is not None else ():
+        digest.update(rule.encode())
+        digest.update(b"\x02")
     digest.update(b"\x00")
     digest.update(text.encode())
     return digest.hexdigest()

@@ -94,9 +94,17 @@ class AnalysisEngine:
         executor: str = "serial",
         workers: int | None = None,
         cache: ResultCache | None = DEFAULT_CACHE,
+        rules: tuple[str, ...] | None = None,
     ):
+        # Imported lazily: repro.rules pulls in repro.core, whose package
+        # import reaches back into the engine facade.
+        from repro.rules.registry import normalize_rules
+
         self.executor = make_executor(executor, workers)
         self.cache = cache
+        # Normalized through the registry so `None` and an explicit
+        # all-packs selection produce identical jobs and cache keys.
+        self.rules = normalize_rules(rules)
 
     def run(
         self,
@@ -122,7 +130,7 @@ class AnalysisEngine:
                 text = module.source.raw if module.source is not None else None
                 if self.cache is not None and text is not None:
                     probe_started = monotonic()
-                    key = module_key(path, text, project.build_config)
+                    key = module_key(path, text, project.build_config, rules=self.rules)
                     keys[path] = key
                     cached = self.cache.get(key)
                     probe_seconds = monotonic() - probe_started
@@ -196,6 +204,7 @@ class AnalysisEngine:
                             path=path,
                             text=module.source.raw,
                             build_config=tuple(sorted(project.build_config)),
+                            rules=self.rules,
                         )
                     )
                 else:
@@ -204,10 +213,14 @@ class AnalysisEngine:
             # Source-less modules cannot cross the pickle boundary as text;
             # analyse them in-process.
             for path in local:
-                results[path] = analyze_lowered(path, project.modules[path], project.vfg(path))
+                results[path] = analyze_lowered(
+                    path, project.modules[path], project.vfg(path), rules=self.rules
+                )
             return [results[path] for path in paths]
 
         def compute(path: str) -> ModuleResult:
-            return analyze_lowered(path, project.modules[path], project.vfg(path))
+            return analyze_lowered(
+                path, project.modules[path], project.vfg(path), rules=self.rules
+            )
 
         return self.executor.map(compute, paths)

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.core.detector import detect_module
 from repro.core.findings import Candidate
 from repro.core.project import ModuleContribution, build_contribution
 from repro.ir.builder import lower_source
@@ -56,17 +55,34 @@ class ModuleJob:
     path: str
     text: str
     build_config: tuple[str, ...]
+    # Enabled rule packs (normalized names); None = every registered pack.
+    rules: tuple[str, ...] | None = None
 
 
-def analyze_lowered(path: str, module: Module, vfg: ValueFlowGraph | None = None) -> ModuleResult:
+def analyze_lowered(
+    path: str,
+    module: Module,
+    vfg: ValueFlowGraph | None = None,
+    rules: tuple[str, ...] | None = None,
+) -> ModuleResult:
     """Analyse an already-lowered module (serial/thread executors)."""
+    # Imported lazily: repro.rules pulls in repro.core, whose package
+    # import reaches back here through the engine facade.
+    from repro.rules.registry import resolve_rules
+
     local = MetricsRegistry()
+    packs = resolve_rules(rules)
     with local.time("module.analyze_seconds"):
         if vfg is None:
             with local.time("module.vfg_seconds"):
                 vfg = build_value_flow(module)
         with local.time("module.detect_seconds"), obs.span("detect", module=path):
-            candidates = detect_module(module, vfg)
+            candidates = []
+            for pack in packs:
+                with local.time("rules.detect_seconds", rule=pack.name):
+                    found = pack.detect(path, module, vfg)
+                local.inc("rules.candidates", len(found), rule=pack.name)
+                candidates.extend(found)
         with local.time("module.contribution_seconds"):
             contribution = build_contribution(path, module, vfg)
     converged = vfg.andersen.converged
@@ -90,4 +106,4 @@ def analyze_job(job: ModuleJob) -> ModuleResult:
     """Analyse from source text (process executors; module-level function
     so it pickles by reference)."""
     module = lower_source(job.text, filename=job.path, config=set(job.build_config))
-    return analyze_lowered(job.path, module)
+    return analyze_lowered(job.path, module, rules=job.rules)

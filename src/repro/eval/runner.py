@@ -19,6 +19,7 @@ from repro.eval import (
     pointer_comparison,
     preliminary,
     recall,
+    rules,
     table2,
     table3,
     table4,
@@ -66,6 +67,7 @@ class EvaluationRun:
             "figure9",
             "preliminary",
             "recall",
+            "rules",
             "calibration",
             "pointer_comparison",
             "extensions",
@@ -110,6 +112,16 @@ class EvaluationRun:
                 lines.append(app + "," + ",".join(str(table.detected[g][app]) for g in groups))
             lines.append("Total," + ",".join(str(table.total(g)) for g in groups))
             (base / "table_6_dok_effect.csv").write_text("\n".join(lines) + "\n")
+
+        if "rules" in self.results:
+            table = self.results["rules"]
+            lines = ["rule,planted,reported,tp,fp,fn,precision,recall"]
+            lines += [
+                f"{row.rule},{row.planted},{row.reported},{row.tp},{row.fp},"
+                f"{row.fn},{row.precision:.4f},{row.recall:.4f}"
+                for row in table.rows
+            ]
+            (base / "rules_precision_recall.csv").write_text("\n".join(lines) + "\n")
 
         if "table7" in self.results:
             table = self.results["table7"]
@@ -163,6 +175,15 @@ def run_all(
             prelim_result = preliminary.run(corpus)
             run_state.results["preliminary"] = prelim_result
         experiment("recall", lambda: recall.run(corpus, prelim_result))
+        experiment(
+            "rules",
+            lambda: rules.run(
+                rules.generate_rules_corpus(
+                    scale=prelim_scale if prelim_scale is not None else suite.scale,
+                    seed=seed + 5,
+                )
+            ),
+        )
         experiment("calibration", lambda: calibration_experiment.run(suite))
         experiment(
             "pointer_comparison",

@@ -66,6 +66,8 @@ from repro.obs.profiler import IDLE_PHASE, SamplingProfiler, fold_frame
 from repro.obs.sinks import (
     read_jsonl,
     render_stats_table,
+    rule_candidates,
+    rule_kills,
     to_prometheus,
     write_jsonl,
 )
@@ -194,6 +196,8 @@ __all__ = [
     "render_record",
     "render_records",
     "render_stats_table",
+    "rule_candidates",
+    "rule_kills",
     "span",
     "summarize",
     "summarize_snapshot",

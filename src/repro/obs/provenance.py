@@ -44,7 +44,7 @@ STATUSES = ("detected", "not_cross_scope", "pruned", "reported")
 def detection_record(candidate) -> dict:
     """The deterministic detection slice of one candidate (picklable,
     cache-replayable — no timings, no object references)."""
-    return {
+    record = {
         "key": candidate.key,
         "file": candidate.file,
         "function": candidate.function,
@@ -61,6 +61,12 @@ def detection_record(candidate) -> dict:
         "void_cast": candidate.void_cast,
         "increment_delta": candidate.increment_delta,
     }
+    # Semantic rules (use-after-free, resource-leak) carry their evidence
+    # sites; the key is present only for them so classic unused-definition
+    # records stay byte-identical to pre-rule-pack logs.
+    if candidate.evidence_lines:
+        record["evidence_lines"] = list(candidate.evidence_lines)
+    return record
 
 
 @dataclass

@@ -152,6 +152,18 @@ def render_stats_table(records: list[dict]) -> str:
             parts.append("  pruner               killed")
             for pruner, killed in sorted(kills.items()):
                 parts.append(f"    {pruner:<20}{killed:>5}")
+        # Per-rule-pack attribution (records carrying the rule-labeled
+        # counters from the rule-pack engine; older records skip this).
+        metrics = record.get("metrics") or {}
+        by_rule = rule_candidates(metrics)
+        rule_killed = rule_kills(metrics)
+        if by_rule or rule_killed:
+            parts.append("  rule                 candidates  killed")
+            for rule in sorted(set(by_rule) | set(rule_killed)):
+                parts.append(
+                    f"    {rule:<20}{by_rule.get(rule, 0):>8.0f}"
+                    f"{rule_killed.get(rule, 0):>8.0f}"
+                )
         if provenance:
             parts.append(
                 f"  provenance: {provenance.get('candidates', 0)} candidates, "
@@ -178,10 +190,36 @@ def render_stats_table(records: list[dict]) -> str:
 
 
 def prune_kills(snapshot: dict) -> dict[str, float]:
-    """Per-pruner kill counters from a snapshot: pruner name -> count."""
+    """Per-pruner kill counters from a snapshot: pruner name -> count.
+
+    Kills are double-booked under ``{pruner=...}`` and ``{rule=...}``
+    labels; only the pruner-labeled keys belong here (see
+    :func:`rule_kills` for the per-rule attribution)."""
     kills: dict[str, float] = {}
     for key, value in snapshot.get("counters", {}).items():
         if base_name(key) == "prune.killed":
             _, labels = parse_key(key)
-            kills[labels.get("pruner", "?")] = value
+            if "pruner" in labels:
+                kills[labels["pruner"]] = value
     return kills
+
+
+def rule_kills(snapshot: dict) -> dict[str, float]:
+    """Per-rule-pack kill counters from a snapshot: rule name -> count."""
+    kills: dict[str, float] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        if base_name(key) == "prune.killed":
+            _, labels = parse_key(key)
+            if "rule" in labels:
+                kills[labels["rule"]] = value
+    return kills
+
+
+def rule_candidates(snapshot: dict) -> dict[str, float]:
+    """Per-rule-pack candidate counters: rule name -> detected count."""
+    counts: dict[str, float] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        if base_name(key) == "rules.candidates":
+            _, labels = parse_key(key)
+            counts[labels.get("rule", "?")] = value
+    return counts

@@ -1,0 +1,36 @@
+"""RulePack subsystem: pluggable detectors sharing the ValueCheck spine.
+
+A rule pack owns one or more :class:`~repro.core.findings.CandidateKind`
+values and provides per-module detection plus the policy knobs the rest
+of the pipeline consults: which pruning strategies may claim its
+candidates, how authorship is resolved, what SARIF metadata its findings
+carry, and whether its findings block the CI gate.
+
+See ``docs/RULES.md`` for the pack interface and how to add a rule.
+"""
+
+from repro.rules.base import RulePack
+from repro.rules.registry import (
+    DEFAULT_RULES,
+    UnknownRuleError,
+    gate_policy_for,
+    normalize_rules,
+    pack_for_kind,
+    registered_packs,
+    resolve_rules,
+    rule_description,
+    semantic_kinds,
+)
+
+__all__ = [
+    "RulePack",
+    "DEFAULT_RULES",
+    "UnknownRuleError",
+    "gate_policy_for",
+    "normalize_rules",
+    "pack_for_kind",
+    "registered_packs",
+    "resolve_rules",
+    "rule_description",
+    "semantic_kinds",
+]

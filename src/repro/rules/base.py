@@ -1,0 +1,50 @@
+"""The rule-pack interface every detector plugs into.
+
+A pack is a stateless detector plus the policy the shared pipeline needs
+to route its candidates:
+
+* ``detect(path, module, vfg)`` — per-module candidate production, the
+  same unit of work the engine schedules and content-caches.
+* ``pruner_policy`` — which pruning strategies may claim this pack's
+  candidates (``None`` = all registered strategies, the historical
+  behaviour of the unused-definitions rule).
+* ``resolution`` — ``"authorship"`` routes candidates through the
+  cross-scope resolver; ``"semantic"`` packs carry their evidence in
+  ``Candidate.evidence_lines`` and are blamed directly.
+* ``gate_policy`` — ``"block"`` findings fail ``valuecheck gate`` when
+  new/reopened; ``"warn"`` findings are surfaced but never block.
+* ``descriptions`` — per-kind SARIF rule text (drives rules/ruleIndex
+  metadata instead of a hardcoded table).
+"""
+
+from __future__ import annotations
+
+from repro.core.findings import Candidate, CandidateKind
+from repro.ir.module import Module
+from repro.pointer.value_flow import ValueFlowGraph
+
+
+class RulePack:
+    """Base class: subclasses override the class attributes and ``detect``."""
+
+    #: Registry name; the value ``--rules`` selects.
+    name: str = ""
+    #: Candidate kinds this pack emits (a kind belongs to exactly one pack).
+    kinds: tuple[CandidateKind, ...] = ()
+    #: Pruning strategies allowed to claim this pack's candidates
+    #: (``None`` = every registered strategy).
+    pruner_policy: frozenset[str] | None = None
+    #: 'authorship' | 'semantic' — how findings acquire AuthorshipInfo.
+    resolution: str = "authorship"
+    #: 'block' | 'warn' — whether new/reopened findings fail the gate.
+    gate_policy: str = "block"
+
+    def detect(self, path: str, module: Module, vfg: ValueFlowGraph) -> list[Candidate]:
+        raise NotImplementedError
+
+    def descriptions(self) -> dict[CandidateKind, str]:
+        """SARIF shortDescription text per kind."""
+        raise NotImplementedError
+
+    def allows_pruner(self, pruner_name: str) -> bool:
+        return self.pruner_policy is None or pruner_name in self.pruner_policy

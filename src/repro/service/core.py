@@ -515,7 +515,31 @@ class AnalysisService:
             executor=options.get("executor", self.config.executor),
             workers=options.get("workers", self.config.engine_workers),
             module_cache=bool(options.get("module_cache", True)),
+            rules=self._session_rules(params, options),
         )
+
+    @staticmethod
+    def _session_rules(params: dict, options: dict) -> tuple[str, ...] | None:
+        """Validated rule selection from the wire (top-level ``rules`` or
+        ``options.rules``; a list of names or a comma-separated string).
+        Unknown names are an invalid_params error naming the registered
+        packs, so clients learn the vocabulary from the failure."""
+        raw = params.get("rules", options.get("rules"))
+        if raw is None:
+            return None
+        if isinstance(raw, str):
+            raw = [name.strip() for name in raw.split(",") if name.strip()]
+        if not isinstance(raw, list) or not all(isinstance(n, str) for n in raw):
+            raise ProtocolError(
+                "invalid_params", "'rules' must be a list of rule-pack names"
+            )
+        # Imported lazily: repro.rules pulls in repro.core.
+        from repro.rules.registry import UnknownRuleError, normalize_rules
+
+        try:
+            return normalize_rules(raw)
+        except UnknownRuleError as exc:
+            raise ProtocolError("invalid_params", str(exc)) from exc
 
     def _handle_open_project(self, params: dict) -> dict:
         sources = params.get("sources")
@@ -563,6 +587,7 @@ class AnalysisService:
                 executor=config.executor,
                 workers=config.workers,
                 module_cache=config.module_cache,
+                rules=config.rules,
             )
 
         # The serializable re-open recipe: the wire params that produced
@@ -572,7 +597,7 @@ class AnalysisService:
         # worker replays exactly this dict as a fresh open_project.
         open_params = {
             key: params[key]
-            for key in ("sources", "root", "repo", "rev", "build_config", "options")
+            for key in ("sources", "root", "repo", "rev", "build_config", "options", "rules")
             if key in params
         }
         open_params["project_id"] = project_id

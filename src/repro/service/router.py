@@ -522,7 +522,7 @@ class Router:
             return
         open_params = {
             key: params[key]
-            for key in ("sources", "root", "repo", "rev", "build_config", "options")
+            for key in ("sources", "root", "repo", "rev", "build_config", "options", "rules")
             if key in params
         }
         open_params["project_id"] = project_id

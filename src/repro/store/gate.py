@@ -31,6 +31,9 @@ class GateResult:
     diff: LifecycleDiff
     blocking: list[LifecycleRow] = field(default_factory=list)
     suppressed: list[tuple[LifecycleRow, BaselineEntry]] = field(default_factory=list)
+    # New/reopened rows whose rule pack's gate policy is "warn": surfaced
+    # in the verdict but never failing the gate (repro.rules).
+    warned: list[LifecycleRow] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -44,6 +47,7 @@ class GateResult:
         counts = self.diff.counts()
         counts["suppressed"] = len(self.suppressed)
         counts["blocking"] = len(self.blocking)
+        counts["warned"] = len(self.warned)
         return counts
 
     def as_dict(self) -> dict:
@@ -55,6 +59,7 @@ class GateResult:
             "counts": self.counts(),
             "analysis_version_changed": self.diff.analysis_version_changed,
             "blocking": [row.as_dict() for row in sorted_rows(self.blocking)],
+            "warned": [row.as_dict() for row in sorted_rows(self.warned)],
             "suppressed": [
                 dict(row.as_dict(), justification=entry.justification, author=entry.author)
                 for row, entry in self.suppressed
@@ -85,6 +90,12 @@ class GateResult:
                 f"[{row.kind}] {row.function}/{row.var} "
                 f"fingerprint={row.fingerprint}"
             )
+        for row in sorted_rows(self.warned):
+            lines.append(
+                f"  warned {row.state.value}: {row.file}:{row.line} "
+                f"[{row.kind}] {row.function}/{row.var} "
+                f"(rule gate policy: warn)"
+            )
         for row, entry in self.suppressed:
             lines.append(
                 f"  suppressed {row.state.value}: {row.file}:{row.line} "
@@ -97,7 +108,16 @@ class GateResult:
 def evaluate_gate(
     diff: LifecycleDiff, baseline: BaselineFile | None = None
 ) -> GateResult:
-    """Apply the gate contract to a lifecycle diff."""
+    """Apply the gate contract to a lifecycle diff.
+
+    The blocking decision is per rule pack: rows whose pack's
+    ``gate_policy`` is ``"warn"`` are reported in the verdict but never
+    fail the gate (suppression still takes precedence — a reviewed
+    baseline entry records the acceptance either way)."""
+    # Imported lazily: repro.rules pulls in repro.core, and the store
+    # package is imported from core-adjacent entry points.
+    from repro.rules.registry import gate_policy_for
+
     result = GateResult(diff=diff)
     metrics = obs.metrics()
     for row in diff.rows:
@@ -109,10 +129,13 @@ def evaluate_gate(
             entry = baseline.covers(fingerprint.primary, fingerprint.location)
         if entry is not None:
             result.suppressed.append((row, entry))
+        elif gate_policy_for(row.kind) == "warn":
+            result.warned.append(row)
         else:
             result.blocking.append(row)
     if metrics is not None:
         metrics.inc("store.gate.evaluations")
         metrics.inc("store.gate.blocking", len(result.blocking))
         metrics.inc("store.gate.suppressed", len(result.suppressed))
+        metrics.inc("store.gate.warned", len(result.warned))
     return result

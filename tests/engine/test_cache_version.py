@@ -79,20 +79,57 @@ class TestVersionBumpInvalidation:
         assert restored.stats.cache_hits == len(SOURCES)
 
 
-class TestEngine4Bump:
-    """PR regression guard: the store's fingerprints ride on findings, so
-    entries cached under engine-3 must not replay under engine-4."""
+class TestEngine5Bump:
+    """PR regression guard: detection is rule-pack driven and results may
+    carry semantic candidate kinds, so entries cached under engine-4 must
+    not replay under engine-5."""
 
-    def test_current_version_is_engine_4(self):
-        assert cache_module.ANALYSIS_VERSION == "engine-4"
+    def test_current_version_is_engine_5(self):
+        assert cache_module.ANALYSIS_VERSION == "engine-5"
 
-    def test_engine3_entries_miss_under_engine4(self, project, monkeypatch):
+    def test_engine4_entries_miss_under_engine5(self, project, monkeypatch):
         cache = ResultCache()
         engine = AnalysisEngine(cache=cache)
-        monkeypatch.setattr(cache_module, "ANALYSIS_VERSION", "engine-3")
+        monkeypatch.setattr(cache_module, "ANALYSIS_VERSION", "engine-4")
         engine.run(project)  # a cache warmed by the previous release
         monkeypatch.undo()
         current = engine.run(project)
         assert current.stats.cache_hits == 0
         assert current.stats.cache_misses == len(SOURCES)
         assert current.stats.analyzed == len(SOURCES)
+
+
+class TestRuleSetInvalidation:
+    """Changing the enabled rule set must re-analyse: the selection is
+    part of the content address, so an unused-definitions-only run cannot
+    replay entries produced with the semantic packs enabled (and vice
+    versa)."""
+
+    def test_rule_set_is_part_of_the_key(self):
+        default = module_key("a.c", SOURCES["a.c"], (), rules=("unused_definitions",))
+        all_packs = module_key(
+            "a.c",
+            SOURCES["a.c"],
+            (),
+            rules=("unused_definitions", "use_after_free", "resource_leak"),
+        )
+        assert default != all_packs
+
+    def test_explicit_default_shares_entries_with_none(self, project):
+        # Engines normalise `rules=None` through the registry, so a
+        # default engine and one naming every pack share cache entries.
+        from repro.rules import DEFAULT_RULES
+
+        cache = ResultCache()
+        AnalysisEngine(cache=cache).run(project)
+        explicit = AnalysisEngine(cache=cache, rules=DEFAULT_RULES).run(project)
+        assert explicit.stats.cache_hits == len(SOURCES)
+
+    def test_changed_rule_set_misses(self, project):
+        cache = ResultCache()
+        AnalysisEngine(cache=cache).run(project)  # all packs (default)
+        narrowed = AnalysisEngine(cache=cache, rules=("unused_definitions",)).run(
+            project
+        )
+        assert narrowed.stats.cache_hits == 0
+        assert narrowed.stats.analyzed == len(SOURCES)

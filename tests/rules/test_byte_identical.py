@@ -1,0 +1,52 @@
+"""The acceptance bar for the port: unused-definitions output is
+byte-identical whether the pack runs alone or alongside the semantic
+packs.  The classic corpora plant no acquire/release or free idioms, so
+the default (all packs) and the single-pack selection must agree on
+every finding, fingerprint and provenance aggregate."""
+
+from __future__ import annotations
+
+from repro.core.findings import CandidateKind
+from repro.core.valuecheck import ValueCheck, ValueCheckConfig
+from repro.corpus.generator import generate_app
+from repro.store.fingerprint import fingerprint_findings, project_sources
+
+
+def _analyze(rules):
+    app = generate_app("nfs-ganesha", scale=0.05, seed=7)
+    project = app.project()
+    config = ValueCheckConfig(rules=rules)
+    report = ValueCheck(config).analyze(project)
+    return project, report
+
+
+class TestByteIdenticalPort:
+    def setup_method(self):
+        self.project_all, self.report_all = _analyze(None)
+        self.project_one, self.report_one = _analyze(("unused_definitions",))
+
+    def test_semantic_packs_stay_silent_on_the_classic_corpus(self):
+        kinds = {f.candidate.kind for f in self.report_all.findings}
+        assert CandidateKind.USE_AFTER_FREE not in kinds
+        assert CandidateKind.RESOURCE_LEAK not in kinds
+
+    def test_finding_rows_are_identical(self):
+        rows_all = [f.to_row() for f in self.report_all.reported()]
+        rows_one = [f.to_row() for f in self.report_one.reported()]
+        assert rows_all == rows_one
+        assert self.report_all.counts() == self.report_one.counts()
+        assert self.report_all.prune_stats == self.report_one.prune_stats
+
+    def test_fingerprints_are_identical(self):
+        sources = project_sources(self.project_all)
+        prints_all = fingerprint_findings(self.report_all.reported(), sources)
+        prints_one = fingerprint_findings(self.report_one.reported(), sources)
+        assert prints_all == prints_one
+
+    def test_provenance_aggregates_are_identical(self):
+        assert self.report_all.provenance is not None
+        assert self.report_one.provenance is not None
+        assert (
+            self.report_all.provenance.aggregates()
+            == self.report_one.provenance.aggregates()
+        )

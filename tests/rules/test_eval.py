@@ -1,0 +1,40 @@
+"""End-to-end scoring: the rules-eval corpus plants labelled semantic
+bugs plus benign look-alikes, and both semantic packs must find every
+plant and nothing else (precision = recall = 1.0)."""
+
+from __future__ import annotations
+
+from repro.corpus.generator import generate_rules_corpus
+from repro.eval import rules
+
+
+class TestRulesEvalCorpus:
+    def setup_method(self):
+        self.app = generate_rules_corpus(seed=7)
+
+    def test_corpus_plants_bugs_and_benign_twins(self):
+        by_category = {}
+        for entry in self.app.ledger.entries:
+            by_category[entry.category] = by_category.get(entry.category, 0) + 1
+        assert by_category.get("bug_uaf", 0) >= 3
+        assert by_category.get("bug_leak", 0) >= 3
+        # The benign look-alikes are present — silence on them is what
+        # the precision score below actually measures.
+        assert by_category.get("benign_uaf", 0) >= 2
+        assert by_category.get("benign_leak", 0) >= 2
+
+    def test_semantic_packs_score_perfectly(self):
+        result = rules.run(self.app)
+        for rule in ("use_after_free", "resource_leak"):
+            score = result.score(rule)
+            assert score is not None
+            assert score.planted > 0
+            assert score.precision == 1.0, result.render()
+            assert score.recall == 1.0, result.render()
+
+    def test_render_is_a_per_rule_table(self):
+        result = rules.run(self.app)
+        rendered = result.render()
+        for rule in ("unused_definitions", "use_after_free", "resource_leak"):
+            assert rule in rendered
+        assert "Precision" in rendered and "Recall" in rendered

@@ -1,0 +1,90 @@
+"""Fingerprint properties the new kinds inherit from fp-1: cross-pack
+non-collision (the kind is hashed into both materials) and line-shift
+invariance for use-after-free and resource-leak findings."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from repro.core.findings import CandidateKind
+from repro.store.fingerprint import fingerprint_candidate, fingerprint_findings
+
+from tests.rules.helpers import LEAK_SRC, UAF_SRC, analyze, reported, sources_of
+
+FILLERS = (
+    "",
+    "    ",
+    "// a wandering comment",
+    "/* block comment */",
+)
+
+
+def line_shift_edit(source: str, rng: random.Random) -> str:
+    lines = source.split("\n")
+    for _ in range(rng.randint(1, 6)):
+        position = rng.randint(0, len(lines))
+        lines.insert(position, rng.choice(FILLERS))
+    return "\n".join(lines)
+
+
+def fingerprint_multiset(sources: dict) -> list[str]:
+    project, report = analyze(sources)
+    mapping = fingerprint_findings(reported(report), sources_of(project))
+    return sorted(fp.primary for fp in mapping.values())
+
+
+def semantic_candidate(source, path, kind):
+    _, report = analyze({path: source})
+    rows = [f for f in reported(report) if f.candidate.kind is kind]
+    assert len(rows) == 1
+    return rows[0].candidate
+
+
+class TestCrossPackNonCollision:
+    def test_same_site_different_kind_never_collides(self):
+        # Two packs flagging the very same site must produce distinct
+        # identities, down to the fuzzy location material.
+        candidate = semantic_candidate(UAF_SRC, "uaf.c", CandidateKind.USE_AFTER_FREE)
+        impostor = replace(candidate, kind=CandidateKind.RESOURCE_LEAK)
+        mine = fingerprint_candidate(candidate, UAF_SRC)
+        theirs = fingerprint_candidate(impostor, UAF_SRC)
+        assert mine.primary != theirs.primary
+        assert mine.location != theirs.location
+
+    def test_all_kinds_disjoint_at_one_site(self):
+        candidate = semantic_candidate(LEAK_SRC, "leak.c", CandidateKind.RESOURCE_LEAK)
+        primaries = set()
+        locations = set()
+        for kind in CandidateKind:
+            fp = fingerprint_candidate(replace(candidate, kind=kind), LEAK_SRC)
+            primaries.add(fp.primary)
+            locations.add(fp.location)
+        assert len(primaries) == len(CandidateKind)
+        assert len(locations) == len(CandidateKind)
+
+
+class TestSemanticLineShiftInvariance:
+    SOURCES = {"uaf.c": UAF_SRC, "leak.c": LEAK_SRC}
+
+    def test_fingerprints_invariant_under_random_line_shifts(self):
+        base = fingerprint_multiset(self.SOURCES)
+        assert base  # vacuous without findings
+        for seed in range(8):
+            rng = random.Random(seed)
+            shifted = {
+                path: line_shift_edit(src, rng)
+                for path, src in self.SOURCES.items()
+            }
+            assert fingerprint_multiset(shifted) == base, (
+                f"semantic fingerprints drifted under line-shift (seed {seed})"
+            )
+
+    def test_editing_the_acquire_statement_changes_the_multiset(self):
+        base = fingerprint_multiset(self.SOURCES)
+        edited = dict(self.SOURCES)
+        edited["leak.c"] = LEAK_SRC.replace(
+            "struct file *h = fopen(mode);",
+            "struct file *g = fopen(mode);",
+        ).replace("fclose(h);", "fclose(g);")
+        assert fingerprint_multiset(edited) != base

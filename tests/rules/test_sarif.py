@@ -1,0 +1,49 @@
+"""SARIF export of a mixed-rule report: one reporting descriptor per
+kind, annotated with the owning pack and its gate policy, and every
+result's ruleIndex pointing back at its descriptor."""
+
+from __future__ import annotations
+
+from tests.rules.helpers import CLASSIC_SRC, LEAK_SRC, UAF_SRC, analyze
+
+
+def sarif_run(sources):
+    _, report = analyze(sources)
+    return report.to_sarif()["runs"][0]
+
+
+class TestMixedRuleSarif:
+    def setup_method(self):
+        self.run = sarif_run(
+            {"classic.c": CLASSIC_SRC, "uaf.c": UAF_SRC, "leak.c": LEAK_SRC}
+        )
+        self.rules = self.run["tool"]["driver"]["rules"]
+
+    def test_each_used_kind_has_exactly_one_descriptor(self):
+        ids = [rule["id"] for rule in self.rules]
+        assert len(ids) == len(set(ids))
+        assert "use_after_free" in ids
+        assert "resource_leak" in ids
+        assert "ignored_return" in ids
+
+    def test_descriptors_name_their_pack_and_gate_policy(self):
+        by_id = {rule["id"]: rule for rule in self.rules}
+        assert by_id["use_after_free"]["properties"] == {
+            "pack": "use_after_free",
+            "gatePolicy": "block",
+        }
+        assert by_id["resource_leak"]["properties"] == {
+            "pack": "resource_leak",
+            "gatePolicy": "warn",
+        }
+        assert by_id["ignored_return"]["properties"] == {
+            "pack": "unused_definitions",
+            "gatePolicy": "block",
+        }
+
+    def test_rule_index_points_at_the_matching_descriptor(self):
+        ids = [rule["id"] for rule in self.rules]
+        results = self.run["results"]
+        assert results
+        for result in results:
+            assert ids[result["ruleIndex"]] == result["ruleId"]

@@ -1,0 +1,113 @@
+"""Service surface of rule selection: validation at open_project, the
+comma-string spelling, and warm ``analyze_diff`` splicing semantic
+findings with the session's selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AnalysisService, ServiceConfig
+
+from tests.rules.helpers import CLASSIC_SRC, UAF_SRC
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine_cache():
+    """The content cache is process-wide; the `analyzed` assertions below
+    need the warm diff to actually re-analyse the new module."""
+    from repro.engine import DEFAULT_CACHE
+
+    DEFAULT_CACHE.clear()
+    yield
+
+
+@pytest.fixture()
+def service():
+    svc = AnalysisService(ServiceConfig(workers=2, queue_capacity=8)).start()
+    yield svc
+    svc.shutdown()
+
+
+def submit(service, request_type, request_id=1, **params):
+    return service.submit(
+        {"id": request_id, "type": request_type, "params": params}
+    )
+
+
+def open_project(service, project_id, sources, **extra):
+    response = submit(
+        service,
+        "open_project",
+        sources=dict(sources),
+        project_id=project_id,
+        **extra,
+    )
+    assert response["ok"], response
+    return response["result"]
+
+
+def finding_kinds(result):
+    return sorted(row["kind"] for row in result["findings"])
+
+
+class TestRulesValidation:
+    def test_unknown_rule_is_invalid_params_listing_registered_packs(self, service):
+        response = submit(
+            service,
+            "open_project",
+            sources={"a.c": CLASSIC_SRC},
+            project_id="bad",
+            rules=["bogus_rule"],
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "invalid_params"
+        message = response["error"]["message"]
+        assert "bogus_rule" in message
+        for name in ("unused_definitions", "use_after_free", "resource_leak"):
+            assert name in message
+
+    def test_rules_accepts_a_comma_separated_string(self, service):
+        open_project(
+            service,
+            "commas",
+            {"classic.c": CLASSIC_SRC, "uaf.c": UAF_SRC},
+            rules="unused_definitions, use_after_free",
+        )
+        result = submit(service, "analyze", project_id="commas")["result"]
+        kinds = finding_kinds(result)
+        assert "use_after_free" in kinds
+        assert "resource_leak" not in kinds
+
+
+class TestWarmDiffSplicing:
+    def test_commit_introducing_a_uaf_surfaces_in_the_warm_diff(self, service):
+        open_project(service, "warm", {"classic.c": CLASSIC_SRC})
+        submit(service, "analyze", project_id="warm")
+        response = submit(
+            service,
+            "analyze_diff",
+            project_id="warm",
+            changes={"uaf.c": UAF_SRC},
+        )
+        assert response["ok"], response
+        result = response["result"]
+        assert result["changed_files"] == ["uaf.c"]
+        # Only the new module was analysed; the carried report was spliced.
+        assert result["engine"]["analyzed"] == 1
+        assert "use_after_free" in finding_kinds(result)
+        # The classic findings are still in the merged report.
+        assert "ignored_return" in finding_kinds(result)
+
+    def test_warm_diff_respects_the_session_rule_selection(self, service):
+        open_project(
+            service, "narrow", {"classic.c": CLASSIC_SRC},
+            rules=["unused_definitions"],
+        )
+        submit(service, "analyze", project_id="narrow")
+        result = submit(
+            service,
+            "analyze_diff",
+            project_id="narrow",
+            changes={"uaf.c": UAF_SRC},
+        )["result"]
+        assert "use_after_free" not in finding_kinds(result)

@@ -1,0 +1,151 @@
+"""Store lifecycle, gate policy and suppression round-trip for a
+mixed-rule report: classic unused-definitions findings plus the
+semantic packs' use-after-free and resource-leak findings flow through
+one store, and the gate blocks / warns / suppresses per rule."""
+
+from __future__ import annotations
+
+from repro.core.findings import CandidateKind
+from repro.store.baseline import BaselineEntry, BaselineFile
+from repro.store.gate import evaluate_gate
+from repro.store.store import FindingsStore, Lifecycle
+
+from tests.rules.helpers import (
+    CLASSIC_SRC,
+    LEAK_SRC,
+    UAF_SRC,
+    analyze,
+    reported,
+    sources_of,
+)
+
+MIXED = {"classic.c": CLASSIC_SRC, "uaf.c": UAF_SRC, "leak.c": LEAK_SRC}
+
+
+def mixed_report(sources=MIXED):
+    project, report = analyze(sources)
+    return reported(report), sources_of(project)
+
+
+def row_kinds(rows):
+    return sorted(row.kind for row in rows)
+
+
+class TestMixedRuleLifecycle:
+    def test_first_snapshot_is_all_new_across_packs(self):
+        store = FindingsStore.in_memory()
+        findings, sources = mixed_report()
+        diff = store.record_snapshot(findings, sources, rev="r1")
+        kinds = row_kinds(diff.new())
+        assert "use_after_free" in kinds
+        assert "resource_leak" in kinds
+        assert "ignored_return" in kinds
+        assert diff.counts()["new"] == len(findings)
+
+    def test_unchanged_resnapshot_is_all_persistent(self):
+        store = FindingsStore.in_memory()
+        findings, sources = mixed_report()
+        store.record_snapshot(findings, sources, rev="r1")
+        diff = store.record_snapshot(findings, sources, rev="r2")
+        assert diff.counts()["new"] == 0
+        assert diff.counts()["persistent"] == len(findings)
+
+    def test_removing_one_pack_source_fixes_only_its_findings(self):
+        store = FindingsStore.in_memory()
+        findings, sources = mixed_report()
+        store.record_snapshot(findings, sources, rev="r1")
+        without_uaf = {p: s for p, s in MIXED.items() if p != "uaf.c"}
+        findings2, sources2 = mixed_report(without_uaf)
+        diff = store.record_snapshot(findings2, sources2, rev="r2")
+        assert row_kinds(diff.fixed()) == ["use_after_free"]
+        assert diff.counts()["new"] == 0
+
+        # Restoring the file reopens exactly that finding.
+        findings3, sources3 = mixed_report()
+        diff3 = store.record_snapshot(findings3, sources3, rev="r3")
+        assert row_kinds(diff3.reopened()) == ["use_after_free"]
+
+
+class TestPerRuleGate:
+    def test_new_leak_warns_but_does_not_block(self):
+        store = FindingsStore.in_memory()
+        classic, sources = mixed_report({"classic.c": CLASSIC_SRC})
+        store.record_snapshot(classic, sources, rev="r1")
+        findings, sources2 = mixed_report(
+            {"classic.c": CLASSIC_SRC, "leak.c": LEAK_SRC}
+        )
+        verdict = evaluate_gate(store.diff(findings, sources2, rev="r2"))
+        assert verdict.ok and verdict.exit_code == 0
+        assert row_kinds(verdict.warned) == ["resource_leak"]
+        assert verdict.blocking == []
+
+    def test_new_use_after_free_blocks(self):
+        store = FindingsStore.in_memory()
+        classic, sources = mixed_report({"classic.c": CLASSIC_SRC})
+        store.record_snapshot(classic, sources, rev="r1")
+        findings, sources2 = mixed_report(
+            {"classic.c": CLASSIC_SRC, "uaf.c": UAF_SRC}
+        )
+        verdict = evaluate_gate(store.diff(findings, sources2, rev="r2"))
+        assert not verdict.ok and verdict.exit_code == 1
+        assert row_kinds(verdict.blocking) == ["use_after_free"]
+
+    def test_gate_summary_names_the_warn_policy(self):
+        store = FindingsStore.in_memory()
+        findings, sources = mixed_report({"leak.c": LEAK_SRC})
+        verdict = evaluate_gate(store.diff(findings, sources, rev="r1"))
+        assert "rule gate policy: warn" in verdict.summary()
+
+
+class TestSuppressionRoundTrip:
+    def test_baseline_entry_suppresses_a_blocking_uaf(self, tmp_path):
+        store = FindingsStore.in_memory()
+        findings, sources = mixed_report({"uaf.c": UAF_SRC, "leak.c": LEAK_SRC})
+        diff = store.diff(findings, sources, rev="r1")
+        uaf_row = next(row for row in diff.new() if row.kind == "use_after_free")
+        fingerprint = diff.fingerprints[uaf_row.finding.key]
+
+        baseline = BaselineFile(path=tmp_path / "baseline.json")
+        baseline.add(
+            BaselineEntry(
+                fingerprint=fingerprint.primary,
+                justification="freed pointer is fenced by the caller",
+                author="reviewer",
+                accepted_rev="r1",
+                kind="use_after_free",
+                file=uaf_row.file,
+                function=uaf_row.function,
+                var=uaf_row.var,
+            )
+        )
+        baseline.save()
+
+        # Round-trip through disk, then gate with the loaded baseline.
+        loaded = BaselineFile.load(tmp_path / "baseline.json")
+        verdict = evaluate_gate(diff, loaded)
+        assert verdict.ok and verdict.exit_code == 0
+        suppressed_kinds = sorted(row.kind for row, _ in verdict.suppressed)
+        assert suppressed_kinds == ["use_after_free"]
+        # The leak is unbaselined, so it still surfaces — as a warning.
+        assert row_kinds(verdict.warned) == ["resource_leak"]
+        assert verdict.blocking == []
+
+    def test_suppression_takes_precedence_over_warn(self, tmp_path):
+        # A baselined resource_leak lands in `suppressed`, not `warned`.
+        store = FindingsStore.in_memory()
+        findings, sources = mixed_report({"leak.c": LEAK_SRC})
+        diff = store.diff(findings, sources, rev="r1")
+        (leak_row,) = diff.new()
+        fingerprint = diff.fingerprints[leak_row.finding.key]
+        baseline = BaselineFile(path=tmp_path / "baseline.json")
+        baseline.add(
+            BaselineEntry(
+                fingerprint=fingerprint.primary,
+                justification="handle ownership moves to the registry",
+                author="reviewer",
+            )
+        )
+        verdict = evaluate_gate(diff, baseline)
+        assert verdict.warned == []
+        assert len(verdict.suppressed) == 1
+        assert verdict.ok

@@ -20,6 +20,8 @@ from check_bench_schema import (  # noqa: E402
     PROVENANCE_FIELDS,
     ROUTER_FIELDS,
     ROUTER_TOPOLOGY_FIELDS,
+    RULES_FIELDS,
+    RULES_PACK_FIELDS,
     SERVICE_FIELDS,
     SOLVER_FIELDS,
     STORE_FIELDS,
@@ -182,6 +184,32 @@ def _valid_v9_payload():
         "telemetry_off_windows": [0.25, 0.252],
         "stitch": {"stitched": True, "processes": 2, "spans": 5},
         "scrape": {"sources_sampled": 2, "history_sources": 3, "history_recorded": 9},
+    }
+    return payload
+
+
+def _rules_pack_entry(detect=0.004, candidates=8, killed=1, reported=6):
+    return {
+        "detect_seconds": detect,
+        "candidates": candidates,
+        "killed": killed,
+        "reported": reported,
+    }
+
+
+def _valid_v10_payload():
+    payload = _valid_v9_payload()
+    payload["schema"] = 10
+    payload["bench_index"] = 10
+    payload["stages"]["rules"] = {
+        "corpus": "rules-eval",
+        "seed": 7,
+        "analyze_seconds": 0.4,
+        "packs": {
+            "unused_definitions": _rules_pack_entry(),
+            "use_after_free": _rules_pack_entry(candidates=6, killed=0),
+            "resource_leak": _rules_pack_entry(candidates=6, killed=0),
+        },
     }
     return payload
 
@@ -437,3 +465,43 @@ class TestClusterObsSection:
     def test_schema8_grandfathered_without_cluster_obs(self):
         # PR 8 files predate the cluster observability plane.
         assert validate_payload(_valid_v8_payload()) == []
+
+
+class TestRulesSection:
+    def test_valid_v10_payload_passes(self):
+        assert validate_payload(_valid_v10_payload()) == []
+
+    def test_schema10_requires_rules_section(self):
+        payload = _valid_v10_payload()
+        del payload["stages"]["rules"]
+        assert any("stages.rules" in p for p in validate_payload(payload))
+
+    def test_each_rules_field_required(self):
+        for name in RULES_FIELDS:
+            payload = _valid_v10_payload()
+            del payload["stages"]["rules"][name]
+            assert any(name in p for p in validate_payload(payload))
+
+    def test_each_pack_field_required(self):
+        for name in RULES_PACK_FIELDS:
+            payload = _valid_v10_payload()
+            del payload["stages"]["rules"]["packs"]["use_after_free"][name]
+            assert any(
+                "use_after_free" in p and name in p
+                for p in validate_payload(payload)
+            )
+
+    def test_empty_pack_table_rejected(self):
+        payload = _valid_v10_payload()
+        payload["stages"]["rules"]["packs"] = {}
+        assert any("packs is empty" in p for p in validate_payload(payload))
+
+    def test_reported_exceeding_candidates_rejected(self):
+        # A pack can only report findings it detected.
+        payload = _valid_v10_payload()
+        payload["stages"]["rules"]["packs"]["resource_leak"]["reported"] = 99
+        assert any("resource_leak" in p for p in validate_payload(payload))
+
+    def test_schema9_grandfathered_without_rules(self):
+        # PR 9 files predate the RulePack subsystem; they stay valid.
+        assert validate_payload(_valid_v9_payload()) == []

@@ -416,6 +416,95 @@ class TestClusterObsBudget:
         assert any("BENCH_9.json" in p and "overhead" in p for p in problems)
 
 
+def _rules_payload(index, version="engine-5", **pack_overrides):
+    payload = _payload(index, version=version)
+    payload["schema"] = 10
+    packs = {
+        "unused_definitions": {
+            "detect_seconds": 0.004,
+            "candidates": 8,
+            "killed": 1,
+            "reported": 6,
+        },
+        "use_after_free": {
+            "detect_seconds": 0.002,
+            "candidates": 6,
+            "killed": 0,
+            "reported": 6,
+        },
+        "resource_leak": {
+            "detect_seconds": 0.002,
+            "candidates": 6,
+            "killed": 0,
+            "reported": 6,
+        },
+    }
+    for rule, overrides in pack_overrides.items():
+        packs[rule].update(overrides)
+    payload["stages"]["rules"] = {
+        "corpus": "rules-eval",
+        "seed": 7,
+        "analyze_seconds": 0.4,
+        "packs": packs,
+    }
+    return payload
+
+
+class TestRuleDecisionDrift:
+    def test_identical_rule_counts_pass(self):
+        assert compare_pair(_rules_payload(10), _rules_payload(11)) == []
+
+    def test_per_rule_reported_drift_without_version_bump_fails(self):
+        curr = _rules_payload(11, use_after_free={"reported": 5})
+        problems = compare_pair(_rules_payload(10), curr, "BENCH_10.json", "BENCH_11.json")
+        assert any(
+            "use_after_free" in p and "reported" in p and "analysis_version" in p
+            for p in problems
+        )
+
+    def test_per_rule_candidate_drift_without_version_bump_fails(self):
+        curr = _rules_payload(11, resource_leak={"candidates": 7})
+        problems = compare_pair(_rules_payload(10), curr)
+        assert any("resource_leak" in p and "candidates" in p for p in problems)
+
+    def test_per_rule_kill_drift_without_version_bump_fails(self):
+        curr = _rules_payload(11, unused_definitions={"killed": 2})
+        problems = compare_pair(_rules_payload(10), curr)
+        assert any("unused_definitions" in p and "killed" in p for p in problems)
+
+    def test_detect_wall_time_never_drifts(self):
+        # detect_seconds is a timing, not a decision: free to vary.
+        curr = _rules_payload(11, use_after_free={"detect_seconds": 0.9})
+        assert compare_pair(_rules_payload(10), curr) == []
+
+    def test_version_bump_licenses_the_drift(self):
+        curr = _rules_payload(11, version="engine-6", use_after_free={"reported": 2})
+        assert compare_pair(_rules_payload(10), curr) == []
+
+    def test_disappearing_pack_without_version_bump_fails(self):
+        curr = _rules_payload(11)
+        del curr["stages"]["rules"]["packs"]["resource_leak"]
+        problems = compare_pair(_rules_payload(10), curr, "BENCH_10.json", "BENCH_11.json")
+        assert any("resource_leak" in p and "disappeared" in p for p in problems)
+
+    def test_new_pack_without_version_bump_fails(self):
+        curr = _rules_payload(11)
+        curr["stages"]["rules"]["packs"]["null_deref"] = {
+            "detect_seconds": 0.001,
+            "candidates": 3,
+            "killed": 0,
+            "reported": 3,
+        }
+        problems = compare_pair(_rules_payload(10), curr)
+        assert any("null_deref" in p and "appeared" in p for p in problems)
+
+    def test_schema9_pairs_grandfathered(self):
+        # Neither file carries stages.rules: nothing per-rule to compare.
+        prev = _payload(9, version="engine-5")
+        curr = _rules_payload(10)
+        assert compare_pair(prev, curr) == []
+
+
 class TestSeriesWalk:
     def test_only_consecutive_pairs_compared(self):
         # A drift between files 4 and 6 with a licensed bump at 5 passes:
